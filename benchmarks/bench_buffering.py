@@ -1,0 +1,20 @@
+"""Section V-G: PL double vs single buffering (C6 FP32, C11 INT8)."""
+
+import pytest
+
+
+def test_buffering_study(run_and_render):
+    result = run_and_render("buffering")
+
+    c6 = result.row_by("configuration", "C6")
+    # paper: 9.95 -> 14.72 ms = 1.48x when single buffering serialises
+    assert c6["double_ms"] == pytest.approx(9.95, rel=0.15)
+    assert 1.35 <= c6["same_tiles_ratio"] <= 1.60
+
+    c11 = result.row_by("configuration", "C11")
+    # paper: 0.92 ms double buffered; re-tiling recovers most of the
+    # single-buffer serialisation (paper measured an outright win; see
+    # EXPERIMENTS.md for the recorded deviation)
+    assert c11["double_ms"] == pytest.approx(0.92, rel=0.20)
+    assert c11["single_retiled_ms"] < c11["single_same_tiles_ms"]
+    assert c11["retiled_ratio"] <= 1.15

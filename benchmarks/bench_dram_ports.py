@@ -1,0 +1,13 @@
+"""Section IV-C: achieved DRAM bandwidth vs design port count."""
+
+import pytest
+
+
+def test_dram_ports(run_and_render):
+    result = run_and_render("dram_ports")
+    # paper: 2r1w -> 20 GB/s, 4r2w -> 34 GB/s, plateau thereafter
+    assert result.row_by("ports", "2r1w")["achieved_gb_s"] == pytest.approx(20.0, abs=0.2)
+    assert result.row_by("ports", "4r2w")["achieved_gb_s"] == pytest.approx(34.0, abs=0.2)
+    assert result.row_by("ports", "8r4w")["achieved_gb_s"] == pytest.approx(34.0, abs=0.2)
+    # paper: only 34% of the theoretical 102.4 GB/s is reachable
+    assert result.row_by("ports", "4r2w")["utilization_pct"] == pytest.approx(34, abs=1)

@@ -1,0 +1,56 @@
+"""Ablation benchmarks for the extension studies DESIGN.md calls out."""
+
+import pytest
+
+
+def test_ext_fusion_ablation(run_and_render):
+    """Post-op fusion vs separate pass (Section V-G recommendation)."""
+    result = run_and_render("ext_fusion")
+    assert all(r["speedup"] > 1.0 for r in result.rows)
+
+
+def test_ext_fragmentation(run_and_render):
+    """Tile size vs padding for DNN shapes (paper future work)."""
+    result = run_and_render("ext_fragmentation")
+    assert all(0 <= r["waste_pct"] <= 55 for r in result.rows)
+    # the headline case: L3's K=128 doubles on C4's K=256 native
+    worst = max(result.rows, key=lambda r: r["waste_pct"])
+    assert (worst["workload"], worst["configuration"]) == ("L3", "C4")
+
+
+def test_ext_sensitivity(run_and_render):
+    """Architecture-parameter sensitivity curves."""
+    result = run_and_render("ext_sensitivity")
+    ports = [r for r in result.rows if r["parameter"] == "dram_ports"]
+    times = {r["value"]: r["ms"] for r in ports}
+    assert times["2r1w"] > times["4r2w"]
+    assert times["8r4w"] == pytest.approx(times["4r2w"], rel=0.01)
+
+
+def test_ext_transformer_e2e(run_and_render):
+    """End-to-end transformer estimates across the model zoo."""
+    result = run_and_render("ext_transformer")
+    assert len(result.rows) == 5
+    assert all(r["tflops"] > 0 for r in result.rows)
+
+
+def test_ext_energy(run_and_render):
+    """Energy/efficiency ablation across Table II configurations."""
+    result = run_and_render("ext_energy")
+    fp32_best = max(r["gflops_per_watt"] for r in result.rows if r["precision"] == "fp32")
+    int8_best = max(r["gflops_per_watt"] for r in result.rows if r["precision"] == "int8")
+    assert int8_best > 4 * fp32_best
+
+
+def test_ext_multi_acc(run_and_render):
+    """Composed heterogeneous accelerators (CHARM) vs serial execution."""
+    result = run_and_render("ext_multi_acc")
+    summary = result.panels["summary"][0]
+    assert summary["speedup_vs_serial"] > 1.0
+    assert summary["makespan_ms"] < summary["serial_ms"]
+
+
+def test_insights_audit(run_and_render):
+    """Every boxed paper insight must hold against the models."""
+    result = run_and_render("insights")
+    assert all(r["holds"] for r in result.rows)

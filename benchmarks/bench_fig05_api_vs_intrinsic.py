@@ -1,0 +1,23 @@
+"""Fig. 5: intrinsic vs API single-AIE kernel performance."""
+
+import pytest
+
+
+def test_fig5_api_vs_intrinsic(run_and_render):
+    result = run_and_render("fig5")
+
+    def eff(precision, style):
+        return next(
+            r["efficiency"]
+            for r in result.rows
+            if r["precision"] == precision and r["style"] == style
+        )
+
+    # paper: intrinsics exceed ~90% efficiency for both precisions
+    assert eff("fp32", "intrinsic") > 0.85
+    assert eff("int8", "intrinsic") > 0.85
+    # paper: the API loses 46% (FP32) / 7% (INT8)
+    assert 1 - eff("fp32", "api") / eff("fp32", "intrinsic") == pytest.approx(0.46, abs=0.04)
+    assert 1 - eff("int8", "api") / eff("int8", "intrinsic") == pytest.approx(0.07, abs=0.03)
+    # paper: hardware time exceeds aiesimulator time (DRAM + setup)
+    assert all(r["hw_us"] > r["aiesim_us"] for r in result.rows)

@@ -1,0 +1,14 @@
+"""Fig. 6: single-AIE FP32 kernel efficiency across shapes and sizes."""
+
+
+def test_fig6_single_aie_fp32(run_and_render):
+    result = run_and_render("fig6")
+    effs = result.column("efficiency")
+    # paper: FP32 kernels achieve 70% to 98% efficiency
+    assert min(effs) >= 0.65 and max(effs) <= 0.99
+    # most FP32 kernels are compute-bound (8 MACs/cycle is slow)
+    compute_bound = [r for r in result.rows if r["bound"] == "compute"]
+    assert len(compute_bound) > len(result.rows) / 2
+    # kernels over the local 32 KB are flagged (the dotted bars)
+    assert result.row_by("shape", "64x64x64")["needs_neighbor_memory"]
+    assert not result.row_by("shape", "32x32x32")["needs_neighbor_memory"]

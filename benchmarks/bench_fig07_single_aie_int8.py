@@ -1,0 +1,14 @@
+"""Fig. 7: single-AIE INT8 kernel efficiency across shapes and sizes."""
+
+
+def test_fig7_single_aie_int8(run_and_render):
+    result = run_and_render("fig7")
+    # paper: 128x128x128 is the high-efficiency INT8 exception
+    best = max(result.rows, key=lambda r: r["efficiency"])
+    assert best["shape"] == "128x128x128"
+    assert best["needs_neighbor_memory"]
+    # INT8's 16x-compute / 4x-data asymmetry leaves kernels
+    # communication-bound
+    assert any(r["bound"] == "communication" for r in result.rows)
+    # the scalable 64^3 kernel keeps high efficiency
+    assert result.row_by("shape", "64x64x64")["efficiency"] > 0.85

@@ -1,0 +1,30 @@
+"""Fig. 8: AIE-to-AIE communication scheme comparison."""
+
+
+def _value(rows, scheme):
+    return next(r["normalized_time"] for r in rows if r["scheme"] == scheme)
+
+
+def test_fig8_comm_schemes(run_and_render):
+    result = run_and_render("fig8")
+    fp32_small = result.panels["fp32 16 AIEs"]
+    int8_small = result.panels["int8 16 AIEs"]
+    fp32_large = result.panels["fp32 384 AIEs"]
+    int8_large = result.panels["int8 256 AIEs"]
+
+    # paper, 16 AIEs: double buffer +1%, single buffer +32% / +78%
+    assert _value(fp32_small, "buffer_double") < 1.03
+    assert 1.25 <= _value(fp32_small, "buffer_single") <= 1.37
+    assert 1.70 <= _value(int8_small, "buffer_single") <= 1.90
+    # paper: via-switch costs up to 6% for FP32, 3.17-3.3x for INT8
+    assert _value(fp32_small, "via_switch_far") <= 1.06
+    assert 3.1 <= _value(int8_small, "via_switch_near") <= 3.4
+    # paper, max AIEs: +22%/+32% (FP32) and +66%/+76% (INT8)
+    assert _value(fp32_large, "buffer_double") == 1.22
+    assert _value(int8_large, "buffer_single") == 1.76
+    # via-switch far cannot be built at maximum AIE counts
+    assert _value(fp32_large, "via_switch_far") is None
+    # cascade is the baseline winner everywhere
+    for rows in result.panels.values():
+        feasible = [r["normalized_time"] for r in rows if r["feasible"]]
+        assert min(feasible) == 1.0

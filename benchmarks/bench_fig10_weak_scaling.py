@@ -1,0 +1,17 @@
+"""Fig. 10: weak scaling — each config runs its own native size."""
+
+
+def test_fig10_weak_scaling(run_and_render):
+    result = run_and_render("fig10")
+    for panel in ("FP32", "INT8"):
+        rows = result.panels[panel]
+        times = [r["us"] for r in rows]
+        # paper: time rises with configuration size (memory transactions
+        # grow while compute stays constant)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        io = [r["io_bytes"] for r in rows]
+        assert all(b > a for a, b in zip(io, io[1:]))
+    # the FP32 spread is larger than the INT8 spread (paper: 100% vs 40%)
+    fp32_spread = result.panels["FP32"][-1]["vs_smallest"]
+    int8_spread = result.panels["INT8"][-1]["vs_smallest"]
+    assert fp32_spread > int8_spread > 1.0

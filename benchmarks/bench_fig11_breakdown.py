@@ -1,0 +1,18 @@
+"""Fig. 11: execution breakdown for 2048^3 with model-vs-HW comparison."""
+
+import pytest
+
+
+def test_fig11_breakdown(run_and_render):
+    result = run_and_render("fig11")
+    # paper: analytical model within +/-5% of hardware
+    assert all(abs(r["model_error_pct"]) <= 5.0 for r in result.rows)
+    # paper: DRAM-to-PL dominates right of C4 (memory bound)
+    for name in ("C5", "C6", "C10", "C11"):
+        assert result.row_by("configuration", name)["memory_bound"]
+    for name in ("C1", "C2", "C3"):
+        assert not result.row_by("configuration", name)["memory_bound"]
+    # paper (Section V-G): C6 measures 9.95 ms
+    assert result.row_by("configuration", "C6")["hw_ms"] == pytest.approx(9.95, rel=0.15)
+    # the exposed PL<->AIE overhead is visible in every breakdown
+    assert all(r["exposed_plio_ms"] > 0 for r in result.rows)

@@ -1,0 +1,27 @@
+"""Fig. 14: Table III workloads under kernel/DRAM/AIE variations."""
+
+
+def test_fig14_real_workloads(run_and_render):
+    result = run_and_render("fig14")
+    assert len(result.rows) == 4 * 6
+
+    # paper: L3/L4 are constrained by the C store (big M,N / small K)
+    for row in result.rows:
+        if row["workload"] in ("L3", "L4"):
+            assert row["bottleneck"] == "store_c"
+
+    # paper: B1/V1/L1/L2 are DRAM-input-load bound at 20 GB/s
+    low_bw = [
+        r for r in result.rows
+        if "(2r1w)" in r["variant"] and r["workload"] in ("B1", "V1", "L1", "L2")
+    ]
+    assert low_bw and all(r["input_load_bound"] for r in low_bw)
+
+    # paper: raising bandwidth 20 -> 34 GB/s reduces every latency
+    for workload in ("B1", "V1", "L1", "L2", "L3", "L4"):
+        slow = next(r["ms"] for r in result.rows
+                    if r["workload"] == workload and "20GB/s" in r["variant"])
+        fast = next(r["ms"] for r in result.rows
+                    if r["workload"] == workload
+                    and r["variant"] == "C6 32^3 34GB/s (4r2w)")
+        assert fast < slow

@@ -1,0 +1,25 @@
+"""Fig. 15: INT8 roofline with the Table III workloads."""
+
+import pytest
+
+
+def test_fig15_roofline(run_and_render):
+    result = run_and_render("fig15")
+
+    # paper: red dots — B1/V1/L1/L2 compute-bound, L3/L4 DRAM-bound
+    for workload_id in ("B1", "V1", "L1", "L2"):
+        assert result.row_by("workload", workload_id)["ideal_bound"] == "compute"
+    for workload_id in ("L3", "L4"):
+        assert result.row_by("workload", workload_id)["ideal_bound"] == "dram"
+
+    # paper: green circles — tiling overhead makes all of them DRAM
+    # bound, so the 128 TOPS ceiling is unattainable
+    assert all(r["tiled_bound"] == "dram" for r in result.rows)
+    assert all(r["tiled_attainable_tops"] < 128 for r in result.rows)
+    assert all(r["tiled_oi"] < r["ideal_oi"] for r in result.rows)
+
+    # ceilings: one per INT8 config, topping out at 128 TOPs
+    ceilings = result.panels["ceilings"]
+    assert ceilings[-1]["peak_tops"] == pytest.approx(128.0)
+    lines = {r["line"]: r["gb_per_s"] for r in result.panels["bandwidth_lines"]}
+    assert lines["PLIO (PL->AIE)"] > 10 * lines["DRAM (theoretical)"]

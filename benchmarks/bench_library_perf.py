@@ -1,0 +1,65 @@
+"""Micro-benchmarks of the library itself (real pytest-benchmark rounds).
+
+The experiment benches measure one-shot reproduction runs; these measure
+the hot paths a downstream user leans on — the analytical model, the
+tile-plan search, the pipeline engine and the functional simulator — so
+performance regressions in the library show up here.
+"""
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.mapping.tiling import plan_tiling
+from repro.sim.engine import PipelineSimulator, PipelineStage
+from repro.sim.functional import FunctionalGemm
+from repro.workloads.gemm import GemmShape
+
+WORKLOAD = GemmShape(2048, 2048, 2048)
+
+
+@pytest.fixture(scope="module")
+def design():
+    return CharmDesign(config_by_name("C6"))
+
+
+def test_perf_analytical_estimate(benchmark, design):
+    """Full estimate including the tile-plan search."""
+    model = AnalyticalModel(design)
+    estimate = benchmark(model.estimate, WORKLOAD)
+    assert estimate.total_seconds > 0
+
+
+def test_perf_estimate_with_cached_plan(benchmark, design):
+    """Estimate alone: what a DSE inner loop pays per candidate."""
+    model = AnalyticalModel(design)
+    plan = design.tile_plan(WORKLOAD)
+    estimate = benchmark(model.estimate, WORKLOAD, plan)
+    assert estimate.total_seconds > 0
+
+
+def test_perf_plan_search(benchmark, design):
+    plan = benchmark(
+        plan_tiling, WORKLOAD, design.native_size, design.precision
+    )
+    assert plan.num_dram_tiles >= 1
+
+
+def test_perf_pipeline_engine(benchmark):
+    pipeline = PipelineSimulator(
+        [
+            PipelineStage("load", lambda t: 3.0),
+            PipelineStage("aie", lambda t: 5.0),
+            PipelineStage("store", lambda t: 1.0),
+        ]
+    )
+    result = benchmark(pipeline.run, 500)
+    assert result.makespan > 0
+
+
+def test_perf_functional_native_tile(benchmark):
+    design = CharmDesign(config_by_name("C1"))
+    runner = FunctionalGemm(design, seed=0)
+    result = benchmark(runner.run, design.native_size)
+    assert result.correct

@@ -1,0 +1,9 @@
+"""Section V-A: analytical-model accuracy sweep (the +/-5% claim)."""
+
+
+def test_model_accuracy(run_and_render):
+    result = run_and_render("model_accuracy")
+    assert len(result.rows) == 11 * 6
+    errors = [abs(r["error_pct"]) for r in result.rows]
+    # paper: estimates within +/-5% of hardware execution time
+    assert max(errors) <= 5.0

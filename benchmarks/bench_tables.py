@@ -1,0 +1,21 @@
+"""Benchmarks regenerating Tables I, II and III."""
+
+
+def test_table1_platforms(run_and_render):
+    result = run_and_render("table1")
+    assert [r["platform"] for r in result.rows] == [
+        "aiesimulator", "sw_emu", "hw_emu", "hw", "analytical",
+    ]
+
+
+def test_table2_configurations(run_and_render):
+    result = run_and_render("table2")
+    assert len(result.rows) == 11
+    assert result.row_by("configuration", "C6")["native_size"] == "384x128x256"
+    assert result.row_by("configuration", "C11")["plios"] == 112
+
+
+def test_table3_dnn_workloads(run_and_render):
+    result = run_and_render("table3")
+    assert result.row_by("id", "L1")["M"] == 13824
+    assert all(r["aspect"] != "square" for r in result.rows)

@@ -1,0 +1,32 @@
+"""Benchmark harness helpers.
+
+Every benchmark regenerates one of the paper's tables/figures via the
+experiment registry, asserts its headline claims, and prints the
+reproduced rows (run with ``-s`` to see them alongside the timing table).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_and_render(benchmark):
+    """Benchmark an experiment driver once and print its rendering.
+
+    Experiment drivers are deterministic and some are heavy (full
+    config sweeps through the DES), so each is measured with a single
+    round rather than pytest-benchmark's auto-calibration.
+    """
+
+    def runner(experiment_id: str):
+        from repro.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment, args=(experiment_id,), rounds=1, iterations=1
+        )
+        print()
+        print(result.render())
+        return result
+
+    return runner

@@ -1,0 +1,66 @@
+"""CNN inference on the Versal model: im2col conv layers end to end.
+
+CHARM's DNN suite and the space-edge-computing literature run CNNs on
+Versal; this example lowers a ResNet-50-style layer sample to GEMM,
+picks the best Table II configuration per layer (they are tall shapes —
+very different from the square synthetic workloads), batches the
+repeated invocations, and reports layer-by-layer latency, bottlenecks
+and padding waste.
+
+Run:  python examples/cnn_inference.py [batch]
+"""
+
+import sys
+
+from repro import CharmDesign, Precision, config_by_name, configs_for
+from repro.core.analytical_model import AnalyticalModel
+from repro.core.batch import batched_estimate
+from repro.mapping.fragmentation import FragmentationAnalysis
+from repro.reporting import format_seconds, render_table
+from repro.workloads.conv import RESNET50_LAYERS
+
+
+def main() -> None:
+    batch = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    analysis = FragmentationAnalysis(Precision.FP32)
+    models = {
+        c.name: AnalyticalModel(CharmDesign(c)) for c in configs_for(Precision.FP32)
+    }
+
+    rows = []
+    total = 0.0
+    for layer in RESNET50_LAYERS:
+        shape = layer.im2col_shape(batch)
+        best = analysis.best(shape)
+        estimate = models[best.config.name].estimate(shape)
+        # conv stages repeat within a network; batch the invocations
+        repeats = 3
+        batched = batched_estimate(CharmDesign(best.config), shape, count=repeats)
+        total += batched.total_seconds
+        rows.append(
+            {
+                "layer": layer.name,
+                "gemm (im2col)": str(shape),
+                "config": best.config.name,
+                "latency": format_seconds(estimate.total_seconds),
+                "bottleneck": str(estimate.bottleneck),
+                "padding_waste": f"{best.waste_fraction:.1%}",
+                "im2col_expand": f"{layer.im2col_expansion():.0f}x",
+            }
+        )
+
+    print(render_table(rows, title=f"ResNet-50-style layers, batch {batch} (FP32)"))
+    print()
+    print(f"layer-sample total (3 repeats each, setup amortised): {format_seconds(total)}")
+    print()
+    print("observations:")
+    print(" * im2col GEMMs are tall: like the paper's L3/L4 layers they are")
+    print("   frequently bound by the C store, not the inputs")
+    print(" * 1x1 convolutions lower with no data expansion; 3x3 kernels")
+    print("   amplify input reads ~9x — tiling overhead before tiling even starts")
+    print(" * per-layer configuration choice matters: early high-resolution")
+    print("   layers and late channel-heavy layers prefer different groupings")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""A fused GEMM+activation pipeline on spare AIEs, with a visible timeline.
+
+Section V-G's summary recommends running activation functions on unused
+AIEs instead of round-tripping through the PL or DRAM.  This example
+builds that pipeline for a transformer MLP block (GEMM -> GELU ->
+GEMM -> add), compares fused vs unfused latency and energy, and prints
+the execution Gantt so the double-buffered overlap is visible.
+
+Run:  python examples/fused_inference_pipeline.py
+"""
+
+from repro import (
+    CharmDesign,
+    EnergyModel,
+    FusionPlanner,
+    GemmShape,
+    HwSimulator,
+    PostOp,
+    config_by_name,
+)
+from repro.reporting import format_seconds, render_table
+
+
+def main() -> None:
+    # a Llama2-13B MLP block at 2048 tokens
+    tokens, hidden, intermediate = 2048, 5120, 13824
+    up = GemmShape(tokens, hidden, intermediate)
+    down = GemmShape(tokens, intermediate, hidden)
+    design = CharmDesign(config_by_name("C5"))  # 256 AIEs -> 144 spare
+    planner = FusionPlanner(design)
+
+    rows = []
+    total_unfused = total_fused = 0.0
+    for name, shape, post_op in (
+        ("mlp_up + GELU", up, PostOp.GELU),
+        ("mlp_down + residual add", down, PostOp.ELEMENTWISE_ADD),
+    ):
+        estimate = planner.estimate(post_op, shape)
+        total_unfused += estimate.unfused_total
+        total_fused += estimate.fused_total
+        rows.append(
+            {
+                "stage": name,
+                "gemm": format_seconds(estimate.gemm_seconds),
+                "unfused": format_seconds(estimate.unfused_total),
+                "fused": format_seconds(estimate.fused_total),
+                "spare_aies": estimate.spare_aies,
+                "dram_saved_mb": round(estimate.avoided_dram_bytes / 1e6, 1),
+            }
+        )
+
+    print(render_table(rows, title="Llama2-13B MLP block on C5 (FP32)"))
+    print()
+    speedup = total_unfused / total_fused
+    print(f"block latency: {format_seconds(total_unfused)} unfused -> "
+          f"{format_seconds(total_fused)} fused ({speedup:.2f}x)")
+
+    energy = EnergyModel(design).estimate(up)
+    saved_joules = sum(r["dram_saved_mb"] for r in rows) * 1e6 * 150e-12
+    print(f"energy: the avoided DRAM traffic is worth ~{saved_joules * 1e3:.1f} mJ "
+          f"(DRAM is {energy.fractions()['dram']:.0%} of the GEMM's dynamic+static energy)")
+    print()
+
+    print("pipeline timeline for the mlp_up GEMM (double buffering visible):")
+    trace = HwSimulator(design).trace(up)
+    print(trace.gantt(width=68))
+    overlap = trace.overlap_seconds("load", "aie") / trace.makespan
+    print(f"load/AIE overlap covers {overlap:.0%} of the run — the 'max()' "
+          f"behaviour of Eq. 2 in action")
+
+
+if __name__ == "__main__":
+    main()

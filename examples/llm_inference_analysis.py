@@ -1,0 +1,61 @@
+"""Analyse the GEMMs behind LLM inference on Versal (the paper's motivation).
+
+Transformers spend >90% of their compute in GEMM, and the shapes are
+tall/fat/skinny rather than square (Table III).  This example takes the
+BERT/ViT/Llama2 layers, places them on the roofline (Fig. 15), estimates
+latency and bottlenecks on the best FP32 configuration (Fig. 14), and
+shows what a DRAM-bandwidth upgrade buys for each layer.
+
+Run:  python examples/llm_inference_analysis.py
+"""
+
+from repro import (
+    AnalyticalModel,
+    CharmDesign,
+    DNN_WORKLOADS,
+    DramPorts,
+    Precision,
+    Roofline,
+    config_by_name,
+)
+from repro.reporting import render_table
+
+
+def main() -> None:
+    design_fast = CharmDesign(config_by_name("C6"))
+    design_slow = design_fast.with_ports(DramPorts(2, 1))
+    roofline = Roofline(Precision.INT8)
+    int8_config = config_by_name("C11")
+
+    rows = []
+    for workload in DNN_WORKLOADS:
+        slow = AnalyticalModel(design_slow).estimate(workload.shape)
+        fast = AnalyticalModel(design_fast).estimate(workload.shape)
+        ideal = roofline.point(workload.workload_id, workload.shape)
+        tiled = roofline.tiled_point(workload.workload_id, workload.shape, int8_config)
+        rows.append(
+            {
+                "layer": str(workload),
+                "aspect": workload.shape.aspect(),
+                "ms @20GB/s": round(slow.total_seconds * 1e3, 2),
+                "ms @34GB/s": round(fast.total_seconds * 1e3, 2),
+                "speedup": round(slow.total_seconds / fast.total_seconds, 2),
+                "bottleneck": str(fast.bottleneck),
+                "roofline (ideal)": "compute" if ideal.compute_bound else "DRAM",
+                "roofline (tiled)": "compute" if tiled.compute_bound else "DRAM",
+            }
+        )
+
+    print(render_table(rows, title="Table III workloads on C6 (FP32, analytical model)"))
+    print()
+    print("observations (matching Sections V-I and V-J):")
+    print(" * the attention/MLP layers (B1, V1, L1, L2) are input-load bound;")
+    print("   more DRAM bandwidth converts directly into speedup")
+    print(" * the small-K projection layers (L3, L4) are store-C bound: the")
+    print("   output matrix dominates, so bandwidth helps less")
+    print(" * after tiling overhead every layer is DRAM-bound on the roofline —")
+    print("   the 128 TOPS INT8 ceiling is unreachable for these shapes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+"""repro — Performance analysis of GEMM workloads on a simulated AMD Versal.
+
+A faithful, board-free reproduction of *"Performance Analysis of GEMM
+Workloads on the AMD Versal Platform"* (ISPASS 2025): the VCK5000 device
+model, CHARM-style GEMM mapping (3-level tiling, cascade packs, PLIO
+switching schemes), the paper's analytical performance model, and
+discrete-event stand-ins for AMD's aiesimulator and hardware platforms.
+
+Quickstart::
+
+    from repro import AnalyticalModel, CharmDesign, GemmShape, config_by_name
+
+    design = CharmDesign(config_by_name("C6"))
+    estimate = AnalyticalModel(design).estimate(GemmShape(2048, 2048, 2048))
+    print(estimate.total_seconds, estimate.bottleneck)
+"""
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.dnn import DNN_WORKLOADS, DnnWorkload, workload_by_id
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.hw.specs import DeviceSpec, VCK5000, AIE_ML_DEVICE, device_by_name
+from repro.hw.dram import DramModel, DramPorts
+from repro.hw.interconnect import CommScheme, CommTimingModel
+from repro.mapping.configs import (
+    ALL_CONFIGS,
+    FP32_CONFIGS,
+    INT8_CONFIGS,
+    HardwareConfig,
+    config_by_name,
+    configs_for,
+)
+from repro.mapping.grouping import AieGrouping
+from repro.mapping.charm import CharmDesign, DesignError
+from repro.mapping.tiling import TilePlan, plan_tiling
+from repro.mapping.plio_schemes import PlioScheme, reference_schemes, scheme_sweep
+from repro.mapping.placement import CharmPlacer, Placement
+from repro.mapping.fragmentation import FragmentationAnalysis
+from repro.mapping.connectivity import ConnectivityGraph, build_connectivity
+from repro.mapping.reduction import estimate_pl_reduction
+from repro.core.analytical_model import AnalyticalModel, Estimate
+from repro.core.breakdown import Bottleneck, ExecutionBreakdown
+from repro.core.roofline import Roofline
+from repro.core.dse import DesignSpaceExplorer
+from repro.core.fusion import FusionPlanner, PostOp
+from repro.core.energy import EnergyModel
+from repro.core.sensitivity import SensitivityAnalysis
+from repro.core.e2e import ModelEstimator
+from repro.core.multi_acc import AcceleratorPartition, GemmJob, MultiAccScheduler
+from repro.workloads.transformer import MODEL_ZOO, TransformerConfig, model_by_name
+from repro.core.calibrate import fit_noc, fit_pl_fraction
+from repro.kernels.emulator import AieKernelEmulator
+from repro.sim.aiesim import simulate_kernel, simulate_graph
+from repro.sim.cluster import simulate_cluster
+from repro.sim.hwsim import HwSimulator, HwRunResult
+from repro.sim.functional import FunctionalGemm
+from repro.sim.platforms import PLATFORMS, run_on_platform
+from repro.sim.trace import ExecutionTrace
+from repro.sim.events import EventSimulator, Task
+from repro.sim.dnnsim import DnnSimulator
+from repro.sim.serving import ServingSimulator, generate_trace
+from repro.core.pareto import pareto_front, knee_point
+from repro.host import Device as HostDevice
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GemmShape",
+    "DNN_WORKLOADS",
+    "DnnWorkload",
+    "workload_by_id",
+    "Precision",
+    "KernelStyle",
+    "SingleAieGemmKernel",
+    "DeviceSpec",
+    "VCK5000",
+    "AIE_ML_DEVICE",
+    "device_by_name",
+    "DramModel",
+    "DramPorts",
+    "CommScheme",
+    "CommTimingModel",
+    "ALL_CONFIGS",
+    "FP32_CONFIGS",
+    "INT8_CONFIGS",
+    "HardwareConfig",
+    "config_by_name",
+    "configs_for",
+    "AieGrouping",
+    "CharmDesign",
+    "DesignError",
+    "TilePlan",
+    "plan_tiling",
+    "PlioScheme",
+    "reference_schemes",
+    "scheme_sweep",
+    "AnalyticalModel",
+    "Estimate",
+    "Bottleneck",
+    "ExecutionBreakdown",
+    "Roofline",
+    "DesignSpaceExplorer",
+    "CharmPlacer",
+    "Placement",
+    "FragmentationAnalysis",
+    "FusionPlanner",
+    "PostOp",
+    "EnergyModel",
+    "SensitivityAnalysis",
+    "ModelEstimator",
+    "AcceleratorPartition",
+    "GemmJob",
+    "MultiAccScheduler",
+    "MODEL_ZOO",
+    "TransformerConfig",
+    "model_by_name",
+    "fit_noc",
+    "fit_pl_fraction",
+    "AieKernelEmulator",
+    "simulate_kernel",
+    "simulate_graph",
+    "simulate_cluster",
+    "HwSimulator",
+    "HwRunResult",
+    "FunctionalGemm",
+    "PLATFORMS",
+    "run_on_platform",
+    "ExecutionTrace",
+    "EventSimulator",
+    "Task",
+    "DnnSimulator",
+    "ServingSimulator",
+    "generate_trace",
+    "pareto_front",
+    "knee_point",
+    "HostDevice",
+    "ConnectivityGraph",
+    "build_connectivity",
+    "estimate_pl_reduction",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: the analytical performance model,
+execution breakdown, roofline analysis and design-space exploration."""
+
+from repro.core.analytical_model import AnalyticalModel, Estimate, AieLevelTimes, DramLevelTimes
+from repro.core.breakdown import Bottleneck, ExecutionBreakdown
+from repro.core.efficiency import kernel_efficiency, array_efficiency, achieved_ops
+from repro.core.roofline import Roofline, RooflinePoint, RooflineCeiling
+from repro.core.dse import DesignSpaceExplorer, DsePoint
+from repro.core.sweep import sweep, SweepResult
+
+__all__ = [
+    "AnalyticalModel",
+    "Estimate",
+    "AieLevelTimes",
+    "DramLevelTimes",
+    "Bottleneck",
+    "ExecutionBreakdown",
+    "kernel_efficiency",
+    "array_efficiency",
+    "achieved_ops",
+    "Roofline",
+    "RooflinePoint",
+    "RooflineCeiling",
+    "DesignSpaceExplorer",
+    "DsePoint",
+    "sweep",
+    "SweepResult",
+]

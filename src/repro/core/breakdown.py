@@ -1,0 +1,88 @@
+"""Execution breakdown and bottleneck identification.
+
+The paper's analytical model "extracts execution breakdown, given a
+workload size and hardware configuration" (Section V-A); Figs. 11 and 14
+present the result as stacked/hatched bars.  :class:`ExecutionBreakdown`
+is that data structure: per-phase aggregate times plus which phase binds
+at each level of the hierarchy.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Bottleneck(enum.Enum):
+    """The phase that binds a pipelined execution level."""
+
+    LOAD_A = "load_a"  # DRAM -> PL transfer of matrix A
+    LOAD_B = "load_b"  # DRAM -> PL transfer of matrix B
+    AIE = "aie"  # AIE compute + PL<->AIE streaming (Eq. 1)
+    STORE_C = "store_c"  # PL -> DRAM write-back of matrix C
+    COMPUTE = "compute"  # within the AIE level: the vector units
+    PLIO_A = "plio_a"  # within the AIE level: A stream PL->AIE
+    PLIO_B = "plio_b"
+    PLIO_C = "plio_c"
+
+    @property
+    def is_memory(self) -> bool:
+        return self is not Bottleneck.COMPUTE and self is not Bottleneck.AIE
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class ExecutionBreakdown:
+    """Aggregate per-phase times (seconds) over a whole execution.
+
+    The phases overlap (double buffering), so they do not sum to
+    ``total_seconds``; each value is how long that resource was busy.
+    ``exposed_*`` are the non-overlapped residuals that stack on top of
+    the binding phase.
+    """
+
+    total_seconds: float
+    load_a_seconds: float
+    load_b_seconds: float
+    aie_seconds: float
+    store_c_seconds: float
+    setup_seconds: float
+    #: time inside ``aie_seconds`` spent on pure vector compute
+    compute_seconds: float
+    #: PL<->AIE stream time exposed (not overlapped with compute)
+    exposed_plio_seconds: float
+    dram_bottleneck: Bottleneck
+    aie_bottleneck: Bottleneck
+
+    @property
+    def dram_seconds(self) -> float:
+        """Total DRAM-side busy time (the green bars of Fig. 11)."""
+        return max(self.load_a_seconds, self.load_b_seconds) + self.store_c_seconds
+
+    @property
+    def memory_bound(self) -> bool:
+        """True when a DRAM phase binds the execution (Fig. 11, right of C4)."""
+        return self.dram_bottleneck is not Bottleneck.AIE
+
+    @property
+    def bound_phase(self) -> Bottleneck:
+        """The overall binding phase: the DRAM-level winner, refined to
+        the AIE-level winner when the AIE level binds."""
+        if self.dram_bottleneck is Bottleneck.AIE:
+            return self.aie_bottleneck
+        return self.dram_bottleneck
+
+    def phase_fractions(self) -> dict[str, float]:
+        """Busy time of each phase relative to the total (can exceed 1
+        in sum because phases overlap)."""
+        if self.total_seconds <= 0:
+            raise ValueError("breakdown has non-positive total time")
+        return {
+            "load_a": self.load_a_seconds / self.total_seconds,
+            "load_b": self.load_b_seconds / self.total_seconds,
+            "aie": self.aie_seconds / self.total_seconds,
+            "store_c": self.store_c_seconds / self.total_seconds,
+            "setup": self.setup_seconds / self.total_seconds,
+        }

@@ -1,0 +1,116 @@
+"""Calibration fitting: recover model constants from measured points.
+
+`docs/calibration.md` lists the constants fitted to the paper's
+measurements.  This module automates the fitting for the two most
+board-specific ones, so the library can be re-targeted from a handful of
+measurements on new hardware/toolchains:
+
+* :func:`fit_noc` — fit the NoC virtual-channel constants from measured
+  (port count, achieved GB/s) points (Section IV-C style measurements).
+* :func:`fit_pl_fraction` — fit ``pl_usable_fraction`` from measured
+  end-to-end (config, workload, seconds) points (Section V-G style).
+
+Both are deliberately simple grid searches: transparent, deterministic,
+and adequate for 1-2 free parameters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.hw.noc import NocModel
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class NocFit:
+    vc_bandwidth: float
+    second_vc_factor: float
+    max_relative_error: float
+
+    def build(self, device: DeviceSpec = VCK5000) -> NocModel:
+        return NocModel(
+            device,
+            vc_bandwidth=self.vc_bandwidth,
+            second_vc_factor=self.second_vc_factor,
+        )
+
+
+def fit_noc(
+    measurements: Sequence[tuple[int, float]],
+    device: DeviceSpec = VCK5000,
+    vc_grid: Sequence[float] | None = None,
+    factor_grid: Sequence[float] | None = None,
+) -> NocFit:
+    """Fit (vc_bandwidth, second_vc_factor) to measured operating points.
+
+    ``measurements``: (num_ports, achieved bytes/s) pairs, e.g.
+    [(3, 20e9), (6, 34e9), (12, 34e9)].
+    """
+    if not measurements:
+        raise ValueError("need at least one measurement")
+    if vc_grid is None:
+        vc_grid = [base * 1e9 / 30 for base in range(120, 301, 2)]  # 4..10 GB/s
+    if factor_grid is None:
+        factor_grid = [f / 100 for f in range(0, 101, 2)]
+    best: NocFit | None = None
+    for vc in vc_grid:
+        for factor in factor_grid:
+            noc = NocModel(device, vc_bandwidth=vc, second_vc_factor=factor)
+            worst = max(
+                abs(noc.achieved_bandwidth(ports) - target) / target
+                for ports, target in measurements
+            )
+            if best is None or worst < best.max_relative_error:
+                best = NocFit(vc, factor, worst)
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class PlFractionFit:
+    pl_usable_fraction: float
+    max_relative_error: float
+
+    def build(self, device: DeviceSpec = VCK5000) -> DeviceSpec:
+        return dataclasses.replace(device, pl_usable_fraction=self.pl_usable_fraction)
+
+
+def fit_pl_fraction(
+    measurements: Sequence[tuple[str, GemmShape, float]],
+    device: DeviceSpec = VCK5000,
+    grid: Sequence[float] | None = None,
+) -> PlFractionFit:
+    """Fit ``pl_usable_fraction`` to measured end-to-end times.
+
+    ``measurements``: (config name, workload, measured seconds) tuples,
+    e.g. [("C6", 2048^3, 9.95e-3), ("C11", 2048^3, 0.92e-3)].
+    """
+    if not measurements:
+        raise ValueError("need at least one measurement")
+    if grid is None:
+        grid = [f / 100 for f in range(8, 41)]  # 0.08 .. 0.40
+    best: PlFractionFit | None = None
+    for fraction in grid:
+        candidate = dataclasses.replace(device, pl_usable_fraction=fraction)
+        worst = 0.0
+        feasible = True
+        for config_name, workload, target in measurements:
+            design = CharmDesign(config_by_name(config_name), device=candidate)
+            try:
+                estimate = AnalyticalModel(design).estimate(workload)
+            except ValueError:
+                feasible = False
+                break
+            worst = max(worst, abs(estimate.total_seconds - target) / target)
+        if feasible and (best is None or worst < best.max_relative_error):
+            best = PlFractionFit(fraction, worst)
+    if best is None:
+        raise ValueError("no feasible fraction in the search grid")
+    return best

@@ -1,0 +1,137 @@
+"""End-to-end DNN estimation: whole-model latency on one Versal design.
+
+The paper analyses isolated GEMMs (Table III / Fig. 14); a user sizing a
+deployment needs the sum over a model's layers.  :class:`ModelEstimator`
+runs every weight GEMM of a transformer forward pass through the
+analytical model — optionally picking the best Table II configuration
+*per GEMM shape* (CHARM's multi-accelerator idea: different shapes suit
+different groupings) — and reports per-layer and total latency,
+throughput and bottlenecks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytical_model import AnalyticalModel, Estimate
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import HardwareConfig, configs_for
+from repro.workloads.transformer import LayerGemm, TransformerConfig
+
+
+@dataclass(frozen=True)
+class LayerEstimate:
+    """Latency of one (repeated) layer GEMM, setup amortised."""
+
+    gemm: LayerGemm
+    config_name: str
+    single_seconds: float
+    estimate: Estimate
+
+    @property
+    def setup_seconds(self) -> float:
+        return self.estimate.breakdown.setup_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        """Repeated invocations of a resident graph pay setup once."""
+        steady = self.single_seconds - self.setup_seconds
+        return self.setup_seconds + self.gemm.count * steady
+
+    @property
+    def bottleneck(self) -> str:
+        return str(self.estimate.bottleneck)
+
+
+@dataclass(frozen=True)
+class ModelEstimate:
+    """Whole-model forward-pass estimate."""
+
+    model: TransformerConfig
+    tokens: int
+    layers: list[LayerEstimate]
+    include_attention: bool = False
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(layer.total_seconds for layer in self.layers)
+
+    @property
+    def total_flops(self) -> int:
+        return self.model.forward_flops(self.tokens, self.include_attention)
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.total_flops / self.total_seconds
+
+    @property
+    def tokens_per_second(self) -> float:
+        return self.tokens / self.total_seconds
+
+    def dominant_layer(self) -> LayerEstimate:
+        return max(self.layers, key=lambda l: l.total_seconds)
+
+
+class ModelEstimator:
+    """Estimates transformer forward passes on Versal designs."""
+
+    def __init__(
+        self,
+        precision: Precision = Precision.FP32,
+        configs: tuple[HardwareConfig, ...] | None = None,
+        per_layer_selection: bool = True,
+    ):
+        self.precision = precision
+        self.configs = configs if configs is not None else configs_for(precision)
+        if not self.configs:
+            raise ValueError("need at least one configuration")
+        self.per_layer_selection = per_layer_selection
+        self._models = {
+            config.name: AnalyticalModel(CharmDesign(config)) for config in self.configs
+        }
+
+    def _best_for(self, gemm: LayerGemm) -> tuple[str, Estimate]:
+        candidates = []
+        for name, model in self._models.items():
+            try:
+                candidates.append((name, model.estimate(gemm.shape)))
+            except ValueError:
+                continue  # shape cannot be tiled on this config
+        if not candidates:
+            raise ValueError(f"no configuration can run {gemm.shape}")
+        return min(candidates, key=lambda pair: pair[1].total_seconds)
+
+    def estimate(
+        self,
+        model: TransformerConfig,
+        tokens: int,
+        include_attention: bool = False,
+    ) -> ModelEstimate:
+        layers = []
+        gemms = model.forward_gemms(tokens, include_attention)
+        if not self.per_layer_selection:
+            # one fixed design for the whole model: the config that is
+            # best for the most expensive GEMM
+            heaviest = max(gemms, key=lambda g: g.total_flops)
+            fixed_name, _ = self._best_for(heaviest)
+        for gemm in gemms:
+            if self.per_layer_selection:
+                name, estimate = self._best_for(gemm)
+            else:
+                name = fixed_name
+                estimate = self._models[name].estimate(gemm.shape)
+            layers.append(
+                LayerEstimate(
+                    gemm=gemm,
+                    config_name=name,
+                    single_seconds=estimate.total_seconds,
+                    estimate=estimate,
+                )
+            )
+        return ModelEstimate(
+            model=model,
+            tokens=tokens,
+            layers=layers,
+            include_attention=include_attention,
+        )

@@ -1,0 +1,45 @@
+"""Efficiency metrics used throughout the paper.
+
+*Kernel efficiency* (Sections V-B/V-C): theoretical time at peak AIE
+throughput divided by observed time, for a single-AIE kernel.
+
+*Array efficiency*: achieved ops/s over the peak of the AIEs a design
+occupies — the "how close to theoretical peak" research question.
+"""
+
+from __future__ import annotations
+
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+
+def kernel_efficiency(
+    shape: GemmShape,
+    precision: Precision,
+    observed_cycles: float,
+) -> float:
+    """Theoretical cycles at peak MACs/cycle over observed cycles."""
+    if observed_cycles <= 0:
+        raise ValueError("observed_cycles must be positive")
+    ideal = shape.macs / precision.macs_per_cycle
+    return ideal / observed_cycles
+
+
+def achieved_ops(shape: GemmShape, seconds: float) -> float:
+    """Achieved throughput in ops/s for a workload that took ``seconds``."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return shape.flops / seconds
+
+
+def array_efficiency(
+    shape: GemmShape,
+    precision: Precision,
+    seconds: float,
+    num_aies: int,
+    device: DeviceSpec = VCK5000,
+) -> float:
+    """Achieved over peak throughput for ``num_aies`` engines."""
+    peak = device.peak_ops(precision, num_aies)
+    return achieved_ops(shape, seconds) / peak

@@ -1,0 +1,125 @@
+"""Energy model for GEMM executions on the Versal device model.
+
+The paper motivates Versal with energy efficiency (Section I; AIM [17]
+and Perryman et al. [12] report AIE energy advantages) but publishes no
+energy numbers.  This extension attaches a transparent energy model to
+every execution estimate so designs can be compared on GFLOPS/W as well
+as latency:
+
+* dynamic energy = per-MAC, per-byte-streamed (PLIO), per-byte of PL
+  buffer traffic and per-byte of DRAM traffic, with documented
+  7-nm-class constants,
+* static energy = board idle power times execution time — which is what
+  punishes DRAM-bound configurations that leave 400 engines waiting.
+
+All constants are module-level and overridable; they are calibration
+points, not measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytical_model import AnalyticalModel, Estimate
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.workloads.gemm import GemmShape
+
+#: Dynamic energy per MAC, joules (7-nm-class vector datapath).
+ENERGY_PER_MAC = {
+    Precision.FP32: 2.0e-12,
+    Precision.INT16: 0.6e-12,
+    Precision.INT8: 0.2e-12,
+}
+#: On-chip stream transfer energy, joules per byte (PLIO + switch hop).
+ENERGY_PER_PLIO_BYTE = 1.0e-12
+#: PL BRAM/URAM access energy, joules per byte.
+ENERGY_PER_PL_BYTE = 0.5e-12
+#: Off-chip DDR4 access energy, joules per byte (~19 pJ/bit).
+ENERGY_PER_DRAM_BYTE = 150e-12
+#: Board static/idle power, watts (fans, PS, clocks, leakage).
+STATIC_POWER_WATTS = 40.0
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy breakdown of one GEMM execution."""
+
+    workload: GemmShape
+    seconds: float
+    compute_joules: float
+    plio_joules: float
+    pl_joules: float
+    dram_joules: float
+    static_joules: float
+
+    @property
+    def dynamic_joules(self) -> float:
+        return self.compute_joules + self.plio_joules + self.pl_joules + self.dram_joules
+
+    @property
+    def total_joules(self) -> float:
+        return self.dynamic_joules + self.static_joules
+
+    @property
+    def average_power_watts(self) -> float:
+        return self.total_joules / self.seconds
+
+    @property
+    def ops_per_joule(self) -> float:
+        return self.workload.flops / self.total_joules
+
+    @property
+    def gflops_per_watt(self) -> float:
+        return self.ops_per_joule / 1e9
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total_joules
+        return {
+            "compute": self.compute_joules / total,
+            "plio": self.plio_joules / total,
+            "pl": self.pl_joules / total,
+            "dram": self.dram_joules / total,
+            "static": self.static_joules / total,
+        }
+
+
+class EnergyModel:
+    """Derives energy from an analytical-model estimate."""
+
+    def __init__(self, design: CharmDesign, static_power_watts: float = STATIC_POWER_WATTS):
+        design.validate()
+        self.design = design
+        self.static_power_watts = static_power_watts
+
+    def from_estimate(self, estimate: Estimate) -> EnergyEstimate:
+        precision = self.design.precision
+        eb = precision.element_bytes
+        plan = estimate.plan
+        padded = plan.padded
+
+        # every padded MAC executes (padding is wasted work, and costs)
+        compute = padded.macs * ENERGY_PER_MAC[precision]
+
+        # PL <-> AIE streams: each native tile moves A, B and C once
+        native = plan.native
+        per_tile_bytes = native.bytes_a(eb) + native.bytes_b(eb) + native.bytes_c(eb)
+        plio = plan.total_native_tiles * per_tile_bytes * ENERGY_PER_PLIO_BYTE
+
+        # PL buffers see the same traffic twice (write into BRAM, read out)
+        pl = 2 * plan.total_native_tiles * per_tile_bytes * ENERGY_PER_PL_BYTE
+
+        dram = plan.traffic().total * ENERGY_PER_DRAM_BYTE
+        static = self.static_power_watts * estimate.total_seconds
+        return EnergyEstimate(
+            workload=estimate.workload,
+            seconds=estimate.total_seconds,
+            compute_joules=compute,
+            plio_joules=plio,
+            pl_joules=pl,
+            dram_joules=dram,
+            static_joules=static,
+        )
+
+    def estimate(self, workload: GemmShape) -> EnergyEstimate:
+        return self.from_estimate(AnalyticalModel(self.design).estimate(workload))

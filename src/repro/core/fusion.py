@@ -1,0 +1,139 @@
+"""Post-op fusion on spare AIEs — the paper's multi-AIE recommendation.
+
+Section V-G's summary: *"Different AIEs can run different kernels in
+parallel... we suggest utilizing these AIEs for operations that do not
+require external data. Operations such as activation functions (ReLU),
+softmax, and element-wise addition can be performed on the output of
+AIEs running GEMM operations by implementing kernels in unused AIEs,
+instead of implementing them in the PL. This approach avoids unnecessary
+data movement between AIE and PL or DRAM."*
+
+This module implements that optimisation as an analyzable design choice:
+
+* **Unfused** — the GEMM writes C to DRAM; a separate pass streams C
+  back through the PL (or a PL datapath), applies the post-op and writes
+  the result: one extra DRAM read + write of C plus a kernel setup.
+* **Fused** — post-op kernels sit on spare AIEs and consume the GEMM
+  output streams in-array; the only cost is the post-op compute, which
+  overlaps the GEMM pipeline when the spare engines keep up.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.mapping.charm import CharmDesign
+from repro.workloads.gemm import GemmShape
+
+
+class PostOp(enum.Enum):
+    """Element-wise (or row-wise) operations applied to the GEMM output."""
+
+    RELU = ("relu", 1.0)
+    BIAS_ADD = ("bias_add", 1.0)
+    ELEMENTWISE_ADD = ("elementwise_add", 1.0)
+    GELU = ("gelu", 14.0)  # tanh-approximation op count
+    SOFTMAX = ("softmax", 12.0)  # exp + row reduction + divide
+
+    def __init__(self, label: str, ops_per_element: float) -> None:
+        self.label = label
+        self.ops_per_element = ops_per_element
+
+    def __str__(self) -> str:
+        return self.label
+
+
+#: Non-MAC vector ops one AIE retires per cycle (32-bit lanes).
+VECTOR_OPS_PER_CYCLE = 8
+#: Fixed launch overhead of a separate (unfused) post-op pass.
+UNFUSED_PASS_SETUP_SECONDS = 100e-6
+
+
+@dataclass(frozen=True)
+class FusionEstimate:
+    """Latency comparison of fused vs unfused post-op execution."""
+
+    design: CharmDesign
+    workload: GemmShape
+    post_op: PostOp
+    spare_aies: int
+    gemm_seconds: float
+    #: post-op compute on the spare engines (overlaps the GEMM)
+    fused_postop_seconds: float
+    #: extra DRAM traffic time + setup of the separate pass
+    unfused_pass_seconds: float
+
+    @property
+    def fused_total(self) -> float:
+        """Fused: the post-op pipeline-overlaps the GEMM; only the excess
+        beyond the GEMM time is exposed."""
+        return max(self.gemm_seconds, self.fused_postop_seconds)
+
+    @property
+    def unfused_total(self) -> float:
+        return self.gemm_seconds + self.unfused_pass_seconds
+
+    @property
+    def savings_seconds(self) -> float:
+        return self.unfused_total - self.fused_total
+
+    @property
+    def speedup(self) -> float:
+        return self.unfused_total / self.fused_total
+
+    @property
+    def avoided_dram_bytes(self) -> int:
+        """DRAM traffic the fusion eliminates: re-read + re-write of C."""
+        eb = self.design.precision.element_bytes
+        return 2 * self.workload.bytes_c(eb)
+
+
+class FusionPlanner:
+    """Plans post-op fusion onto a design's spare AIEs."""
+
+    def __init__(self, design: CharmDesign):
+        design.validate()
+        self.design = design
+        self.device = design.device
+
+    @property
+    def spare_aies(self) -> int:
+        return self.device.num_aies - self.design.config.num_aies
+
+    def postop_aies_needed(self, post_op: PostOp, workload: GemmShape) -> int:
+        """Spare engines needed for the post-op to keep pace with the GEMM."""
+        gemm = AnalyticalModel(self.design).estimate(workload)
+        total_ops = workload.elements_c() * post_op.ops_per_element
+        per_aie_rate = VECTOR_OPS_PER_CYCLE * self.device.aie_freq_hz
+        needed = total_ops / (per_aie_rate * gemm.total_seconds)
+        return max(1, math.ceil(needed))
+
+    def estimate(self, post_op: PostOp, workload: GemmShape) -> FusionEstimate:
+        if self.spare_aies < 1:
+            raise ValueError(
+                f"{self.design.config.name} occupies the whole array; "
+                "no spare AIEs for fusion"
+            )
+        gemm = AnalyticalModel(self.design).estimate(workload)
+        engines = min(self.spare_aies, self.postop_aies_needed(post_op, workload))
+        total_ops = workload.elements_c() * post_op.ops_per_element
+        fused_postop = total_ops / (engines * VECTOR_OPS_PER_CYCLE * self.device.aie_freq_hz)
+
+        eb = self.design.precision.element_bytes
+        dram = self.design.dram
+        extra_read = dram.transfer_seconds(workload.bytes_c(eb), dram.read_bandwidth())
+        extra_write = dram.transfer_seconds(workload.bytes_c(eb), dram.write_bandwidth())
+        unfused_pass = extra_read + extra_write + UNFUSED_PASS_SETUP_SECONDS
+
+        return FusionEstimate(
+            design=self.design,
+            workload=workload,
+            post_op=post_op,
+            spare_aies=engines,
+            gemm_seconds=gemm.total_seconds,
+            fused_postop_seconds=fused_postop,
+            unfused_pass_seconds=unfused_pass,
+        )

@@ -1,0 +1,84 @@
+"""Pareto-front utilities for design selection.
+
+DSE rankings answer "fastest"; real deployments trade latency against
+AIEs (area for other kernels), PLIOs (replication headroom, Fig. 13) and
+energy.  These helpers extract the non-dominated designs from any
+collection of candidate records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+Record = Mapping[str, Any]
+
+
+def dominates(a: Record, b: Record, objectives: Sequence[str]) -> bool:
+    """True when ``a`` is at least as good as ``b`` on every (minimised)
+    objective and strictly better on at least one."""
+    at_least_as_good = all(a[o] <= b[o] for o in objectives)
+    strictly_better = any(a[o] < b[o] for o in objectives)
+    return at_least_as_good and strictly_better
+
+
+def pareto_front(records: Sequence[Record], objectives: Sequence[str]) -> list[Record]:
+    """The non-dominated subset (all objectives minimised), preserving
+    input order within the front."""
+    if not objectives:
+        raise ValueError("need at least one objective")
+    front = []
+    for candidate in records:
+        if not any(
+            dominates(other, candidate, objectives)
+            for other in records
+            if other is not candidate
+        ):
+            front.append(candidate)
+    return front
+
+
+def knee_point(
+    front: Sequence[Record], objectives: Sequence[str]
+) -> Record:
+    """The balanced choice: minimal normalised distance to the utopia
+    point (the per-objective minima of the front)."""
+    if not front:
+        raise ValueError("empty front")
+    minima = {o: min(r[o] for r in front) for o in objectives}
+    maxima = {o: max(r[o] for r in front) for o in objectives}
+
+    def distance(record: Record) -> float:
+        total = 0.0
+        for objective in objectives:
+            span = maxima[objective] - minima[objective]
+            if span > 0:
+                total += ((record[objective] - minima[objective]) / span) ** 2
+        return total
+
+    return min(front, key=distance)
+
+
+def design_tradeoff_records(
+    workload,
+    precision,
+    max_aies: int | None = None,
+) -> list[dict[str, Any]]:
+    """Candidate records (latency/AIEs/PLIOs/energy) for Pareto study."""
+    from repro.core.dse import DesignSpaceExplorer
+    from repro.core.energy import EnergyModel
+    from repro.mapping.charm import CharmDesign
+
+    explorer = DesignSpaceExplorer(precision, max_aies=max_aies)
+    records = []
+    for point in explorer.explore(workload, top=100):
+        energy = EnergyModel(CharmDesign(point.config)).from_estimate(point.estimate)
+        records.append(
+            {
+                "grouping": f"{point.config.grouping.gm}x{point.config.grouping.gk}x{point.config.grouping.gn}",
+                "seconds": point.seconds,
+                "aies": point.num_aies,
+                "plios": point.num_plios,
+                "joules": energy.total_joules,
+            }
+        )
+    return records

@@ -1,0 +1,197 @@
+"""Roofline model for the Versal platform (Fig. 15).
+
+The plot has one compute ceiling per Table II configuration (peak ops of
+its AIE count) and two bandwidth slopes: the achieved DRAM bandwidth and
+the much higher PLIO (PL<->AIE) bandwidth.  Workloads appear twice: at
+their ideal operational intensity (read inputs once — red dots) and at
+the effective intensity after DRAM tiling overhead (green circles),
+which pushes every Table III workload into the DRAM-bound region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.dram import DramModel
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import HardwareConfig, configs_for
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class RooflineCeiling:
+    """One horizontal compute roof."""
+
+    label: str
+    peak_ops: float
+
+    def ridge_point(self, bandwidth: float) -> float:
+        """Operational intensity where this roof meets a bandwidth slope."""
+        return self.peak_ops / bandwidth
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One workload plotted on the roofline."""
+
+    label: str
+    operational_intensity: float  # ops per DRAM byte
+    attainable_ops: float
+    compute_bound: bool
+    includes_tiling_overhead: bool
+
+
+class Roofline:
+    """Builds Fig. 15's ceilings, slopes and workload points."""
+
+    def __init__(
+        self,
+        precision: Precision = Precision.INT8,
+        device: DeviceSpec = VCK5000,
+        dram: DramModel | None = None,
+    ):
+        self.precision = precision
+        self.device = device
+        self.dram = dram if dram is not None else DramModel(device)
+
+    # ------------------------------------------------------------------
+    # Roofs and slopes
+    # ------------------------------------------------------------------
+    def ceilings(self) -> list[RooflineCeiling]:
+        """One compute roof per Table II configuration of this precision,
+        plus the full-array theoretical peak."""
+        roofs = [
+            RooflineCeiling(
+                label=config.name,
+                peak_ops=self.device.peak_ops(self.precision, config.num_aies),
+            )
+            for config in configs_for(self.precision)
+        ]
+        roofs.append(
+            RooflineCeiling(
+                label=f"{self.device.name} peak", peak_ops=self.device.peak_ops(self.precision)
+            )
+        )
+        return roofs
+
+    def dram_bandwidth(self) -> float:
+        """The DRAM slope Fig. 15 draws: theoretical DDR4 bandwidth
+        (102.4 GB/s) — the paper classifies its red dots against this
+        line (B1/V1/L1/L2 compute-bound, L3/L4 DRAM-bound)."""
+        return self.device.dram_bandwidth
+
+    def achieved_dram_bandwidth(self) -> float:
+        """What the design's NoC assignment actually sustains (34 GB/s)."""
+        return self.dram.total_bandwidth()
+
+    def plio_bandwidth(self) -> float:
+        """The PLIO slope: aggregate PL->AIE stream bandwidth."""
+        return self.device.pl_to_aie_bandwidth
+
+    def attainable(self, operational_intensity: float, peak_ops: float | None = None) -> float:
+        """min(peak, OI * DRAM bandwidth): the classic roofline bound."""
+        if operational_intensity <= 0:
+            raise ValueError("operational intensity must be positive")
+        peak = self.device.peak_ops(self.precision) if peak_ops is None else peak_ops
+        return min(peak, operational_intensity * self.dram_bandwidth())
+
+    # ------------------------------------------------------------------
+    # Workload points
+    # ------------------------------------------------------------------
+    def point(
+        self,
+        label: str,
+        workload: GemmShape,
+        peak_ops: float | None = None,
+    ) -> RooflinePoint:
+        """Ideal-traffic point (Fig. 15 red dots)."""
+        oi = workload.operational_intensity(self.precision.element_bytes)
+        return self._make_point(label, oi, peak_ops, includes_overhead=False)
+
+    def tiled_point(
+        self,
+        label: str,
+        workload: GemmShape,
+        config: HardwareConfig,
+    ) -> RooflinePoint:
+        """Effective point after tiling overhead (Fig. 15 green circles).
+
+        Classified against the full-array ceiling — the paper's point is
+        that even the 128 TOPS roof is unreachable once tiling shrinks
+        the operational intensity.
+        """
+        design = CharmDesign(config, self.device)
+        plan = design.tile_plan(workload)
+        oi = plan.effective_operational_intensity()
+        return self._make_point(label, oi, None, includes_overhead=True)
+
+    def _make_point(
+        self, label: str, oi: float, peak_ops: float | None, includes_overhead: bool
+    ) -> RooflinePoint:
+        peak = self.device.peak_ops(self.precision) if peak_ops is None else peak_ops
+        attainable = min(peak, oi * self.dram_bandwidth())
+        return RooflinePoint(
+            label=label,
+            operational_intensity=oi,
+            attainable_ops=attainable,
+            compute_bound=oi * self.dram_bandwidth() >= peak,
+            includes_tiling_overhead=includes_overhead,
+        )
+
+    # ------------------------------------------------------------------
+    # Terminal rendering
+    # ------------------------------------------------------------------
+    def render_ascii(
+        self,
+        points: list[RooflinePoint],
+        width: int = 70,
+        height: int = 20,
+    ) -> str:
+        """Fig. 15 in the terminal: log-log axes, the DRAM slope, the
+        top compute roof, and the workload points (``o`` = ideal
+        red-dot, ``x`` = tiled green-circle)."""
+        import math
+
+        if not points:
+            raise ValueError("need at least one point to plot")
+        ois = [p.operational_intensity for p in points]
+        x_min = min(ois) / 2
+        x_max = max(max(ois) * 2, 2 * self.device.peak_ops(self.precision) / self.dram_bandwidth())
+        peak = self.device.peak_ops(self.precision)
+        y_max = peak * 2
+        y_min = min(x_min * self.dram_bandwidth(), min(p.attainable_ops for p in points)) / 2
+
+        def to_col(oi: float) -> int:
+            frac = (math.log10(oi) - math.log10(x_min)) / (
+                math.log10(x_max) - math.log10(x_min)
+            )
+            return max(0, min(width - 1, round(frac * (width - 1))))
+
+        def to_row(ops: float) -> int:
+            frac = (math.log10(ops) - math.log10(y_min)) / (
+                math.log10(y_max) - math.log10(y_min)
+            )
+            return max(0, min(height - 1, (height - 1) - round(frac * (height - 1))))
+
+        grid = [[" "] * width for _ in range(height)]
+        # the attainable envelope: min(peak, oi * BW) traced across columns
+        for col in range(width):
+            oi = 10 ** (
+                math.log10(x_min)
+                + col / (width - 1) * (math.log10(x_max) - math.log10(x_min))
+            )
+            bound = min(peak, oi * self.dram_bandwidth())
+            row = to_row(bound)
+            grid[row][col] = "-" if bound >= peak else "/"
+        for point in points:
+            glyph = "x" if point.includes_tiling_overhead else "o"
+            grid[to_row(point.attainable_ops)][to_col(point.operational_intensity)] = glyph
+        lines = ["".join(row) for row in grid]
+        lines.append("-" * width)
+        lines.append(
+            f"x: ops/byte (log, {x_min:.3g}..{x_max:.3g})   "
+            f"y: ops/s (log, peak {peak:.3g})   o=ideal  x=tiled"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Generic parameter-sweep helper used by the experiment drivers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping
+
+
+@dataclass
+class SweepResult:
+    """Records produced by a sweep: one dict per parameter combination."""
+
+    axes: dict[str, list[Any]]
+    records: list[dict[str, Any]] = field(default_factory=list)
+
+    def column(self, key: str) -> list[Any]:
+        return [r[key] for r in self.records]
+
+    def where(self, **conditions: Any) -> list[dict[str, Any]]:
+        return [
+            r for r in self.records if all(r.get(k) == v for k, v in conditions.items())
+        ]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+
+def sweep(
+    axes: Mapping[str, Iterable[Any]],
+    evaluate: Callable[..., Mapping[str, Any]],
+) -> SweepResult:
+    """Run ``evaluate(**point)`` over the cartesian product of ``axes``.
+
+    Each record contains the axis values plus whatever ``evaluate``
+    returns.  ``evaluate`` may return None to skip a combination.
+    """
+    materialized = {name: list(values) for name, values in axes.items()}
+    result = SweepResult(axes=materialized)
+    names = list(materialized)
+    for combo in itertools.product(*(materialized[n] for n in names)):
+        point = dict(zip(names, combo))
+        outcome = evaluate(**point)
+        if outcome is None:
+            continue
+        record = dict(point)
+        record.update(outcome)
+        result.records.append(record)
+    return result

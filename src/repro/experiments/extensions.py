@@ -1,0 +1,478 @@
+"""Extension experiments beyond the paper's figures.
+
+These cover the paper's explicit suggestions and future work:
+
+* ``ext_fusion`` — post-op fusion on spare AIEs (Section V-G's summary
+  recommendation), as an ablation against PL/DRAM round trips.
+* ``ext_fragmentation`` — tile-size vs padding trade-off for DNN
+  workloads (Section IV-A's declared future work).
+* ``ext_sensitivity`` — single-parameter architecture sensitivity
+  curves (the research-question machinery generalised).
+* ``ext_transformer`` — end-to-end transformer forward-pass estimates
+  built from the Table III networks.
+* ``ext_energy`` — energy/efficiency comparison across configurations
+  (the paper's energy-efficiency motivation, quantified).
+"""
+
+from __future__ import annotations
+
+from repro.core.e2e import ModelEstimator
+from repro.core.energy import EnergyModel
+from repro.core.fusion import FusionPlanner, PostOp
+from repro.core.multi_acc import AcceleratorPartition, GemmJob, MultiAccScheduler
+from repro.core.sensitivity import SensitivityAnalysis
+from repro.experiments.runner import ExperimentResult, experiment
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.mapping.fragmentation import FragmentationAnalysis
+from repro.workloads.dnn import DNN_WORKLOADS
+from repro.workloads.transformer import MODEL_ZOO
+from repro.workloads.gemm import GemmShape
+
+_WORKLOAD = GemmShape(2048, 2048, 2048)
+
+
+@experiment("ext_fusion")
+def ext_fusion() -> ExperimentResult:
+    """Ablation: post-ops fused onto spare AIEs vs a separate pass."""
+    planner = FusionPlanner(CharmDesign(config_by_name("C5")))
+    rows = []
+    for post_op in PostOp:
+        estimate = planner.estimate(post_op, _WORKLOAD)
+        rows.append(
+            {
+                "post_op": str(post_op),
+                "spare_aies_used": estimate.spare_aies,
+                "unfused_ms": round(estimate.unfused_total * 1e3, 3),
+                "fused_ms": round(estimate.fused_total * 1e3, 3),
+                "speedup": round(estimate.speedup, 3),
+                "dram_bytes_avoided_mb": round(estimate.avoided_dram_bytes / 1e6, 1),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_fusion",
+        title=f"Post-op fusion on spare AIEs, {_WORKLOAD} on C5",
+        paper_reference="Section V-G summary (suggested optimisation)",
+        rows=rows,
+        notes=[
+            "fusing avoids re-reading and re-writing C through DRAM, as the "
+            "paper recommends; light post-ops hide entirely under the GEMM"
+        ],
+    )
+
+
+@experiment("ext_fragmentation")
+def ext_fragmentation() -> ExperimentResult:
+    """Tile-size vs padding trade-off for the Table III DNN workloads."""
+    analysis = FragmentationAnalysis(Precision.FP32)
+    rows = []
+    for workload in DNN_WORKLOADS:
+        for report in analysis.sweep(workload.shape):
+            rows.append(
+                {
+                    "workload": workload.workload_id,
+                    "configuration": report.config.name,
+                    "native": str(report.config.native_size),
+                    "waste_pct": round(report.waste_fraction * 100, 2),
+                    "ms": round(report.seconds * 1e3, 2),
+                    "useful_tflops": round(report.useful_throughput_ops / 1e12, 3),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="ext_fragmentation",
+        title="Padding/fragmentation across configurations (paper future work)",
+        paper_reference="Section IV-A (future work)",
+        rows=rows,
+        notes=[
+            "Table III shapes are large, so padding stays small on every "
+            "configuration; awkward (non-multiple) small shapes instead "
+            "favour smaller native sizes — see mapping/fragmentation.py"
+        ],
+    )
+
+
+@experiment("ext_sensitivity")
+def ext_sensitivity() -> ExperimentResult:
+    """Architecture-parameter sensitivity of C6 on 2048^3."""
+    analysis = SensitivityAnalysis(CharmDesign(config_by_name("C6")), _WORKLOAD)
+    rows = []
+    for axis, points in analysis.summary().items():
+        for point in points:
+            rows.append(
+                {
+                    "parameter": axis,
+                    "value": point.value,
+                    "ms": round(point.seconds * 1e3, 3),
+                    "bottleneck": point.bottleneck,
+                }
+            )
+    return ExperimentResult(
+        experiment_id="ext_sensitivity",
+        title=f"Architecture sensitivity, {_WORKLOAD} on C6",
+        paper_reference="Section V-B research questions (arch. parameters)",
+        rows=rows,
+    )
+
+
+@experiment("ext_transformer")
+def ext_transformer() -> ExperimentResult:
+    """End-to-end transformer forward passes on the Table II configs."""
+    estimator = ModelEstimator(Precision.FP32)
+    rows = []
+    for model in MODEL_ZOO:
+        estimate = estimator.estimate(model, tokens=2048)
+        dominant = estimate.dominant_layer()
+        rows.append(
+            {
+                "model": model.name,
+                "tokens": estimate.tokens,
+                "gflop": round(estimate.total_flops / 1e9, 0),
+                "ms": round(estimate.total_seconds * 1e3, 1),
+                "tflops": round(estimate.throughput_ops / 1e12, 2),
+                "dominant_layer": dominant.gemm.name,
+                "dominant_config": dominant.config_name,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_transformer",
+        title="End-to-end transformer forward passes (FP32, per-layer config)",
+        paper_reference="Section V-I extended",
+        rows=rows,
+    )
+
+
+@experiment("ext_multi_acc")
+def ext_multi_acc() -> ExperimentResult:
+    """Composed heterogeneous accelerators vs one serial device (CHARM)."""
+    from repro.workloads.transformer import BERT_LARGE
+
+    partition = AcceleratorPartition(
+        [config_by_name("C5"), config_by_name("C3"), config_by_name("C1")]
+    )
+    jobs = [
+        GemmJob(g.name, g.shape, count=g.count)
+        for g in BERT_LARGE.forward_gemms(tokens=2048)
+    ]
+    schedule = MultiAccScheduler(partition).schedule(jobs)
+    rows = [
+        {
+            "job": a.job.name,
+            "shape": str(a.job.shape),
+            "count": a.job.count,
+            "accelerator": a.accelerator,
+            "total_ms": round(a.total_seconds * 1e3, 2),
+        }
+        for a in schedule.assignments
+    ]
+    utilization = schedule.utilization()
+    return ExperimentResult(
+        experiment_id="ext_multi_acc",
+        title="BERT-large forward pass on a composed C5+C3+C1 partition",
+        paper_reference="CHARM composition (Section II / IV-A)",
+        rows=rows,
+        panels={
+            "summary": [
+                {
+                    "makespan_ms": round(schedule.makespan * 1e3, 2),
+                    "serial_ms": round(schedule.serial_seconds * 1e3, 2),
+                    "speedup_vs_serial": round(schedule.speedup_vs_serial, 2),
+                    "dram_sharing_factor": round(schedule.dram_sharing_factor, 2),
+                    **{
+                        f"util_{name}": round(value, 2)
+                        for name, value in utilization.items()
+                    },
+                }
+            ]
+        },
+        notes=[
+            "composing differently-shaped accelerators lets layer GEMMs run "
+            "concurrently; the DRAM read pool is the shared resource that "
+            "limits the composition (the paper's bandwidth wall)"
+        ],
+    )
+
+
+@experiment("ext_consistency")
+def ext_consistency() -> ExperimentResult:
+    """Three-way agreement: emulator vs closed-form model vs aiesimulator.
+
+    The same kernel is timed three independent ways — the issue-accurate
+    emulator executes the vector schedule, the closed-form model
+    computes it, and the aiesimulator pipeline converges to it in steady
+    state.  Disagreement means a modeling bug; this experiment is the
+    cross-validation harness.
+    """
+    from repro.kernels.emulator import AieKernelEmulator
+    from repro.kernels.gemm_kernel import SingleAieGemmKernel
+    from repro.kernels.kernel_timing import compute_cycles
+    from repro.sim.aiesim import simulate_kernel
+    from repro.workloads.gemm import GemmShape
+
+    cases = [
+        (GemmShape(16, 16, 16), Precision.FP32),
+        (GemmShape(32, 32, 32), Precision.FP32),
+        (GemmShape(16, 128, 16), Precision.FP32),
+        (GemmShape(32, 32, 32), Precision.INT8),
+        (GemmShape(64, 64, 64), Precision.INT8),
+        (GemmShape(32, 64, 32), Precision.INT16),
+    ]
+    rows = []
+    for shape, precision in cases:
+        kernel = SingleAieGemmKernel(shape, precision)
+        emulated, reference = AieKernelEmulator(kernel).run_random(seed=0)
+        model = compute_cycles(shape, precision)
+        report = simulate_kernel(kernel, invocations=256)
+        steady = report.per_invocation
+        timing_total = kernel.timing().total
+        rows.append(
+            {
+                "kernel": str(shape),
+                "precision": str(precision),
+                "emulator_cycles": round(emulated.cycles, 1),
+                "model_cycles": round(model, 1),
+                "aiesim_steady_cycles": round(steady, 1),
+                "emulator_vs_model_pct": round((emulated.cycles / model - 1) * 100, 2),
+                "aiesim_vs_timing_pct": round((steady / timing_total - 1) * 100, 2),
+                "numerics_match": emulated.matches(reference),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_consistency",
+        title="Cross-validation: emulator vs closed-form vs aiesimulator",
+        paper_reference="internal consistency harness",
+        rows=rows,
+        notes=[
+            "the aiesim steady state tracks max(compute, streams), not "
+            "compute alone, so its column compares against the kernel "
+            "timing total",
+        ],
+    )
+
+
+@experiment("ext_serving")
+def ext_serving() -> ExperimentResult:
+    """Tail latency vs offered load for a served GEMM mix."""
+    from repro.core.multi_acc import AcceleratorPartition
+    from repro.sim.serving import ServingSimulator, generate_trace
+    from repro.workloads.gemm import GemmShape
+
+    partition = AcceleratorPartition(
+        [config_by_name("C5"), config_by_name("C3"), config_by_name("C1")]
+    )
+    simulator = ServingSimulator(partition)
+    shapes = [GemmShape(1024, 1024, 1024), GemmShape(2048, 1024, 1024),
+              GemmShape(512, 2048, 512)]
+    rows = []
+    for mean_interarrival in (20e-3, 5e-3, 2e-3, 1e-3, 0.5e-3):
+        trace = generate_trace(shapes, num_requests=120, mean_interarrival=mean_interarrival, seed=11)
+        report = simulator.run(trace)
+        rows.append(
+            {
+                "offered_rps": round(1.0 / mean_interarrival, 0),
+                "achieved_rps": round(report.throughput_rps, 0),
+                "p50_ms": round(report.latency_percentile(50) * 1e3, 2),
+                "p95_ms": round(report.latency_percentile(95) * 1e3, 2),
+                "p99_ms": round(report.latency_percentile(99) * 1e3, 2),
+                "busiest_accelerator": max(
+                    report.accelerator_load(), key=report.accelerator_load().get
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_serving",
+        title="Serving a GEMM request mix on a C5+C3+C1 partition",
+        paper_reference="deployment extension (repro.sim.serving)",
+        rows=rows,
+        notes=[
+            "past the partition's capacity the queue grows and tail latency "
+            "explodes — the knee locates the board's serviceable load",
+        ],
+    )
+
+
+@experiment("ext_spmm")
+def ext_spmm() -> ExperimentResult:
+    """Sparse-vs-dense execution crossover for SpMM (H-GCN's territory)."""
+    from repro.workloads.gemm import GemmShape
+    from repro.workloads.sparse import SpmmEstimator, SpmmWorkload
+
+    design = CharmDesign(config_by_name("C5"))
+    estimator = SpmmEstimator(design)
+    shape = GemmShape(4096, 4096, 512)
+    rows = []
+    for density in (0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0):
+        comparison = estimator.compare(SpmmWorkload(shape, density))
+        rows.append(
+            {
+                "density": density,
+                "dense_ms": round(comparison.dense_seconds * 1e3, 3),
+                "sparse_ms": round(comparison.sparse_seconds * 1e3, 3),
+                "winner": "sparse" if comparison.sparse_wins else "dense",
+                "sparse_speedup": round(comparison.speedup, 2),
+            }
+        )
+    crossover = estimator.crossover_density(shape)
+    return ExperimentResult(
+        experiment_id="ext_spmm",
+        title=f"SpMM on C5: sparse vs dense execution, A = {shape}",
+        paper_reference="SpMM extension (H-GCN [18])",
+        rows=rows,
+        notes=[
+            f"crossover density ~{crossover:.2f}: below it the gather "
+            "kernel's nnz-proportional compute beats the dense datapath "
+            "despite its derated vector efficiency",
+        ],
+    )
+
+
+@experiment("ext_decode")
+def ext_decode() -> ExperimentResult:
+    """LLM decode (M = batch) vs prefill: padding waste and throughput."""
+    from repro.core.analytical_model import AnalyticalModel
+    from repro.mapping.fragmentation import FragmentationAnalysis
+    from repro.workloads.transformer import LLAMA2_13B
+
+    analysis = FragmentationAnalysis(Precision.FP32)
+    rows = []
+    for batch in (1, 8, 32, 128, 512):
+        mlp_up = next(
+            g for g in LLAMA2_13B.decode_gemms(batch) if g.name == "mlp_up"
+        )
+        best = analysis.best(mlp_up.shape)
+        estimate = AnalyticalModel(CharmDesign(best.config)).estimate(mlp_up.shape)
+        rows.append(
+            {
+                "batch": batch,
+                "gemm": str(mlp_up.shape),
+                "best_config": best.config.name,
+                "padding_waste_pct": round(best.waste_fraction * 100, 1),
+                "us_per_layer_gemm": round(estimate.total_seconds * 1e6, 1),
+                "useful_tflops": round(best.useful_throughput_ops / 1e12, 3),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_decode",
+        title="LLM decode-phase GEMMs (Llama2-13B mlp_up) vs batch size",
+        paper_reference="fragmentation future work, sharpest case",
+        rows=rows,
+        notes=[
+            "single-request decode (batch 1) pads M up to the native size, "
+            "wasting almost the whole array; batching restores utilisation — "
+            "the serving-system batching imperative, derived from the "
+            "architecture model",
+        ],
+    )
+
+
+@experiment("ext_faults")
+def ext_faults() -> ExperimentResult:
+    """Graceful degradation: estimates under injected hardware faults."""
+    from repro.core.analytical_model import AnalyticalModel
+    from repro.hw.faults import (
+        derate_clock,
+        disable_aie_columns,
+        disable_dram_channels,
+        surviving_configs,
+    )
+    from repro.hw.specs import VCK5000
+
+    scenarios = [
+        ("healthy", VCK5000),
+        ("2 AIE columns fused off", disable_aie_columns(VCK5000, 2)),
+        ("5 AIE columns fused off", disable_aie_columns(VCK5000, 5)),
+        ("1 DDR channel down", disable_dram_channels(VCK5000, 1)),
+        ("2 DDR channels down", disable_dram_channels(VCK5000, 2)),
+        ("20% thermal clock derate", derate_clock(VCK5000, 0.8)),
+    ]
+    rows = []
+    for label, device in scenarios:
+        survivors = surviving_configs(device)
+        record: dict = {
+            "scenario": label,
+            "surviving_configs": len(survivors),
+            "largest_survivor": survivors[-1] if survivors else "-",
+        }
+        for name in ("C3", "C5"):
+            if name in survivors:
+                design = CharmDesign(config_by_name(name), device=device)
+                ms = AnalyticalModel(design).estimate(_WORKLOAD).total_seconds * 1e3
+                record[f"{name.lower()}_ms"] = round(ms, 3)
+            else:
+                record[f"{name.lower()}_ms"] = None
+        rows.append(record)
+    return ExperimentResult(
+        experiment_id="ext_faults",
+        title=f"Fault injection: {_WORKLOAD} under degraded devices",
+        paper_reference="robustness extension (repro.hw.faults)",
+        rows=rows,
+        notes=[
+            "compute-bound configs suffer from clock derating; memory-bound "
+            "configs suffer from DDR-channel loss; column fuses kill the "
+            "largest configurations first",
+        ],
+    )
+
+
+@experiment("ext_conv")
+def ext_conv() -> ExperimentResult:
+    """CNN layers (im2col-lowered) through the same analysis pipeline."""
+    from repro.core.analytical_model import AnalyticalModel
+    from repro.workloads.conv import RESNET50_LAYERS
+
+    design = CharmDesign(config_by_name("C5"))
+    model = AnalyticalModel(design)
+    rows = []
+    for layer in RESNET50_LAYERS:
+        shape = layer.im2col_shape(batch=8)
+        estimate = model.estimate(shape)
+        rows.append(
+            {
+                "layer": layer.name,
+                "gemm": str(shape),
+                "aspect": shape.aspect(),
+                "im2col_expansion": round(layer.im2col_expansion(), 1),
+                "ms": round(estimate.total_seconds * 1e3, 3),
+                "bottleneck": str(estimate.bottleneck),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_conv",
+        title="ResNet-50-style conv layers (im2col) on C5, batch 8",
+        paper_reference="CNN extension (CHARM's DNN suite, Perryman et al.)",
+        rows=rows,
+        notes=[
+            "im2col GEMMs are tall; 1x1 convolutions lower with no data "
+            "expansion, 3x3 convolutions amplify input reads ~9x",
+        ],
+    )
+
+
+@experiment("ext_energy")
+def ext_energy() -> ExperimentResult:
+    """Energy and efficiency of 2048^3 across every configuration."""
+    rows = []
+    for config in ALL_CONFIGS:
+        energy = EnergyModel(CharmDesign(config)).estimate(_WORKLOAD)
+        rows.append(
+            {
+                "configuration": config.name,
+                "precision": str(config.precision),
+                "ms": round(energy.seconds * 1e3, 3),
+                "joules": round(energy.total_joules, 4),
+                "avg_watts": round(energy.average_power_watts, 1),
+                "gflops_per_watt": round(energy.gflops_per_watt, 1),
+                "dram_energy_pct": round(energy.fractions()["dram"] * 100, 1),
+                "static_energy_pct": round(energy.fractions()["static"] * 100, 1),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_energy",
+        title=f"Energy model, {_WORKLOAD} across configurations",
+        paper_reference="Section I motivation (energy efficiency)",
+        rows=rows,
+        notes=[
+            "INT8 configurations deliver far more ops/J; DRAM traffic and "
+            "static time dominate the memory-bound designs' energy"
+        ],
+    )

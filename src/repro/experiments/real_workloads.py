@@ -1,0 +1,97 @@
+"""Fig. 14: real-world DNN workloads under parameter variations.
+
+The paper takes the Table III shapes and, with the analytical model,
+varies (1) the DRAM port setup (2r1w = 20 GB/s vs 4r2w = 34 GB/s),
+(2) the AIE kernel size (32^3 vs 64^3 FP32), and (3) the AIE count
+(C6 = 384 vs C5 = 256), reporting latency and the binding phase
+(hatched bars).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.experiments.runner import ExperimentResult, experiment
+from repro.hw.dram import CHARM_DEFAULT_PORTS, IMPROVED_PORTS
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.mapping.grouping import AieGrouping
+from repro.mapping.tiling import plan_tiling
+from repro.workloads.dnn import DNN_WORKLOADS
+from repro.workloads.gemm import GemmShape
+
+
+def _design_variants() -> list[tuple[str, CharmDesign]]:
+    """The Fig. 14 axes: baseline C6/32^3/34 GB/s plus one change each."""
+    base = CharmDesign(config_by_name("C6"))
+    variants: list[tuple[str, CharmDesign]] = [
+        ("C6 32^3 20GB/s (2r1w)", base.with_ports(CHARM_DEFAULT_PORTS)),
+        ("C6 32^3 34GB/s (4r2w)", base.with_ports(IMPROVED_PORTS)),
+        ("C5 32^3 34GB/s (256 AIEs)", CharmDesign(config_by_name("C5"))),
+    ]
+    # the 64^3 FP32 kernel borrows neighbour memory: a what-if the paper
+    # evaluates analytically
+    big_kernel = AieGrouping(12, 4, 8, GemmShape.square(64), Precision.FP32)
+    big_config = dataclasses.replace(
+        config_by_name("C6"), name="C6-64k", grouping=big_kernel
+    )
+    variants.append(
+        ("C6 64^3 34GB/s", CharmDesign(big_config, allow_neighbor_kernels=True))
+    )
+    return variants
+
+
+def _estimate(design: CharmDesign, workload: GemmShape):
+    """Model estimate; what-if designs whose native tile exceeds the
+    usable PL budget (the 64^3 kernel) fall back to the raw PL capacity,
+    mirroring the paper's analytical-only treatment."""
+    model = AnalyticalModel(design)
+    try:
+        return model.estimate(workload)
+    except ValueError:
+        plan = plan_tiling(
+            workload,
+            design.native_size,
+            design.precision,
+            device=design.device,
+            double_buffered=design.pl_double_buffered,
+            budget_bytes=design.device.pl_memory_bytes,
+        )
+        return model.estimate(workload, plan)
+
+
+@experiment("fig14")
+def fig14_real_workloads() -> ExperimentResult:
+    """Latency + bottleneck of Table III workloads under design variants."""
+    rows = []
+    for variant_name, design in _design_variants():
+        for workload in DNN_WORKLOADS:
+            estimate = _estimate(design, workload.shape)
+            bottleneck = str(estimate.bottleneck)
+            rows.append(
+                {
+                    "workload": workload.workload_id,
+                    "variant": variant_name,
+                    "ms": round(estimate.total_seconds * 1e3, 2),
+                    "bottleneck": bottleneck,
+                    "input_load_bound": bottleneck in ("load_a", "load_b"),
+                    "tflops": round(estimate.throughput_ops / 1e12, 2),
+                }
+            )
+    return ExperimentResult(
+        experiment_id="fig14",
+        title="Real-world DNN workloads under kernel/DRAM/AIE variations",
+        paper_reference="Fig. 14 / Section V-I",
+        rows=rows,
+        notes=[
+            "B1/V1/L1/L2 are DRAM-input-load bound at 20 GB/s (the paper "
+            "attributes the binding stream to the A load; our plans make "
+            "the B re-reads the larger term — both are the same hatched "
+            "'input load' region of Fig. 14)",
+            "L3/L4 are store-C bound (big M*N, small K), matching the paper",
+            "raising DRAM bandwidth 20 -> 34 GB/s cuts latency but does not "
+            "change L3/L4's primary bottleneck, matching the paper",
+        ],
+    )

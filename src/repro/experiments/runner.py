@@ -1,0 +1,81 @@
+"""Experiment framework: uniform results and a registry of drivers.
+
+Each driver function reproduces one of the paper's tables or figures and
+returns an :class:`ExperimentResult` whose ``rows`` are the data the
+artifact plots/tabulates.  The registry maps experiment ids (``fig9``,
+``table2``, ...) to drivers so the CLI and the benchmark harness share
+one entry point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.reporting import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    rows: list[dict[str, Any]]
+    notes: list[str] = field(default_factory=list)
+    #: optional named sub-tables (e.g. FP32 vs INT8 panels of one figure)
+    panels: dict[str, list[dict[str, Any]]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"{self.experiment_id}: {self.title}", f"[{self.paper_reference}]"]
+        if self.rows:
+            parts.append(render_table(self.rows))
+        for name, rows in self.panels.items():
+            parts.append("")
+            parts.append(render_table(rows, title=name))
+        if self.notes:
+            parts.append("")
+            parts.extend(f"note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+    def column(self, key: str, panel: str | None = None) -> list[Any]:
+        rows = self.rows if panel is None else self.panels[panel]
+        return [row[key] for row in rows]
+
+    def row_by(self, key: str, value: Any, panel: str | None = None) -> dict[str, Any]:
+        rows = self.rows if panel is None else self.panels[panel]
+        for row in rows:
+            if row.get(key) == value:
+                return row
+        raise KeyError(f"no row with {key}={value!r}")
+
+
+ExperimentDriver = Callable[[], ExperimentResult]
+
+_REGISTRY: dict[str, ExperimentDriver] = {}
+
+
+def experiment(experiment_id: str) -> Callable[[ExperimentDriver], ExperimentDriver]:
+    """Decorator registering a driver under an experiment id."""
+
+    def register(driver: ExperimentDriver) -> ExperimentDriver:
+        if experiment_id in _REGISTRY:
+            raise ValueError(f"duplicate experiment id {experiment_id!r}")
+        _REGISTRY[experiment_id] = driver
+        return driver
+
+    return register
+
+
+def run_experiment(experiment_id: str) -> ExperimentResult:
+    try:
+        driver = _REGISTRY[experiment_id.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    return driver()
+
+
+def available_experiments() -> list[str]:
+    return sorted(_REGISTRY)

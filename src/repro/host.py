@@ -1,0 +1,132 @@
+"""Host runtime: an XRT-style API over the simulated board.
+
+The paper's Processing System (the Cortex-A72 host) drives the
+accelerator through the XRT runtime: open the device, program an
+xclbin, allocate buffer objects, launch the kernel, sync results back.
+This module mirrors that flow over the simulators, so application code
+reads like real Versal host code while the numerics come from
+:class:`FunctionalGemm` and the timing from :class:`HwSimulator`:
+
+    device = Device()
+    kernel = device.program(design)
+    a_bo, b_bo = device.alloc(a), device.alloc(b)
+    run = kernel(a_bo, b_bo)
+    c = run.result()            # numpy array, verified dataflow
+    run.duration_seconds        # simulated wall time
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.mapping.charm import CharmDesign
+from repro.sim.functional import FunctionalGemm
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+
+class HostError(RuntimeError):
+    """Invalid host-API usage (mirrors XRT's error behaviour)."""
+
+
+@dataclass
+class BufferObject:
+    """A device buffer (XRT 'BO'): host-visible numpy + device residency."""
+
+    data: np.ndarray
+    synced_to_device: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return self.data.nbytes
+
+    def sync_to_device(self) -> None:
+        self.synced_to_device = True
+
+    def sync_from_device(self) -> np.ndarray:
+        return self.data
+
+
+@dataclass
+class KernelRun:
+    """A completed kernel execution."""
+
+    workload: GemmShape
+    duration_seconds: float
+    _output: np.ndarray
+    verified: bool
+
+    def result(self) -> np.ndarray:
+        return self._output
+
+    @property
+    def throughput_ops(self) -> float:
+        return self.workload.flops / self.duration_seconds
+
+
+class GemmKernel:
+    """A programmed GEMM accelerator (one xclbin's compute unit)."""
+
+    def __init__(self, design: CharmDesign, seed: int = 0):
+        self.design = design
+        self._functional = FunctionalGemm(design, seed=seed)
+        self._simulator = HwSimulator(design)
+        self.launches = 0
+
+    def __call__(self, a_bo: BufferObject, b_bo: BufferObject) -> KernelRun:
+        """Launch C = A @ B; blocks until the simulated run completes."""
+        if not (a_bo.synced_to_device and b_bo.synced_to_device):
+            raise HostError("sync buffer objects to the device before launching")
+        a, b = a_bo.data, b_bo.data
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise HostError(f"incompatible operand shapes {a.shape} x {b.shape}")
+        workload = GemmShape(a.shape[0], a.shape[1], b.shape[1])
+        functional = self._functional.run(workload, a, b)
+        if not functional.correct:
+            raise HostError(
+                f"dataflow verification failed (max error {functional.max_abs_error})"
+            )
+        timing = self._simulator.run(workload)
+        self.launches += 1
+        reference = a.astype(np.float64) @ b.astype(np.float64)
+        out_dtype = np.float32 if a.dtype == np.float32 else np.int64
+        return KernelRun(
+            workload=workload,
+            duration_seconds=timing.total_seconds,
+            _output=reference.astype(out_dtype),
+            verified=True,
+        )
+
+
+@dataclass
+class Device:
+    """The opened board (XRT 'device')."""
+
+    spec: DeviceSpec = VCK5000
+    _kernels: list[GemmKernel] = field(default_factory=list)
+
+    def program(self, design: CharmDesign, seed: int = 0) -> GemmKernel:
+        """Load a design (the xclbin-programming step)."""
+        if design.device is not self.spec:
+            raise HostError(
+                f"design targets {design.device.name}, device is {self.spec.name}"
+            )
+        design.validate()
+        kernel = GemmKernel(design, seed=seed)
+        self._kernels.append(kernel)
+        return kernel
+
+    def alloc(self, array: np.ndarray) -> BufferObject:
+        """Allocate a buffer object and copy the host data in."""
+        if array.ndim != 2:
+            raise HostError("GEMM buffer objects are 2-D matrices")
+        bo = BufferObject(data=np.ascontiguousarray(array))
+        bo.sync_to_device()
+        return bo
+
+    @property
+    def kernels_programmed(self) -> int:
+        return len(self._kernels)

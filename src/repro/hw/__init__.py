@@ -1,0 +1,33 @@
+"""Hardware model of the AMD Versal platform (VCK5000 and AIE-ML)."""
+
+from repro.hw.specs import DeviceSpec, VCK5000, AIE_ML_DEVICE, device_by_name
+from repro.hw.dram import DramModel, DramPorts
+from repro.hw.noc import NocModel
+from repro.hw.plio import PlioDirection, PlioPort, PlioAllocator
+from repro.hw.pl import PlMemoryBudget
+from repro.hw.aie import AieTile
+from repro.hw.aie_array import AieArray
+from repro.hw.interconnect import (
+    CommScheme,
+    CommTimingModel,
+    ChainTiming,
+)
+
+__all__ = [
+    "DeviceSpec",
+    "VCK5000",
+    "AIE_ML_DEVICE",
+    "device_by_name",
+    "DramModel",
+    "DramPorts",
+    "NocModel",
+    "PlioDirection",
+    "PlioPort",
+    "PlioAllocator",
+    "PlMemoryBudget",
+    "AieTile",
+    "AieArray",
+    "CommScheme",
+    "CommTimingModel",
+    "ChainTiming",
+]

@@ -1,0 +1,102 @@
+"""A single AI Engine tile.
+
+Each tile holds a VLIW vector processor, 32 KB of tightly coupled memory,
+stream switch ports, a 384-bit cascade input/output to its horizontal
+neighbour, and shared-memory access to the three adjacent tiles
+(Section III, Fig. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.hw.specs import DeviceSpec, VCK5000
+
+
+@dataclass
+class AieTile:
+    """One AIE tile at array position (col, row)."""
+
+    col: int
+    row: int
+    device: DeviceSpec = field(default=VCK5000, repr=False)
+    #: bytes of data memory currently reserved by mapped buffers
+    reserved_bytes: int = 0
+    #: name of the kernel placed on this tile, if any
+    kernel: str | None = None
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.col < self.device.aie_cols):
+            raise ValueError(f"column {self.col} outside array (0..{self.device.aie_cols - 1})")
+        if not (0 <= self.row < self.device.aie_rows):
+            raise ValueError(f"row {self.row} outside array (0..{self.device.aie_rows - 1})")
+
+    @property
+    def position(self) -> tuple[int, int]:
+        return (self.col, self.row)
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.device.aie_memory_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.memory_bytes - self.reserved_bytes
+
+    def reserve(self, num_bytes: int) -> None:
+        """Reserve data memory on this tile (raises if it doesn't fit)."""
+        if num_bytes < 0:
+            raise ValueError("cannot reserve negative memory")
+        if num_bytes > self.free_bytes:
+            raise MemoryError(
+                f"tile {self.position}: {num_bytes} B requested, {self.free_bytes} B free"
+            )
+        self.reserved_bytes += num_bytes
+
+    def release(self, num_bytes: int) -> None:
+        if num_bytes < 0 or num_bytes > self.reserved_bytes:
+            raise ValueError("release amount out of range")
+        self.reserved_bytes -= num_bytes
+
+    def place_kernel(self, name: str, data_bytes: int) -> None:
+        """Place a kernel and reserve its buffers atomically."""
+        if self.kernel is not None:
+            raise RuntimeError(f"tile {self.position} already hosts kernel {self.kernel!r}")
+        self.reserve(data_bytes)
+        self.kernel = name
+
+    @property
+    def occupied(self) -> bool:
+        return self.kernel is not None
+
+    def cascade_successor(self) -> tuple[int, int] | None:
+        """Position the cascade output feeds, snaking along rows.
+
+        Even rows cascade left-to-right, odd rows right-to-left, and the
+        chain turns upward at row ends — the physical cascade topology of
+        the AIE array.
+        """
+        direction = 1 if self.row % 2 == 0 else -1
+        nxt_col = self.col + direction
+        if 0 <= nxt_col < self.device.aie_cols:
+            return (nxt_col, self.row)
+        if self.row + 1 < self.device.aie_rows:
+            return (self.col, self.row + 1)
+        return None
+
+    def shared_memory_neighbors(self) -> list[tuple[int, int]]:
+        """Tiles whose data memory this tile can address directly.
+
+        An AIE reaches the memories of its west/east neighbour (depending
+        on row parity) plus the tiles directly north and south.
+        """
+        candidates = [
+            (self.col - 1 if self.row % 2 == 0 else self.col + 1, self.row),
+            (self.col, self.row - 1),
+            (self.col, self.row + 1),
+        ]
+        return [
+            (c, r)
+            for c, r in candidates
+            if 0 <= c < self.device.aie_cols and 0 <= r < self.device.aie_rows
+        ]

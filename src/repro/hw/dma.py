@@ -1,0 +1,94 @@
+"""HLS DMA datapath model: the design's DRAM-facing ports.
+
+Section IV-C: the PL side of the design exposes HLS-generated AXI ports
+of 512 bits running at the 230 MHz PL clock; DMA engines move matrix
+tiles between DRAM and the PL buffers through them.  This module models
+that datapath at descriptor granularity:
+
+* a :class:`DmaPort` has a physical ceiling (width x clock) and the
+  achieved NoC bandwidth of its virtual channel,
+* a :class:`DmaEngine` splits a tile transfer into bursts, charges the
+  per-burst setup latency, and reports the effective bandwidth — the
+  "low efficiency for small sizes" the paper observes on hardware.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.hw.dram import DramModel, TRANSFER_LATENCY_SECONDS
+from repro.hw.specs import DeviceSpec, VCK5000
+
+#: AXI burst cap: 256 beats of 64 bytes.
+MAX_BURST_BYTES = 256 * 64
+#: Per-burst issue overhead on top of the one-time transfer setup.
+BURST_ISSUE_SECONDS = 50e-9
+
+
+@dataclass(frozen=True)
+class DmaPort:
+    """One HLS master port (512-bit @ PL clock)."""
+
+    name: str
+    width_bits: int = 512
+    clock_hz: float = 230e6
+
+    @property
+    def physical_bandwidth(self) -> float:
+        """What the port itself could stream (14.7 GB/s on VCK5000)."""
+        return self.width_bits / 8 * self.clock_hz
+
+
+@dataclass(frozen=True)
+class DmaTransfer:
+    """A completed (modelled) DMA transfer."""
+
+    num_bytes: int
+    bursts: int
+    seconds: float
+
+    @property
+    def effective_bandwidth(self) -> float:
+        if self.seconds == 0:
+            return 0.0
+        return self.num_bytes / self.seconds
+
+
+class DmaEngine:
+    """Moves tiles through one port at the achieved NoC bandwidth."""
+
+    def __init__(
+        self,
+        port: DmaPort,
+        dram: DramModel | None = None,
+        device: DeviceSpec = VCK5000,
+    ):
+        self.port = port
+        self.device = device
+        self.dram = dram if dram is not None else DramModel(device)
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """The port's real ceiling: min(physical, NoC virtual channel)."""
+        return min(self.port.physical_bandwidth, self.dram.port_bandwidth())
+
+    def transfer(self, num_bytes: int) -> DmaTransfer:
+        """Model one tile transfer, burst segmentation included."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return DmaTransfer(0, 0, 0.0)
+        bursts = math.ceil(num_bytes / MAX_BURST_BYTES)
+        seconds = (
+            TRANSFER_LATENCY_SECONDS
+            + bursts * BURST_ISSUE_SECONDS
+            + num_bytes / self.sustained_bandwidth
+        )
+        return DmaTransfer(num_bytes=num_bytes, bursts=bursts, seconds=seconds)
+
+    def efficiency(self, num_bytes: int) -> float:
+        """Achieved / sustained bandwidth for a transfer of this size."""
+        if num_bytes <= 0:
+            return 0.0
+        return self.transfer(num_bytes).effective_bandwidth / self.sustained_bandwidth

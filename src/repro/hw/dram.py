@@ -1,0 +1,121 @@
+"""DRAM access model: design ports, achieved bandwidth, transfer times.
+
+Section IV-C ("DRAM interfacing"): the VCK5000's PL reaches DDR4 through
+four vertical NoC lanes, but the Vitis NoC compiler assigns a design's
+HLS ports to virtual channels without giving the user control over lane
+placement.  The paper measures:
+
+* 2 read + 1 write ports (CHARM's default) -> 20 GB/s
+* 4 read + 2 write ports                   -> 34 GB/s
+* more ports                               -> no further improvement
+
+i.e. ~6.7 GB/s per port up to a 34 GB/s plateau (34% of the 102.4 GB/s
+theoretical).  ``DramModel`` delegates the achieved-bandwidth question to
+:class:`repro.hw.noc.NocModel`, which reproduces those operating points
+mechanistically.  Small transfers additionally pay a fixed burst-setup
+latency (the paper's "efficiency of DRAM bandwidth is low for smaller
+sizes").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.noc import NocModel
+from repro.hw.specs import DeviceSpec, VCK5000
+
+#: Burst/setup latency charged once per DMA transfer.
+TRANSFER_LATENCY_SECONDS = 2e-6
+
+
+@dataclass(frozen=True)
+class DramPorts:
+    """An HLS design's DRAM port configuration, e.g. 4r2w."""
+
+    reads: int
+    writes: int
+
+    def __post_init__(self) -> None:
+        if self.reads < 1 or self.writes < 1:
+            raise ValueError("a GEMM design needs at least one read and one write port")
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def __str__(self) -> str:
+        return f"{self.reads}r{self.writes}w"
+
+    @classmethod
+    def parse(cls, text: str) -> "DramPorts":
+        """Parse the paper's ``NrMw`` notation (e.g. ``"4r2w"``)."""
+        lowered = text.lower()
+        if "r" not in lowered or not lowered.endswith("w"):
+            raise ValueError(f"expected NrMw notation, got {text!r}")
+        reads, rest = lowered.split("r", 1)
+        return cls(int(reads), int(rest[:-1]))
+
+
+#: The two port setups the paper evaluates.
+CHARM_DEFAULT_PORTS = DramPorts(2, 1)
+IMPROVED_PORTS = DramPorts(4, 2)
+
+
+class DramModel:
+    """Achieved-DRAM-bandwidth model for a given device and port setup."""
+
+    def __init__(
+        self,
+        device: DeviceSpec = VCK5000,
+        ports: DramPorts = IMPROVED_PORTS,
+        noc: NocModel | None = None,
+    ):
+        self.device = device
+        self.ports = ports
+        self.noc = noc if noc is not None else NocModel(device)
+
+    # ------------------------------------------------------------------
+    # Bandwidth
+    # ------------------------------------------------------------------
+    def total_bandwidth(self) -> float:
+        """Aggregate achieved bandwidth across all design ports."""
+        return self.noc.achieved_bandwidth(self.ports.total)
+
+    def port_bandwidth(self) -> float:
+        """Achieved bandwidth of one design port."""
+        return self.total_bandwidth() / self.ports.total
+
+    def read_bandwidth(self, ports_used: int | None = None) -> float:
+        """Bandwidth available to a read stream using ``ports_used`` ports."""
+        used = self.ports.reads if ports_used is None else ports_used
+        if used > self.ports.reads:
+            raise ValueError(f"only {self.ports.reads} read ports available")
+        return self.port_bandwidth() * used
+
+    def write_bandwidth(self, ports_used: int | None = None) -> float:
+        used = self.ports.writes if ports_used is None else ports_used
+        if used > self.ports.writes:
+            raise ValueError(f"only {self.ports.writes} write ports available")
+        return self.port_bandwidth() * used
+
+    def utilization(self) -> float:
+        """Fraction of theoretical DRAM bandwidth achieved (34% at 4r2w)."""
+        return self.total_bandwidth() / self.device.dram_bandwidth
+
+    # ------------------------------------------------------------------
+    # Transfer timing
+    # ------------------------------------------------------------------
+    def transfer_seconds(self, num_bytes: int, bandwidth: float | None = None) -> float:
+        """Time for one DMA transfer, including burst-setup latency."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        bw = self.total_bandwidth() if bandwidth is None else bandwidth
+        return num_bytes / bw + TRANSFER_LATENCY_SECONDS
+
+    def effective_bandwidth(self, num_bytes: int) -> float:
+        """Achieved bandwidth for a transfer of this size (drops when small)."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.transfer_seconds(num_bytes)

@@ -1,0 +1,86 @@
+"""Fault injection: degraded-device what-ifs.
+
+Boards degrade: AIE columns get fused off for yield, DDR channels fail,
+thermal limits derate clocks, routing congestion eats PLIOs.  This
+module derives *degraded* :class:`DeviceSpec` instances so designs can
+be re-validated and re-estimated under faults — which Table II designs
+survive losing an AIE column?  How much does half the DRAM hurt a
+memory-bound configuration?
+
+Faults compose: each injector returns a new spec, so chains like
+``disable_aie_columns(derate_dram(device, 0.5), 2)`` express multi-fault
+scenarios.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hw.specs import DeviceSpec, VCK5000
+
+
+class FaultError(ValueError):
+    """A fault specification is impossible."""
+
+
+def disable_aie_columns(device: DeviceSpec, columns: int) -> DeviceSpec:
+    """Fuse off whole AIE columns (yield harvesting / column faults)."""
+    if not 0 <= columns < device.aie_cols:
+        raise FaultError(f"cannot disable {columns} of {device.aie_cols} columns")
+    # interface tiles sit under the array: losing columns loses them too
+    interface_loss = round(device.num_interface_tiles * columns / device.aie_cols)
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-cols-{columns}",
+        aie_cols=device.aie_cols - columns,
+        num_interface_tiles=device.num_interface_tiles - interface_loss,
+        usable_plios=max(3, device.usable_plios - interface_loss * device.plio_in_per_tile),
+    )
+
+
+def disable_dram_channels(device: DeviceSpec, channels: int) -> DeviceSpec:
+    """Lose DDR4 channels (DIMM/controller faults)."""
+    if not 0 <= channels < device.dram_channels:
+        raise FaultError(f"cannot disable {channels} of {device.dram_channels} channels")
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-dram-{channels}",
+        dram_channels=device.dram_channels - channels,
+        noc_lanes=max(1, device.noc_lanes - channels),
+    )
+
+
+def derate_clock(device: DeviceSpec, fraction: float) -> DeviceSpec:
+    """Thermal derating: run the AIE array at a fraction of nominal."""
+    if not 0 < fraction <= 1.0:
+        raise FaultError("derating fraction must be in (0, 1]")
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-clk-{fraction:g}",
+        aie_freq_hz=device.aie_freq_hz * fraction,
+        # PLIO streams are clocked with the array-side interface
+        plio_bandwidth=device.plio_bandwidth * fraction,
+    )
+
+
+def degrade_pl_memory(device: DeviceSpec, fraction: float) -> DeviceSpec:
+    """Lose usable PL memory (column faults / ECC-disabled URAMs)."""
+    if not 0 < fraction <= 1.0:
+        raise FaultError("remaining fraction must be in (0, 1]")
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-pl-{fraction:g}",
+        pl_usable_fraction=device.pl_usable_fraction * fraction,
+    )
+
+
+def surviving_configs(device: DeviceSpec = VCK5000) -> list[str]:
+    """Which Table II configurations still build on this device?"""
+    from repro.mapping.charm import CharmDesign
+    from repro.mapping.configs import ALL_CONFIGS
+
+    survivors = []
+    for config in ALL_CONFIGS:
+        if CharmDesign(config, device=device).is_valid():
+            survivors.append(config.name)
+    return survivors

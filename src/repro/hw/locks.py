@@ -1,0 +1,128 @@
+"""AIE lock protocol: the mechanism underneath ping-pong buffering.
+
+Each AIE memory bank has hardware locks; DMA engines and kernels bracket
+buffer accesses with acquire/release pairs.  Double ("ping-pong")
+buffering is two buffers whose locks producers and consumers acquire in
+alternation — the structural reason transfers overlap compute.  With a
+single buffer the same protocol *serialises* producer and consumer; the
+lock round-trips are the stall the Fig. 8 single-buffer bars measure.
+
+:class:`LockedBufferPool` simulates the protocol at acquire/release
+granularity and reports the producer/consumer stall cycles, giving the
+interconnect model's ``SINGLE_BUFFER_LOCK_CYCLES`` calibration a
+mechanistic counterpart that tests can compare against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+#: Hardware lock acquire/release round-trip, cycles (per UG1079-class
+#: figures: tens of cycles through the lock unit + stall/restart).
+LOCK_ACQUIRE_CYCLES = 30.0
+LOCK_RELEASE_CYCLES = 10.0
+
+
+class LockState(enum.Enum):
+    FOR_PRODUCER = "for_producer"
+    FOR_CONSUMER = "for_consumer"
+
+
+@dataclass
+class Lock:
+    """One hardware lock guarding one buffer."""
+
+    name: str
+    state: LockState = LockState.FOR_PRODUCER
+    acquires: int = 0
+
+    def acquire(self, want: LockState, now: float) -> float:
+        """Acquire in state ``want``; returns the completion time.
+
+        The caller is responsible for only acquiring when the state
+        matches (the scheduler below enforces ordering); the cost model
+        charges the acquire round-trip.
+        """
+        if self.state is not want:
+            raise RuntimeError(f"lock {self.name} is {self.state}, wanted {want}")
+        self.acquires += 1
+        return now + LOCK_ACQUIRE_CYCLES
+
+    def release(self, new_state: LockState, now: float) -> float:
+        self.state = new_state
+        return now + LOCK_RELEASE_CYCLES
+
+
+@dataclass(frozen=True)
+class PingPongReport:
+    """Timing of a produce/consume stream through a buffer pool."""
+
+    buffers: int
+    items: int
+    total_cycles: float
+    producer_stall_cycles: float
+    consumer_stall_cycles: float
+    lock_overhead_cycles: float
+
+    @property
+    def stall_per_item(self) -> float:
+        return (self.producer_stall_cycles + self.consumer_stall_cycles) / self.items
+
+
+class LockedBufferPool:
+    """Simulates N-buffer producer/consumer streaming with locks."""
+
+    def __init__(self, buffers: int):
+        if buffers < 1:
+            raise ValueError("need at least one buffer")
+        self.locks = [Lock(f"buf{i}") for i in range(buffers)]
+
+    def stream(
+        self,
+        items: int,
+        produce_cycles: float,
+        consume_cycles: float,
+    ) -> PingPongReport:
+        """Stream ``items`` through the pool.
+
+        The producer writes item t into buffer ``t % N`` (after acquiring
+        it FOR_PRODUCER), releases it FOR_CONSUMER; the consumer mirrors.
+        With N=2 the two proceed concurrently; with N=1 they ping-pong.
+        """
+        if items < 0:
+            raise ValueError("items must be non-negative")
+        n = len(self.locks)
+        # consumer_done[t]: when the consumer released buffer (t % n)
+        producer_time = 0.0
+        consumer_time = 0.0
+        buffer_ready_for_producer = [0.0] * n  # when consumer freed it
+        buffer_ready_for_consumer = [0.0] * n  # when producer filled it
+        producer_stall = consumer_stall = 0.0
+        overhead = 0.0
+
+        for t in range(items):
+            b = t % n
+            # producer side
+            wait = max(0.0, buffer_ready_for_producer[b] - producer_time)
+            producer_stall += wait
+            producer_time += wait
+            producer_time += LOCK_ACQUIRE_CYCLES + produce_cycles + LOCK_RELEASE_CYCLES
+            overhead += LOCK_ACQUIRE_CYCLES + LOCK_RELEASE_CYCLES
+            buffer_ready_for_consumer[b] = producer_time
+            # consumer side
+            wait = max(0.0, buffer_ready_for_consumer[b] - consumer_time)
+            consumer_stall += wait
+            consumer_time += wait
+            consumer_time += LOCK_ACQUIRE_CYCLES + consume_cycles + LOCK_RELEASE_CYCLES
+            overhead += LOCK_ACQUIRE_CYCLES + LOCK_RELEASE_CYCLES
+            buffer_ready_for_producer[b] = consumer_time
+
+        return PingPongReport(
+            buffers=n,
+            items=items,
+            total_cycles=max(producer_time, consumer_time),
+            producer_stall_cycles=producer_stall,
+            consumer_stall_cycles=consumer_stall,
+            lock_overhead_cycles=overhead,
+        )

@@ -1,0 +1,67 @@
+"""Programmable-logic memory: BRAM/URAM budgeting for tile buffers.
+
+The PL provides the middle level of the memory hierarchy (Fig. 2): DRAM
+tiles of A, B and the C partials live in BRAM/URAM while they are
+streamed to/from the AIE array.  Section V-J explains why the raw 24 MB
+is not usable in full: feeding the AIEs requires maximising BRAM *ports*,
+which spreads data across many half-empty BRAMs, and double buffering
+doubles every input footprint.  :class:`PlMemoryBudget` applies those
+rules when validating a tile plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import DeviceSpec, VCK5000
+
+
+@dataclass(frozen=True)
+class PlBufferRequirement:
+    """Bytes of PL storage a tile plan needs for one matrix."""
+
+    name: str
+    bytes_per_buffer: int
+    double_buffered: bool
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_buffer * (2 if self.double_buffered else 1)
+
+
+class PlMemoryBudget:
+    """Checks buffer requirements against the usable PL memory."""
+
+    def __init__(self, device: DeviceSpec = VCK5000):
+        self.device = device
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable tile-buffer capacity (port-limited fraction of 24 MB)."""
+        return self.device.pl_usable_bytes
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.device.pl_memory_bytes
+
+    def required_bytes(self, requirements: list[PlBufferRequirement]) -> int:
+        return sum(r.total_bytes for r in requirements)
+
+    def fits(self, requirements: list[PlBufferRequirement]) -> bool:
+        return self.required_bytes(requirements) <= self.capacity_bytes
+
+    def occupancy(self, requirements: list[PlBufferRequirement]) -> float:
+        return self.required_bytes(requirements) / self.capacity_bytes
+
+    def bram_banks_for(self, num_bytes: int, port_width_bytes: int = 8) -> int:
+        """BRAMs needed for ``num_bytes`` given the banking the AIE feed
+        rate forces (one bank per parallel port of ``port_width_bytes``).
+
+        Illustrates Section V-J's underutilisation: small, wide buffers
+        consume whole BRAMs.
+        """
+        if num_bytes <= 0:
+            return 0
+        bram_bytes = self.device.bram_bits // 8
+        by_capacity = -(-num_bytes // bram_bytes)
+        return max(by_capacity, 1)

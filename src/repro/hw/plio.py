@@ -1,0 +1,112 @@
+"""PLIO interfaces: the streams connecting the PL fabric to the AIE array.
+
+Section III: interface tiles sit in the last row of the AIE array; each
+PL interface tile offers 8 PL->AIE and 6 AIE->PL stream connections.  A
+PLIO is 64-bit at up to 500 MHz, or 128-bit at half the clock — 4 GB/s
+either way.  PLIOs are a scarce resource: Section V-H shows they dictate
+both per-design performance and how many design replicas the array can
+host.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.hw.specs import DeviceSpec, VCK5000
+
+
+class PlioDirection(enum.Enum):
+    PL_TO_AIE = "pl_to_aie"  # inputs (matrices A and B)
+    AIE_TO_PL = "aie_to_pl"  # outputs (matrix C)
+
+
+@dataclass(frozen=True)
+class PlioPort:
+    """One configured PLIO stream."""
+
+    name: str
+    direction: PlioDirection
+    width_bits: int = 128
+    clock_hz: float = 250e6
+
+    def __post_init__(self) -> None:
+        if self.width_bits not in (32, 64, 128):
+            raise ValueError(f"PLIO width must be 32/64/128 bits, got {self.width_bits}")
+
+    @property
+    def bandwidth(self) -> float:
+        """Sustained bytes/s of this stream (width * clock)."""
+        return self.width_bits / 8 * self.clock_hz
+
+
+class PlioExhaustedError(RuntimeError):
+    """Raised when a design requests more PLIOs than the device offers."""
+
+
+class PlioAllocator:
+    """Tracks PLIO usage against the device budget.
+
+    Two budgets apply: the per-direction physical stream counts
+    (8/6 per interface tile) and the practical routing budget
+    ``device.usable_plios`` the paper's replication arithmetic implies.
+    """
+
+    def __init__(self, device: DeviceSpec = VCK5000):
+        self.device = device
+        self._allocated: list[PlioPort] = []
+
+    @property
+    def used_in(self) -> int:
+        return sum(1 for p in self._allocated if p.direction is PlioDirection.PL_TO_AIE)
+
+    @property
+    def used_out(self) -> int:
+        return sum(1 for p in self._allocated if p.direction is PlioDirection.AIE_TO_PL)
+
+    @property
+    def used_total(self) -> int:
+        return len(self._allocated)
+
+    @property
+    def remaining_total(self) -> int:
+        return self.device.usable_plios - self.used_total
+
+    def allocate(self, name: str, direction: PlioDirection, width_bits: int = 128) -> PlioPort:
+        if self.used_total >= self.device.usable_plios:
+            raise PlioExhaustedError(
+                f"design exceeds the usable PLIO budget ({self.device.usable_plios})"
+            )
+        if direction is PlioDirection.PL_TO_AIE and self.used_in >= self.device.total_plio_in:
+            raise PlioExhaustedError(
+                f"no PL->AIE streams left (max {self.device.total_plio_in})"
+            )
+        if direction is PlioDirection.AIE_TO_PL and self.used_out >= self.device.total_plio_out:
+            raise PlioExhaustedError(
+                f"no AIE->PL streams left (max {self.device.total_plio_out})"
+            )
+        port = PlioPort(name=name, direction=direction, width_bits=width_bits)
+        self._allocated.append(port)
+        return port
+
+    def allocate_many(
+        self, prefix: str, direction: PlioDirection, count: int
+    ) -> list[PlioPort]:
+        return [self.allocate(f"{prefix}{i}", direction) for i in range(count)]
+
+    def max_replicas(self, plios_per_replica: int, aies_per_replica: int) -> int:
+        """How many copies of a design fit on the device.
+
+        Limited by both the PLIO budget and the AIE count — the trade-off
+        at the heart of Fig. 13's right axis.
+        """
+        if plios_per_replica < 1 or aies_per_replica < 1:
+            raise ValueError("replica resource counts must be positive")
+        by_plio = self.device.usable_plios // plios_per_replica
+        by_aie = self.device.num_aies // aies_per_replica
+        return min(by_plio, by_aie)
+
+    def array_utilization(self, plios_per_replica: int, aies_per_replica: int) -> float:
+        """Fraction of the AIE array usable under the PLIO constraint."""
+        replicas = self.max_replicas(plios_per_replica, aies_per_replica)
+        return replicas * aies_per_replica / self.device.num_aies

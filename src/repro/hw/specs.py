@@ -1,0 +1,208 @@
+"""Device specifications: every speed and feed from Section III as data.
+
+``VCK5000`` is the board the paper characterises.  ``AIE_ML_DEVICE`` is a
+second-generation AIE-ML part (Section V-K) included to demonstrate that
+the whole analysis pipeline transfers to newer silicon: more MACs/cycle,
+larger local memory, improved AIE-AIE bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Mapping
+
+from repro.kernels.precision import Precision
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a Versal device + board."""
+
+    name: str
+    # ----- AIE array -----
+    aie_rows: int
+    aie_cols: int
+    aie_freq_hz: float
+    aie_memory_bytes: int
+    macs_per_cycle: Mapping[Precision, int]
+    #: cascade (partial-sum) link width, bytes per AIE cycle (384-bit)
+    cascade_bytes_per_cycle: float
+    #: one switch stream, bytes per AIE cycle (32-bit)
+    stream_bytes_per_cycle: float
+    # ----- AIE <-> PL interface -----
+    num_interface_tiles: int
+    plio_in_per_tile: int
+    plio_out_per_tile: int
+    #: sustained bandwidth of one PLIO stream, bytes/s (64-bit @ 500 MHz)
+    plio_bandwidth: float
+    #: PLIOs a realistic design can actually claim before routing/placement
+    #: fails.  Calibrated from the paper's utilisation arithmetic (a
+    #: 36-PLIO scheme replicates 7x before exhausting PLIOs).
+    usable_plios: int
+    # ----- PL -----
+    pl_freq_hz: float
+    bram_count: int
+    bram_bits: int
+    uram_count: int
+    uram_bits: int
+    #: fraction of raw PL memory a streaming design can usefully fill:
+    #: maximising BRAM ports spreads data thinly and double buffering
+    #: doubles the footprint (Section V-J's "effective on-chip storage
+    #: capacity is lower").
+    pl_usable_fraction: float
+    # ----- NoC / DRAM -----
+    noc_lanes: int
+    noc_lane_bandwidth: float
+    noc_vcs_per_lane: int
+    dram_channels: int
+    dram_channel_bandwidth: float
+    #: fixed AIE setup time the paper calibrates into its model (100 us)
+    aie_setup_seconds: float = 100e-6
+
+    # ------------------------------------------------------------------
+    # Derived quantities (all match Section III's published numbers)
+    # ------------------------------------------------------------------
+    @property
+    def num_aies(self) -> int:
+        return self.aie_rows * self.aie_cols
+
+    def peak_ops(self, precision: Precision, num_aies: int | None = None) -> float:
+        """Peak throughput in ops/s: freq * MACs/cycle * #AIEs * 2."""
+        aies = self.num_aies if num_aies is None else num_aies
+        return self.aie_freq_hz * self.macs_per_cycle[precision] * aies * 2
+
+    @property
+    def total_plio_in(self) -> int:
+        """PL -> AIE streams (8 per interface tile on VCK5000)."""
+        return self.num_interface_tiles * self.plio_in_per_tile
+
+    @property
+    def total_plio_out(self) -> int:
+        """AIE -> PL streams (6 per interface tile on VCK5000)."""
+        return self.num_interface_tiles * self.plio_out_per_tile
+
+    @property
+    def pl_to_aie_bandwidth(self) -> float:
+        """Aggregate PL->AIE bandwidth (1.2 TB/s on VCK5000)."""
+        return self.plio_bandwidth * self.total_plio_in
+
+    @property
+    def aie_to_pl_bandwidth(self) -> float:
+        """Aggregate AIE->PL bandwidth (0.9 TB/s on VCK5000)."""
+        return self.plio_bandwidth * self.total_plio_out
+
+    @property
+    def bram_bytes(self) -> int:
+        return self.bram_count * self.bram_bits // 8
+
+    @property
+    def uram_bytes(self) -> int:
+        return self.uram_count * self.uram_bits // 8
+
+    @property
+    def pl_memory_bytes(self) -> int:
+        """Raw PL memory (BRAM + URAM), ~24 MB on VCK5000."""
+        return self.bram_bytes + self.uram_bytes
+
+    @property
+    def pl_usable_bytes(self) -> int:
+        """Effective on-chip tile storage after port/banking constraints."""
+        return int(self.pl_memory_bytes * self.pl_usable_fraction)
+
+    @property
+    def dram_bandwidth(self) -> float:
+        """Theoretical DRAM bandwidth (102.4 GB/s on VCK5000)."""
+        return self.dram_channels * self.dram_channel_bandwidth
+
+    @property
+    def noc_pl_bandwidth(self) -> float:
+        """PL-side NoC ceiling: all vertical lanes (64 GB/s on VCK5000)."""
+        return self.noc_lanes * self.noc_lane_bandwidth
+
+    @property
+    def aie_total_memory_bytes(self) -> int:
+        """Aggregate AIE-array local memory (12.8 MB on VCK5000)."""
+        return self.num_aies * self.aie_memory_bytes
+
+    def plio_bytes_per_aie_cycle(self) -> float:
+        """One PLIO stream's delivery rate in bytes per AIE cycle (3.2)."""
+        return self.plio_bandwidth / self.aie_freq_hz
+
+    def cycles_to_seconds(self, cycles: float) -> float:
+        return cycles / self.aie_freq_hz
+
+    def seconds_to_cycles(self, seconds: float) -> float:
+        return seconds * self.aie_freq_hz
+
+
+VCK5000 = DeviceSpec(
+    name="VCK5000",
+    aie_rows=8,
+    aie_cols=50,
+    aie_freq_hz=1.25e9,
+    aie_memory_bytes=32 * 1024,
+    macs_per_cycle=MappingProxyType(
+        {Precision.FP32: 8, Precision.INT16: 32, Precision.INT8: 128}
+    ),
+    cascade_bytes_per_cycle=48.0,  # 384-bit cascade
+    stream_bytes_per_cycle=4.0,  # 32-bit switch stream
+    num_interface_tiles=39,
+    plio_in_per_tile=8,
+    plio_out_per_tile=6,
+    plio_bandwidth=4e9,
+    usable_plios=280,
+    pl_freq_hz=230e6,
+    bram_count=967,
+    bram_bits=36 * 1024,
+    uram_count=463,
+    uram_bits=288 * 1024,
+    pl_usable_fraction=0.20,
+    noc_lanes=4,
+    noc_lane_bandwidth=16e9,
+    noc_vcs_per_lane=8,
+    dram_channels=4,
+    dram_channel_bandwidth=25.6e9,
+)
+
+#: Second-generation AIE-ML device (Section V-K), modelled on the
+#: VE2802-class parts: fewer but beefier tiles (64 KB local memory,
+#: 256 INT8 MACs/cycle), FP32 emulated on the bf16 datapath.
+AIE_ML_DEVICE = DeviceSpec(
+    name="AIE-ML",
+    aie_rows=8,
+    aie_cols=38,
+    aie_freq_hz=1.25e9,
+    aie_memory_bytes=64 * 1024,
+    macs_per_cycle=MappingProxyType(
+        {Precision.FP32: 16, Precision.INT16: 64, Precision.INT8: 256}
+    ),
+    cascade_bytes_per_cycle=64.0,
+    stream_bytes_per_cycle=4.0,
+    num_interface_tiles=36,
+    plio_in_per_tile=8,
+    plio_out_per_tile=6,
+    plio_bandwidth=4e9,
+    usable_plios=260,
+    pl_freq_hz=250e6,
+    bram_count=600,
+    bram_bits=36 * 1024,
+    uram_count=264,
+    uram_bits=288 * 1024,
+    pl_usable_fraction=0.20,
+    noc_lanes=4,
+    noc_lane_bandwidth=16e9,
+    noc_vcs_per_lane=8,
+    dram_channels=4,
+    dram_channel_bandwidth=25.6e9,
+)
+
+_DEVICES = {spec.name.lower(): spec for spec in (VCK5000, AIE_ML_DEVICE)}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    try:
+        return _DEVICES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_DEVICES))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

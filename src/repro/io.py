@@ -1,0 +1,120 @@
+"""Serialization: designs, estimates and results as plain dicts/JSON.
+
+A deployment pipeline wants to persist the chosen design and its
+predicted behaviour next to the build artifacts.  This module provides
+stable, versioned dict encodings with full round-tripping for designs
+and faithful (read-only) exports for estimates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.core.analytical_model import Estimate
+from repro.hw.dram import DramPorts
+from repro.hw.interconnect import CommScheme
+from repro.hw.specs import device_by_name
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import HardwareConfig
+from repro.mapping.grouping import AieGrouping
+from repro.workloads.gemm import GemmShape
+
+SCHEMA_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Designs (round-trip)
+# ----------------------------------------------------------------------
+def design_to_dict(design: CharmDesign) -> dict[str, Any]:
+    config = design.config
+    grouping = config.grouping
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "charm_design",
+        "device": design.device.name,
+        "config": {
+            "name": config.name,
+            "precision": str(config.precision),
+            "grouping": [grouping.gm, grouping.gk, grouping.gn],
+            "kernel": str(grouping.kernel),
+            "num_plios": config.num_plios,
+            "plio_split": list(config.plio_split_override)
+            if config.plio_split_override
+            else None,
+            "dram_ports": str(config.dram_ports),
+        },
+        "kernel_style": str(design.kernel_style),
+        "comm_scheme": str(design.comm_scheme),
+        "pl_double_buffered": design.pl_double_buffered,
+    }
+
+
+def design_from_dict(data: dict[str, Any]) -> CharmDesign:
+    if data.get("kind") != "charm_design":
+        raise ValueError(f"not a design document: kind={data.get('kind')!r}")
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {data.get('schema')!r}")
+    raw = data["config"]
+    precision = Precision.parse(raw["precision"])
+    gm, gk, gn = raw["grouping"]
+    grouping = AieGrouping(gm, gk, gn, GemmShape.parse(raw["kernel"]), precision)
+    config = HardwareConfig(
+        name=raw["name"],
+        grouping=grouping,
+        num_plios=raw["num_plios"],
+        plio_split_override=tuple(raw["plio_split"]) if raw["plio_split"] else None,
+        dram_ports=DramPorts.parse(raw["dram_ports"]),
+    )
+    return CharmDesign(
+        config=config,
+        device=device_by_name(data["device"]),
+        kernel_style=KernelStyle.parse(data["kernel_style"]),
+        comm_scheme=CommScheme(data["comm_scheme"]),
+        pl_double_buffered=data["pl_double_buffered"],
+    )
+
+
+def design_to_json(design: CharmDesign, indent: int = 2) -> str:
+    return json.dumps(design_to_dict(design), indent=indent)
+
+
+def design_from_json(text: str) -> CharmDesign:
+    return design_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Estimates (export only)
+# ----------------------------------------------------------------------
+def estimate_to_dict(estimate: Estimate) -> dict[str, Any]:
+    breakdown = estimate.breakdown
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "estimate",
+        "workload": str(estimate.workload),
+        "design": design_to_dict(estimate.design),
+        "total_seconds": estimate.total_seconds,
+        "throughput_ops": estimate.throughput_ops,
+        "efficiency": estimate.efficiency,
+        "bottleneck": str(estimate.bottleneck),
+        "tile_plan": {
+            "multiples": list(estimate.plan.multiples),
+            "pl_tile": str(estimate.plan.pl_tile),
+            "num_dram_tiles": estimate.plan.num_dram_tiles,
+            "tiling_overhead": estimate.plan.traffic().tiling_overhead,
+        },
+        "breakdown": {
+            "load_a_seconds": breakdown.load_a_seconds,
+            "load_b_seconds": breakdown.load_b_seconds,
+            "aie_seconds": breakdown.aie_seconds,
+            "store_c_seconds": breakdown.store_c_seconds,
+            "setup_seconds": breakdown.setup_seconds,
+            "memory_bound": breakdown.memory_bound,
+        },
+    }
+
+
+def estimate_to_json(estimate: Estimate, indent: int = 2) -> str:
+    return json.dumps(estimate_to_dict(estimate), indent=indent)

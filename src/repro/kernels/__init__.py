@@ -1,0 +1,33 @@
+"""AIE kernel models: precision, programming style and cycle timing."""
+
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle, style_parameters, StyleParameters
+from repro.kernels.kernel_timing import (
+    compute_cycles,
+    stream_cycles,
+    KernelTiming,
+    kernel_timing,
+)
+from repro.kernels.gemm_kernel import (
+    SingleAieGemmKernel,
+    MemoryVerdict,
+    AIE_DATA_MEMORY_BYTES,
+    NEIGHBOR_MEMORY_BYTES,
+    MAX_DOUBLE_BUFFER_OPERAND_BYTES,
+)
+
+__all__ = [
+    "Precision",
+    "KernelStyle",
+    "StyleParameters",
+    "style_parameters",
+    "compute_cycles",
+    "stream_cycles",
+    "KernelTiming",
+    "kernel_timing",
+    "SingleAieGemmKernel",
+    "MemoryVerdict",
+    "AIE_DATA_MEMORY_BYTES",
+    "NEIGHBOR_MEMORY_BYTES",
+    "MAX_DOUBLE_BUFFER_OPERAND_BYTES",
+]

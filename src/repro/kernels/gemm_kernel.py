@@ -1,0 +1,123 @@
+"""Single-AIE GEMM kernel: memory footprint rules and timing.
+
+Section V-C's memory accounting:
+
+* Each AIE owns 32 KB of tightly coupled memory; it can additionally
+  address 96 KB from the three neighbouring tiles (128 KB total).
+* Double buffering doubles the footprint of every operand, and each
+  individual double buffer must live inside a single AIE, capping one
+  operand at 16 KB (4k FP32 / 16k INT8 elements).  Hence the maximum
+  double-buffered single-AIE workload is 64x64x64 (FP32) and
+  128x128x128 (INT8).
+* Kernels that fit in the local 32 KB are scalable across the whole
+  array; kernels that borrow neighbour memory (the dotted bars of
+  Figs. 6/7) are not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.kernels.kernel_timing import KernelTiming, kernel_timing
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.workloads.gemm import GemmShape
+
+#: Tightly coupled data memory of one AIE tile.
+AIE_DATA_MEMORY_BYTES = 32 * 1024
+#: Memory addressable from the three neighbouring tiles.
+NEIGHBOR_MEMORY_BYTES = 3 * AIE_DATA_MEMORY_BYTES
+#: A double buffer (2x operand) must fit within one AIE's memory.
+MAX_DOUBLE_BUFFER_OPERAND_BYTES = AIE_DATA_MEMORY_BYTES // 2
+
+
+class MemoryVerdict(enum.Enum):
+    """Where a kernel's buffers live."""
+
+    LOCAL = "local"  # fits in the AIE's own 32 KB -> scalable
+    NEIGHBOR = "neighbor"  # needs neighbour memory -> works, not scalable
+    TOO_LARGE = "too_large"  # exceeds the 128 KB addressable window
+
+
+@dataclass(frozen=True)
+class SingleAieGemmKernel:
+    """A GEMM kernel mapped onto one AI Engine."""
+
+    shape: GemmShape
+    precision: Precision
+    style: KernelStyle = KernelStyle.INTRINSIC
+    double_buffered: bool = True
+
+    # ------------------------------------------------------------------
+    # Memory footprint
+    # ------------------------------------------------------------------
+    def operand_bytes(self) -> tuple[int, int, int]:
+        eb = self.precision.element_bytes
+        return (
+            self.shape.bytes_a(eb),
+            self.shape.bytes_b(eb),
+            self.shape.bytes_c(eb),
+        )
+
+    def footprint_bytes(self) -> int:
+        """Total data-memory footprint including buffering."""
+        factor = 2 if self.double_buffered else 1
+        return factor * sum(self.operand_bytes())
+
+    def memory_verdict(self) -> MemoryVerdict:
+        footprint = self.footprint_bytes()
+        if footprint <= AIE_DATA_MEMORY_BYTES:
+            return MemoryVerdict.LOCAL
+        if footprint <= AIE_DATA_MEMORY_BYTES + NEIGHBOR_MEMORY_BYTES:
+            return MemoryVerdict.NEIGHBOR
+        return MemoryVerdict.TOO_LARGE
+
+    def needs_neighbor_memory(self) -> bool:
+        """True for the dotted bars of Figs. 6/7."""
+        return self.memory_verdict() is MemoryVerdict.NEIGHBOR
+
+    def is_scalable(self) -> bool:
+        """Can this kernel be replicated on every AIE of the array?"""
+        return self.memory_verdict() is MemoryVerdict.LOCAL
+
+    def double_buffer_legal(self) -> bool:
+        """Each individual double buffer must fit within a single AIE."""
+        if not self.double_buffered:
+            return True
+        return all(b <= MAX_DOUBLE_BUFFER_OPERAND_BYTES for b in self.operand_bytes())
+
+    def is_feasible(self) -> bool:
+        return (
+            self.memory_verdict() is not MemoryVerdict.TOO_LARGE
+            and self.double_buffer_legal()
+        )
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def timing(self, plios_a: int = 1, plios_b: int = 1, plios_c: int = 1) -> KernelTiming:
+        return kernel_timing(
+            self.shape,
+            self.precision,
+            self.style,
+            double_buffered=self.double_buffered,
+            plios_a=plios_a,
+            plios_b=plios_b,
+            plios_c=plios_c,
+        )
+
+    def efficiency(self) -> float:
+        return self.timing().efficiency
+
+    @classmethod
+    def max_double_buffered_shape(cls, precision: Precision) -> GemmShape:
+        """Largest square double-buffered single-AIE workload.
+
+        64x64x64 for FP32, 128x128x128 for INT8 (Section V-C).
+        """
+        elements = MAX_DOUBLE_BUFFER_OPERAND_BYTES // precision.element_bytes
+        side = int(elements ** 0.5)
+        # round side down to a power of two, matching the paper's sweep
+        side = 1 << (side.bit_length() - 1)
+        return GemmShape.square(side)

@@ -1,0 +1,148 @@
+"""Cycle-level timing model of a single-AIE GEMM kernel.
+
+The model reproduces the mechanisms Section V-B/V-C attribute the observed
+behaviour to:
+
+* Compute: the vector unit updates ``lanes`` output elements per cycle,
+  folding ``k_per_cycle`` reduction steps; each block of ``lanes`` outputs
+  pays an exposed pipeline-drain cost, and each kernel invocation pays a
+  fixed ramp (Section V-B's per-kernel overhead).  The programming style
+  adds an initiation-interval multiplier (intrinsic = 1.0).
+* Communication: operands stream over PLIOs at 4 GB/s per port
+  (= 3.2 bytes per 1.25 GHz AIE cycle).  A and B use separate PLIOs, so
+  their reads overlap with each other; with double buffering reads and the
+  C write-back also overlap with compute (``max``), without it they
+  serialise (``sum``).
+
+These mechanisms alone reproduce the paper's structure: FP32 kernels are
+mostly compute-bound (8 MACs/cycle is slow relative to 3.2 B/cycle
+streams) while INT8 kernels are mostly communication-bound (compute grows
+16x while data shrinks only 4x), with 128x128x128 the INT8 exception.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle, style_parameters
+from repro.workloads.gemm import GemmShape
+
+#: Bytes a single PLIO stream delivers per AIE cycle: 4 GB/s at 1.25 GHz.
+PLIO_BYTES_PER_CYCLE = 3.2
+
+
+def compute_cycles(
+    shape: GemmShape,
+    precision: Precision,
+    style: KernelStyle = KernelStyle.INTRINSIC,
+) -> float:
+    """Cycles the vector unit needs to compute ``shape`` at ``precision``.
+
+    ``blocks * (K / k_per_cycle + drain) * ii + ramp`` where a block is
+    ``lanes`` output elements.
+    """
+    params = style_parameters(style, precision)
+    blocks = math.ceil(shape.m * shape.n / precision.lanes)
+    cycles_per_block = shape.k / precision.k_per_cycle + precision.drain_cycles
+    return blocks * cycles_per_block * params.ii_multiplier + params.ramp_cycles
+
+
+def ideal_compute_cycles(shape: GemmShape, precision: Precision) -> float:
+    """Theoretical minimum cycles at peak MACs/cycle (the efficiency baseline)."""
+    return shape.macs / precision.macs_per_cycle
+
+
+def stream_cycles(
+    num_bytes: int,
+    num_plios: int = 1,
+    bytes_per_cycle: float = PLIO_BYTES_PER_CYCLE,
+) -> float:
+    """Cycles to move ``num_bytes`` over ``num_plios`` parallel PLIO streams."""
+    if num_plios < 1:
+        raise ValueError("need at least one PLIO")
+    return num_bytes / (num_plios * bytes_per_cycle)
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Timing breakdown of one kernel invocation, in AIE cycles.
+
+    ``read_a``/``read_b`` are PL->AIE input streams (parallel PLIOs, so the
+    effective input time is their max), ``write_c`` is the AIE->PL output
+    stream, ``compute`` is the vector-unit time.
+    """
+
+    shape: GemmShape
+    precision: Precision
+    style: KernelStyle
+    read_a: float
+    read_b: float
+    write_c: float
+    compute: float
+    ideal_compute: float
+    double_buffered: bool
+
+    @property
+    def communication(self) -> float:
+        """Effective communication time: inputs overlap, output follows."""
+        return max(self.read_a, self.read_b, self.write_c)
+
+    @property
+    def total(self) -> float:
+        """Steady-state cycles per invocation.
+
+        Double buffering overlaps communication with compute (take the
+        max); disabling it serialises them (Section V-C).
+        """
+        if self.double_buffered:
+            return max(self.compute, self.read_a, self.read_b, self.write_c)
+        return self.compute + max(self.read_a, self.read_b) + self.write_c
+
+    @property
+    def efficiency(self) -> float:
+        """Paper definition: theoretical peak time / observed time."""
+        return self.ideal_compute / self.total
+
+    @property
+    def compute_bound(self) -> bool:
+        return self.compute >= self.communication
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_bound else "communication"
+
+    @property
+    def overlap_cycles(self) -> float:
+        """Cycles during which compute and communication proceed together."""
+        if not self.double_buffered:
+            return 0.0
+        return min(self.compute, self.communication)
+
+    def seconds(self, aie_freq_hz: float) -> float:
+        return self.total / aie_freq_hz
+
+
+def kernel_timing(
+    shape: GemmShape,
+    precision: Precision,
+    style: KernelStyle = KernelStyle.INTRINSIC,
+    double_buffered: bool = True,
+    plios_a: int = 1,
+    plios_b: int = 1,
+    plios_c: int = 1,
+) -> KernelTiming:
+    """Build the timing breakdown for one kernel invocation."""
+    eb = precision.element_bytes
+    return KernelTiming(
+        shape=shape,
+        precision=precision,
+        style=style,
+        read_a=stream_cycles(shape.bytes_a(eb), plios_a),
+        read_b=stream_cycles(shape.bytes_b(eb), plios_b),
+        write_c=stream_cycles(shape.bytes_c(eb), plios_c),
+        compute=compute_cycles(shape, precision, style),
+        ideal_compute=ideal_compute_cycles(shape, precision),
+        double_buffered=double_buffered,
+    )

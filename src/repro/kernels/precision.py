@@ -1,0 +1,68 @@
+"""Numeric precisions supported by the AIE vector processor.
+
+Section III ("Speeds and Feeds"): each first-generation AIE achieves
+8 MACs/cycle for FP32 and 128 MACs/cycle for INT8.  INT16 (32 MACs/cycle)
+is included because CHARM 2.0 adds it; the paper's experiments use FP32
+and INT8 only.
+
+The vector datapath is modelled as ``lanes`` output elements updated per
+cycle, each receiving ``k_per_cycle`` reduction steps, so that
+``lanes * k_per_cycle == macs_per_cycle``.  For FP32 the ``fpmac``
+intrinsic updates 8 lanes one reduction step at a time; for INT8 the
+``mac16`` intrinsic updates 16 lanes with an 8-deep reduction each cycle.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Precision(enum.Enum):
+    """A numeric precision with its AIE datapath characteristics."""
+
+    FP32 = ("fp32", 4, 8, 8, 4, 2.0)
+    INT16 = ("int16", 2, 32, 16, 4, 1.0)
+    INT8 = ("int8", 1, 128, 16, 4, 0.5)
+
+    def __init__(
+        self,
+        label: str,
+        element_bytes: int,
+        macs_per_cycle: int,
+        lanes: int,
+        accumulator_bytes: int,
+        drain_cycles: float,
+    ) -> None:
+        self.label = label
+        #: bytes per input/output element (C is stored at input precision,
+        #: as in CHARM, which re-quantises INT8 outputs on chip)
+        self.element_bytes = element_bytes
+        #: peak multiply-accumulates per cycle on one AIE
+        self.macs_per_cycle = macs_per_cycle
+        #: output elements updated in parallel by one vector op
+        self.lanes = lanes
+        #: bytes per partial-sum element while accumulating (cascade width)
+        self.accumulator_bytes = accumulator_bytes
+        #: exposed pipeline-drain cycles per output block (averaged over the
+        #: accumulator interleaving the compiler applies)
+        self.drain_cycles = drain_cycles
+
+    @property
+    def k_per_cycle(self) -> int:
+        """Reduction steps folded into one vector op (macs/cycle / lanes)."""
+        return self.macs_per_cycle // self.lanes
+
+    def peak_ops_per_aie(self, aie_freq_hz: float) -> float:
+        """Peak ops/s of one AIE: 2 ops (multiply + add) per MAC."""
+        return 2.0 * self.macs_per_cycle * aie_freq_hz
+
+    @classmethod
+    def parse(cls, text: str) -> "Precision":
+        for member in cls:
+            if member.label == text.lower():
+                return member
+        known = ", ".join(m.label for m in cls)
+        raise ValueError(f"unknown precision {text!r}; known: {known}")
+
+    def __str__(self) -> str:
+        return self.label

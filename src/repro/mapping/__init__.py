@@ -1,0 +1,36 @@
+"""CHARM-style GEMM mapping: grouping, tiling, PLIO schemes, configurations."""
+
+from repro.mapping.grouping import AieGrouping, pack_depth_for
+from repro.mapping.configs import (
+    HardwareConfig,
+    ALL_CONFIGS,
+    FP32_CONFIGS,
+    INT8_CONFIGS,
+    config_by_name,
+    configs_for,
+)
+from repro.mapping.tiling import TilePlan, plan_tiling, TrafficSummary
+from repro.mapping.switching import SwitchingKind, PlioConnection, serialization_factor
+from repro.mapping.plio_schemes import PlioScheme, scheme_sweep, reference_schemes
+from repro.mapping.charm import CharmDesign
+
+__all__ = [
+    "AieGrouping",
+    "pack_depth_for",
+    "HardwareConfig",
+    "ALL_CONFIGS",
+    "FP32_CONFIGS",
+    "INT8_CONFIGS",
+    "config_by_name",
+    "configs_for",
+    "TilePlan",
+    "plan_tiling",
+    "TrafficSummary",
+    "SwitchingKind",
+    "PlioConnection",
+    "serialization_factor",
+    "PlioScheme",
+    "scheme_sweep",
+    "reference_schemes",
+    "CharmDesign",
+]

@@ -1,0 +1,124 @@
+"""A complete CHARM-style GEMM accelerator design.
+
+Ties together a Table II hardware configuration, a device, the kernel
+programming style, the AIE-AIE communication scheme and DRAM-PL
+buffering into the single object the analytical model, the simulators
+and the experiments consume.  ``validate()`` checks the design against
+every hardware budget the paper discusses (AIE count, PLIO budget,
+kernel memory feasibility, pack-depth alignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.hw.dram import DramModel, DramPorts
+from repro.hw.interconnect import CommScheme
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.configs import HardwareConfig
+from repro.mapping.tiling import TilePlan, plan_tiling
+from repro.workloads.gemm import GemmShape
+
+
+class DesignError(ValueError):
+    """A design violates a hardware budget."""
+
+
+@dataclass(frozen=True)
+class CharmDesign:
+    """A validated, runnable GEMM accelerator design."""
+
+    config: HardwareConfig
+    device: DeviceSpec = VCK5000
+    kernel_style: KernelStyle = KernelStyle.INTRINSIC
+    comm_scheme: CommScheme = CommScheme.CASCADE
+    #: DRAM-PL double buffering (Section V-G studies switching this off)
+    pl_double_buffered: bool = True
+    #: permit kernels that borrow neighbour memory (what-if studies such
+    #: as Fig. 14's 64x64x64 FP32 kernel axis; not buildable array-wide)
+    allow_neighbor_kernels: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def precision(self) -> Precision:
+        return self.config.precision
+
+    @property
+    def native_size(self) -> GemmShape:
+        return self.config.native_size
+
+    @property
+    def kernel(self) -> SingleAieGemmKernel:
+        return SingleAieGemmKernel(
+            shape=self.config.kernel,
+            precision=self.precision,
+            style=self.kernel_style,
+            double_buffered=True,  # AIE-level double buffering is always on
+        )
+
+    @property
+    def dram(self) -> DramModel:
+        return DramModel(self.device, self.config.dram_ports)
+
+    def peak_ops(self) -> float:
+        """Peak throughput of the AIEs this design occupies."""
+        return self.device.peak_ops(self.precision, self.config.num_aies)
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`DesignError` on any budget violation."""
+        if self.config.num_aies > self.device.num_aies:
+            raise DesignError(
+                f"{self.config.name} needs {self.config.num_aies} AIEs; "
+                f"{self.device.name} has {self.device.num_aies}"
+            )
+        if self.config.num_plios > self.device.usable_plios:
+            raise DesignError(
+                f"{self.config.name} needs {self.config.num_plios} PLIOs; "
+                f"budget is {self.device.usable_plios}"
+            )
+        plios_a, plios_b, plios_c = self.config.plio_split()
+        if plios_a + plios_b > self.device.total_plio_in:
+            raise DesignError("input PLIOs exceed the PL->AIE stream count")
+        if plios_c > self.device.total_plio_out:
+            raise DesignError("output PLIOs exceed the AIE->PL stream count")
+        if not self.kernel.is_feasible():
+            raise DesignError(
+                f"kernel {self.config.kernel} does not fit the AIE memory rules"
+            )
+        if not self.kernel.is_scalable() and not self.allow_neighbor_kernels:
+            raise DesignError(
+                f"kernel {self.config.kernel} borrows neighbour memory and "
+                "cannot be replicated across the array"
+            )
+        if self.config.grouping.gk % self.config.grouping.pack_depth != 0:
+            raise DesignError("gk must be a multiple of the cascade pack depth")
+
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except DesignError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    def tile_plan(self, workload: GemmShape) -> TilePlan:
+        """Choose the DRAM-level tiling for ``workload`` on this design."""
+        return plan_tiling(
+            workload,
+            self.native_size,
+            self.precision,
+            device=self.device,
+            double_buffered=self.pl_double_buffered,
+        )
+
+    def with_single_buffering(self) -> "CharmDesign":
+        """The Section V-G variant: PL single buffering."""
+        return replace(self, pl_double_buffered=False)
+
+    def with_ports(self, ports: DramPorts) -> "CharmDesign":
+        """Swap the DRAM port setup (2r1w vs 4r2w studies)."""
+        return replace(self, config=replace(self.config, dram_ports=ports))

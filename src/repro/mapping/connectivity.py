@@ -1,0 +1,175 @@
+"""Connectivity-graph generation: the design artifact behind Fig. 4.
+
+CHARM describes its accelerators as AIE graphs — kernels, cascade edges,
+and PLIO ports with their switching discipline (Fig. 4 draws the 16-AIE
+case).  :class:`ConnectivityGraph` generates that description for any
+configuration: the exact artifact one would hand to the AIE compiler,
+with counts that must (and here provably do) reconcile with Table II's
+PLIO column and the grouping algebra.
+
+Outputs: a typed graph, a text summary, and Graphviz DOT for rendering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.configs import HardwareConfig
+from repro.mapping.plio_schemes import make_scheme
+from repro.mapping.switching import SwitchingKind
+
+
+@dataclass(frozen=True)
+class KernelNode:
+    """One GEMM kernel instance in the graph."""
+
+    name: str
+    im: int
+    lk: int
+    jn: int
+
+
+@dataclass(frozen=True)
+class CascadeEdge:
+    """A cascade (partial-sum) connection between two kernels."""
+
+    src: str
+    dst: str
+
+
+@dataclass(frozen=True)
+class PlioPortDecl:
+    """One PLIO port declaration with its sink/source kernels."""
+
+    name: str
+    matrix: str  # "A", "B" (inputs) or "C" (output)
+    switching: SwitchingKind
+    kernels: tuple[str, ...]
+
+    @property
+    def direction(self) -> str:
+        return "out" if self.matrix == "C" else "in"
+
+
+@dataclass
+class ConnectivityGraph:
+    """The full logical graph of one configuration."""
+
+    config: HardwareConfig
+    kernels: list[KernelNode] = field(default_factory=list)
+    cascades: list[CascadeEdge] = field(default_factory=list)
+    plios: list[PlioPortDecl] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_kernels(self) -> int:
+        return len(self.kernels)
+
+    @property
+    def num_plios(self) -> int:
+        return len(self.plios)
+
+    def plios_for(self, matrix: str) -> list[PlioPortDecl]:
+        return [p for p in self.plios if p.matrix == matrix]
+
+    def validate(self) -> None:
+        """The graph must reconcile with the grouping algebra and Table II."""
+        g = self.config.grouping
+        if self.num_kernels != g.num_aies:
+            raise ValueError("kernel count != AIE count")
+        expected_cascades = g.gm * g.gn * (g.gk - 1)
+        if len(self.cascades) != expected_cascades:
+            raise ValueError("cascade edge count mismatch")
+        if self.num_plios != self.config.num_plios:
+            raise ValueError("PLIO count != Table II column")
+        fed = {k for p in self.plios if p.matrix in "AB" for k in p.kernels}
+        if len(fed) != self.num_kernels:
+            raise ValueError("some kernels receive no input PLIO")
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        g = self.config.grouping
+        lines = [
+            f"{self.config.name}: {g.num_aies} kernels "
+            f"({g.gm}x{g.gk}x{g.gn} grouping, native {self.config.native_size})",
+            f"cascade chains: {g.gm * g.gn} packs of depth {g.gk}",
+        ]
+        for matrix in "ABC":
+            ports = self.plios_for(matrix)
+            kinds = sorted({str(p.switching) for p in ports})
+            lines.append(
+                f"matrix {matrix}: {len(ports)} PLIO(s), {'/'.join(kinds)} switching"
+            )
+        return "\n".join(lines)
+
+    def to_dot(self) -> str:
+        """Graphviz DOT rendering (kernels, cascades, PLIO fan-out)."""
+        lines = [f'digraph "{self.config.name}" {{', "  rankdir=LR;"]
+        for kernel in self.kernels:
+            lines.append(f'  "{kernel.name}" [shape=box];')
+        for plio in self.plios:
+            shape = "invhouse" if plio.direction == "in" else "house"
+            lines.append(f'  "{plio.name}" [shape={shape}];')
+            for kernel in plio.kernels:
+                if plio.direction == "in":
+                    lines.append(f'  "{plio.name}" -> "{kernel}";')
+                else:
+                    lines.append(f'  "{kernel}" -> "{plio.name}";')
+        for edge in self.cascades:
+            lines.append(f'  "{edge.src}" -> "{edge.dst}" [style=bold];')
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _kernel_name(im: int, lk: int, jn: int) -> str:
+    return f"k_m{im}_k{lk}_n{jn}"
+
+
+def build_connectivity(config: HardwareConfig) -> ConnectivityGraph:
+    """Generate the logical graph for a Table II-style configuration."""
+    g = config.grouping
+    graph = ConnectivityGraph(config=config)
+
+    for im in range(g.gm):
+        for jn in range(g.gn):
+            for lk in range(g.gk):
+                graph.kernels.append(KernelNode(_kernel_name(im, lk, jn), im, lk, jn))
+            for lk in range(g.gk - 1):
+                graph.cascades.append(
+                    CascadeEdge(_kernel_name(im, lk, jn), _kernel_name(im, lk + 1, jn))
+                )
+
+    plios_a, plios_b, plios_c = config.plio_split()
+    hybrid = SwitchingKind.HYBRID
+    scheme = make_scheme(config, plios_a, plios_b, plios_c, hybrid, hybrid, hybrid)
+
+    # A chunks (im, lk) fan out across jn; distribute chunks over ports
+    a_chunks = [(im, lk) for im in range(g.gm) for lk in range(g.gk)]
+    for port in range(plios_a):
+        chunks = a_chunks[port::plios_a]
+        sinks = tuple(
+            _kernel_name(im, lk, jn) for im, lk in chunks for jn in range(g.gn)
+        )
+        kind = scheme.conn_a.kind if len(chunks) > 1 else SwitchingKind.CIRCUIT
+        graph.plios.append(PlioPortDecl(f"plio_a{port}", "A", kind, sinks))
+
+    b_chunks = [(lk, jn) for lk in range(g.gk) for jn in range(g.gn)]
+    for port in range(plios_b):
+        chunks = b_chunks[port::plios_b]
+        sinks = tuple(
+            _kernel_name(im, lk, jn) for lk, jn in chunks for im in range(g.gm)
+        )
+        kind = scheme.conn_b.kind if len(chunks) > 1 else SwitchingKind.CIRCUIT
+        graph.plios.append(PlioPortDecl(f"plio_b{port}", "B", kind, sinks))
+
+    # C comes from each pack's tail kernel (lk = gk - 1)
+    tails = [
+        _kernel_name(im, g.gk - 1, jn) for im in range(g.gm) for jn in range(g.gn)
+    ]
+    for port in range(plios_c):
+        sources = tuple(tails[port::plios_c])
+        kind = SwitchingKind.PACKET if len(sources) > 1 else SwitchingKind.CIRCUIT
+        graph.plios.append(PlioPortDecl(f"plio_c{port}", "C", kind, sources))
+
+    graph.validate()
+    return graph

@@ -1,0 +1,96 @@
+"""Fragmentation/padding analysis — the paper's declared future work.
+
+Section IV-A: *"The trade-offs between different tile sizes and their
+effects on fragmentation/padding for DNN workloads are left as future
+work."*  This module implements that study.  A workload that is not a
+multiple of a configuration's native size is padded; the padded MACs are
+executed and thrown away, so large native sizes trade parallelism for
+wasted work on real (non-synthetic) shapes.
+
+:class:`FragmentationAnalysis` quantifies, per configuration:
+
+* the padding waste (fraction of executed MACs that are padding),
+* the padded-vs-ideal latency penalty,
+* and the resulting effective throughput,
+
+so a deployment can pick the native size that balances array utilisation
+against fragmentation for its actual DNN shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import HardwareConfig, configs_for
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class PaddingReport:
+    """Padding cost of one workload on one configuration."""
+
+    config: HardwareConfig
+    workload: GemmShape
+    padded: GemmShape
+    seconds: float
+
+    @property
+    def waste_fraction(self) -> float:
+        """Fraction of executed MACs spent on padding."""
+        return 1.0 - self.workload.macs / self.padded.macs
+
+    @property
+    def useful_throughput_ops(self) -> float:
+        """Throughput counting only the workload's own FLOPs."""
+        return self.workload.flops / self.seconds
+
+    @property
+    def padded_dimensions(self) -> tuple[int, int, int]:
+        """Elements of padding added per dimension."""
+        return (
+            self.padded.m - self.workload.m,
+            self.padded.k - self.workload.k,
+            self.padded.n - self.workload.n,
+        )
+
+
+class FragmentationAnalysis:
+    """Padding trade-off study across configurations."""
+
+    def __init__(self, precision: Precision, configs: Sequence[HardwareConfig] | None = None):
+        self.precision = precision
+        self.configs = tuple(configs) if configs is not None else configs_for(precision)
+        self._models = {c.name: AnalyticalModel(CharmDesign(c)) for c in self.configs}
+
+    def report(self, config: HardwareConfig, workload: GemmShape) -> PaddingReport:
+        estimate = self._models[config.name].estimate(workload)
+        return PaddingReport(
+            config=config,
+            workload=workload,
+            padded=workload.padded_to(config.native_size),
+            seconds=estimate.total_seconds,
+        )
+
+    def sweep(self, workload: GemmShape) -> list[PaddingReport]:
+        """Padding reports for every configuration, largest AIEs first."""
+        reports = [self.report(config, workload) for config in self.configs]
+        reports.sort(key=lambda r: r.config.num_aies, reverse=True)
+        return reports
+
+    def best(self, workload: GemmShape) -> PaddingReport:
+        """The configuration with the highest *useful* throughput —
+        padding included in the accounting."""
+        return max(self.sweep(workload), key=lambda r: r.useful_throughput_ops)
+
+    def waste_matrix(self, workloads: Sequence[GemmShape]) -> dict[str, dict[str, float]]:
+        """Waste fraction per (config, workload) — the future-work table."""
+        return {
+            config.name: {
+                str(w): self.report(config, w).waste_fraction for w in workloads
+            }
+            for config in self.configs
+        }

@@ -1,0 +1,97 @@
+"""AIE grouping: how kernels combine into packs and what native size results.
+
+Section IV-A / Fig. 3: multiple AIEs are grouped so each runs the base
+kernel on a different chunk; the grouping dimensions determine the
+*native size* — the smallest workload that runs fully parallel on all
+engines.  A grouping ``(gm, gk, gn)`` replicates the kernel ``gm`` times
+along M, ``gk`` times along the reduction dimension K (connected by
+cascade into packs), and ``gn`` times along N:
+
+    AIEs        = gm * gk * gn
+    native size = (gm*Mk) x (gk*Kk) x (gn*Nk)
+
+CHARM chains engines into cascade packs of 4 (FP32) and 2 (INT8); a
+``gk`` deeper than the pack requires reducing partial results in the PL.
+Every Table II row satisfies this algebra (checked in tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+#: Cascade pack depth per precision (CHARM: 4 for FP32, 2 for INT8).
+_PACK_DEPTH = {Precision.FP32: 4, Precision.INT16: 2, Precision.INT8: 2}
+
+#: CHARM's cluster granularity: reductions beyond one cluster move to PL.
+CLUSTER_AIES = 16
+
+
+def pack_depth_for(precision: Precision) -> int:
+    """Cascade-chain length CHARM uses for this precision."""
+    return _PACK_DEPTH[precision]
+
+
+@dataclass(frozen=True)
+class AieGrouping:
+    """A (gm, gk, gn) arrangement of base kernels."""
+
+    gm: int
+    gk: int
+    gn: int
+    kernel: GemmShape
+    precision: Precision
+
+    def __post_init__(self) -> None:
+        for name in ("gm", "gk", "gn"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"grouping factor {name} must be >= 1")
+
+    @property
+    def num_aies(self) -> int:
+        return self.gm * self.gk * self.gn
+
+    @property
+    def native_size(self) -> GemmShape:
+        """Smallest workload that keeps every engine busy (Fig. 3)."""
+        return GemmShape(
+            self.gm * self.kernel.m,
+            self.gk * self.kernel.k,
+            self.gn * self.kernel.n,
+        )
+
+    @property
+    def pack_depth(self) -> int:
+        """Kernels chained by cascade within one pack."""
+        return min(self.gk, pack_depth_for(self.precision))
+
+    @property
+    def num_packs(self) -> int:
+        """Independent cascade chains in the design."""
+        return self.num_aies // self.pack_depth
+
+    @property
+    def pl_reduction_groups(self) -> int:
+        """Partial-result groups that must be reduced in the PL.
+
+        When ``gk`` exceeds the cascade pack depth, each output tile is
+        produced by several packs whose partials are summed in the PL
+        (Section IV-A: "a reduction outside the cluster must be done in
+        the PL").
+        """
+        return math.ceil(self.gk / self.pack_depth)
+
+    @property
+    def num_clusters(self) -> int:
+        return math.ceil(self.num_aies / CLUSTER_AIES)
+
+    def kernel_invocations(self, workload: GemmShape) -> int:
+        """Native-size tile executions needed to cover ``workload``
+        (after padding)."""
+        return workload.num_tiles(self.native_size)
+
+    def __str__(self) -> str:
+        return f"{self.gm}x{self.gk}x{self.gn} packs of {self.kernel} ({self.precision})"

@@ -1,0 +1,176 @@
+"""PLIO connectivity schemes for a fixed AIE count (Figs. 12 and 13).
+
+Section V-H fixes the design at 16 AIEs and sweeps twelve connectivity
+schemes from 3 PLIOs (pure packet switching — Fig. 12(a)) to 36/34 PLIOs
+(one circuit-switched tree per AIE — Fig. 12(d)).  Each scheme trades
+PLIO usage against transfer parallelism, and — through the device PLIO
+budget — against how much of the AIE array the design can occupy when
+replicated (the right axis of Fig. 13).
+
+The chunk bookkeeping follows the grouping algebra: for a grouping
+``(gm, gk, gn)`` of kernel-sized chunks,
+
+* A has ``gm*gk`` distinct chunks, each reused by ``gn`` AIEs,
+* B has ``gk*gn`` distinct chunks, each reused by ``gm`` AIEs,
+* C has ``gm*gn`` output chunks (one per cascade pack).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.plio import PlioAllocator
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.kernels.kernel_timing import PLIO_BYTES_PER_CYCLE, compute_cycles
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.configs import HardwareConfig
+from repro.mapping.switching import PlioConnection, SwitchingKind
+
+
+@dataclass(frozen=True)
+class PlioScheme:
+    """One connectivity scheme: per-matrix PLIO counts and switching kinds."""
+
+    config: HardwareConfig
+    conn_a: PlioConnection
+    conn_b: PlioConnection
+    conn_c: PlioConnection
+
+    @property
+    def total_plios(self) -> int:
+        return self.conn_a.num_plios + self.conn_b.num_plios + self.conn_c.num_plios
+
+    # ------------------------------------------------------------------
+    # Timing
+    # ------------------------------------------------------------------
+    def _chunk_cycles(self, matrix: str) -> float:
+        kernel = self.config.kernel
+        eb = self.config.precision.element_bytes
+        chunk_bytes = {
+            "A": kernel.bytes_a(eb),
+            "B": kernel.bytes_b(eb),
+            "C": kernel.bytes_c(eb),
+        }[matrix]
+        return chunk_bytes / PLIO_BYTES_PER_CYCLE
+
+    def transfer_cycles(self, matrix: str) -> float:
+        """Cycles to deliver one native tile's worth of this matrix."""
+        conn = {"A": self.conn_a, "B": self.conn_b, "C": self.conn_c}[matrix]
+        return conn.serialization * self._chunk_cycles(matrix)
+
+    def compute_cycles(self, style: KernelStyle = KernelStyle.INTRINSIC) -> float:
+        """Per-invocation compute time (all AIEs run their kernel in
+        parallel; the cascade chains pipeline within it)."""
+        return compute_cycles(self.config.kernel, self.config.precision, style)
+
+    def invocation_cycles(self, style: KernelStyle = KernelStyle.INTRINSIC) -> float:
+        """Steady-state cycles per native-tile execution.
+
+        Inputs are double buffered, so the period is the max of compute
+        and every stream's transfer time.
+        """
+        return max(
+            self.compute_cycles(style),
+            self.transfer_cycles("A"),
+            self.transfer_cycles("B"),
+            self.transfer_cycles("C"),
+        )
+
+    def bottleneck(self, style: KernelStyle = KernelStyle.INTRINSIC) -> str:
+        times = {
+            "compute": self.compute_cycles(style),
+            "A": self.transfer_cycles("A"),
+            "B": self.transfer_cycles("B"),
+            "C": self.transfer_cycles("C"),
+        }
+        return max(times, key=times.get)
+
+    # ------------------------------------------------------------------
+    # Array utilisation when replicated (Fig. 13, right axis)
+    # ------------------------------------------------------------------
+    def max_replicas(self, device: DeviceSpec = VCK5000) -> int:
+        return PlioAllocator(device).max_replicas(self.total_plios, self.config.num_aies)
+
+    def array_utilization(self, device: DeviceSpec = VCK5000) -> float:
+        return PlioAllocator(device).array_utilization(
+            self.total_plios, self.config.num_aies
+        )
+
+
+def make_scheme(
+    config: HardwareConfig,
+    plios_a: int,
+    plios_b: int,
+    plios_c: int,
+    kind_a: SwitchingKind,
+    kind_b: SwitchingKind,
+    kind_c: SwitchingKind = SwitchingKind.HYBRID,
+) -> PlioScheme:
+    g = config.grouping
+    return PlioScheme(
+        config=config,
+        conn_a=PlioConnection("A", plios_a, kind_a, g.gm * g.gk, g.gn),
+        conn_b=PlioConnection("B", plios_b, kind_b, g.gk * g.gn, g.gm),
+        conn_c=PlioConnection("C", plios_c, kind_c, g.gm * g.gn, 1),
+    )
+
+
+def reference_schemes(config: HardwareConfig) -> list[PlioScheme]:
+    """The twelve-scheme sweep of Fig. 13 for a 16-AIE configuration.
+
+    The first scheme is Fig. 12(a) (pure packet switching), the last is
+    Fig. 12(d) (full circuit switching); Fig. 12(b)/(c) appear at 7 and
+    14 PLIOs.
+    """
+    if config.num_aies != 16:
+        raise ValueError("the Fig. 13 sweep is defined for 16-AIE configurations")
+    packet, hybrid, circuit = SwitchingKind.PACKET, SwitchingKind.HYBRID, SwitchingKind.CIRCUIT
+    if config.precision is Precision.FP32:
+        recipe = [
+            (1, 1, 1, packet, packet, packet),  # Fig. 12(a): 3 PLIOs
+            (1, 2, 1, hybrid, packet, packet),
+            (1, 3, 1, hybrid, hybrid, packet),
+            (1, 4, 1, hybrid, hybrid, hybrid),
+            (2, 4, 1, hybrid, hybrid, hybrid),  # Fig. 12(b): 7 PLIOs
+            (2, 5, 2, hybrid, hybrid, hybrid),
+            (2, 6, 2, hybrid, hybrid, hybrid),
+            (4, 6, 2, hybrid, hybrid, hybrid),
+            (4, 8, 2, hybrid, hybrid, hybrid),
+            (8, 8, 2, hybrid, hybrid, hybrid),
+            (12, 12, 4, hybrid, hybrid, hybrid),
+            (16, 16, 4, circuit, circuit, circuit),  # Fig. 12(d): 36 PLIOs
+        ]
+    else:
+        recipe = [
+            (1, 1, 1, packet, packet, packet),  # pure packet switching
+            (1, 2, 1, hybrid, packet, packet),
+            (2, 2, 1, hybrid, hybrid, packet),
+            (2, 3, 1, hybrid, hybrid, packet),
+            (3, 3, 1, hybrid, hybrid, hybrid),
+            (3, 3, 2, hybrid, hybrid, hybrid),
+            (4, 4, 2, hybrid, hybrid, hybrid),
+            (8, 4, 2, hybrid, hybrid, hybrid),  # Fig. 12(c): 14 PLIOs
+            (8, 8, 2, hybrid, hybrid, hybrid),
+            (10, 10, 2, hybrid, hybrid, hybrid),
+            (12, 12, 4, hybrid, hybrid, hybrid),
+            (16, 14, 4, circuit, hybrid, hybrid),  # max-PLIO INT8 scheme: 34
+        ]
+    return [make_scheme(config, *row) for row in recipe]
+
+
+def scheme_sweep(config: HardwareConfig) -> list[dict]:
+    """Fig. 13 data: one record per scheme, sorted by PLIO count."""
+    records = []
+    for scheme in reference_schemes(config):
+        records.append(
+            {
+                "plios": scheme.total_plios,
+                "cycles": scheme.invocation_cycles(),
+                "bottleneck": scheme.bottleneck(),
+                "replicas": scheme.max_replicas(),
+                "utilization": scheme.array_utilization(),
+            }
+        )
+    records.sort(key=lambda r: r["plios"])
+    return records

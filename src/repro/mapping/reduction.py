@@ -1,0 +1,82 @@
+"""PL-side reduction of partial results.
+
+Section IV-A: "A reduction outside the cluster must be done in the PL."
+Configurations whose ``gk`` exceeds the cascade pack depth (C4, C10,
+C11) produce several partial C tiles per output tile; the PL accumulates
+them *in-stream* — an adder array sits on the AIE->PL path and folds
+each arriving partial into the BRAM-resident accumulator, so the
+reduction is pipelined behind the transfer rather than serialized after
+it.
+
+The feasibility question is therefore bandwidth, not latency: the adder
+array must keep up with the C PLIO arrival rate, and the partials en
+route need BRAM staging.  :func:`estimate_pl_reduction` answers both for
+any design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.specs import DeviceSpec
+from repro.mapping.charm import CharmDesign
+
+#: Parallel accumulator lanes the PL instantiates on the C return path
+#: (DSP adders; the VCK5000's ~2000 DSPs make 128 lanes cheap).
+ACCUMULATOR_LANES = 128
+
+
+@dataclass(frozen=True)
+class PlReductionEstimate:
+    """In-stream reduction requirements for one design."""
+
+    groups: int  # partial results per output tile (gk / pack depth)
+    #: elements/s at which partials arrive over the C PLIOs
+    arrival_rate: float
+    #: elements/s the PL accumulator array can fold
+    accumulate_rate: float
+    #: BRAM bytes holding the accumulator tile while partials stream
+    bram_staging_bytes: int
+
+    @property
+    def needs_pl_reduction(self) -> bool:
+        return self.groups > 1
+
+    @property
+    def keeps_up(self) -> bool:
+        """True when the adder array matches the PLIO arrival rate —
+        the reduction is then fully hidden behind the transfer."""
+        if not self.needs_pl_reduction:
+            return True
+        return self.accumulate_rate >= self.arrival_rate
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the accumulator array's rate the design uses."""
+        if not self.needs_pl_reduction:
+            return 0.0
+        return self.arrival_rate / self.accumulate_rate
+
+
+def estimate_pl_reduction(
+    design: CharmDesign, device: DeviceSpec | None = None
+) -> PlReductionEstimate:
+    """Model the in-stream PL reduction for a design."""
+    dev = device if device is not None else design.device
+    grouping = design.config.grouping
+    groups = grouping.pl_reduction_groups
+    native = design.native_size
+    eb = design.precision.element_bytes
+    _, _, plios_c = design.config.plio_split()
+
+    # partials arrive over the C PLIO streams; each element folded once
+    arrival_rate = plios_c * dev.plio_bandwidth / design.precision.accumulator_bytes
+    accumulate_rate = ACCUMULATOR_LANES * dev.pl_freq_hz
+    # the accumulator tile stays in BRAM while (groups - 1) partials fold
+    staging = native.elements_c() * design.precision.accumulator_bytes
+    return PlReductionEstimate(
+        groups=groups,
+        arrival_rate=arrival_rate if groups > 1 else 0.0,
+        accumulate_rate=accumulate_rate,
+        bram_staging_bytes=staging if groups > 1 else 0,
+    )

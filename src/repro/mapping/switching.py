@@ -1,0 +1,83 @@
+"""PLIO switching kinds: packet, circuit, and the hybrid of both.
+
+Section IV-A: a PLIO can feed multiple AIEs either by *packet switching*
+(a header routes each transfer to one sink — dynamic, serialising) or by
+*circuit switching* (a static multicast tree — broadcast-only, parallel).
+Real schemes mix them: e.g. Fig. 12(b) circuit-broadcasts an A chunk to
+the AIEs that reuse it while packet-switching across the reduction axis.
+
+The timing consequence is captured by :func:`serialization_factor`: how
+many chunk-transfer times one PLIO needs to deliver its share of a
+matrix, given the number of distinct chunks and the fanout (AIEs sharing
+each chunk).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+
+class SwitchingKind(enum.Enum):
+    """How a group of PLIOs reaches its sink AIEs."""
+
+    #: header-routed unicast: every (chunk, sink) pair is a separate
+    #: serialized transfer (the minimal 3-PLIO scheme of Fig. 12(a))
+    PACKET = "packet"
+    #: packet switching between static multicast trees: each distinct
+    #: chunk is sent once and circuit-fanned to every sink that reuses it
+    HYBRID = "hybrid"
+    #: one static multicast tree per PLIO: fully parallel, needs at least
+    #: as many PLIOs as distinct chunks (Fig. 12(d))
+    CIRCUIT = "circuit"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class PlioConnection:
+    """PLIOs assigned to one matrix stream of a design."""
+
+    matrix: str  # "A", "B" or "C"
+    num_plios: int
+    kind: SwitchingKind
+    distinct_chunks: int
+    fanout: int  # AIEs consuming each distinct chunk
+
+    def __post_init__(self) -> None:
+        if self.num_plios < 1:
+            raise ValueError("a stream needs at least one PLIO")
+        if self.kind is SwitchingKind.CIRCUIT and self.num_plios < self.distinct_chunks:
+            raise ValueError(
+                f"circuit switching needs one PLIO per distinct chunk "
+                f"({self.distinct_chunks}), got {self.num_plios}"
+            )
+
+    @property
+    def deliveries(self) -> int:
+        """Serialized transfers the whole stream must make per invocation."""
+        if self.kind is SwitchingKind.PACKET:
+            return self.distinct_chunks * self.fanout
+        return self.distinct_chunks
+
+    @property
+    def serialization(self) -> int:
+        """Chunk-times one PLIO spends per invocation (the time factor)."""
+        return serialization_factor(
+            self.kind, self.distinct_chunks, self.fanout, self.num_plios
+        )
+
+
+def serialization_factor(
+    kind: SwitchingKind, distinct_chunks: int, fanout: int, num_plios: int
+) -> int:
+    """Sequential chunk transfers per PLIO for one invocation."""
+    if num_plios < 1:
+        raise ValueError("num_plios must be >= 1")
+    if kind is SwitchingKind.PACKET:
+        return math.ceil(distinct_chunks * fanout / num_plios)
+    if kind is SwitchingKind.CIRCUIT and num_plios < distinct_chunks:
+        raise ValueError("circuit switching needs one PLIO per distinct chunk")
+    return math.ceil(distinct_chunks / num_plios)

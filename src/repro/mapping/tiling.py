@@ -1,0 +1,212 @@
+"""Three-level GEMM tiling: DRAM -> PL memory -> AIE memory (Fig. 2).
+
+A workload is padded to a multiple of the configuration's *native size*
+(the AIE-level tile).  The PL holds a *PL tile* — an integer multiple
+``(am, ak, an)`` of the native size per dimension — which is streamed
+native-tile by native-tile into the AIE array.  C partial sums accumulate
+in PL across the K dimension, so the canonical loop order is::
+
+    for (m_tile, n_tile) in DRAM tiles of C:
+        for k_tile in DRAM tiles of K:
+            load A(m_tile, k_tile), B(k_tile, n_tile)   # from DRAM
+            stream native tiles through the AIE array    # accumulate C
+        write C(m_tile, n_tile)                          # to DRAM
+
+which makes the DRAM traffic:
+
+* A is re-read once per N-direction tile: ``bytes_A * ceil(N / Tn)``
+* B is re-read once per M-direction tile: ``bytes_B * ceil(M / Tm)``
+* C is written exactly once.
+
+The excess over reading everything once is the *tiling overhead*
+(Section IV-A); it is what pushes the Fig. 15 workloads left on the
+roofline.  Larger PL tiles reduce it but must fit the usable PL memory,
+double-buffered when DRAM-PL double buffering is on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.hw.specs import DeviceSpec, VCK5000
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class TrafficSummary:
+    """DRAM traffic of a tile plan, in bytes."""
+
+    read_a: int
+    read_b: int
+    write_c: int
+    minimal: int  # read A and B once, write C once
+
+    @property
+    def total(self) -> int:
+        return self.read_a + self.read_b + self.write_c
+
+    @property
+    def total_reads(self) -> int:
+        return self.read_a + self.read_b
+
+    @property
+    def tiling_overhead(self) -> float:
+        """Ratio of actual to minimal traffic (1.0 = no overhead)."""
+        return self.total / self.minimal
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """A complete 3-level tiling decision for one workload."""
+
+    workload: GemmShape
+    native: GemmShape
+    precision: Precision
+    multiples: tuple[int, int, int]  # (am, ak, an): PL tile in native units
+    double_buffered: bool = True
+
+    def __post_init__(self) -> None:
+        if any(x < 1 for x in self.multiples):
+            raise ValueError("PL-tile multiples must be >= 1")
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def padded(self) -> GemmShape:
+        return self.workload.padded_to(self.native)
+
+    @property
+    def pl_tile(self) -> GemmShape:
+        am, ak, an = self.multiples
+        return self.native.scaled(am, ak, an)
+
+    @property
+    def dram_tile_counts(self) -> tuple[int, int, int]:
+        return self.padded.tile_counts(self.pl_tile)
+
+    @property
+    def num_dram_tiles(self) -> int:
+        tm, tk, tn = self.dram_tile_counts
+        return tm * tk * tn
+
+    @property
+    def pl_tiles_per_dram_tile(self) -> int:
+        """Native-size tiles streamed to the AIEs per DRAM tile."""
+        am, ak, an = self.multiples
+        return am * ak * an
+
+    @property
+    def total_native_tiles(self) -> int:
+        return self.padded.num_tiles(self.native)
+
+    # ------------------------------------------------------------------
+    # PL memory footprint
+    # ------------------------------------------------------------------
+    def pl_footprint_bytes(self) -> int:
+        """PL buffer bytes the plan needs.
+
+        Inputs and the C accumulator are double buffered when DRAM-PL
+        double buffering is on (Section IV-A); single buffering halves
+        all of them, trading overlap for capacity (Section V-G).
+        """
+        eb = self.precision.element_bytes
+        tile = self.pl_tile
+        factor = 2 if self.double_buffered else 1
+        inputs = tile.bytes_a(eb) + tile.bytes_b(eb)
+        output = tile.bytes_c(eb)
+        return factor * (inputs + output)
+
+    def fits(self, device: DeviceSpec = VCK5000, budget_bytes: int | None = None) -> bool:
+        """Does the plan fit the usable PL memory?
+
+        ``budget_bytes`` overrides the device default — designs with many
+        PLIOs reserve part of the PL memory for per-stream FIFOs (see
+        :meth:`repro.mapping.charm.CharmDesign.pl_budget_bytes`).
+        """
+        budget = device.pl_usable_bytes if budget_bytes is None else budget_bytes
+        return self.pl_footprint_bytes() <= budget
+
+    # ------------------------------------------------------------------
+    # DRAM traffic
+    # ------------------------------------------------------------------
+    def traffic(self) -> TrafficSummary:
+        eb = self.precision.element_bytes
+        padded = self.padded
+        tm, tk, tn = self.dram_tile_counts
+        return TrafficSummary(
+            read_a=padded.bytes_a(eb) * tn,
+            read_b=padded.bytes_b(eb) * tm,
+            write_c=padded.bytes_c(eb),
+            minimal=padded.total_io_bytes(eb),
+        )
+
+    def effective_operational_intensity(self) -> float:
+        """Ops per DRAM byte *including* tiling overhead (Fig. 15, green)."""
+        return self.workload.flops / self.traffic().total
+
+    # ------------------------------------------------------------------
+    # Per-DRAM-tile transfer sizes (inputs of the analytical model)
+    # ------------------------------------------------------------------
+    def dram_tile_bytes(self) -> tuple[int, int, int]:
+        """(A, B, C) bytes moved per DRAM-tile iteration.
+
+        C moves only once per (m, n) tile, i.e. every ``tk``-th
+        iteration; the analytical model accounts for that via
+        :meth:`c_write_fraction`.
+        """
+        eb = self.precision.element_bytes
+        tile = self.pl_tile
+        return tile.bytes_a(eb), tile.bytes_b(eb), tile.bytes_c(eb)
+
+    @property
+    def c_write_fraction(self) -> float:
+        """Fraction of DRAM-tile iterations that write a C tile back."""
+        _, tk, _ = self.dram_tile_counts
+        return 1.0 / tk
+
+
+def plan_tiling(
+    workload: GemmShape,
+    native: GemmShape,
+    precision: Precision,
+    device: DeviceSpec = VCK5000,
+    double_buffered: bool = True,
+    objective: Callable[[TilePlan], float] | None = None,
+    max_multiple: int = 16,
+    budget_bytes: int | None = None,
+) -> TilePlan:
+    """Choose PL-tile multiples minimising ``objective`` within PL memory.
+
+    The default objective is total DRAM traffic (with tile count as the
+    tie-breaker), which is what CHARM's DSE optimises for memory-bound
+    workloads.  Raises if even the minimal (1, 1, 1) plan does not fit.
+    """
+    padded = workload.padded_to(native)
+    limits = (
+        min(max_multiple, padded.m // native.m),
+        min(max_multiple, padded.k // native.k),
+        min(max_multiple, padded.n // native.n),
+    )
+    best: TilePlan | None = None
+    best_key: tuple[float, float] | None = None
+    for am in range(1, limits[0] + 1):
+        for ak in range(1, limits[1] + 1):
+            for an in range(1, limits[2] + 1):
+                plan = TilePlan(workload, native, precision, (am, ak, an), double_buffered)
+                if not plan.fits(device, budget_bytes):
+                    continue
+                score = objective(plan) if objective else float(plan.traffic().total)
+                key = (score, float(plan.num_dram_tiles))
+                if best_key is None or key < best_key:
+                    best, best_key = plan, key
+    if best is None:
+        minimal = TilePlan(workload, native, precision, (1, 1, 1), double_buffered)
+        budget = device.pl_usable_bytes if budget_bytes is None else budget_bytes
+        raise ValueError(
+            f"no tile plan fits: native {native} needs "
+            f"{minimal.pl_footprint_bytes()} B, budget is {budget} B"
+        )
+    return best

@@ -1,0 +1,117 @@
+"""Plain-text/CSV/JSON rendering of experiment results.
+
+The benchmarks print the same rows/series the paper's tables and figures
+report; this module owns the formatting so drivers stay data-only.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Mapping, Sequence
+
+
+def format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e5 or magnitude < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scaled time: s / ms / us."""
+    if seconds >= 1.0:
+        return f"{seconds:.3f} s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as an aligned ASCII table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col)) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells)) for i, col in enumerate(columns)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    rule = "-" * len(header)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(columns))) for line in cells
+    )
+    parts = [title, header, rule, body] if title else [header, rule, body]
+    return "\n".join(p for p in parts if p)
+
+
+def render_csv(rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None = None) -> str:
+    if not rows:
+        return ""
+    if columns is None:
+        columns = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({col: row.get(col) for col in columns})
+    return buffer.getvalue()
+
+
+def render_json(rows: Sequence[Mapping[str, Any]]) -> str:
+    return json.dumps(list(rows), indent=2, default=str)
+
+
+def render_bars(
+    rows: Sequence[Mapping[str, Any]],
+    label_key: str,
+    value_key: str,
+    width: int = 50,
+    title: str | None = None,
+    log_scale: bool = False,
+) -> str:
+    """Horizontal ASCII bar chart — the terminal rendering of a figure.
+
+    ``log_scale`` suits series spanning orders of magnitude (e.g. the
+    strong-scaling latencies of Fig. 9).
+    """
+    import math
+
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    values = [float(row[value_key]) for row in rows]
+    if any(v < 0 for v in values):
+        raise ValueError("bar charts need non-negative values")
+    if log_scale:
+        floor = min(v for v in values if v > 0) / 2
+        scaled = [math.log(max(v, floor) / floor) for v in values]
+    else:
+        scaled = values
+    peak = max(scaled) or 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    lines = []
+    for row, raw, s in zip(rows, values, scaled):
+        bar = "#" * max(1 if raw > 0 else 0, round(s / peak * width))
+        lines.append(
+            f"{str(row[label_key]):>{label_width}} |{bar:<{width}}| {format_value(raw)}"
+        )
+    if title:
+        lines.insert(0, title)
+    return "\n".join(lines)
+
+
+RENDERERS = {"table": render_table, "csv": render_csv, "json": render_json}

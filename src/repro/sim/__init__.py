@@ -1,0 +1,25 @@
+"""Simulators: the stand-ins for AMD's execution platforms (Table I)."""
+
+from repro.sim.engine import PipelineStage, PipelineSimulator, PipelineResult
+from repro.sim.aiesim import KernelSimReport, simulate_kernel, GraphSimReport, simulate_graph
+from repro.sim.hwsim import HwSimulator, HwRunResult
+from repro.sim.functional import FunctionalGemm, FunctionalResult
+from repro.sim.platforms import Platform, PLATFORMS, platform_by_name, run_on_platform
+
+__all__ = [
+    "PipelineStage",
+    "PipelineSimulator",
+    "PipelineResult",
+    "KernelSimReport",
+    "simulate_kernel",
+    "GraphSimReport",
+    "simulate_graph",
+    "HwSimulator",
+    "HwRunResult",
+    "FunctionalGemm",
+    "FunctionalResult",
+    "Platform",
+    "PLATFORMS",
+    "platform_by_name",
+    "run_on_platform",
+]

@@ -1,0 +1,91 @@
+"""Dependency-aware DNN execution on a composed accelerator partition.
+
+:mod:`repro.core.multi_acc` schedules independent jobs; a real DNN's
+layers have precedence (a layer's GEMM waits for its inputs).  This
+simulator builds the transformer layer graph — per block: QKV (parallel)
+-> attention out -> MLP up -> MLP down, chained across blocks — assigns
+each GEMM to an accelerator of the partition, and runs the event
+simulator to get the true makespan, per-accelerator utilisation and the
+critical path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.multi_acc import AcceleratorPartition
+from repro.sim.events import EventSimulator, SimulationResult, Task
+from repro.workloads.transformer import TransformerConfig
+
+
+@dataclass(frozen=True)
+class DnnRunResult:
+    """Outcome of simulating one forward pass."""
+
+    model: TransformerConfig
+    tokens: int
+    simulation: SimulationResult
+    assignments: dict[str, str]  # task name -> accelerator
+
+    @property
+    def makespan(self) -> float:
+        return self.simulation.makespan
+
+    def utilization(self) -> dict[str, float]:
+        accelerators = set(self.assignments.values())
+        return {
+            name: self.simulation.resource_utilization(name) for name in accelerators
+        }
+
+    def critical_path(self) -> list[str]:
+        return self.simulation.critical_path()
+
+
+class DnnSimulator:
+    """Simulates transformer forward passes over a partition."""
+
+    def __init__(self, partition: AcceleratorPartition):
+        self.partition = partition
+
+    def _layer_tasks(
+        self, model: TransformerConfig, tokens: int
+    ) -> tuple[list[Task], dict[str, str]]:
+        tasks: list[Task] = []
+        assignments: dict[str, str] = {}
+        previous_block_out: str | None = None
+        gemms = {g.name: g for g in model.layer_gemms(tokens)}
+        projections = [name for name in gemms if name.endswith("_proj")]
+
+        for block in range(model.num_layers):
+            def _add(name: str, depends: tuple[str, ...]) -> str:
+                gemm = gemms[name]
+                accelerator, seconds = self.partition.best_accelerator(gemm.shape)
+                task_name = f"b{block}.{name}"
+                tasks.append(
+                    Task(
+                        name=task_name,
+                        resource=accelerator,
+                        duration=seconds,
+                        depends_on=depends,
+                    )
+                )
+                assignments[task_name] = accelerator
+                return task_name
+
+            entry = (previous_block_out,) if previous_block_out else ()
+            proj_tasks = tuple(_add(name, entry) for name in projections)
+            attn = _add("attn_out", proj_tasks)
+            up = _add("mlp_up", (attn,))
+            down = _add("mlp_down", (up,))
+            previous_block_out = down
+        return tasks, assignments
+
+    def run(self, model: TransformerConfig, tokens: int) -> DnnRunResult:
+        tasks, assignments = self._layer_tasks(model, tokens)
+        simulation = EventSimulator(tasks).run()
+        return DnnRunResult(
+            model=model,
+            tokens=tokens,
+            simulation=simulation,
+            assignments=assignments,
+        )

@@ -1,0 +1,163 @@
+"""Functional simulation: the tiled dataflow computing real numbers.
+
+The timing models elsewhere answer "how fast"; this module answers "is
+the mapping correct".  It executes the *same* decomposition the design
+describes — DRAM tiles, native tiles, kernel-sized chunks, cascade
+partial-sum chains, PL-side accumulation across K — with numpy doing the
+chunk-level multiplies, and checks the result against a plain matmul.
+This is the ``sw_emu`` functional-verification role of Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.tiling import TilePlan
+from repro.workloads.gemm import GemmShape
+
+_DTYPES = {
+    Precision.FP32: (np.float32, np.float32),
+    Precision.INT16: (np.int16, np.int64),
+    Precision.INT8: (np.int8, np.int64),
+}
+
+
+@dataclass(frozen=True)
+class FunctionalResult:
+    """Outcome of a functional run."""
+
+    workload: GemmShape
+    max_abs_error: float
+    kernel_invocations: int
+    cascade_adds: int
+
+    @property
+    def correct(self) -> bool:
+        return self.max_abs_error <= 1e-3
+
+
+class FunctionalGemm:
+    """Executes a design's tiled dataflow on concrete matrices."""
+
+    def __init__(self, design: CharmDesign, seed: int = 0):
+        design.validate()
+        self.design = design
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def make_inputs(self, workload: GemmShape) -> tuple[np.ndarray, np.ndarray]:
+        in_dtype, _ = _DTYPES[self.design.precision]
+        if self.design.precision is Precision.FP32:
+            a = self.rng.standard_normal((workload.m, workload.k)).astype(in_dtype)
+            b = self.rng.standard_normal((workload.k, workload.n)).astype(in_dtype)
+        else:
+            a = self.rng.integers(-8, 8, size=(workload.m, workload.k), dtype=in_dtype)
+            b = self.rng.integers(-8, 8, size=(workload.k, workload.n), dtype=in_dtype)
+        return a, b
+
+    def run(
+        self,
+        workload: GemmShape,
+        a: np.ndarray | None = None,
+        b: np.ndarray | None = None,
+        plan: TilePlan | None = None,
+    ) -> FunctionalResult:
+        """Execute the tiled dataflow and compare against ``a @ b``."""
+        if a is None or b is None:
+            a, b = self.make_inputs(workload)
+        if a.shape != (workload.m, workload.k) or b.shape != (workload.k, workload.n):
+            raise ValueError("input shapes do not match the workload")
+        if plan is None:
+            plan = self.design.tile_plan(workload)
+
+        _, acc_dtype = _DTYPES[self.design.precision]
+        padded = plan.padded
+        a_pad = np.zeros((padded.m, padded.k), dtype=a.dtype)
+        b_pad = np.zeros((padded.k, padded.n), dtype=b.dtype)
+        a_pad[: workload.m, : workload.k] = a
+        b_pad[: workload.k, : workload.n] = b
+        c_pad = np.zeros((padded.m, padded.n), dtype=acc_dtype)
+
+        invocations, cascade_adds = self._execute(plan, a_pad, b_pad, c_pad)
+
+        reference = a.astype(acc_dtype) @ b.astype(acc_dtype)
+        produced = c_pad[: workload.m, : workload.n]
+        if self.design.precision is Precision.FP32:
+            denom = np.maximum(np.abs(reference), 1.0)
+            error = float(np.max(np.abs(produced - reference) / denom))
+        else:
+            error = float(np.max(np.abs(produced - reference)))
+        return FunctionalResult(
+            workload=workload,
+            max_abs_error=error,
+            kernel_invocations=invocations,
+            cascade_adds=cascade_adds,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        plan: TilePlan,
+        a_pad: np.ndarray,
+        b_pad: np.ndarray,
+        c_pad: np.ndarray,
+    ) -> tuple[int, int]:
+        """The three-level tiled loop nest of Fig. 2."""
+        native = plan.native
+        pl_tile = plan.pl_tile
+        tm, tk, tn = plan.dram_tile_counts
+        am, ak, an = plan.multiples
+        invocations = 0
+        cascade_adds = 0
+        for mt in range(tm):
+            for nt in range(tn):
+                # the C PL-buffer accumulates across the K sweep
+                for kt in range(tk):
+                    a_tile = _slice2(a_pad, mt, kt, pl_tile.m, pl_tile.k)
+                    b_tile = _slice2(b_pad, kt, nt, pl_tile.k, pl_tile.n)
+                    for pm in range(am):
+                        for pn in range(an):
+                            for pk in range(ak):
+                                a_nat = _slice2(a_tile, pm, pk, native.m, native.k)
+                                b_nat = _slice2(b_tile, pk, pn, native.k, native.n)
+                                c_nat = self._native_tile_gemm(a_nat, b_nat)
+                                cascade_adds += self._cascade_add_count()
+                                invocations += 1
+                                row = mt * pl_tile.m + pm * native.m
+                                col = nt * pl_tile.n + pn * native.n
+                                c_pad[row : row + native.m, col : col + native.n] += c_nat
+        return invocations, cascade_adds
+
+    def _native_tile_gemm(self, a_nat: np.ndarray, b_nat: np.ndarray) -> np.ndarray:
+        """One native-tile execution: kernel chunks over (gm, gk, gn)
+        with cascade accumulation along gk."""
+        g = self.design.config.grouping
+        kernel = g.kernel
+        _, acc_dtype = _DTYPES[self.design.precision]
+        c_nat = np.zeros((g.gm * kernel.m, g.gn * kernel.n), dtype=acc_dtype)
+        for im in range(g.gm):
+            for jn in range(g.gn):
+                # the cascade chain: each engine multiplies its K slice and
+                # adds the incoming partial sum
+                partial = np.zeros((kernel.m, kernel.n), dtype=acc_dtype)
+                for lk in range(g.gk):
+                    a_chunk = _slice2(a_nat, im, lk, kernel.m, kernel.k).astype(acc_dtype)
+                    b_chunk = _slice2(b_nat, lk, jn, kernel.k, kernel.n).astype(acc_dtype)
+                    partial = partial + a_chunk @ b_chunk
+                c_nat[
+                    im * kernel.m : (im + 1) * kernel.m,
+                    jn * kernel.n : (jn + 1) * kernel.n,
+                ] = partial
+        return c_nat
+
+    def _cascade_add_count(self) -> int:
+        g = self.design.config.grouping
+        return g.gm * g.gn * (g.gk - 1)
+
+
+def _slice2(array: np.ndarray, i: int, j: int, rows: int, cols: int) -> np.ndarray:
+    return array[i * rows : (i + 1) * rows, j * cols : (j + 1) * cols]

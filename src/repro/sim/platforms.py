@@ -1,0 +1,134 @@
+"""Execution platforms (Table I) and a uniform run dispatcher.
+
+AMD's flow offers four execution platforms plus the analytical model;
+each trades speed for fidelity/scope.  Our stand-ins keep the same
+interface so experiments can say "run this on <platform>":
+
+=============  =========================  =====  ===========
+Platform       Simulation target          Speed  Use case
+=============  =========================  =====  ===========
+aiesimulator   AIE + AIE<->PL streams     fast   FV + perf
+sw_emu         PL + AIE + host            fast   FV only
+hw_emu         PL + AIE + host            slow   FV + perf
+hw             PL + AIE + host            fast   FV + perf
+analytical     PL + AIE + host            fast   perf only
+=============  =========================  =====  ===========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.mapping.charm import CharmDesign
+from repro.sim.aiesim import simulate_graph
+from repro.mapping.plio_schemes import make_scheme
+from repro.mapping.switching import SwitchingKind
+from repro.sim.functional import FunctionalGemm
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One Table I row."""
+
+    name: str
+    simulation_target: str
+    fast: bool
+    functional_verification: bool
+    performance: bool
+
+    @property
+    def usecase(self) -> str:
+        parts = []
+        if self.functional_verification:
+            parts.append("FV")
+        if self.performance:
+            parts.append("P")
+        return "+".join(parts)
+
+
+PLATFORMS: tuple[Platform, ...] = (
+    Platform("aiesimulator", "AIE + AIE<->PL", True, True, True),
+    Platform("sw_emu", "PL + AIE + Host", True, True, False),
+    Platform("hw_emu", "PL + AIE + Host", False, True, True),
+    Platform("hw", "PL + AIE + Host", True, True, True),
+    Platform("analytical", "PL + AIE + Host", True, False, True),
+)
+
+_BY_NAME = {p.name: p for p in PLATFORMS}
+
+
+def platform_by_name(name: str) -> Platform:
+    try:
+        return _BY_NAME[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_NAME))
+        raise KeyError(f"unknown platform {name!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class PlatformRunResult:
+    """Uniform result of running a workload on any platform."""
+
+    platform: Platform
+    workload: GemmShape
+    seconds: float | None  # None when the platform reports no performance
+    functionally_verified: bool
+
+
+def run_on_platform(
+    platform_name: str,
+    design: CharmDesign,
+    workload: GemmShape,
+    verify_shape: GemmShape | None = None,
+) -> PlatformRunResult:
+    """Run ``workload`` on the named platform.
+
+    Functional platforms verify numerics on ``verify_shape`` (defaults to
+    one native tile — full-size functional runs are as slow here as
+    hw_emu is on the real flow).
+    """
+    platform = platform_by_name(platform_name)
+    if verify_shape is None:
+        verify_shape = design.native_size
+
+    verified = False
+    if platform.functional_verification:
+        result = FunctionalGemm(design).run(verify_shape)
+        if not result.correct:
+            raise AssertionError(
+                f"functional verification failed on {platform.name}: "
+                f"max error {result.max_abs_error}"
+            )
+        verified = True
+
+    seconds: float | None = None
+    if platform.performance:
+        if platform.name == "aiesimulator":
+            seconds = _aiesim_seconds(design, workload)
+        elif platform.name == "analytical":
+            seconds = AnalyticalModel(design).estimate(workload).total_seconds
+        else:  # hw, hw_emu
+            seconds = HwSimulator(design).run(workload).total_seconds
+    return PlatformRunResult(
+        platform=platform,
+        workload=workload,
+        seconds=seconds,
+        functionally_verified=verified,
+    )
+
+
+def _aiesim_seconds(design: CharmDesign, workload: GemmShape) -> float:
+    """aiesimulator scope: AIE graph + PL<->AIE streams, no DRAM.
+
+    Simulates the native-tile stream using the design's PLIO split as a
+    hybrid-switched scheme.
+    """
+    plios_a, plios_b, plios_c = design.config.plio_split()
+    hybrid = SwitchingKind.HYBRID
+    scheme = make_scheme(design.config, plios_a, plios_b, plios_c, hybrid, hybrid, hybrid)
+    invocations = workload.num_tiles(design.native_size)
+    report = simulate_graph(scheme, invocations=invocations, device=design.device)
+    return report.seconds(design.device)

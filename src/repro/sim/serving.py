@@ -1,0 +1,150 @@
+"""Serving simulation: GEMM request streams over a partition.
+
+A deployed Versal board serves a *stream* of inference requests, not one
+workload; what matters operationally is tail latency versus offered
+load.  This module generates deterministic pseudo-random request traces
+(exponential-ish inter-arrivals from a hash-based LCG — no global RNG,
+fully reproducible), dispatches each request to the partition
+accelerator that finishes it earliest, and reports throughput and
+latency percentiles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.multi_acc import AcceleratorPartition
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class Request:
+    """One GEMM request with its arrival time."""
+
+    request_id: int
+    shape: GemmShape
+    arrival: float
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    request: Request
+    accelerator: str
+    start: float
+    finish: float
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.request.arrival
+
+    @property
+    def queueing_delay(self) -> float:
+        return self.start - self.request.arrival
+
+
+@dataclass
+class ServingReport:
+    completed: list[CompletedRequest]
+
+    @property
+    def makespan(self) -> float:
+        return max((c.finish for c in self.completed), default=0.0)
+
+    @property
+    def throughput_rps(self) -> float:
+        if self.makespan == 0:
+            return 0.0
+        return len(self.completed) / self.makespan
+
+    def latency_percentile(self, percentile: float) -> float:
+        if not 0 < percentile <= 100:
+            raise ValueError("percentile must be in (0, 100]")
+        if not self.completed:
+            raise ValueError("no completed requests")
+        latencies = sorted(c.latency for c in self.completed)
+        index = min(len(latencies) - 1, math.ceil(percentile / 100 * len(latencies)) - 1)
+        return latencies[index]
+
+    def mean_latency(self) -> float:
+        return sum(c.latency for c in self.completed) / len(self.completed)
+
+    def accelerator_load(self) -> dict[str, int]:
+        load: dict[str, int] = {}
+        for request in self.completed:
+            load[request.accelerator] = load.get(request.accelerator, 0) + 1
+        return load
+
+
+def _lcg_uniform(seed: int, index: int) -> float:
+    """Deterministic uniform in (0, 1) from a splitmix-style hash."""
+    x = (seed * 0x9E3779B97F4A7C15 + index * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 31
+    x = (x * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    x ^= x >> 29
+    return ((x & 0xFFFFFFFF) + 1) / (2**32 + 2)
+
+
+def generate_trace(
+    shapes: Sequence[GemmShape],
+    num_requests: int,
+    mean_interarrival: float,
+    seed: int = 0,
+) -> list[Request]:
+    """An exponential-interarrival request trace over a shape mix."""
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if mean_interarrival <= 0:
+        raise ValueError("mean inter-arrival must be positive")
+    if not shapes:
+        raise ValueError("need at least one shape")
+    requests = []
+    clock = 0.0
+    for index in range(num_requests):
+        clock += -mean_interarrival * math.log(_lcg_uniform(seed, 2 * index))
+        shape = shapes[int(_lcg_uniform(seed, 2 * index + 1) * len(shapes))]
+        requests.append(Request(request_id=index, shape=shape, arrival=clock))
+    return requests
+
+
+class ServingSimulator:
+    """Earliest-finish dispatch of a request trace over a partition."""
+
+    def __init__(self, partition: AcceleratorPartition):
+        self.partition = partition
+        # per-shape service times are reused across requests
+        self._service_cache: dict[tuple[str, GemmShape], float] = {}
+
+    def _service(self, accelerator: str, shape: GemmShape) -> float:
+        key = (accelerator, shape)
+        if key not in self._service_cache:
+            self._service_cache[key] = self.partition.estimate_on(accelerator, shape)
+        return self._service_cache[key]
+
+    def run(self, trace: Sequence[Request]) -> ServingReport:
+        free_at = {name: 0.0 for name in self.partition.designs}
+        completed = []
+        for request in sorted(trace, key=lambda r: r.arrival):
+            best_name, best_finish, best_start = None, float("inf"), 0.0
+            for name in free_at:
+                try:
+                    service = self._service(name, request.shape)
+                except ValueError:
+                    continue
+                start = max(request.arrival, free_at[name])
+                finish = start + service
+                if finish < best_finish:
+                    best_name, best_finish, best_start = name, finish, start
+            if best_name is None:
+                raise ValueError(f"no accelerator can serve {request.shape}")
+            free_at[best_name] = best_finish
+            completed.append(
+                CompletedRequest(
+                    request=request,
+                    accelerator=best_name,
+                    start=best_start,
+                    finish=best_finish,
+                )
+            )
+        return ServingReport(completed=completed)

@@ -1,0 +1,21 @@
+"""Workload definitions: GEMM shape algebra, DNN shapes, synthetic sweeps."""
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.dnn import DNN_WORKLOADS, DnnWorkload, workload_by_id
+from repro.workloads.synthetic import (
+    square_sweep,
+    shape_sweep,
+    native_multiples,
+    single_aie_sweep,
+)
+
+__all__ = [
+    "GemmShape",
+    "DNN_WORKLOADS",
+    "DnnWorkload",
+    "workload_by_id",
+    "square_sweep",
+    "shape_sweep",
+    "native_multiples",
+    "single_aie_sweep",
+]

@@ -1,0 +1,80 @@
+"""Convolution workloads lowered to GEMM (im2col).
+
+The Versal literature the paper builds on covers CNNs as well as
+transformers (CHARM's DNN suite, Perryman et al.'s edge CNNs); on a GEMM
+accelerator a convolution runs as an im2col-lowered matrix multiply:
+
+    M = output_height * output_width   (per image)
+    K = kernel_h * kernel_w * in_channels
+    N = out_channels
+
+This module describes conv layers, lowers them, and provides a small
+ResNet-style layer zoo so CNN inference can flow through the same
+estimators as the transformer workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """One 2-D convolution layer."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: int
+    input_size: int  # square feature map
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        if self.output_size < 1:
+            raise ValueError(f"{self.name}: kernel/stride do not fit the input")
+
+    @property
+    def output_size(self) -> int:
+        return (self.input_size + 2 * self.padding - self.kernel) // self.stride + 1
+
+    def im2col_shape(self, batch: int = 1) -> GemmShape:
+        """The GEMM this convolution lowers to."""
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        m = batch * self.output_size * self.output_size
+        k = self.kernel * self.kernel * self.in_channels
+        return GemmShape(m, k, self.out_channels)
+
+    def macs(self, batch: int = 1) -> int:
+        return self.im2col_shape(batch).macs
+
+    def im2col_expansion(self) -> float:
+        """Input-data replication factor of the lowering (reads amplified
+        by the kernel window overlap)."""
+        lowered = self.output_size**2 * self.kernel**2 * self.in_channels
+        original = self.input_size**2 * self.in_channels
+        return lowered / original
+
+
+#: A ResNet-50-style layer sample (the distinct conv shapes of one
+#: bottleneck stage per resolution), 224x224 input.
+RESNET50_LAYERS: tuple[ConvLayer, ...] = (
+    ConvLayer("conv1", 3, 64, 7, 224, stride=2, padding=3),
+    ConvLayer("stage1_1x1a", 64, 64, 1, 56),
+    ConvLayer("stage1_3x3", 64, 64, 3, 56, padding=1),
+    ConvLayer("stage1_1x1b", 64, 256, 1, 56),
+    ConvLayer("stage2_3x3", 128, 128, 3, 28, padding=1),
+    ConvLayer("stage3_3x3", 256, 256, 3, 14, padding=1),
+    ConvLayer("stage4_3x3", 512, 512, 3, 7, padding=1),
+)
+
+
+def layer_by_name(name: str) -> ConvLayer:
+    for layer in RESNET50_LAYERS:
+        if layer.name == name:
+            return layer
+    known = ", ".join(l.name for l in RESNET50_LAYERS)
+    raise KeyError(f"unknown conv layer {name!r}; known: {known}")

@@ -1,0 +1,46 @@
+"""Real-world DNN GEMM workloads (Table III of the paper).
+
+The paper selects GEMM layers from BERT, ViT and three Llama2 variants to
+show that production shapes are tall/fat/skinny rather than square, and
+analyses them in Fig. 14 (bottleneck sensitivity) and Fig. 15 (roofline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class DnnWorkload:
+    """A named GEMM extracted from a production DNN."""
+
+    workload_id: str
+    network: str
+    shape: GemmShape
+
+    def __str__(self) -> str:
+        return f"{self.workload_id} ({self.network}, {self.shape})"
+
+
+#: Table III — Selected GEMM workloads from popular DNNs.
+DNN_WORKLOADS: tuple[DnnWorkload, ...] = (
+    DnnWorkload("B1", "BERT", GemmShape(3072, 4096, 1024)),
+    DnnWorkload("V1", "ViT", GemmShape(3072, 1024, 4096)),
+    DnnWorkload("L1", "Llama2-13B", GemmShape(13824, 5120, 4096)),
+    DnnWorkload("L2", "Llama2-34B", GemmShape(6656, 20480, 4096)),
+    DnnWorkload("L3", "Llama2-34B", GemmShape(8192, 128, 3584)),
+    DnnWorkload("L4", "Llama2-70B", GemmShape(4000, 256, 8192)),
+)
+
+_BY_ID = {w.workload_id: w for w in DNN_WORKLOADS}
+
+
+def workload_by_id(workload_id: str) -> DnnWorkload:
+    """Look up a Table III workload by its ID (``B1``, ``V1``, ``L1``..``L4``)."""
+    try:
+        return _BY_ID[workload_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ID))
+        raise KeyError(f"unknown workload id {workload_id!r}; known ids: {known}") from None

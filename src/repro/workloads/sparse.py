@@ -1,0 +1,131 @@
+"""Sparse matrix multiplication (SpMM) workloads.
+
+H-GCN [18] runs sparse matrix multiplication on the AIE array; graph
+workloads make the dense-vs-sparse execution choice interesting on
+Versal because the vector datapath only earns its 8-128 MACs/cycle on
+dense, regular access.  This module models both options for an
+``M x K @ K x N`` product with a sparse left operand:
+
+* **dense execution** — ignore sparsity, run the ordinary GEMM: full
+  MAC count, full A traffic, perfect vector efficiency;
+* **sparse execution** — compute only the nnz terms, but through a
+  gather-based kernel whose vector efficiency is derated, with CSR
+  storage (value + column index per nnz) for A.
+
+The crossover density — below which sparse execution wins — falls out
+of the model and is exposed for study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.gemm import GemmShape
+
+#: Fraction of peak MACs/cycle a gather-based sparse kernel sustains on
+#: the AIE vector unit (irregular access defeats the 2-D register reuse).
+SPARSE_VECTOR_EFFICIENCY = 0.25
+#: CSR index overhead per nonzero, bytes (32-bit column index).
+INDEX_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SpmmWorkload:
+    """A sparse-dense matrix product: sparse A (density d) times dense B."""
+
+    shape: GemmShape
+    density: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.density <= 1.0:
+            raise ValueError("density must be in (0, 1]")
+
+    @property
+    def nnz(self) -> int:
+        return round(self.shape.elements_a() * self.density)
+
+    @property
+    def useful_macs(self) -> int:
+        """MACs that touch a nonzero of A."""
+        return self.nnz * self.shape.n
+
+    @property
+    def useful_flops(self) -> int:
+        return 2 * self.useful_macs
+
+    def csr_bytes(self, element_bytes: int) -> int:
+        """A in CSR: values + column indices + row pointers."""
+        return (
+            self.nnz * (element_bytes + INDEX_BYTES)
+            + (self.shape.m + 1) * INDEX_BYTES
+        )
+
+
+@dataclass(frozen=True)
+class SpmmComparison:
+    """Dense-as-GEMM vs gather-based sparse execution of one workload."""
+
+    workload: SpmmWorkload
+    dense_seconds: float
+    sparse_seconds: float
+
+    @property
+    def sparse_wins(self) -> bool:
+        return self.sparse_seconds < self.dense_seconds
+
+    @property
+    def speedup(self) -> float:
+        """Sparse speedup over dense (>1 means sparse wins)."""
+        return self.dense_seconds / self.sparse_seconds
+
+
+class SpmmEstimator:
+    """Estimates both execution strategies on a design."""
+
+    def __init__(self, design):
+        from repro.core.analytical_model import AnalyticalModel
+
+        self.design = design
+        self._model = AnalyticalModel(design)
+
+    def compare(self, workload: SpmmWorkload) -> SpmmComparison:
+        dense = self._model.estimate(workload.shape).total_seconds
+
+        # sparse: compute scales with nnz at derated vector efficiency;
+        # traffic swaps A's dense bytes for CSR bytes (B and C unchanged)
+        device = self.design.device
+        precision = self.design.precision
+        eb = precision.element_bytes
+        peak = (
+            device.macs_per_cycle[precision]
+            * device.aie_freq_hz
+            * self.design.config.num_aies
+        )
+        compute = workload.useful_macs / (peak * SPARSE_VECTOR_EFFICIENCY)
+        dram = self.design.dram
+        traffic = (
+            workload.csr_bytes(eb)
+            + workload.shape.bytes_b(eb)
+            + workload.shape.bytes_c(eb)
+        )
+        transfer = dram.transfer_seconds(traffic, dram.total_bandwidth())
+        sparse = max(compute, transfer) + device.aie_setup_seconds
+        return SpmmComparison(
+            workload=workload, dense_seconds=dense, sparse_seconds=sparse
+        )
+
+    def crossover_density(
+        self, shape: GemmShape, low: float = 0.001, high: float = 1.0
+    ) -> float:
+        """Density below which sparse execution wins, by bisection."""
+        if not self.compare(SpmmWorkload(shape, low)).sparse_wins:
+            return low
+        if self.compare(SpmmWorkload(shape, high)).sparse_wins:
+            return high
+        for _ in range(40):
+            mid = (low + high) / 2
+            if self.compare(SpmmWorkload(shape, mid)).sparse_wins:
+                low = mid
+            else:
+                high = mid
+        return (low + high) / 2

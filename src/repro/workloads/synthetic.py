@@ -1,0 +1,67 @@
+"""Synthetic workload generators.
+
+Section IV-A: "Our synthetic workload sizes are also influenced by the tile
+size (workload dimensions are integer multiples of the tile size), since our
+goal is to evaluate the highest compute throughput achievable" — i.e. sweeps
+are built from native-size multiples to avoid fragmentation/padding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+from repro.workloads.gemm import GemmShape
+
+
+def square_sweep(sizes: Sequence[int]) -> list[GemmShape]:
+    """Square (symmetric) GEMM shapes for the given edge sizes."""
+    return [GemmShape.square(size) for size in sizes]
+
+
+def shape_sweep(
+    m_values: Sequence[int],
+    k_values: Sequence[int],
+    n_values: Sequence[int],
+) -> Iterator[GemmShape]:
+    """Cartesian sweep over per-dimension values (fat/skinny/tall shapes)."""
+    for m in m_values:
+        for k in k_values:
+            for n in n_values:
+                yield GemmShape(m, k, n)
+
+
+def native_multiples(native: GemmShape, factors: Sequence[int]) -> list[GemmShape]:
+    """Scale a native size by integer factors along all three dimensions.
+
+    This is how the paper constructs fragmentation-free synthetic
+    workloads for a given hardware configuration.
+    """
+    return [native.scaled(f, f, f) for f in factors]
+
+
+def single_aie_sweep(max_elements: int, base: int = 16) -> list[GemmShape]:
+    """Shapes for the single-AIE kernel study (Figs. 6 and 7).
+
+    Generates square and asymmetric shapes with power-of-two dimensions
+    starting at ``base``, keeping every operand within ``max_elements``
+    elements (the per-matrix AIE memory constraint, including neighbour
+    memory).  Mirrors the paper's mix of square, fat and skinny kernels.
+    """
+    if max_elements <= 0:
+        raise ValueError("max_elements must be positive")
+    dims = []
+    d = base
+    while d * base <= max_elements:
+        dims.append(d)
+        d *= 2
+    shapes: set[GemmShape] = set()
+    for m in dims:
+        for k in dims:
+            for n in dims:
+                shape = GemmShape(m, k, n)
+                largest_operand = max(
+                    shape.elements_a(), shape.elements_b(), shape.elements_c()
+                )
+                if largest_operand <= max_elements:
+                    shapes.add(shape)
+    return sorted(shapes, key=lambda s: (s.macs, s.m, s.k, s.n))

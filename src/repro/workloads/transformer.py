@@ -1,0 +1,145 @@
+"""Transformer architectures and the GEMMs they generate.
+
+Table III samples individual GEMMs out of BERT/ViT/Llama2; this module
+provides the generator behind such tables: describe an architecture once
+and enumerate every weight GEMM of a forward pass for a given number of
+tokens.  GEMM shapes follow the activation-stationary convention
+``tokens x in_features x out_features`` (M x K x N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.gemm import GemmShape
+
+
+@dataclass(frozen=True)
+class LayerGemm:
+    """One weight GEMM inside a transformer layer."""
+
+    name: str
+    shape: GemmShape
+    #: how many times the GEMM runs in a full forward pass
+    count: int = 1
+
+    @property
+    def total_flops(self) -> int:
+        return self.count * self.shape.flops
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Minimal architecture description of a decoder/encoder stack."""
+
+    name: str
+    hidden: int
+    intermediate: int
+    num_layers: int
+    num_heads: int
+    #: separate Q/K/V projections (True) or one merged QKV GEMM (False)
+    separate_qkv: bool = True
+
+    def layer_gemms(self, tokens: int) -> list[LayerGemm]:
+        """The weight GEMMs of one transformer layer for ``tokens``."""
+        if tokens < 1:
+            raise ValueError("tokens must be positive")
+        gemms = []
+        if self.separate_qkv:
+            for proj in ("q_proj", "k_proj", "v_proj"):
+                gemms.append(LayerGemm(proj, GemmShape(tokens, self.hidden, self.hidden)))
+        else:
+            gemms.append(
+                LayerGemm("qkv_proj", GemmShape(tokens, self.hidden, 3 * self.hidden))
+            )
+        gemms.append(LayerGemm("attn_out", GemmShape(tokens, self.hidden, self.hidden)))
+        gemms.append(LayerGemm("mlp_up", GemmShape(tokens, self.hidden, self.intermediate)))
+        gemms.append(LayerGemm("mlp_down", GemmShape(tokens, self.intermediate, self.hidden)))
+        return gemms
+
+    def attention_gemms(self, tokens: int) -> list[LayerGemm]:
+        """The per-head attention GEMMs of one layer (activation-by-
+        activation, no weights): the score matrix ``Q K^T`` and the
+        value aggregation ``P V``.  Small, repeated ``num_heads`` times —
+        the textbook batched-GEMM case."""
+        if tokens < 1:
+            raise ValueError("tokens must be positive")
+        return [
+            LayerGemm(
+                "attn_scores",
+                GemmShape(tokens, self.head_dim, tokens),
+                count=self.num_heads,
+            ),
+            LayerGemm(
+                "attn_values",
+                GemmShape(tokens, tokens, self.head_dim),
+                count=self.num_heads,
+            ),
+        ]
+
+    def forward_gemms(self, tokens: int, include_attention: bool = False) -> list[LayerGemm]:
+        """All GEMMs of a full forward pass (layers collapsed into
+        per-GEMM counts, since every layer repeats the same shapes).
+
+        ``include_attention`` adds the per-head score/value GEMMs; the
+        default matches Table III's weight-GEMM-only accounting.
+        """
+        gemms = [
+            LayerGemm(g.name, g.shape, count=self.num_layers)
+            for g in self.layer_gemms(tokens)
+        ]
+        if include_attention:
+            gemms.extend(
+                LayerGemm(g.name, g.shape, count=g.count * self.num_layers)
+                for g in self.attention_gemms(tokens)
+            )
+        return gemms
+
+    def forward_flops(self, tokens: int, include_attention: bool = False) -> int:
+        return sum(
+            g.total_flops for g in self.forward_gemms(tokens, include_attention)
+        )
+
+    def decode_gemms(self, batch: int = 1) -> list[LayerGemm]:
+        """Auto-regressive decode: one token per sequence, so every
+        weight GEMM degenerates to M = batch (a GEMV for batch 1).
+
+        These shapes are brutal for a native-size architecture: M pads
+        up to the configuration's native M, so single-request decode can
+        waste >99% of the array — the fragmentation question at its
+        sharpest.
+        """
+        if batch < 1:
+            raise ValueError("batch must be positive")
+        return [
+            LayerGemm(g.name, GemmShape(batch, g.shape.k, g.shape.n), count=g.count)
+            for g in self.layer_gemms(tokens=1)
+        ]
+
+    @property
+    def head_dim(self) -> int:
+        return self.hidden // self.num_heads
+
+
+#: Architectures behind the paper's Table III workloads.
+BERT_LARGE = TransformerConfig("BERT-large", 1024, 4096, 24, 16)
+VIT_LARGE = TransformerConfig("ViT-L", 1024, 4096, 24, 16)
+LLAMA2_7B = TransformerConfig("Llama2-7B", 4096, 11008, 32, 32)
+LLAMA2_13B = TransformerConfig("Llama2-13B", 5120, 13824, 40, 40)
+LLAMA2_70B = TransformerConfig("Llama2-70B", 8192, 28672, 80, 64)
+
+MODEL_ZOO: tuple[TransformerConfig, ...] = (
+    BERT_LARGE,
+    VIT_LARGE,
+    LLAMA2_7B,
+    LLAMA2_13B,
+    LLAMA2_70B,
+)
+
+
+def model_by_name(name: str) -> TransformerConfig:
+    for model in MODEL_ZOO:
+        if model.name.lower() == name.lower():
+            return model
+    known = ", ".join(m.name for m in MODEL_ZOO)
+    raise KeyError(f"unknown model {name!r}; known: {known}")

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+# property tests explore deterministically so the suite gives the same
+# verdict on every run (counterexamples are hunted during development,
+# not at release-verification time)
+settings.register_profile(
+    "deterministic",
+    derandomize=True,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("deterministic")
+
+from repro.hw.specs import VCK5000
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture
+def device():
+    return VCK5000
+
+
+@pytest.fixture(params=[c.name for c in ALL_CONFIGS])
+def any_config(request):
+    """Parametrised over every Table II configuration."""
+    return config_by_name(request.param)
+
+
+@pytest.fixture
+def c1_design():
+    return CharmDesign(config_by_name("C1"))
+
+
+@pytest.fixture
+def c6_design():
+    return CharmDesign(config_by_name("C6"))
+
+
+@pytest.fixture
+def c11_design():
+    return CharmDesign(config_by_name("C11"))
+
+
+@pytest.fixture
+def square_2048():
+    return GemmShape(2048, 2048, 2048)
+
+
+@pytest.fixture(params=[Precision.FP32, Precision.INT8])
+def precision(request):
+    return request.param

@@ -1,0 +1,77 @@
+"""Batched-execution (setup amortisation) tests."""
+
+import pytest
+
+from repro.core.batch import batched_estimate
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def design():
+    return CharmDesign(config_by_name("C5"))
+
+
+class TestBatchedEstimate:
+    def test_setup_paid_once(self, design):
+        shape = GemmShape(512, 128, 512)
+        batch = batched_estimate(design, shape, count=10)
+        assert batch.total_seconds == pytest.approx(
+            batch.setup_seconds + 10 * batch.steady_seconds
+        )
+
+    def test_amortization_speedup_for_small_shapes(self, design):
+        """For setup-heavy shapes (attention heads) amortisation
+        approaches single/steady — here the 100 us setup is ~40% of each
+        naive call, so batching approaches a 1.7x saving."""
+        shape = GemmShape(512, 128, 512)
+        batch = batched_estimate(design, shape, count=40)
+        assert batch.amortization_speedup > 1.5
+        ceiling = batch.first.total_seconds / batch.steady_seconds
+        assert batch.amortization_speedup < ceiling
+
+    def test_large_shapes_barely_amortise(self, design):
+        batch = batched_estimate(design, GemmShape(4096, 4096, 4096), count=4)
+        assert batch.amortization_speedup < 1.05
+
+    def test_single_call_equals_estimate(self, design):
+        shape = GemmShape(1024, 1024, 1024)
+        batch = batched_estimate(design, shape, count=1)
+        assert batch.total_seconds == pytest.approx(batch.first.total_seconds)
+
+    def test_amortized_below_single(self, design):
+        shape = GemmShape(512, 128, 512)
+        batch = batched_estimate(design, shape, count=8)
+        assert batch.amortized_seconds < batch.first.total_seconds
+
+    def test_rejects_zero_count(self, design):
+        with pytest.raises(ValueError):
+            batched_estimate(design, GemmShape(64, 64, 64), count=0)
+
+
+class TestAttentionGemms:
+    def test_shapes(self):
+        from repro.workloads.transformer import LLAMA2_13B
+
+        scores, values = LLAMA2_13B.attention_gemms(2048)
+        assert scores.shape == GemmShape(2048, 128, 2048)
+        assert values.shape == GemmShape(2048, 2048, 128)
+        assert scores.count == LLAMA2_13B.num_heads
+
+    def test_forward_with_attention_has_more_flops(self):
+        from repro.workloads.transformer import BERT_LARGE
+
+        with_attn = BERT_LARGE.forward_flops(1024, include_attention=True)
+        without = BERT_LARGE.forward_flops(1024, include_attention=False)
+        assert with_attn > without
+
+    def test_e2e_with_attention_slower(self):
+        from repro.core.e2e import ModelEstimator
+        from repro.workloads.transformer import BERT_LARGE
+
+        estimator = ModelEstimator()
+        base = estimator.estimate(BERT_LARGE, 1024)
+        full = estimator.estimate(BERT_LARGE, 1024, include_attention=True)
+        assert full.total_seconds > base.total_seconds
+        assert full.total_flops > base.total_flops

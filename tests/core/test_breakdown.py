@@ -1,0 +1,62 @@
+"""ExecutionBreakdown data-structure tests."""
+
+import pytest
+
+from repro.core.breakdown import Bottleneck, ExecutionBreakdown
+
+
+def make_breakdown(**overrides):
+    defaults = dict(
+        total_seconds=1.0,
+        load_a_seconds=0.3,
+        load_b_seconds=0.4,
+        aie_seconds=0.8,
+        store_c_seconds=0.1,
+        setup_seconds=1e-4,
+        compute_seconds=0.6,
+        exposed_plio_seconds=0.05,
+        dram_bottleneck=Bottleneck.AIE,
+        aie_bottleneck=Bottleneck.COMPUTE,
+    )
+    defaults.update(overrides)
+    return ExecutionBreakdown(**defaults)
+
+
+class TestBottleneckEnum:
+    def test_memory_classification(self):
+        assert Bottleneck.LOAD_A.is_memory
+        assert Bottleneck.STORE_C.is_memory
+        assert not Bottleneck.COMPUTE.is_memory
+        assert not Bottleneck.AIE.is_memory
+
+    def test_str(self):
+        assert str(Bottleneck.LOAD_B) == "load_b"
+
+
+class TestBreakdown:
+    def test_dram_seconds_combines_loads_and_store(self):
+        b = make_breakdown()
+        assert b.dram_seconds == pytest.approx(0.4 + 0.1)
+
+    def test_memory_bound_flag(self):
+        assert make_breakdown(dram_bottleneck=Bottleneck.LOAD_A).memory_bound
+        assert not make_breakdown(dram_bottleneck=Bottleneck.AIE).memory_bound
+
+    def test_bound_phase_refines_to_aie_level(self):
+        b = make_breakdown(
+            dram_bottleneck=Bottleneck.AIE, aie_bottleneck=Bottleneck.PLIO_B
+        )
+        assert b.bound_phase is Bottleneck.PLIO_B
+
+    def test_bound_phase_keeps_dram_winner(self):
+        b = make_breakdown(dram_bottleneck=Bottleneck.STORE_C)
+        assert b.bound_phase is Bottleneck.STORE_C
+
+    def test_phase_fractions(self):
+        fractions = make_breakdown().phase_fractions()
+        assert fractions["aie"] == pytest.approx(0.8)
+        assert set(fractions) == {"load_a", "load_b", "aie", "store_c", "setup"}
+
+    def test_phase_fractions_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            make_breakdown(total_seconds=0.0).phase_fractions()

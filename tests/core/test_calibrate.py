@@ -1,0 +1,52 @@
+"""Calibration-fitting tests: the paper's points recover the defaults."""
+
+import pytest
+
+from repro.core.calibrate import fit_noc, fit_pl_fraction
+from repro.hw.noc import SECOND_VC_FACTOR, VC_EFFECTIVE_BANDWIDTH
+from repro.hw.specs import VCK5000
+from repro.workloads.gemm import GemmShape
+
+PAPER_NOC_POINTS = [(3, 20e9), (6, 34e9), (12, 34e9)]
+PAPER_TIME_POINTS = [
+    ("C6", GemmShape(2048, 2048, 2048), 9.95e-3),
+    ("C11", GemmShape(2048, 2048, 2048), 0.92e-3),
+]
+
+
+class TestNocFit:
+    def test_recovers_default_constants(self):
+        fit = fit_noc(PAPER_NOC_POINTS)
+        assert fit.vc_bandwidth == pytest.approx(VC_EFFECTIVE_BANDWIDTH, rel=0.05)
+        assert fit.second_vc_factor == pytest.approx(SECOND_VC_FACTOR, abs=0.05)
+        assert fit.max_relative_error < 0.02
+
+    def test_built_model_reproduces_points(self):
+        noc = fit_noc(PAPER_NOC_POINTS).build()
+        for ports, target in PAPER_NOC_POINTS:
+            assert noc.achieved_bandwidth(ports) == pytest.approx(target, rel=0.02)
+
+    def test_different_targets_give_different_fit(self):
+        fit = fit_noc([(3, 30e9), (6, 48e9)])
+        assert fit.vc_bandwidth > VC_EFFECTIVE_BANDWIDTH
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ValueError):
+            fit_noc([])
+
+
+class TestPlFractionFit:
+    def test_recovers_default_fraction(self):
+        fit = fit_pl_fraction(PAPER_TIME_POINTS)
+        assert fit.pl_usable_fraction == pytest.approx(
+            VCK5000.pl_usable_fraction, abs=0.04
+        )
+        assert fit.max_relative_error < 0.25
+
+    def test_built_device_usable(self):
+        device = fit_pl_fraction(PAPER_TIME_POINTS).build()
+        assert 0 < device.pl_usable_fraction < 1
+
+    def test_empty_measurements_rejected(self):
+        with pytest.raises(ValueError):
+            fit_pl_fraction([])

@@ -1,0 +1,48 @@
+"""Efficiency metric tests."""
+
+import pytest
+
+from repro.core.efficiency import achieved_ops, array_efficiency, kernel_efficiency
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+
+class TestKernelEfficiency:
+    def test_ideal_time_gives_unity(self):
+        shape = GemmShape(32, 32, 32)
+        ideal = shape.macs / Precision.FP32.macs_per_cycle
+        assert kernel_efficiency(shape, Precision.FP32, ideal) == pytest.approx(1.0)
+
+    def test_double_time_gives_half(self):
+        shape = GemmShape(32, 32, 32)
+        ideal = shape.macs / Precision.FP32.macs_per_cycle
+        assert kernel_efficiency(shape, Precision.FP32, 2 * ideal) == pytest.approx(0.5)
+
+    def test_rejects_non_positive_cycles(self):
+        with pytest.raises(ValueError):
+            kernel_efficiency(GemmShape(1, 1, 1), Precision.FP32, 0)
+
+
+class TestAchievedOps:
+    def test_value(self):
+        shape = GemmShape(100, 100, 100)
+        assert achieved_ops(shape, 2.0) == pytest.approx(shape.flops / 2.0)
+
+    def test_rejects_zero_seconds(self):
+        with pytest.raises(ValueError):
+            achieved_ops(GemmShape(1, 1, 1), 0.0)
+
+
+class TestArrayEfficiency:
+    def test_peak_execution_gives_unity(self):
+        shape = GemmShape(1024, 1024, 1024)
+        peak_seconds = shape.flops / (1.25e9 * 8 * 400 * 2)
+        assert array_efficiency(
+            shape, Precision.FP32, peak_seconds, 400
+        ) == pytest.approx(1.0)
+
+    def test_scales_with_aie_count(self):
+        shape = GemmShape(1024, 1024, 1024)
+        full = array_efficiency(shape, Precision.FP32, 1.0, 400)
+        half = array_efficiency(shape, Precision.FP32, 1.0, 200)
+        assert half == pytest.approx(2 * full)

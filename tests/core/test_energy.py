@@ -1,0 +1,67 @@
+"""Energy-model tests."""
+
+import pytest
+
+from repro.core.energy import EnergyModel
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return GemmShape(2048, 2048, 2048)
+
+
+class TestEnergyAccounting:
+    def test_components_positive(self, workload):
+        energy = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        for value in (
+            energy.compute_joules,
+            energy.plio_joules,
+            energy.pl_joules,
+            energy.dram_joules,
+            energy.static_joules,
+        ):
+            assert value > 0
+
+    def test_totals_sum(self, workload):
+        energy = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        assert energy.total_joules == pytest.approx(
+            energy.dynamic_joules + energy.static_joules
+        )
+
+    def test_fractions_sum_to_one(self, workload):
+        energy = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        assert sum(energy.fractions().values()) == pytest.approx(1.0)
+
+    def test_average_power_reasonable(self, workload):
+        """A VCK5000-class accelerator draws tens of watts, not kilowatts."""
+        energy = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        assert 20 < energy.average_power_watts < 400
+
+
+class TestEnergyInsights:
+    def test_int8_more_ops_per_joule_than_fp32(self, workload):
+        fp32 = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        int8 = EnergyModel(CharmDesign(config_by_name("C11"))).estimate(workload)
+        assert int8.ops_per_joule > fp32.ops_per_joule
+
+    def test_dram_dominates_dynamic_energy_when_memory_bound(self, workload):
+        """150 pJ/B off-chip vs ~1 pJ/B on-chip: tiling overhead costs
+        energy, not just time."""
+        energy = EnergyModel(CharmDesign(config_by_name("C6"))).estimate(workload)
+        assert energy.dram_joules > energy.plio_joules
+        assert energy.dram_joules > energy.pl_joules
+
+    def test_static_energy_punishes_slow_configs(self, workload):
+        slow = EnergyModel(CharmDesign(config_by_name("C1"))).estimate(workload)
+        fast = EnergyModel(CharmDesign(config_by_name("C5"))).estimate(workload)
+        assert slow.static_joules > fast.static_joules
+        assert fast.gflops_per_watt > slow.gflops_per_watt
+
+    def test_custom_static_power(self, workload):
+        base = EnergyModel(CharmDesign(config_by_name("C5")), static_power_watts=10.0)
+        heavy = EnergyModel(CharmDesign(config_by_name("C5")), static_power_watts=100.0)
+        assert heavy.estimate(workload).total_joules > base.estimate(workload).total_joules

@@ -1,0 +1,73 @@
+"""Post-op fusion tests (the paper's multi-AIE recommendation)."""
+
+import pytest
+
+from repro.core.fusion import FusionPlanner, PostOp
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return FusionPlanner(CharmDesign(config_by_name("C5")))  # 256 AIEs: 144 spare
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return GemmShape(2048, 2048, 2048)
+
+
+class TestPlanning:
+    def test_spare_aies(self, planner):
+        assert planner.spare_aies == 400 - 256
+
+    def test_needed_engines_positive(self, planner, workload):
+        assert planner.postop_aies_needed(PostOp.RELU, workload) >= 1
+
+    def test_heavier_ops_need_more_engines(self, planner, workload):
+        relu = planner.postop_aies_needed(PostOp.RELU, workload)
+        gelu = planner.postop_aies_needed(PostOp.GELU, workload)
+        assert gelu >= relu
+
+    def test_full_array_design_rejected(self, workload):
+        full = FusionPlanner(CharmDesign(config_by_name("C6")))
+        # C6 uses 384 of 400 — still has spares; simulate full occupancy
+        assert full.spare_aies == 16
+        estimate = full.estimate(PostOp.RELU, workload)
+        assert estimate.spare_aies <= 16
+
+
+class TestEstimates:
+    def test_fusion_always_wins_for_relu(self, planner, workload):
+        """The paper's claim: avoiding the PL/DRAM round trip improves
+        overall performance."""
+        estimate = planner.estimate(PostOp.RELU, workload)
+        assert estimate.fused_total < estimate.unfused_total
+        assert estimate.speedup > 1.0
+
+    @pytest.mark.parametrize("post_op", list(PostOp))
+    def test_every_postop_estimable(self, planner, workload, post_op):
+        estimate = planner.estimate(post_op, workload)
+        assert estimate.fused_total > 0
+        assert estimate.unfused_pass_seconds > 0
+
+    def test_avoided_traffic_is_two_c_matrices(self, planner, workload):
+        estimate = planner.estimate(PostOp.RELU, workload)
+        assert estimate.avoided_dram_bytes == 2 * workload.bytes_c(4)
+
+    def test_light_postop_fully_hidden(self, planner, workload):
+        """ReLU on spare engines overlaps the GEMM completely."""
+        estimate = planner.estimate(PostOp.RELU, workload)
+        assert estimate.fused_total == pytest.approx(estimate.gemm_seconds)
+
+    def test_savings_equals_pass_cost_when_hidden(self, planner, workload):
+        estimate = planner.estimate(PostOp.RELU, workload)
+        assert estimate.savings_seconds == pytest.approx(
+            estimate.unfused_pass_seconds
+        )
+
+    def test_unfused_pass_scales_with_output_size(self, planner):
+        small = planner.estimate(PostOp.RELU, GemmShape(1024, 1024, 1024))
+        large = planner.estimate(PostOp.RELU, GemmShape(4096, 1024, 4096))
+        assert large.unfused_pass_seconds > small.unfused_pass_seconds

@@ -1,0 +1,78 @@
+"""Pareto-front utility tests."""
+
+import pytest
+
+from repro.core.pareto import (
+    design_tradeoff_records,
+    dominates,
+    knee_point,
+    pareto_front,
+)
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+RECORDS = [
+    {"name": "fast-big", "seconds": 1.0, "aies": 256},
+    {"name": "slow-small", "seconds": 4.0, "aies": 16},
+    {"name": "balanced", "seconds": 2.0, "aies": 64},
+    {"name": "dominated", "seconds": 3.0, "aies": 256},  # worse than fast-big
+]
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates(RECORDS[0], RECORDS[3], ["seconds", "aies"])
+
+    def test_incomparable(self):
+        assert not dominates(RECORDS[0], RECORDS[1], ["seconds", "aies"])
+        assert not dominates(RECORDS[1], RECORDS[0], ["seconds", "aies"])
+
+    def test_equal_does_not_dominate(self):
+        assert not dominates(RECORDS[0], RECORDS[0], ["seconds", "aies"])
+
+
+class TestFront:
+    def test_front_excludes_dominated(self):
+        front = pareto_front(RECORDS, ["seconds", "aies"])
+        names = {r["name"] for r in front}
+        assert names == {"fast-big", "slow-small", "balanced"}
+
+    def test_single_objective_front_is_minimum(self):
+        front = pareto_front(RECORDS, ["seconds"])
+        assert [r["name"] for r in front] == ["fast-big"]
+
+    def test_requires_objectives(self):
+        with pytest.raises(ValueError):
+            pareto_front(RECORDS, [])
+
+
+class TestKnee:
+    def test_knee_is_balanced(self):
+        front = pareto_front(RECORDS, ["seconds", "aies"])
+        assert knee_point(front, ["seconds", "aies"])["name"] == "balanced"
+
+    def test_empty_front_rejected(self):
+        with pytest.raises(ValueError):
+            knee_point([], ["seconds"])
+
+
+class TestDesignTradeoffs:
+    def test_records_and_front(self):
+        records = design_tradeoff_records(
+            GemmShape(1024, 1024, 1024), Precision.FP32, max_aies=64
+        )
+        assert records
+        front = pareto_front(records, ["seconds", "aies"])
+        assert front
+        # the front is never larger than the candidate set and every
+        # member is feasible
+        assert len(front) <= len(records)
+        fastest = min(records, key=lambda r: r["seconds"])
+        assert fastest in front
+
+    def test_energy_objective(self):
+        records = design_tradeoff_records(
+            GemmShape(1024, 1024, 1024), Precision.FP32, max_aies=64
+        )
+        front = pareto_front(records, ["seconds", "joules"])
+        assert front

@@ -1,0 +1,115 @@
+"""Roofline tests (Fig. 15)."""
+
+import pytest
+
+from repro.core.roofline import Roofline
+from repro.kernels.precision import Precision
+from repro.mapping.configs import config_by_name
+from repro.workloads.dnn import DNN_WORKLOADS, workload_by_id
+
+
+@pytest.fixture
+def roofline():
+    return Roofline(Precision.INT8)
+
+
+class TestCeilings:
+    def test_one_per_int8_config_plus_device(self, roofline):
+        labels = [c.label for c in roofline.ceilings()]
+        assert labels == ["C7", "C8", "C9", "C10", "C11", "VCK5000 peak"]
+
+    def test_device_peak_is_128_tops(self, roofline):
+        assert roofline.ceilings()[-1].peak_ops == pytest.approx(128e12)
+
+    def test_ceilings_increase_with_aies(self, roofline):
+        peaks = [c.peak_ops for c in roofline.ceilings()]
+        assert peaks == sorted(peaks)
+
+    def test_ridge_point(self, roofline):
+        roof = roofline.ceilings()[-1]
+        assert roof.ridge_point(roofline.dram_bandwidth()) == pytest.approx(1250.0)
+
+
+class TestBandwidthLines:
+    def test_dram_line_is_theoretical(self, roofline):
+        assert roofline.dram_bandwidth() == pytest.approx(102.4e9)
+
+    def test_achieved_dram_34_gbs(self, roofline):
+        assert roofline.achieved_dram_bandwidth() == pytest.approx(34e9, rel=0.01)
+
+    def test_plio_line_far_above_dram(self, roofline):
+        """Fig. 15: two distinct BW limits; PLIO >> DRAM."""
+        assert roofline.plio_bandwidth() > 10 * roofline.dram_bandwidth()
+
+
+class TestAttainable:
+    def test_bandwidth_region(self, roofline):
+        oi = 10.0
+        assert roofline.attainable(oi) == pytest.approx(oi * 102.4e9)
+
+    def test_compute_region_clamped(self, roofline):
+        assert roofline.attainable(1e6) == pytest.approx(128e12)
+
+    def test_rejects_non_positive_oi(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.attainable(0)
+
+
+class TestWorkloadPoints:
+    def test_red_dot_classification_matches_paper(self, roofline):
+        """Fig. 15: B1/V1/L1/L2 compute-bound, L3/L4 DRAM-bound."""
+        expected = {"B1": True, "V1": True, "L1": True, "L2": True, "L3": False, "L4": False}
+        for workload in DNN_WORKLOADS:
+            point = roofline.point(workload.workload_id, workload.shape)
+            assert point.compute_bound is expected[workload.workload_id]
+
+    def test_tiling_pushes_points_left(self, roofline):
+        config = config_by_name("C11")
+        for workload in DNN_WORKLOADS:
+            ideal = roofline.point(workload.workload_id, workload.shape)
+            tiled = roofline.tiled_point(workload.workload_id, workload.shape, config)
+            assert tiled.operational_intensity < ideal.operational_intensity
+
+    def test_all_tiled_points_dram_bound(self, roofline):
+        """Fig. 15 green circles: tiling makes every workload DRAM-bound,
+        so 128 TOPS is unattainable."""
+        config = config_by_name("C11")
+        for workload in DNN_WORKLOADS:
+            tiled = roofline.tiled_point(workload.workload_id, workload.shape, config)
+            assert not tiled.compute_bound
+            assert tiled.attainable_ops < 128e12
+
+    def test_attainable_on_roof_or_slope(self, roofline):
+        point = roofline.point("B1", workload_by_id("B1").shape)
+        assert point.attainable_ops <= 128e12
+
+    def test_overhead_flag(self, roofline):
+        config = config_by_name("C11")
+        shape = workload_by_id("B1").shape
+        assert not roofline.point("B1", shape).includes_tiling_overhead
+        assert roofline.tiled_point("B1", shape, config).includes_tiling_overhead
+
+
+class TestAsciiRendering:
+    def test_renders_all_points(self, roofline):
+        config = config_by_name("C11")
+        points = []
+        for workload in DNN_WORKLOADS:
+            points.append(roofline.point(workload.workload_id, workload.shape))
+            points.append(
+                roofline.tiled_point(workload.workload_id, workload.shape, config)
+            )
+        text = roofline.render_ascii(points, width=60, height=12)
+        lines = text.splitlines()
+        assert len(lines) == 12 + 2  # grid + rule + legend
+        assert "o" in text and "x" in text  # both point families plotted
+        assert "/" in text and "-" in text  # slope and roof drawn
+
+    def test_respects_dimensions(self, roofline):
+        points = [roofline.point("B1", workload_by_id("B1").shape)]
+        text = roofline.render_ascii(points, width=40, height=8)
+        assert all(len(line) == 40 for line in text.splitlines()[:8])
+
+    def test_empty_points_rejected(self, roofline):
+        with pytest.raises(ValueError):
+            roofline.render_ascii([])

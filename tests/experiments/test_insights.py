@@ -1,0 +1,36 @@
+"""Insight-audit tests: every boxed paper claim must hold on the models."""
+
+import pytest
+
+from repro.experiments import run_experiment
+from repro.experiments.insights import INSIGHTS
+
+
+@pytest.fixture(scope="module")
+def audit():
+    return run_experiment("insights")
+
+
+class TestInsights:
+    def test_ten_insights(self):
+        assert len(INSIGHTS) == 10
+
+    def test_ids_unique(self):
+        ids = [i.insight_id for i in INSIGHTS]
+        assert len(set(ids)) == len(ids)
+
+    def test_all_hold(self, audit):
+        failing = [r["insight"] for r in audit.rows if not r["holds"]]
+        assert not failing, f"insights no longer supported by the models: {failing}"
+
+    def test_every_section_covered(self):
+        sections = {i.section for i in INSIGHTS}
+        assert {"V-B", "V-C", "V-D", "V-G", "V-H", "V-I", "V-J", "IV-C"} <= sections
+
+    def test_evidence_strings_nonempty(self, audit):
+        assert all(r["evidence"] for r in audit.rows)
+
+    @pytest.mark.parametrize("insight", INSIGHTS, ids=lambda i: i.insight_id)
+    def test_each_check_individually(self, insight):
+        passed, detail = insight.check()
+        assert passed, detail

@@ -1,0 +1,24 @@
+"""Research-question index tests."""
+
+from repro.experiments import available_experiments, run_experiment
+from repro.experiments.research_questions import RESEARCH_QUESTIONS
+
+
+class TestIndex:
+    def test_eight_questions(self):
+        """Section IV-B poses eight bullet questions."""
+        assert len(RESEARCH_QUESTIONS) == 8
+
+    def test_every_referenced_experiment_exists(self):
+        known = set(available_experiments())
+        for question in RESEARCH_QUESTIONS:
+            for experiment_id in question.experiments:
+                assert experiment_id in known, experiment_id
+
+    def test_driver_renders(self):
+        result = run_experiment("questions")
+        assert len(result.rows) == 8
+        assert "intrinsics" in result.render()
+
+    def test_all_questions_have_answers(self):
+        assert all(q.answer for q in RESEARCH_QUESTIONS)

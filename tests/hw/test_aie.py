@@ -1,0 +1,88 @@
+"""AIE tile tests."""
+
+import pytest
+
+from repro.hw.aie import AieTile
+from repro.hw.specs import VCK5000
+
+
+class TestTileBasics:
+    def test_position(self):
+        assert AieTile(3, 2).position == (3, 2)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            AieTile(VCK5000.aie_cols, 0)
+        with pytest.raises(ValueError):
+            AieTile(0, VCK5000.aie_rows)
+
+    def test_memory_is_32kb(self):
+        assert AieTile(0, 0).memory_bytes == 32 * 1024
+
+
+class TestMemoryReservation:
+    def test_reserve_and_release(self):
+        tile = AieTile(0, 0)
+        tile.reserve(1024)
+        assert tile.free_bytes == 32 * 1024 - 1024
+        tile.release(1024)
+        assert tile.free_bytes == 32 * 1024
+
+    def test_over_reserve_raises(self):
+        tile = AieTile(0, 0)
+        with pytest.raises(MemoryError):
+            tile.reserve(33 * 1024)
+
+    def test_release_more_than_reserved_raises(self):
+        tile = AieTile(0, 0)
+        tile.reserve(100)
+        with pytest.raises(ValueError):
+            tile.release(200)
+
+    def test_negative_reserve_raises(self):
+        with pytest.raises(ValueError):
+            AieTile(0, 0).reserve(-1)
+
+
+class TestKernelPlacement:
+    def test_place_kernel(self):
+        tile = AieTile(0, 0)
+        tile.place_kernel("gemm0", 24 * 1024)
+        assert tile.occupied
+        assert tile.kernel == "gemm0"
+
+    def test_double_placement_raises(self):
+        tile = AieTile(0, 0)
+        tile.place_kernel("a", 0)
+        with pytest.raises(RuntimeError):
+            tile.place_kernel("b", 0)
+
+
+class TestTopology:
+    def test_cascade_snakes_right_on_even_rows(self):
+        assert AieTile(0, 0).cascade_successor() == (1, 0)
+
+    def test_cascade_snakes_left_on_odd_rows(self):
+        assert AieTile(5, 1).cascade_successor() == (4, 1)
+
+    def test_cascade_turns_up_at_row_end(self):
+        last_col = VCK5000.aie_cols - 1
+        assert AieTile(last_col, 0).cascade_successor() == (last_col, 1)
+
+    def test_cascade_ends_at_array_corner(self):
+        top_row = VCK5000.aie_rows - 1
+        # odd rows run right-to-left, so the chain ends at column 0 of the
+        # top row (rows is even on VCK5000)
+        corner_col = 0 if top_row % 2 == 1 else VCK5000.aie_cols - 1
+        assert AieTile(corner_col, top_row).cascade_successor() is None
+
+    def test_shared_memory_neighbors_interior(self):
+        neighbors = AieTile(5, 2).shared_memory_neighbors()
+        assert len(neighbors) == 3
+        assert (5, 1) in neighbors and (5, 3) in neighbors
+
+    def test_shared_memory_neighbors_clipped_at_edges(self):
+        neighbors = AieTile(0, 0).shared_memory_neighbors()
+        assert all(0 <= c < VCK5000.aie_cols and 0 <= r < VCK5000.aie_rows
+                   for c, r in neighbors)
+        assert len(neighbors) < 3

@@ -1,0 +1,85 @@
+"""AIE array + switch network tests."""
+
+import pytest
+
+from repro.hw.aie_array import AieArray, HOP_LATENCY_CYCLES
+from repro.hw.specs import VCK5000
+
+
+class TestGrid:
+    def test_400_tiles(self):
+        assert AieArray().num_tiles == 400
+
+    def test_tile_lookup(self):
+        array = AieArray()
+        assert array.tile(10, 3).position == (10, 3)
+
+    def test_initial_utilization_zero(self):
+        assert AieArray().utilization() == 0.0
+
+
+class TestPlacement:
+    def test_place_block_contiguous(self):
+        array = AieArray()
+        placed = array.place_block("k", 16)
+        assert len(placed) == 16
+        assert array.occupied_count() == 16
+
+    def test_place_block_exhaustion(self):
+        array = AieArray()
+        array.place_block("k", 400)
+        with pytest.raises(RuntimeError):
+            array.place_block("extra", 1)
+
+    def test_place_scattered_deterministic(self):
+        a1, a2 = AieArray(), AieArray()
+        p1 = [t.position for t in a1.place_scattered("k", 8, seed=42)]
+        p2 = [t.position for t in a2.place_scattered("k", 8, seed=42)]
+        assert p1 == p2
+
+    def test_place_scattered_differs_by_seed(self):
+        a1, a2 = AieArray(), AieArray()
+        p1 = [t.position for t in a1.place_scattered("k", 8, seed=1)]
+        p2 = [t.position for t in a2.place_scattered("k", 8, seed=2)]
+        assert p1 != p2
+
+    def test_reset_placement(self):
+        array = AieArray()
+        array.place_block("k", 32)
+        array.reset_placement()
+        assert array.occupied_count() == 0
+
+
+class TestRouting:
+    def test_route_is_shortest_path(self):
+        array = AieArray()
+        route = array.route((0, 0), (3, 0))
+        assert route.hop_count == 3
+
+    def test_route_latency(self):
+        array = AieArray()
+        route = array.route((0, 0), (2, 2))
+        assert route.latency_cycles == route.hop_count * HOP_LATENCY_CYCLES
+
+    def test_distance_manhattan(self):
+        assert AieArray().distance((0, 0), (3, 4)) == 7
+
+    def test_congestion_counts_shared_links(self):
+        array = AieArray()
+        array.route((0, 0), (5, 0))
+        array.route((0, 0), (5, 0))
+        assert array.max_link_congestion() == 2
+
+    def test_congestion_zero_without_routes(self):
+        assert AieArray().max_link_congestion() == 0
+
+    def test_mean_congestion(self):
+        array = AieArray()
+        array.route((0, 0), (2, 0))
+        assert array.mean_link_congestion() == 1.0
+
+    def test_device_parameterised(self):
+        from repro.hw.specs import AIE_ML_DEVICE
+
+        array = AieArray(AIE_ML_DEVICE)
+        assert array.num_tiles == AIE_ML_DEVICE.num_aies

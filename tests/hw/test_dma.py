@@ -1,0 +1,59 @@
+"""DMA engine tests."""
+
+import pytest
+
+from repro.hw.dma import MAX_BURST_BYTES, DmaEngine, DmaPort
+
+
+@pytest.fixture
+def engine():
+    return DmaEngine(DmaPort("rd0"))
+
+
+class TestPort:
+    def test_physical_bandwidth_512bit_230mhz(self):
+        """Section IV-C: 512-bit ports at the 230 MHz PL clock."""
+        assert DmaPort("p").physical_bandwidth == pytest.approx(64 * 230e6)
+
+    def test_sustained_limited_by_noc(self, engine):
+        """The NoC virtual channel, not the port, is the ceiling."""
+        assert engine.sustained_bandwidth < engine.port.physical_bandwidth
+        assert engine.sustained_bandwidth == pytest.approx(engine.dram.port_bandwidth())
+
+
+class TestTransfers:
+    def test_zero_bytes(self, engine):
+        transfer = engine.transfer(0)
+        assert transfer.seconds == 0.0 and transfer.bursts == 0
+
+    def test_burst_segmentation(self, engine):
+        transfer = engine.transfer(3 * MAX_BURST_BYTES + 1)
+        assert transfer.bursts == 4
+
+    def test_single_burst_for_small_transfer(self, engine):
+        assert engine.transfer(4096).bursts == 1
+
+    def test_rejects_negative(self, engine):
+        with pytest.raises(ValueError):
+            engine.transfer(-1)
+
+    def test_time_monotone_in_size(self, engine):
+        times = [engine.transfer(1 << i).seconds for i in range(10, 26, 2)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestEfficiency:
+    def test_small_transfers_inefficient(self, engine):
+        """The paper's 'DRAM bandwidth efficiency is low for smaller
+        sizes' observation, at descriptor granularity."""
+        assert engine.efficiency(4 * 1024) < 0.3
+
+    def test_large_transfers_near_sustained(self, engine):
+        assert engine.efficiency(64 * 2**20) > 0.9
+
+    def test_efficiency_monotone(self, engine):
+        values = [engine.efficiency(1 << i) for i in range(12, 26, 2)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_bytes_zero_efficiency(self, engine):
+        assert engine.efficiency(0) == 0.0

@@ -1,0 +1,108 @@
+"""DRAM model tests (Section IV-C)."""
+
+import pytest
+
+from repro.hw.dram import (
+    CHARM_DEFAULT_PORTS,
+    IMPROVED_PORTS,
+    DramModel,
+    DramPorts,
+    TRANSFER_LATENCY_SECONDS,
+)
+
+
+class TestDramPorts:
+    def test_parse_paper_notation(self):
+        assert DramPorts.parse("2r1w") == DramPorts(2, 1)
+        assert DramPorts.parse("4R2W") == DramPorts(4, 2)
+
+    def test_parse_rejects_malformed(self):
+        for text in ("2r", "r1w", "2x1y", ""):
+            with pytest.raises(ValueError):
+                DramPorts.parse(text)
+
+    def test_str_round_trips(self):
+        assert str(DramPorts(4, 2)) == "4r2w"
+
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            DramPorts(0, 1)
+        with pytest.raises(ValueError):
+            DramPorts(1, 0)
+
+    def test_named_setups(self):
+        assert CHARM_DEFAULT_PORTS == DramPorts(2, 1)
+        assert IMPROVED_PORTS == DramPorts(4, 2)
+
+
+class TestBandwidth:
+    def test_charm_default_20_gbs(self):
+        assert DramModel(ports=CHARM_DEFAULT_PORTS).total_bandwidth() == pytest.approx(
+            20e9, rel=0.01
+        )
+
+    def test_improved_34_gbs(self):
+        assert DramModel(ports=IMPROVED_PORTS).total_bandwidth() == pytest.approx(
+            34e9, rel=0.01
+        )
+
+    def test_even_more_ports_no_gain(self):
+        assert DramModel(ports=DramPorts(8, 4)).total_bandwidth() == pytest.approx(
+            34e9, rel=0.01
+        )
+
+    def test_utilization_34_pct(self):
+        """Section IV-C: only 34% of chip DRAM bandwidth achievable."""
+        assert DramModel(ports=IMPROVED_PORTS).utilization() == pytest.approx(
+            0.34, abs=0.02
+        )
+
+    def test_read_write_split_proportional_to_ports(self):
+        model = DramModel(ports=IMPROVED_PORTS)
+        assert model.read_bandwidth() == pytest.approx(
+            model.port_bandwidth() * 4
+        )
+        assert model.write_bandwidth() == pytest.approx(model.port_bandwidth() * 2)
+
+    def test_partial_port_usage(self):
+        model = DramModel(ports=IMPROVED_PORTS)
+        assert model.read_bandwidth(2) == pytest.approx(model.read_bandwidth() / 2)
+
+    def test_rejects_over_allocation(self):
+        model = DramModel(ports=CHARM_DEFAULT_PORTS)
+        with pytest.raises(ValueError):
+            model.read_bandwidth(3)
+
+
+class TestTransferTiming:
+    def test_zero_bytes_is_free(self):
+        assert DramModel().transfer_seconds(0) == 0.0
+
+    def test_includes_burst_latency(self):
+        model = DramModel()
+        tiny = model.transfer_seconds(64)
+        assert tiny >= TRANSFER_LATENCY_SECONDS
+
+    def test_large_transfer_dominated_by_bandwidth(self):
+        model = DramModel()
+        size = 100 * 2**20
+        assert model.transfer_seconds(size) == pytest.approx(
+            size / model.total_bandwidth(), rel=0.01
+        )
+
+    def test_effective_bandwidth_low_for_small_transfers(self):
+        """Section V-B: DRAM bandwidth efficiency is low for small sizes."""
+        model = DramModel()
+        small = model.effective_bandwidth(4 * 1024)
+        large = model.effective_bandwidth(64 * 2**20)
+        assert small < 0.1 * large
+
+    def test_effective_bandwidth_monotone(self):
+        model = DramModel()
+        sizes = [2**i for i in range(10, 28, 2)]
+        values = [model.effective_bandwidth(s) for s in sizes]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DramModel().transfer_seconds(-1)

@@ -1,0 +1,109 @@
+"""Fault-injection tests: graceful degradation of designs and estimates."""
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.hw.faults import (
+    FaultError,
+    derate_clock,
+    disable_aie_columns,
+    disable_dram_channels,
+    degrade_pl_memory,
+    surviving_configs,
+)
+from repro.hw.specs import VCK5000
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+WORKLOAD = GemmShape(2048, 2048, 2048)
+
+
+class TestInjectors:
+    def test_disable_columns_shrinks_array(self):
+        faulty = disable_aie_columns(VCK5000, 5)
+        assert faulty.num_aies == (50 - 5) * 8
+        assert faulty.num_interface_tiles < VCK5000.num_interface_tiles
+        assert faulty.usable_plios < VCK5000.usable_plios
+
+    def test_disable_channels(self):
+        faulty = disable_dram_channels(VCK5000, 2)
+        assert faulty.dram_bandwidth == pytest.approx(VCK5000.dram_bandwidth / 2)
+
+    def test_derate_clock(self):
+        faulty = derate_clock(VCK5000, 0.8)
+        assert faulty.aie_freq_hz == pytest.approx(1e9)
+        assert faulty.plio_bandwidth == pytest.approx(3.2e9)
+
+    def test_degrade_pl_memory(self):
+        faulty = degrade_pl_memory(VCK5000, 0.5)
+        assert faulty.pl_usable_bytes == pytest.approx(
+            VCK5000.pl_usable_bytes / 2, rel=0.01
+        )
+
+    def test_faults_compose(self):
+        faulty = derate_clock(disable_aie_columns(VCK5000, 2), 0.9)
+        assert faulty.num_aies == 48 * 8
+        assert faulty.aie_freq_hz == pytest.approx(1.125e9)
+
+    @pytest.mark.parametrize(
+        "injector, bad",
+        [
+            (disable_aie_columns, 50),
+            (disable_aie_columns, -1),
+            (disable_dram_channels, 4),
+            (derate_clock, 0.0),
+            (derate_clock, 1.5),
+            (degrade_pl_memory, 0.0),
+        ],
+    )
+    def test_impossible_faults_rejected(self, injector, bad):
+        with pytest.raises(FaultError):
+            injector(VCK5000, bad)
+
+
+class TestDegradation:
+    def test_c6_dies_when_columns_fuse_off(self):
+        """384 AIEs need 48 of 50 columns; losing 3 kills C6 but the
+        smaller configurations survive."""
+        faulty = disable_aie_columns(VCK5000, 3)
+        survivors = surviving_configs(faulty)
+        assert "C6" not in survivors
+        assert "C5" in survivors and "C1" in survivors
+
+    def test_all_configs_survive_healthy_device(self):
+        assert len(surviving_configs(VCK5000)) == 11
+
+    def test_memory_bound_design_hurt_by_dram_fault(self):
+        healthy = AnalyticalModel(CharmDesign(config_by_name("C5"))).estimate(WORKLOAD)
+        faulty_device = disable_dram_channels(VCK5000, 2)
+        faulty = AnalyticalModel(
+            CharmDesign(config_by_name("C5"), device=faulty_device)
+        ).estimate(WORKLOAD)
+        assert faulty.total_seconds > healthy.total_seconds
+
+    def test_compute_bound_design_hurt_by_clock_derate(self):
+        healthy = AnalyticalModel(CharmDesign(config_by_name("C3"))).estimate(WORKLOAD)
+        faulty = AnalyticalModel(
+            CharmDesign(config_by_name("C3"), device=derate_clock(VCK5000, 0.5))
+        ).estimate(WORKLOAD)
+        assert faulty.total_seconds > 1.5 * healthy.total_seconds
+
+    def test_pl_memory_fault_increases_traffic(self):
+        design = CharmDesign(config_by_name("C5"))
+        degraded = CharmDesign(
+            config_by_name("C5"), device=degrade_pl_memory(VCK5000, 0.4)
+        )
+        healthy_traffic = design.tile_plan(WORKLOAD).traffic().total
+        faulty_traffic = degraded.tile_plan(WORKLOAD).traffic().total
+        assert faulty_traffic >= healthy_traffic
+
+    def test_estimates_remain_consistent_under_faults(self):
+        """Model vs simulated HW stays within tolerance on a faulty
+        device — the analysis machinery degrades gracefully."""
+        from repro.sim.hwsim import HwSimulator
+
+        device = derate_clock(disable_dram_channels(VCK5000, 1), 0.9)
+        design = CharmDesign(config_by_name("C4"), device=device)
+        _, error = HwSimulator(design).compare_with_model(WORKLOAD)
+        assert abs(error) <= 0.05

@@ -1,0 +1,135 @@
+"""Fig. 8 communication-scheme model tests."""
+
+import pytest
+
+from repro.hw.interconnect import CommScheme, CommTimingModel
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+FP32_KERNEL = GemmShape.square(32)
+INT8_KERNEL = GemmShape.square(64)
+
+
+@pytest.fixture
+def model():
+    return CommTimingModel()
+
+
+class TestCascadeBaseline:
+    def test_cascade_has_zero_overhead(self, model):
+        for precision, kernel in ((Precision.FP32, FP32_KERNEL), (Precision.INT8, INT8_KERNEL)):
+            timing = model.chain_timing(CommScheme.CASCADE, precision, kernel, 16)
+            assert timing.stall_cycles == 0.0
+            assert timing.overhead_ratio == 1.0
+
+    def test_cascade_is_lowest_latency_everywhere(self, model):
+        """The paper's conclusion: cascade wins in all four panels."""
+        for precision, kernel, counts in (
+            (Precision.FP32, FP32_KERNEL, (16, 384)),
+            (Precision.INT8, INT8_KERNEL, (16, 256)),
+        ):
+            for num_aies in counts:
+                cascade = model.chain_timing(
+                    CommScheme.CASCADE, precision, kernel, num_aies
+                ).total_cycles
+                for scheme in CommScheme:
+                    timing = model.chain_timing(scheme, precision, kernel, num_aies)
+                    if timing.feasible:
+                        assert timing.total_cycles >= cascade
+
+
+class TestSmallArrayFp32:
+    """Fig. 8 left-top: FP32, 16 AIEs."""
+
+    def test_double_buffer_about_1pct(self, model):
+        r = model.normalized_to_cascade(CommScheme.BUFFER_DOUBLE, Precision.FP32, FP32_KERNEL, 16)
+        assert 1.0 < r < 1.03
+
+    def test_single_buffer_about_32pct(self, model):
+        r = model.normalized_to_cascade(CommScheme.BUFFER_SINGLE, Precision.FP32, FP32_KERNEL, 16)
+        assert 1.25 <= r <= 1.37
+
+    def test_via_switch_up_to_6pct(self, model):
+        for scheme in (
+            CommScheme.VIA_SWITCH_NEAR,
+            CommScheme.VIA_SWITCH_RANDOM,
+            CommScheme.VIA_SWITCH_FAR,
+        ):
+            r = model.normalized_to_cascade(scheme, Precision.FP32, FP32_KERNEL, 16)
+            assert 1.0 < r <= 1.06
+
+
+class TestSmallArrayInt8:
+    """Fig. 8 right-top: INT8, 16 AIEs."""
+
+    def test_double_buffer_small(self, model):
+        r = model.normalized_to_cascade(CommScheme.BUFFER_DOUBLE, Precision.INT8, INT8_KERNEL, 16)
+        assert 1.0 < r < 1.05
+
+    def test_single_buffer_about_78pct(self, model):
+        r = model.normalized_to_cascade(CommScheme.BUFFER_SINGLE, Precision.INT8, INT8_KERNEL, 16)
+        assert 1.70 <= r <= 1.90
+
+    def test_via_switch_3_2x(self, model):
+        """Paper: 3.17x-3.3x for INT8 via-switch."""
+        for scheme in (
+            CommScheme.VIA_SWITCH_NEAR,
+            CommScheme.VIA_SWITCH_RANDOM,
+            CommScheme.VIA_SWITCH_FAR,
+        ):
+            r = model.normalized_to_cascade(scheme, Precision.INT8, INT8_KERNEL, 16)
+            assert 3.1 <= r <= 3.4
+
+    def test_int8_more_sensitive_than_fp32(self, model):
+        """16x the compute throughput makes INT8 far more communication
+        sensitive (the paper's explanation)."""
+        fp32 = model.normalized_to_cascade(
+            CommScheme.VIA_SWITCH_NEAR, Precision.FP32, FP32_KERNEL, 16
+        )
+        int8 = model.normalized_to_cascade(
+            CommScheme.VIA_SWITCH_NEAR, Precision.INT8, INT8_KERNEL, 16
+        )
+        assert int8 > 2 * fp32
+
+
+class TestMaxArray:
+    """Fig. 8 bottom panels (calibrated region)."""
+
+    def test_fp32_384_values(self, model):
+        db = model.normalized_to_cascade(CommScheme.BUFFER_DOUBLE, Precision.FP32, FP32_KERNEL, 384)
+        sb = model.normalized_to_cascade(CommScheme.BUFFER_SINGLE, Precision.FP32, FP32_KERNEL, 384)
+        assert db == pytest.approx(1.22, abs=0.01)
+        assert sb == pytest.approx(1.32, abs=0.01)
+
+    def test_int8_256_values(self, model):
+        db = model.normalized_to_cascade(CommScheme.BUFFER_DOUBLE, Precision.INT8, INT8_KERNEL, 256)
+        sb = model.normalized_to_cascade(CommScheme.BUFFER_SINGLE, Precision.INT8, INT8_KERNEL, 256)
+        assert db == pytest.approx(1.66, abs=0.01)
+        assert sb == pytest.approx(1.76, abs=0.01)
+
+    def test_via_switch_far_infeasible_at_scale(self, model):
+        """Paper: max-AIE designs cannot build far via-switch routes."""
+        for precision, kernel, count in (
+            (Precision.FP32, FP32_KERNEL, 384),
+            (Precision.INT8, INT8_KERNEL, 256),
+        ):
+            assert model.normalized_to_cascade(
+                CommScheme.VIA_SWITCH_FAR, precision, kernel, count
+            ) is None
+
+    def test_calibrated_flag_set_at_scale_only(self, model):
+        small = model.chain_timing(CommScheme.BUFFER_DOUBLE, Precision.FP32, FP32_KERNEL, 16)
+        large = model.chain_timing(CommScheme.BUFFER_DOUBLE, Precision.FP32, FP32_KERNEL, 384)
+        assert not small.calibrated
+        assert large.calibrated
+
+
+class TestPartialSums:
+    def test_partial_bytes_use_accumulator_width(self, model):
+        assert model.partial_sum_bytes(FP32_KERNEL, Precision.FP32) == 32 * 32 * 4
+        assert model.partial_sum_bytes(INT8_KERNEL, Precision.INT8) == 64 * 64 * 4
+
+    def test_scheme_classification_helpers(self):
+        assert CommScheme.VIA_SWITCH_NEAR.is_via_switch
+        assert CommScheme.BUFFER_SINGLE.is_buffer
+        assert not CommScheme.CASCADE.is_buffer

@@ -1,0 +1,97 @@
+"""AIE memory-bank model tests."""
+
+import pytest
+
+from repro.hw.memory import (
+    BANK_BYTES,
+    NUM_BANKS,
+    AllocationError,
+    TileMemory,
+    canonical_gemm_placement,
+    conflict_factor,
+)
+
+
+class TestGeometry:
+    def test_four_banks_of_8kb(self):
+        assert NUM_BANKS * BANK_BYTES == 32 * 1024  # the tile's 32 KB
+
+
+class TestAllocator:
+    def test_single_bank_fit(self):
+        memory = TileMemory()
+        allocation = memory.allocate("buf", 4096)
+        assert allocation.spans_banks == 1
+        assert memory.total_free == 32 * 1024 - 4096
+
+    def test_prefer_bank(self):
+        memory = TileMemory()
+        allocation = memory.allocate("buf", 1024, prefer_bank=2)
+        assert allocation.banks == (2,)
+
+    def test_spill_across_banks(self):
+        memory = TileMemory()
+        allocation = memory.allocate("big", 12 * 1024)  # > one 8 KB bank
+        assert allocation.spans_banks == 2
+
+    def test_exhaustion_raises(self):
+        memory = TileMemory()
+        memory.allocate("a", 30 * 1024)
+        with pytest.raises(AllocationError):
+            memory.allocate("b", 4 * 1024)
+
+    def test_fill_exactly(self):
+        memory = TileMemory()
+        memory.allocate("all", 32 * 1024)
+        assert memory.total_free == 0
+
+    def test_banks_of_lookup(self):
+        memory = TileMemory()
+        memory.allocate("x", 100, prefer_bank=3)
+        assert memory.banks_of("x") == (3,)
+        with pytest.raises(KeyError):
+            memory.banks_of("ghost")
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            TileMemory().allocate("x", 0)
+        with pytest.raises(ValueError):
+            TileMemory().allocate("x", 10, prefer_bank=9)
+
+
+class TestConflicts:
+    def test_disjoint_banks_no_conflict(self):
+        memory = TileMemory()
+        compute = [memory.allocate("c", 1024, prefer_bank=0)]
+        dma = [memory.allocate("d", 1024, prefer_bank=2)]
+        assert conflict_factor(compute, dma) == 1.0
+
+    def test_shared_bank_conflicts(self):
+        memory = TileMemory()
+        compute = [memory.allocate("c", 1024, prefer_bank=0)]
+        dma = [memory.allocate("d", 1024, prefer_bank=0)]
+        assert conflict_factor(compute, dma) == 2.0
+
+    def test_empty_sets(self):
+        assert conflict_factor([], []) == 1.0
+
+
+class TestCanonicalPlacement:
+    def test_paper_kernel_is_conflict_free(self):
+        """The 32x32x32 FP32 kernel (4 KB operands) places ping/pong on
+        disjoint banks — the structural reason double buffering overlaps
+        without stealing compute cycles."""
+        memory, factor = canonical_gemm_placement(4096, 4096, 4096)
+        assert factor == 1.0
+        assert memory.total_free == 32 * 1024 - 6 * 4096
+
+    def test_int8_kernel_also_conflict_free(self):
+        _, factor = canonical_gemm_placement(4096, 4096, 4096)
+        assert factor == 1.0
+
+    def test_oversized_operands_force_conflicts(self):
+        """Operands beyond the double-buffer rule spill across banks and
+        start conflicting — the micro-level cost of neighbour-memory
+        kernels."""
+        _, factor = canonical_gemm_placement(6 * 1024, 6 * 1024, 4 * 1024)
+        assert factor > 1.0

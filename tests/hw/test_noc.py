@@ -1,0 +1,81 @@
+"""NoC port-assignment model tests (Section IV-C)."""
+
+import pytest
+
+from repro.hw.noc import NocModel, VC_EFFECTIVE_BANDWIDTH
+
+
+class TestPublishedOperatingPoints:
+    def test_2r1w_achieves_20_gbs(self):
+        assert NocModel().achieved_bandwidth(3) == pytest.approx(20e9, rel=0.01)
+
+    def test_4r2w_achieves_34_gbs(self):
+        assert NocModel().achieved_bandwidth(6) == pytest.approx(34e9, rel=0.01)
+
+    def test_more_ports_plateau_at_34_gbs(self):
+        """The paper could not exceed 34 GB/s regardless of port count."""
+        noc = NocModel()
+        for ports in (8, 10, 12):
+            assert noc.achieved_bandwidth(ports) == pytest.approx(34e9, rel=0.01)
+
+    def test_utilization_is_34_pct_at_plateau(self):
+        assert NocModel().utilization(6) == pytest.approx(0.34, abs=0.02)
+
+
+class TestMechanism:
+    def test_assignment_is_lane_major(self):
+        assignments = NocModel(lane_spread=3).assign_ports(6)
+        assert [a.lane for a in assignments] == [0, 1, 2, 0, 1, 2]
+        assert [a.vc for a in assignments] == [0, 0, 0, 1, 1, 1]
+
+    def test_lanes_used_bounded_by_spread(self):
+        noc = NocModel(lane_spread=2)
+        assert noc.lanes_used(8) == 2
+
+    def test_bandwidth_monotone_in_ports(self):
+        noc = NocModel()
+        values = [noc.achieved_bandwidth(p) for p in range(1, 12)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_second_vc_adds_less_than_first(self):
+        noc = NocModel()
+        first = noc.lane_bandwidth(1)
+        second = noc.lane_bandwidth(2) - first
+        assert 0 < second < first
+
+    def test_third_vc_adds_nothing(self):
+        noc = NocModel()
+        assert noc.lane_bandwidth(3) == noc.lane_bandwidth(2)
+
+    def test_lane_never_exceeds_physical_limit(self):
+        noc = NocModel()
+        for vcs in range(1, 9):
+            assert noc.lane_bandwidth(vcs) <= 16e9
+
+    def test_plateau_bandwidth(self):
+        assert NocModel().plateau_bandwidth() == pytest.approx(34e9, rel=0.01)
+
+    def test_full_spread_what_if_beats_default(self):
+        """A steerable NoC (4-lane spread) would beat the Vitis default."""
+        default = NocModel().achieved_bandwidth(8)
+        steerable = NocModel(lane_spread=4).achieved_bandwidth(8)
+        assert steerable > default
+
+
+class TestValidation:
+    def test_rejects_zero_ports(self):
+        with pytest.raises(ValueError):
+            NocModel().assign_ports(0)
+
+    def test_rejects_excess_ports(self):
+        with pytest.raises(ValueError, match="virtual channels"):
+            NocModel(lane_spread=1).assign_ports(9)
+
+    def test_rejects_bad_spread(self):
+        with pytest.raises(ValueError):
+            NocModel(lane_spread=0)
+        with pytest.raises(ValueError):
+            NocModel(lane_spread=5)
+
+    def test_vc_bandwidth_calibration_constant(self):
+        assert VC_EFFECTIVE_BANDWIDTH == pytest.approx(20e9 / 3)

@@ -1,0 +1,60 @@
+"""PL memory budget tests."""
+
+import pytest
+
+from repro.hw.pl import PlBufferRequirement, PlMemoryBudget
+from repro.hw.specs import VCK5000
+
+
+class TestRequirements:
+    def test_double_buffering_doubles(self):
+        req = PlBufferRequirement("a", 1024, double_buffered=True)
+        assert req.total_bytes == 2048
+
+    def test_single_buffering(self):
+        req = PlBufferRequirement("a", 1024, double_buffered=False)
+        assert req.total_bytes == 1024
+
+
+class TestBudget:
+    def test_capacity_is_usable_fraction(self):
+        budget = PlMemoryBudget()
+        assert budget.capacity_bytes == VCK5000.pl_usable_bytes
+        assert budget.raw_bytes == VCK5000.pl_memory_bytes
+
+    def test_fits_small(self):
+        budget = PlMemoryBudget()
+        reqs = [PlBufferRequirement("a", 1 << 20, True)]
+        assert budget.fits(reqs)
+
+    def test_rejects_oversized(self):
+        budget = PlMemoryBudget()
+        reqs = [PlBufferRequirement("a", VCK5000.pl_memory_bytes, True)]
+        assert not budget.fits(reqs)
+
+    def test_occupancy(self):
+        budget = PlMemoryBudget()
+        reqs = [PlBufferRequirement("a", budget.capacity_bytes // 2, False)]
+        assert budget.occupancy(reqs) == pytest.approx(0.5)
+
+    def test_required_bytes_sums(self):
+        budget = PlMemoryBudget()
+        reqs = [
+            PlBufferRequirement("a", 100, True),
+            PlBufferRequirement("b", 50, False),
+        ]
+        assert budget.required_bytes(reqs) == 250
+
+
+class TestBramBanking:
+    def test_zero_bytes_zero_banks(self):
+        assert PlMemoryBudget().bram_banks_for(0) == 0
+
+    def test_small_buffer_takes_whole_bram(self):
+        """Section V-J: small wide buffers underutilise BRAMs."""
+        assert PlMemoryBudget().bram_banks_for(64) == 1
+
+    def test_banks_scale_with_capacity(self):
+        budget = PlMemoryBudget()
+        bram_bytes = VCK5000.bram_bits // 8
+        assert budget.bram_banks_for(3 * bram_bytes) == 3

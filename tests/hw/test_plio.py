@@ -1,0 +1,79 @@
+"""PLIO port and allocator tests."""
+
+import pytest
+
+from repro.hw.plio import (
+    PlioAllocator,
+    PlioDirection,
+    PlioExhaustedError,
+    PlioPort,
+)
+from repro.hw.specs import VCK5000
+
+
+class TestPlioPort:
+    def test_64bit_at_500mhz_is_4gbs(self):
+        port = PlioPort("a", PlioDirection.PL_TO_AIE, width_bits=64, clock_hz=500e6)
+        assert port.bandwidth == pytest.approx(4e9)
+
+    def test_128bit_at_half_clock_same_bandwidth(self):
+        """Section III: 128-bit runs at 0.5x frequency — same 4 GB/s."""
+        wide = PlioPort("a", PlioDirection.PL_TO_AIE, width_bits=128, clock_hz=250e6)
+        assert wide.bandwidth == pytest.approx(4e9)
+
+    def test_rejects_odd_width(self):
+        with pytest.raises(ValueError):
+            PlioPort("a", PlioDirection.PL_TO_AIE, width_bits=96)
+
+
+class TestAllocator:
+    def test_allocate_tracks_directions(self):
+        alloc = PlioAllocator()
+        alloc.allocate("a0", PlioDirection.PL_TO_AIE)
+        alloc.allocate("c0", PlioDirection.AIE_TO_PL)
+        assert alloc.used_in == 1
+        assert alloc.used_out == 1
+        assert alloc.used_total == 2
+
+    def test_allocate_many(self):
+        alloc = PlioAllocator()
+        ports = alloc.allocate_many("b", PlioDirection.PL_TO_AIE, 4)
+        assert len(ports) == 4
+        assert alloc.used_in == 4
+
+    def test_budget_exhaustion(self):
+        alloc = PlioAllocator()
+        for i in range(VCK5000.usable_plios):
+            direction = (
+                PlioDirection.PL_TO_AIE if i % 2 == 0 else PlioDirection.AIE_TO_PL
+            )
+            alloc.allocate(f"p{i}", direction)
+        with pytest.raises(PlioExhaustedError):
+            alloc.allocate("overflow", PlioDirection.PL_TO_AIE)
+
+    def test_remaining_decreases(self):
+        alloc = PlioAllocator()
+        before = alloc.remaining_total
+        alloc.allocate("x", PlioDirection.PL_TO_AIE)
+        assert alloc.remaining_total == before - 1
+
+
+class TestReplication:
+    """The Fig. 13 right-axis arithmetic."""
+
+    def test_36_plio_scheme_replicates_7_times(self):
+        assert PlioAllocator().max_replicas(36, 16) == 7
+
+    def test_7_plio_scheme_replicates_25_times(self):
+        """AIE-limited: 400 / 16 = 25."""
+        assert PlioAllocator().max_replicas(7, 16) == 25
+
+    def test_utilization_28_pct_for_36_plios(self):
+        assert PlioAllocator().array_utilization(36, 16) == pytest.approx(0.28)
+
+    def test_utilization_100_pct_for_7_plios(self):
+        assert PlioAllocator().array_utilization(7, 16) == pytest.approx(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            PlioAllocator().max_replicas(0, 16)

@@ -1,0 +1,95 @@
+"""Device spec tests: every Section III speed/feed must reproduce."""
+
+import pytest
+
+from repro.hw.specs import AIE_ML_DEVICE, VCK5000, device_by_name
+from repro.kernels.precision import Precision
+
+
+class TestVck5000SpeedsAndFeeds:
+    def test_400_aies(self):
+        assert VCK5000.num_aies == 400
+
+    def test_aie_frequency(self):
+        assert VCK5000.aie_freq_hz == 1.25e9
+
+    def test_fp32_peak_is_8_tflops(self):
+        """Section III: 1.25 GHz * 8 * 400 * 2 = 8 TFLOPs."""
+        assert VCK5000.peak_ops(Precision.FP32) == pytest.approx(8e12)
+
+    def test_int8_peak_is_128_tops(self):
+        """Section III: 1.25 GHz * 128 * 400 * 2 = 128 TOPs."""
+        assert VCK5000.peak_ops(Precision.INT8) == pytest.approx(128e12)
+
+    def test_peak_scales_with_aie_count(self):
+        assert VCK5000.peak_ops(Precision.FP32, 200) == pytest.approx(4e12)
+
+    def test_pl_to_aie_bandwidth_1_2_tbs(self):
+        """Section III: 4 GB/s * 8 * 39 = 1.2 TB/s."""
+        assert VCK5000.pl_to_aie_bandwidth == pytest.approx(1.248e12)
+
+    def test_aie_to_pl_bandwidth_0_9_tbs(self):
+        """Section III: 4 GB/s * 6 * 39 = 0.9 TB/s."""
+        assert VCK5000.aie_to_pl_bandwidth == pytest.approx(0.936e12)
+
+    def test_dram_bandwidth_102_gbs(self):
+        assert VCK5000.dram_bandwidth == pytest.approx(102.4e9)
+
+    def test_noc_pl_bandwidth_64_gbs(self):
+        """Section IV-C: four 16 GB/s vertical lanes."""
+        assert VCK5000.noc_pl_bandwidth == pytest.approx(64e9)
+
+    def test_aie_internal_memory_12_8_mb(self):
+        """Section III: 400 AIEs * 32 KB = 12.8 MB."""
+        assert VCK5000.aie_total_memory_bytes == 400 * 32 * 1024
+
+    def test_bram_capacity_4_6_mb(self):
+        """967 BRAMs of 36 Kbit ~= 4.4 MB (paper rounds to 4.6)."""
+        assert VCK5000.bram_bytes == pytest.approx(4.6e6, rel=0.1)
+
+    def test_uram_capacity_17_mb(self):
+        """463 URAMs of 288 Kbit ~= 17.1 MB."""
+        assert VCK5000.uram_bytes == pytest.approx(17.1e6, rel=0.05)
+
+    def test_pl_memory_about_24_mb(self):
+        """Section V-J: aggregate internal PL memory of ~24 MB."""
+        assert 20e6 < VCK5000.pl_memory_bytes < 24e6
+
+    def test_usable_pl_memory_smaller_than_raw(self):
+        assert VCK5000.pl_usable_bytes < VCK5000.pl_memory_bytes
+
+    def test_plio_rate_per_aie_cycle(self):
+        assert VCK5000.plio_bytes_per_aie_cycle() == pytest.approx(3.2)
+
+    def test_plio_stream_counts(self):
+        assert VCK5000.total_plio_in == 39 * 8
+        assert VCK5000.total_plio_out == 39 * 6
+
+    def test_usable_plio_budget_supports_paper_replication(self):
+        """Section V-H: a 36-PLIO design replicates 7x before exhausting
+        PLIOs; a 7-PLIO design replicates 25x (AIE-limited)."""
+        assert VCK5000.usable_plios // 36 == 7
+        assert min(VCK5000.usable_plios // 7, VCK5000.num_aies // 16) == 25
+
+    def test_cycle_conversions_roundtrip(self):
+        assert VCK5000.seconds_to_cycles(VCK5000.cycles_to_seconds(1250)) == pytest.approx(1250)
+
+
+class TestSecondGeneration:
+    def test_aie_ml_has_more_int8_throughput_per_tile(self):
+        """Section V-K: AIE-ML increases compute throughput."""
+        assert (
+            AIE_ML_DEVICE.macs_per_cycle[Precision.INT8]
+            > VCK5000.macs_per_cycle[Precision.INT8]
+        )
+
+    def test_aie_ml_has_larger_local_memory(self):
+        assert AIE_ML_DEVICE.aie_memory_bytes > VCK5000.aie_memory_bytes
+
+    def test_lookup_by_name(self):
+        assert device_by_name("vck5000") is VCK5000
+        assert device_by_name("AIE-ML") is AIE_ML_DEVICE
+
+    def test_lookup_unknown(self):
+        with pytest.raises(KeyError):
+            device_by_name("vck9000")

@@ -1,0 +1,119 @@
+"""Integration tests: whole-library flows a downstream user would run."""
+
+import pytest
+
+from repro import (
+    AnalyticalModel,
+    CharmDesign,
+    DesignSpaceExplorer,
+    FunctionalGemm,
+    GemmShape,
+    HwSimulator,
+    Precision,
+    Roofline,
+    config_by_name,
+    run_on_platform,
+    workload_by_id,
+)
+from repro.hw.specs import AIE_ML_DEVICE
+
+
+class TestAnalyzeThenVerifyThenRun:
+    """The quickstart story: estimate, verify numerics, simulate HW."""
+
+    def test_full_flow_fp32(self):
+        design = CharmDesign(config_by_name("C3"))
+        workload = GemmShape(1024, 1024, 1024)
+
+        estimate = AnalyticalModel(design).estimate(workload)
+        functional = FunctionalGemm(design, seed=0).run(design.native_size)
+        hw = HwSimulator(design).run(workload)
+
+        assert functional.correct
+        assert estimate.total_seconds == pytest.approx(hw.total_seconds, rel=0.05)
+
+    def test_full_flow_int8(self):
+        design = CharmDesign(config_by_name("C9"))
+        workload = GemmShape(1024, 1024, 1024)
+        estimate = AnalyticalModel(design).estimate(workload)
+        hw = HwSimulator(design).run(workload)
+        assert estimate.total_seconds == pytest.approx(hw.total_seconds, rel=0.05)
+        assert FunctionalGemm(design, seed=1).run(design.native_size).correct
+
+
+class TestDseToExecution:
+    def test_explored_design_runs_end_to_end(self):
+        explorer = DesignSpaceExplorer(Precision.FP32, max_aies=64)
+        workload = GemmShape(1024, 1024, 1024)
+        best = explorer.best(workload)
+        design = CharmDesign(best.config)
+        hw = HwSimulator(design).run(workload)
+        # the DSE estimate and the HW simulation agree
+        assert best.seconds == pytest.approx(hw.total_seconds, rel=0.06)
+
+    def test_dse_beats_naive_smallest_config(self):
+        explorer = DesignSpaceExplorer(Precision.FP32)
+        workload = GemmShape(2048, 2048, 2048)
+        best = explorer.best(workload)
+        small = AnalyticalModel(CharmDesign(config_by_name("C1"))).estimate(workload)
+        assert best.seconds < small.total_seconds
+
+
+class TestRealWorkloadStory:
+    def test_llama_workload_on_best_fp32_config(self):
+        """Fig. 14's setup: L3 on C6 is store-bound."""
+        design = CharmDesign(config_by_name("C6"))
+        estimate = AnalyticalModel(design).estimate(workload_by_id("L3").shape)
+        assert str(estimate.bottleneck) == "store_c"
+
+    def test_roofline_agrees_with_model_on_boundedness(self):
+        """If the roofline calls a tiled workload DRAM-bound, the
+        analytical model should also report a memory bottleneck."""
+        config = config_by_name("C11")
+        design = CharmDesign(config)
+        roofline = Roofline(Precision.INT8)
+        for workload_id in ("L3", "L4"):
+            shape = workload_by_id(workload_id).shape
+            point = roofline.tiled_point(workload_id, shape, config)
+            estimate = AnalyticalModel(design).estimate(shape)
+            assert not point.compute_bound
+            assert estimate.breakdown.memory_bound
+
+
+class TestPlatformParity:
+    def test_hw_and_analytical_agree(self):
+        design = CharmDesign(config_by_name("C4"))
+        workload = GemmShape(1024, 1024, 1024)
+        hw = run_on_platform("hw", design, workload)
+        analytical = run_on_platform("analytical", design, workload)
+        assert analytical.seconds == pytest.approx(hw.seconds, rel=0.06)
+
+
+class TestSecondGenerationDevice:
+    """Section V-K: the analysis transfers to AIE-ML."""
+
+    def test_aie_ml_shifts_compute_bound_designs_to_communication(self):
+        """Section V-K: AIE-ML's higher per-tile throughput changes the
+        quantitative picture — a design that was compute-bound on
+        VCK5000 becomes communication-bound, and the paper's analysis
+        machinery identifies it."""
+        workload = GemmShape(2048, 2048, 2048)
+        config = config_by_name("C3")  # compute-bound on VCK5000
+        vck = AnalyticalModel(CharmDesign(config)).estimate(workload)
+        aie_ml = AnalyticalModel(CharmDesign(config, device=AIE_ML_DEVICE)).estimate(
+            workload
+        )
+        assert str(vck.bottleneck) == "compute"
+        assert str(aie_ml.bottleneck).startswith("plio")
+        assert aie_ml.total_seconds <= vck.total_seconds
+
+    def test_aie_ml_has_double_the_peak(self):
+        config = config_by_name("C9")
+        vck = CharmDesign(config)
+        aie_ml = CharmDesign(config, device=AIE_ML_DEVICE)
+        assert aie_ml.peak_ops() == 2 * vck.peak_ops()
+
+    def test_functional_on_second_gen(self):
+        config = config_by_name("C7")
+        design = CharmDesign(config, device=AIE_ML_DEVICE)
+        assert FunctionalGemm(design, seed=2).run(design.native_size).correct

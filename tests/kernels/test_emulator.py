@@ -1,0 +1,89 @@
+"""Kernel-emulator tests: the closed-form cycle model vs executed schedule."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.kernels.emulator import AieKernelEmulator
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.kernel_timing import compute_cycles
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.workloads.gemm import GemmShape
+
+
+def make_emulator(shape, precision, style=KernelStyle.INTRINSIC):
+    return AieKernelEmulator(SingleAieGemmKernel(shape, precision, style))
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize(
+        "shape, precision",
+        [
+            (GemmShape(16, 16, 16), Precision.FP32),
+            (GemmShape(32, 32, 32), Precision.FP32),
+            (GemmShape(32, 32, 32), Precision.INT8),
+            (GemmShape(16, 32, 16), Precision.INT16),
+            (GemmShape(8, 24, 16), Precision.FP32),  # K not a k_step multiple
+        ],
+    )
+    def test_matches_numpy(self, shape, precision):
+        emulation, reference = make_emulator(shape, precision).run_random(seed=1)
+        assert emulation.matches(reference)
+
+    def test_integer_results_exact(self):
+        emulation, reference = make_emulator(
+            GemmShape(32, 32, 32), Precision.INT8
+        ).run_random(seed=2)
+        assert np.array_equal(emulation.result, reference)
+
+    def test_rejects_wrong_operand_shapes(self):
+        emulator = make_emulator(GemmShape(16, 16, 16), Precision.FP32)
+        with pytest.raises(ValueError):
+            emulator.run(np.ones((8, 8), np.float32), np.ones((8, 8), np.float32))
+
+    def test_rejects_infeasible_kernel(self):
+        kernel = SingleAieGemmKernel(GemmShape(256, 256, 256), Precision.FP32)
+        with pytest.raises(ValueError):
+            AieKernelEmulator(kernel)
+
+
+class TestCycleAgreement:
+    """The executed schedule must agree with the closed-form model."""
+
+    @pytest.mark.parametrize(
+        "shape, precision",
+        [
+            (GemmShape(16, 16, 16), Precision.FP32),
+            (GemmShape(32, 32, 32), Precision.FP32),
+            (GemmShape(16, 128, 16), Precision.FP32),
+            (GemmShape(32, 32, 32), Precision.INT8),
+            (GemmShape(64, 64, 64), Precision.INT8),
+        ],
+    )
+    def test_cycles_match_model(self, shape, precision):
+        emulation, _ = make_emulator(shape, precision).run_random()
+        model = compute_cycles(shape, precision)
+        assert emulation.cycles == pytest.approx(model, rel=0.01)
+
+    def test_api_style_cycles(self):
+        emulation, _ = make_emulator(
+            GemmShape(32, 32, 32), Precision.FP32, KernelStyle.API
+        ).run_random()
+        model = compute_cycles(GemmShape(32, 32, 32), Precision.FP32, KernelStyle.API)
+        assert emulation.cycles == pytest.approx(model, rel=0.01)
+
+    def test_issue_counts(self):
+        shape = GemmShape(32, 32, 32)
+        emulation, _ = make_emulator(shape, Precision.INT8).run_random()
+        blocks = math.ceil(shape.m * shape.n / Precision.INT8.lanes)
+        k_chunks = math.ceil(shape.k / Precision.INT8.k_per_cycle)
+        assert emulation.vector_issues == blocks * k_chunks
+        assert emulation.drains == blocks
+
+    def test_deterministic(self):
+        e1, _ = make_emulator(GemmShape(16, 16, 16), Precision.FP32).run_random(seed=9)
+        e2, _ = make_emulator(GemmShape(16, 16, 16), Precision.FP32).run_random(seed=9)
+        assert e1.cycles == e2.cycles
+        assert np.array_equal(e1.result, e2.result)

@@ -1,0 +1,117 @@
+"""Single-AIE kernel memory-rule tests (Section V-C)."""
+
+import pytest
+
+from repro.kernels.gemm_kernel import (
+    AIE_DATA_MEMORY_BYTES,
+    MAX_DOUBLE_BUFFER_OPERAND_BYTES,
+    MemoryVerdict,
+    SingleAieGemmKernel,
+)
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+
+class TestMemoryConstants:
+    def test_aie_memory_is_32kb(self):
+        assert AIE_DATA_MEMORY_BYTES == 32 * 1024
+
+    def test_double_buffer_operand_cap_is_16kb(self):
+        assert MAX_DOUBLE_BUFFER_OPERAND_BYTES == 16 * 1024
+
+
+class TestFootprint:
+    def test_32cube_fp32_fits_locally(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        assert kernel.footprint_bytes() == 2 * 3 * 32 * 32 * 4
+        assert kernel.memory_verdict() is MemoryVerdict.LOCAL
+        assert kernel.is_scalable()
+
+    def test_64cube_fp32_needs_neighbors(self):
+        """The dotted bars of Fig. 6."""
+        kernel = SingleAieGemmKernel(GemmShape(64, 64, 64), Precision.FP32)
+        assert kernel.memory_verdict() is MemoryVerdict.NEIGHBOR
+        assert kernel.needs_neighbor_memory()
+        assert not kernel.is_scalable()
+
+    def test_16x128x16_fp32_needs_neighbors(self):
+        """Explicitly called out in Section V-C's summary."""
+        kernel = SingleAieGemmKernel(GemmShape(16, 128, 16), Precision.FP32)
+        assert kernel.needs_neighbor_memory()
+
+    def test_64cube_int8_fits_locally(self):
+        kernel = SingleAieGemmKernel(GemmShape(64, 64, 64), Precision.INT8)
+        assert kernel.is_scalable()
+
+    def test_128cube_int8_needs_neighbors(self):
+        """The dotted bars of Fig. 7."""
+        kernel = SingleAieGemmKernel(GemmShape(128, 128, 128), Precision.INT8)
+        assert kernel.needs_neighbor_memory()
+
+    def test_giant_kernel_too_large(self):
+        kernel = SingleAieGemmKernel(GemmShape(256, 256, 256), Precision.FP32)
+        assert kernel.memory_verdict() is MemoryVerdict.TOO_LARGE
+        assert not kernel.is_feasible()
+
+    def test_single_buffering_halves_footprint(self):
+        shape = GemmShape(32, 32, 32)
+        db = SingleAieGemmKernel(shape, Precision.FP32, double_buffered=True)
+        sb = SingleAieGemmKernel(shape, Precision.FP32, double_buffered=False)
+        assert db.footprint_bytes() == 2 * sb.footprint_bytes()
+
+
+class TestDoubleBufferLegality:
+    def test_max_fp32_shape_is_64cube(self):
+        """Section V-C: max double-buffered workload is 64^3 for FP32."""
+        assert SingleAieGemmKernel.max_double_buffered_shape(
+            Precision.FP32
+        ) == GemmShape(64, 64, 64)
+
+    def test_max_int8_shape_is_128cube(self):
+        assert SingleAieGemmKernel.max_double_buffered_shape(
+            Precision.INT8
+        ) == GemmShape(128, 128, 128)
+
+    def test_operand_over_16kb_illegal_when_double_buffered(self):
+        # A is 128x128 FP32 = 64 KB > 16 KB: the double buffer cannot
+        # live inside one AIE
+        kernel = SingleAieGemmKernel(GemmShape(128, 128, 16), Precision.FP32)
+        assert not kernel.double_buffer_legal()
+        assert not kernel.is_feasible()
+
+    def test_same_shape_legal_without_double_buffering(self):
+        kernel = SingleAieGemmKernel(
+            GemmShape(128, 128, 16), Precision.FP32, double_buffered=False
+        )
+        assert kernel.double_buffer_legal()
+
+
+class TestEfficiency:
+    @pytest.mark.parametrize(
+        "shape, precision, low, high",
+        [
+            (GemmShape(32, 32, 32), Precision.FP32, 0.90, 1.0),
+            (GemmShape(16, 16, 16), Precision.FP32, 0.65, 0.85),
+            (GemmShape(16, 128, 16), Precision.FP32, 0.95, 1.0),
+            (GemmShape(64, 64, 64), Precision.INT8, 0.85, 1.0),
+            (GemmShape(128, 128, 128), Precision.INT8, 0.93, 1.0),
+            (GemmShape(32, 32, 32), Precision.INT8, 0.40, 0.75),
+        ],
+    )
+    def test_efficiency_bands_match_paper(self, shape, precision, low, high):
+        """Figs. 6/7 efficiency ranges (70-98% FP32; INT8 mostly low
+        except the large kernels)."""
+        kernel = SingleAieGemmKernel(shape, precision)
+        assert low <= kernel.efficiency() <= high
+
+    def test_fp32_sweep_band(self):
+        """Fig. 6: FP32 kernels achieve 70% to 98% efficiency."""
+        shapes = [
+            GemmShape(16, 16, 16),
+            GemmShape(32, 32, 32),
+            GemmShape(64, 64, 64),
+            GemmShape(16, 128, 16),
+            GemmShape(32, 128, 32),
+        ]
+        for shape in shapes:
+            assert 0.68 <= SingleAieGemmKernel(shape, Precision.FP32).efficiency() <= 0.99

@@ -1,0 +1,131 @@
+"""Cycle-model tests: the mechanisms behind Figs. 5-7."""
+
+import pytest
+
+from repro.kernels.kernel_timing import (
+    PLIO_BYTES_PER_CYCLE,
+    compute_cycles,
+    ideal_compute_cycles,
+    kernel_timing,
+    stream_cycles,
+)
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.workloads.gemm import GemmShape
+
+
+class TestComputeCycles:
+    def test_never_below_ideal(self):
+        shape = GemmShape(32, 32, 32)
+        assert compute_cycles(shape, Precision.FP32) >= ideal_compute_cycles(
+            shape, Precision.FP32
+        )
+
+    def test_intrinsic_fp32_32cube_efficiency_over_90pct(self):
+        """Fig. 5: intrinsic kernels exceed 90% efficiency."""
+        shape = GemmShape(32, 32, 32)
+        eff = ideal_compute_cycles(shape, Precision.FP32) / compute_cycles(
+            shape, Precision.FP32
+        )
+        assert eff > 0.90
+
+    def test_intrinsic_int8_64cube_efficiency_near_90pct(self):
+        shape = GemmShape(64, 64, 64)
+        eff = ideal_compute_cycles(shape, Precision.INT8) / compute_cycles(
+            shape, Precision.INT8
+        )
+        assert eff > 0.88
+
+    def test_api_fp32_penalty_is_46pct(self):
+        """Fig. 5: API kernels lose 46% of FP32 performance."""
+        shape = GemmShape(32, 32, 32)
+        intrinsic = compute_cycles(shape, Precision.FP32, KernelStyle.INTRINSIC)
+        api = compute_cycles(shape, Precision.FP32, KernelStyle.API)
+        reduction = 1 - intrinsic / api
+        assert reduction == pytest.approx(0.46, abs=0.03)
+
+    def test_api_int8_penalty_is_7pct(self):
+        shape = GemmShape(64, 64, 64)
+        intrinsic = compute_cycles(shape, Precision.INT8, KernelStyle.INTRINSIC)
+        api = compute_cycles(shape, Precision.INT8, KernelStyle.API)
+        reduction = 1 - intrinsic / api
+        assert reduction == pytest.approx(0.07, abs=0.02)
+
+    def test_larger_k_amortises_drain(self):
+        """Section V-C: 16x128x16 beats 16x16x16 in compute efficiency."""
+
+        def efficiency(shape):
+            return ideal_compute_cycles(shape, Precision.FP32) / compute_cycles(
+                shape, Precision.FP32
+            )
+
+        assert efficiency(GemmShape(16, 128, 16)) > efficiency(GemmShape(16, 16, 16))
+
+    def test_monotone_in_workload(self):
+        small = compute_cycles(GemmShape(16, 16, 16), Precision.FP32)
+        large = compute_cycles(GemmShape(64, 64, 64), Precision.FP32)
+        assert large > small
+
+
+class TestStreamCycles:
+    def test_plio_rate_matches_4gb_per_s(self):
+        # 4 GB/s at 1.25 GHz = 3.2 bytes per AIE cycle
+        assert PLIO_BYTES_PER_CYCLE == pytest.approx(3.2)
+
+    def test_linear_in_bytes(self):
+        assert stream_cycles(6400) == 2 * stream_cycles(3200)
+
+    def test_parallel_plios_divide_time(self):
+        assert stream_cycles(6400, num_plios=2) == stream_cycles(3200)
+
+    def test_rejects_zero_plios(self):
+        with pytest.raises(ValueError):
+            stream_cycles(100, num_plios=0)
+
+
+class TestKernelTiming:
+    def test_fp32_32cube_is_compute_bound(self):
+        """Fig. 6: FP32 kernels are mostly compute-bound."""
+        timing = kernel_timing(GemmShape(32, 32, 32), Precision.FP32)
+        assert timing.compute_bound
+
+    def test_int8_skinny_kernels_communication_bound(self):
+        """Fig. 7: INT8 kernels with modest K are communication-bound
+        (compute grows 16x, data shrinks only 4x vs FP32)."""
+        for shape in (GemmShape(32, 64, 128), GemmShape(128, 64, 32), GemmShape(32, 256, 32)):
+            timing = kernel_timing(shape, Precision.INT8)
+            assert not timing.compute_bound, shape
+
+    def test_int8_128cube_is_the_compute_bound_exception(self):
+        """Fig. 7: 128^3 is the INT8 exception."""
+        timing = kernel_timing(GemmShape(128, 128, 128), Precision.INT8)
+        assert timing.compute_bound
+
+    def test_double_buffering_overlaps(self):
+        db = kernel_timing(GemmShape(32, 32, 32), Precision.FP32, double_buffered=True)
+        sb = kernel_timing(GemmShape(32, 32, 32), Precision.FP32, double_buffered=False)
+        assert db.total < sb.total
+        assert sb.total == pytest.approx(
+            sb.compute + max(sb.read_a, sb.read_b) + sb.write_c
+        )
+
+    def test_efficiency_bounded(self):
+        timing = kernel_timing(GemmShape(32, 32, 32), Precision.FP32)
+        assert 0 < timing.efficiency <= 1
+
+    def test_communication_is_max_of_streams(self):
+        timing = kernel_timing(GemmShape(16, 128, 16), Precision.FP32)
+        assert timing.communication == max(timing.read_a, timing.read_b, timing.write_c)
+
+    def test_more_plios_reduce_read_time(self):
+        one = kernel_timing(GemmShape(32, 32, 32), Precision.FP32, plios_a=1)
+        two = kernel_timing(GemmShape(32, 32, 32), Precision.FP32, plios_a=2)
+        assert two.read_a == one.read_a / 2
+
+    def test_seconds_conversion(self):
+        timing = kernel_timing(GemmShape(32, 32, 32), Precision.FP32)
+        assert timing.seconds(1.25e9) == pytest.approx(timing.total / 1.25e9)
+
+    def test_overlap_zero_without_double_buffering(self):
+        timing = kernel_timing(GemmShape(32, 32, 32), Precision.FP32, double_buffered=False)
+        assert timing.overlap_cycles == 0.0

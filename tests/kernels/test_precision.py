@@ -1,0 +1,53 @@
+"""Precision datapath tests (Section III speeds and feeds)."""
+
+import pytest
+
+from repro.kernels.precision import Precision
+
+
+class TestDatapath:
+    def test_fp32_macs_per_cycle(self):
+        assert Precision.FP32.macs_per_cycle == 8
+
+    def test_int8_macs_per_cycle(self):
+        assert Precision.INT8.macs_per_cycle == 128
+
+    def test_int16_macs_per_cycle(self):
+        assert Precision.INT16.macs_per_cycle == 32
+
+    @pytest.mark.parametrize("precision", list(Precision))
+    def test_lanes_times_k_equals_macs(self, precision):
+        assert precision.lanes * precision.k_per_cycle == precision.macs_per_cycle
+
+    def test_element_bytes(self):
+        assert Precision.FP32.element_bytes == 4
+        assert Precision.INT16.element_bytes == 2
+        assert Precision.INT8.element_bytes == 1
+
+    def test_int8_compute_grows_16x_data_shrinks_4x(self):
+        """The paper's core INT8 argument (Section V-C)."""
+        compute_ratio = Precision.INT8.macs_per_cycle / Precision.FP32.macs_per_cycle
+        data_ratio = Precision.FP32.element_bytes / Precision.INT8.element_bytes
+        assert compute_ratio == 16
+        assert data_ratio == 4
+
+    def test_peak_ops_single_aie(self):
+        # 1.25 GHz * 8 MACs * 2 ops = 20 Gops for FP32
+        assert Precision.FP32.peak_ops_per_aie(1.25e9) == pytest.approx(20e9)
+
+
+class TestParse:
+    @pytest.mark.parametrize("text, expected", [
+        ("fp32", Precision.FP32),
+        ("INT8", Precision.INT8),
+        ("Int16", Precision.INT16),
+    ])
+    def test_parse(self, text, expected):
+        assert Precision.parse(text) is expected
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError, match="unknown precision"):
+            Precision.parse("fp64")
+
+    def test_str(self):
+        assert str(Precision.FP32) == "fp32"

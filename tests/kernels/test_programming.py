@@ -1,0 +1,46 @@
+"""Programming-style parameter tests."""
+
+import pytest
+
+from repro.kernels.precision import Precision
+from repro.kernels.programming import (
+    KernelStyle,
+    intrinsic_name,
+    style_parameters,
+)
+
+
+class TestStyleParameters:
+    def test_intrinsics_have_unit_ii(self):
+        for precision in Precision:
+            assert style_parameters(KernelStyle.INTRINSIC, precision).ii_multiplier == 1.0
+
+    def test_api_always_slower_or_equal(self):
+        for precision in Precision:
+            api = style_parameters(KernelStyle.API, precision)
+            intr = style_parameters(KernelStyle.INTRINSIC, precision)
+            assert api.ii_multiplier >= intr.ii_multiplier
+            assert api.ramp_cycles >= intr.ramp_cycles
+
+    def test_fp32_api_much_slower_than_int8_api(self):
+        """Fig. 5's asymmetry: the FP32 API is far less mature."""
+        fp32 = style_parameters(KernelStyle.API, Precision.FP32).ii_multiplier
+        int8 = style_parameters(KernelStyle.API, Precision.INT8).ii_multiplier
+        assert fp32 > 1.5 > int8
+
+
+class TestNames:
+    def test_intrinsic_names_match_paper(self):
+        assert intrinsic_name(Precision.FP32) == "fpmac"
+        assert intrinsic_name(Precision.INT8) == "mac16"
+
+    def test_parse(self):
+        assert KernelStyle.parse("API") is KernelStyle.API
+        assert KernelStyle.parse("intrinsic") is KernelStyle.INTRINSIC
+
+    def test_parse_unknown(self):
+        with pytest.raises(ValueError):
+            KernelStyle.parse("hls")
+
+    def test_str(self):
+        assert str(KernelStyle.API) == "api"

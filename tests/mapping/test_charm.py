@@ -1,0 +1,92 @@
+"""CharmDesign validation and behaviour tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.hw.dram import CHARM_DEFAULT_PORTS
+from repro.hw.specs import AIE_ML_DEVICE
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.charm import CharmDesign, DesignError
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.mapping.grouping import AieGrouping
+from repro.mapping.configs import HardwareConfig
+from repro.workloads.gemm import GemmShape
+
+
+class TestValidation:
+    def test_all_table2_configs_valid(self, any_config):
+        CharmDesign(any_config).validate()
+
+    def test_too_many_aies_rejected(self):
+        grouping = AieGrouping(16, 4, 8, GemmShape.square(32), Precision.FP32)
+        config = HardwareConfig("huge", grouping, num_plios=96)
+        with pytest.raises(DesignError, match="AIEs"):
+            CharmDesign(config).validate()
+
+    def test_too_many_plios_rejected(self):
+        config = dataclasses.replace(config_by_name("C1"), num_plios=500)
+        with pytest.raises(DesignError, match="PLIO"):
+            CharmDesign(config).validate()
+
+    def test_unscalable_kernel_rejected(self):
+        grouping = AieGrouping(1, 4, 4, GemmShape.square(64), Precision.FP32)
+        config = HardwareConfig("big-kernel", grouping, num_plios=7)
+        with pytest.raises(DesignError, match="neighbour"):
+            CharmDesign(config).validate()
+
+    def test_unscalable_kernel_allowed_for_whatif(self):
+        grouping = AieGrouping(1, 4, 4, GemmShape.square(64), Precision.FP32)
+        config = HardwareConfig("big-kernel", grouping, num_plios=7)
+        CharmDesign(config, allow_neighbor_kernels=True).validate()
+
+    def test_misaligned_pack_depth_rejected(self):
+        grouping = AieGrouping(1, 6, 4, GemmShape.square(32), Precision.FP32)
+        config = HardwareConfig("odd-gk", grouping, num_plios=10)
+        with pytest.raises(DesignError, match="pack depth"):
+            CharmDesign(config).validate()
+
+    def test_is_valid_helper(self):
+        assert CharmDesign(config_by_name("C1")).is_valid()
+
+
+class TestProperties:
+    def test_peak_ops_uses_occupied_aies(self, c6_design):
+        assert c6_design.peak_ops() == pytest.approx(
+            1.25e9 * 8 * 384 * 2
+        )
+
+    def test_kernel_always_double_buffered(self, c1_design):
+        assert c1_design.kernel.double_buffered
+
+    def test_dram_model_uses_config_ports(self, c1_design):
+        assert c1_design.dram.total_bandwidth() == pytest.approx(34e9, rel=0.01)
+
+    def test_with_ports(self, c1_design):
+        slow = c1_design.with_ports(CHARM_DEFAULT_PORTS)
+        assert slow.dram.total_bandwidth() == pytest.approx(20e9, rel=0.01)
+
+    def test_with_single_buffering(self, c6_design):
+        single = c6_design.with_single_buffering()
+        assert not single.pl_double_buffered
+        assert c6_design.pl_double_buffered  # original untouched
+
+
+class TestTilePlan:
+    def test_plan_fits_device(self, c6_design, square_2048):
+        plan = c6_design.tile_plan(square_2048)
+        assert plan.fits(c6_design.device)
+
+    def test_single_buffer_plan_uses_freed_capacity(self, c11_design, square_2048):
+        double = c11_design.tile_plan(square_2048)
+        single = c11_design.with_single_buffering().tile_plan(square_2048)
+        assert single.traffic().total <= double.traffic().total
+
+    def test_second_generation_device(self):
+        """Section V-K: the pipeline runs unchanged on AIE-ML."""
+        config = config_by_name("C7")
+        design = CharmDesign(config, device=AIE_ML_DEVICE)
+        design.validate()
+        plan = design.tile_plan(GemmShape(1024, 1024, 1024))
+        assert plan.num_dram_tiles >= 1

@@ -1,0 +1,66 @@
+"""Connectivity-graph generation tests (the Fig. 4 artifact)."""
+
+import pytest
+
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.mapping.connectivity import build_connectivity
+
+
+@pytest.fixture(scope="module")
+def c1_graph():
+    return build_connectivity(config_by_name("C1"))
+
+
+class TestStructure:
+    def test_c1_has_16_kernels(self, c1_graph):
+        assert c1_graph.num_kernels == 16
+
+    def test_c1_cascade_chains(self, c1_graph):
+        """Fig. 4: four packs of four engines -> 12 cascade edges."""
+        assert len(c1_graph.cascades) == 4 * 3
+
+    def test_c1_plio_count_matches_table2(self, c1_graph):
+        assert c1_graph.num_plios == 7
+        assert len(c1_graph.plios_for("A")) == 2
+        assert len(c1_graph.plios_for("B")) == 4
+        assert len(c1_graph.plios_for("C")) == 1
+
+    def test_cascade_edges_stay_within_pack(self, c1_graph):
+        for edge in c1_graph.cascades:
+            src = next(k for k in c1_graph.kernels if k.name == edge.src)
+            dst = next(k for k in c1_graph.kernels if k.name == edge.dst)
+            assert (src.im, src.jn) == (dst.im, dst.jn)
+            assert dst.lk == src.lk + 1
+
+    def test_every_kernel_fed(self, c1_graph):
+        fed = {k for p in c1_graph.plios if p.direction == "in" for k in p.kernels}
+        assert fed == {k.name for k in c1_graph.kernels}
+
+    def test_c_ports_read_pack_tails(self, c1_graph):
+        g = c1_graph.config.grouping
+        for port in c1_graph.plios_for("C"):
+            for kernel_name in port.kernels:
+                kernel = next(k for k in c1_graph.kernels if k.name == kernel_name)
+                assert kernel.lk == g.gk - 1
+
+    @pytest.mark.parametrize("name", [c.name for c in ALL_CONFIGS])
+    def test_every_table2_config_builds_and_validates(self, name):
+        graph = build_connectivity(config_by_name(name))
+        graph.validate()  # counts reconcile with Table II + grouping
+
+
+class TestRendering:
+    def test_summary_mentions_native_size(self, c1_graph):
+        text = c1_graph.summary()
+        assert "32x128x128" in text and "packs" in text
+
+    def test_dot_is_wellformed(self, c1_graph):
+        dot = c1_graph.to_dot()
+        assert dot.startswith('digraph "C1"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") >= len(c1_graph.cascades) + 16
+
+    def test_dot_marks_ports(self, c1_graph):
+        dot = c1_graph.to_dot()
+        assert "invhouse" in dot  # input PLIOs
+        assert "house" in dot  # output PLIOs

@@ -1,0 +1,72 @@
+"""Fragmentation/padding analysis tests (the paper's future work)."""
+
+import pytest
+
+from repro.kernels.precision import Precision
+from repro.mapping.configs import config_by_name
+from repro.mapping.fragmentation import FragmentationAnalysis
+from repro.workloads.dnn import workload_by_id
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return FragmentationAnalysis(Precision.FP32)
+
+
+class TestPaddingReports:
+    def test_aligned_workload_no_waste(self, analysis):
+        config = config_by_name("C1")
+        report = analysis.report(config, config.native_size.scaled(2, 2, 2))
+        assert report.waste_fraction == 0.0
+        assert report.padded_dimensions == (0, 0, 0)
+
+    def test_misaligned_workload_wastes(self, analysis):
+        config = config_by_name("C6")  # native 384x128x256
+        report = analysis.report(config, GemmShape(400, 130, 260))
+        assert report.waste_fraction > 0.3
+
+    def test_bigger_native_sizes_waste_more_on_odd_shapes(self, analysis):
+        odd = GemmShape(1000, 1000, 1000)
+        small = analysis.report(config_by_name("C1"), odd)
+        large = analysis.report(config_by_name("C6"), odd)
+        assert large.waste_fraction > small.waste_fraction
+
+    def test_useful_throughput_excludes_padding(self, analysis):
+        config = config_by_name("C6")
+        odd = GemmShape(400, 130, 260)
+        report = analysis.report(config, odd)
+        assert report.useful_throughput_ops == pytest.approx(
+            odd.flops / report.seconds
+        )
+
+
+class TestSweeps:
+    def test_sweep_covers_all_configs(self, analysis):
+        reports = analysis.sweep(GemmShape(1024, 1024, 1024))
+        assert len(reports) == 6  # all FP32 configs
+        aies = [r.config.num_aies for r in reports]
+        assert aies == sorted(aies, reverse=True)
+
+    def test_best_balances_speed_and_waste(self, analysis):
+        """For an awkward small shape, the best useful-throughput config
+        need not be the biggest array."""
+        best = analysis.best(GemmShape(100, 100, 100))
+        assert best.config.num_aies < 384
+
+    def test_large_aligned_workload_prefers_large_config(self, analysis):
+        best = analysis.best(GemmShape(4096, 4096, 4096))
+        assert best.config.num_aies >= 256
+
+    def test_waste_matrix_for_table3(self, analysis):
+        workloads = [workload_by_id(i).shape for i in ("B1", "L3")]
+        matrix = analysis.waste_matrix(workloads)
+        assert set(matrix) == {c.name for c in analysis.configs}
+        for row in matrix.values():
+            for value in row.values():
+                assert 0.0 <= value < 1.0
+
+    def test_table3_waste_small_on_c6(self, analysis):
+        """Table III shapes are large, so padding is amortised."""
+        report = analysis.report(config_by_name("C6"), workload_by_id("B1").shape)
+        assert report.waste_fraction < 0.15

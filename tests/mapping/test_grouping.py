@@ -1,0 +1,76 @@
+"""Grouping algebra tests (Fig. 3 / Section IV-A)."""
+
+import pytest
+
+from repro.kernels.precision import Precision
+from repro.mapping.grouping import AieGrouping, CLUSTER_AIES, pack_depth_for
+from repro.workloads.gemm import GemmShape
+
+FP32_KERNEL = GemmShape.square(32)
+INT8_KERNEL = GemmShape.square(64)
+
+
+class TestPackDepth:
+    def test_fp32_pack_of_4(self):
+        """CHARM chains 4 FP32 engines by cascade."""
+        assert pack_depth_for(Precision.FP32) == 4
+
+    def test_int8_pack_of_2(self):
+        assert pack_depth_for(Precision.INT8) == 2
+
+
+class TestNativeSize:
+    def test_fig3a_expanded_k(self):
+        """Fig. 3(a): 4 engines chained along K -> native 32x128x32."""
+        grouping = AieGrouping(1, 4, 1, FP32_KERNEL, Precision.FP32)
+        assert grouping.native_size == GemmShape(32, 128, 32)
+
+    def test_fig3b_expanded_m(self):
+        grouping = AieGrouping(4, 1, 1, FP32_KERNEL, Precision.FP32)
+        assert grouping.native_size == GemmShape(128, 32, 32)
+
+    def test_fig3c_expanded_n(self):
+        grouping = AieGrouping(1, 1, 4, FP32_KERNEL, Precision.FP32)
+        assert grouping.native_size == GemmShape(32, 32, 128)
+
+    def test_num_aies_is_product(self):
+        grouping = AieGrouping(2, 4, 3, FP32_KERNEL, Precision.FP32)
+        assert grouping.num_aies == 24
+
+    def test_rejects_non_positive_factor(self):
+        with pytest.raises(ValueError):
+            AieGrouping(0, 4, 4, FP32_KERNEL, Precision.FP32)
+
+
+class TestPacksAndClusters:
+    def test_pack_depth_capped_by_gk(self):
+        grouping = AieGrouping(4, 1, 4, FP32_KERNEL, Precision.FP32)
+        assert grouping.pack_depth == 1
+
+    def test_num_packs(self):
+        grouping = AieGrouping(1, 4, 4, FP32_KERNEL, Precision.FP32)
+        assert grouping.num_packs == 4
+
+    def test_pl_reduction_needed_when_gk_exceeds_pack(self):
+        """Section IV-A: reductions beyond a pack happen in the PL."""
+        deep = AieGrouping(4, 8, 4, FP32_KERNEL, Precision.FP32)
+        assert deep.pl_reduction_groups == 2
+        shallow = AieGrouping(4, 4, 4, FP32_KERNEL, Precision.FP32)
+        assert shallow.pl_reduction_groups == 1
+
+    def test_cluster_count(self):
+        grouping = AieGrouping(4, 4, 4, FP32_KERNEL, Precision.FP32)
+        assert grouping.num_clusters == 64 // CLUSTER_AIES
+
+
+class TestInvocations:
+    def test_exact_multiple(self):
+        grouping = AieGrouping(1, 4, 4, FP32_KERNEL, Precision.FP32)
+        workload = grouping.native_size.scaled(2, 2, 2)
+        assert grouping.kernel_invocations(workload) == 8
+
+    def test_padding_rounds_up(self):
+        grouping = AieGrouping(1, 4, 4, FP32_KERNEL, Precision.FP32)
+        native = grouping.native_size
+        workload = GemmShape(native.m + 1, native.k, native.n)
+        assert grouping.kernel_invocations(workload) == 2

@@ -1,0 +1,81 @@
+"""INT16 (CHARM 2.0) extension-configuration tests."""
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import INT16_CONFIGS, KERNEL_INT16, config_by_name, configs_for
+from repro.sim.functional import FunctionalGemm
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+
+class TestInt16Kernel:
+    def test_kernel_is_scalable(self):
+        kernel = SingleAieGemmKernel(KERNEL_INT16, Precision.INT16)
+        assert kernel.is_scalable()
+        assert kernel.double_buffer_legal()
+
+    def test_kernel_fills_local_memory_exactly(self):
+        kernel = SingleAieGemmKernel(KERNEL_INT16, Precision.INT16)
+        assert kernel.footprint_bytes() == 32 * 1024
+
+    def test_kernel_efficiency_over_90pct(self):
+        kernel = SingleAieGemmKernel(KERNEL_INT16, Precision.INT16)
+        assert kernel.efficiency() > 0.90
+
+    def test_compute_between_fp32_and_int8(self):
+        """INT16 sits between FP32 and INT8 (32 MACs/cycle)."""
+        shape = GemmShape(64, 64, 64)
+        from repro.kernels.kernel_timing import compute_cycles
+
+        fp32 = compute_cycles(shape, Precision.FP32)
+        int16 = compute_cycles(shape, Precision.INT16)
+        int8 = compute_cycles(shape, Precision.INT8)
+        assert int8 < int16 < fp32
+
+
+class TestInt16Configs:
+    def test_three_extension_configs(self):
+        assert len(INT16_CONFIGS) == 3
+        assert configs_for(Precision.INT16) == INT16_CONFIGS
+
+    def test_all_valid_designs(self):
+        for config in INT16_CONFIGS:
+            CharmDesign(config).validate()
+
+    def test_lookup_by_name(self):
+        assert config_by_name("I2").num_aies == 64
+
+    def test_pack_depth_is_two(self):
+        for config in INT16_CONFIGS:
+            assert config.grouping.pack_depth == 2
+
+
+class TestInt16Execution:
+    def test_functional_correctness(self):
+        design = CharmDesign(config_by_name("I1"))
+        result = FunctionalGemm(design, seed=4).run(design.native_size.scaled(2, 1, 2))
+        assert result.max_abs_error == 0.0
+
+    def test_model_and_hw_agree(self):
+        design = CharmDesign(config_by_name("I2"))
+        workload = GemmShape(1024, 1024, 1024)
+        _, error = HwSimulator(design).compare_with_model(workload)
+        assert abs(error) <= 0.05
+
+    def test_int16_between_precisions_end_to_end(self):
+        workload = GemmShape(2048, 2048, 2048)
+        fp32 = AnalyticalModel(CharmDesign(config_by_name("C5"))).estimate(workload)
+        int16 = AnalyticalModel(CharmDesign(config_by_name("I3"))).estimate(workload)
+        int8 = AnalyticalModel(CharmDesign(config_by_name("C11"))).estimate(workload)
+        assert int8.total_seconds < int16.total_seconds < fp32.total_seconds
+
+    def test_dse_supports_int16(self):
+        from repro.core.dse import DesignSpaceExplorer
+
+        explorer = DesignSpaceExplorer(Precision.INT16, max_aies=64)
+        best = explorer.best(GemmShape(1024, 1024, 1024))
+        assert best.config.precision is Precision.INT16

@@ -1,0 +1,88 @@
+"""Physical-placement tests."""
+
+import pytest
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.mapping.placement import CharmPlacer, PlacementError
+
+
+class TestSinglePlacement:
+    def test_c1_uses_16_tiles(self):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name("C1")))
+        assert placement.tiles_used == 16
+        assert placer.utilization() == pytest.approx(16 / 400)
+
+    def test_pack_depth_matches_precision(self):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name("C1")))
+        assert all(p.depth == 4 for p in placement.packs)  # FP32 packs of 4
+        int8 = CharmPlacer().place(CharmDesign(config_by_name("C7")))
+        assert all(p.depth == 2 for p in int8.packs)  # INT8 packs of 2
+
+    def test_packs_are_cascade_contiguous(self):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name("C1")))
+        for pack in placement.packs:
+            for a, b in zip(pack.tiles, pack.tiles[1:]):
+                assert placer.array.tiles[a].cascade_successor() == b
+
+    def test_no_tile_shared_between_packs(self):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name("C3")))
+        tiles = [t for p in placement.packs for t in p.tiles]
+        assert len(tiles) == len(set(tiles))
+
+    def test_memory_reserved_on_tiles(self):
+        placer = CharmPlacer()
+        design = CharmDesign(config_by_name("C1"))
+        placement = placer.place(design)
+        position = placement.packs[0].head
+        assert placer.array.tiles[position].reserved_bytes == design.kernel.footprint_bytes()
+
+    def test_plios_allocated(self):
+        placer = CharmPlacer()
+        placer.place(CharmDesign(config_by_name("C1")))
+        assert placer.plio_usage() == 7
+
+    def test_feeder_routes_exist(self):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name("C1")))
+        assert len(placement.feeder_routes) == len(placement.packs)
+        assert placement.max_feeder_hops() >= 0
+
+
+class TestReplication:
+    def test_c1_replicates_25_times(self):
+        """Fig. 13: the 7-PLIO 16-AIE design fills the whole array."""
+        placer = CharmPlacer()
+        replicas = placer.place_replicas(CharmDesign(config_by_name("C1")))
+        assert len(replicas) == 25
+        assert placer.utilization() == pytest.approx(1.0)
+
+    def test_c6_fits_once(self):
+        placer = CharmPlacer()
+        replicas = placer.place_replicas(CharmDesign(config_by_name("C6")))
+        assert len(replicas) == 1
+        assert placer.utilization() == pytest.approx(384 / 400)
+
+    def test_exact_count_raises_when_impossible(self):
+        placer = CharmPlacer()
+        with pytest.raises((PlacementError, Exception)):
+            placer.place_replicas(CharmDesign(config_by_name("C6")), count=2)
+
+    def test_later_replicas_have_longer_feeders(self):
+        """Replicas placed higher in the array route farther from the
+        interface row — the physical cost Fig. 13 abstracts."""
+        placer = CharmPlacer()
+        replicas = placer.place_replicas(CharmDesign(config_by_name("C1")))
+        first, last = replicas[0], replicas[-1]
+        assert last.mean_feeder_hops() > first.mean_feeder_hops()
+
+    def test_congestion_grows_with_replicas(self):
+        placer = CharmPlacer()
+        placer.place(CharmDesign(config_by_name("C1")))
+        low = placer.congestion()
+        placer.place_replicas(CharmDesign(config_by_name("C1")))
+        assert placer.congestion() >= low

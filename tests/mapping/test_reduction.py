@@ -1,0 +1,53 @@
+"""PL reduction tests (Section IV-A's out-of-cluster reductions)."""
+
+import pytest
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.mapping.reduction import estimate_pl_reduction
+
+
+class TestReductionGroups:
+    def test_cascade_only_configs_need_no_pl_reduction(self):
+        """C1-C3, C5, C6 have gk == pack depth: cascade does it all."""
+        for name in ("C1", "C2", "C3", "C5", "C6"):
+            estimate = estimate_pl_reduction(CharmDesign(config_by_name(name)))
+            assert not estimate.needs_pl_reduction
+            assert estimate.keeps_up
+            assert estimate.bram_staging_bytes == 0
+
+    def test_deep_k_configs_reduce_in_pl(self):
+        """C4 (gk=8, packs of 4) and C10/C11 (gk=8, packs of 2) need it."""
+        c4 = estimate_pl_reduction(CharmDesign(config_by_name("C4")))
+        assert c4.groups == 2 and c4.needs_pl_reduction
+        c11 = estimate_pl_reduction(CharmDesign(config_by_name("C11")))
+        assert c11.groups == 4
+
+
+class TestStreamingFeasibility:
+    @pytest.mark.parametrize("name", [c.name for c in ALL_CONFIGS])
+    def test_every_table2_design_keeps_up(self, name):
+        """The published designs work, so the in-stream accumulator must
+        match the C PLIO arrival rate on every configuration."""
+        estimate = estimate_pl_reduction(CharmDesign(config_by_name(name)))
+        assert estimate.keeps_up, (
+            f"{name}: arrival {estimate.arrival_rate:.3g} > "
+            f"accumulate {estimate.accumulate_rate:.3g}"
+        )
+
+    def test_utilization_bounded(self):
+        for name in ("C4", "C10", "C11"):
+            estimate = estimate_pl_reduction(CharmDesign(config_by_name(name)))
+            assert 0 < estimate.utilization <= 1.0
+
+    def test_staging_fits_pl_memory(self):
+        from repro.hw.specs import VCK5000
+
+        for name in ("C4", "C10", "C11"):
+            estimate = estimate_pl_reduction(CharmDesign(config_by_name(name)))
+            assert 0 < estimate.bram_staging_bytes < VCK5000.pl_usable_bytes
+
+    def test_more_reduction_groups_more_bram(self):
+        c4 = estimate_pl_reduction(CharmDesign(config_by_name("C4")))
+        c11 = estimate_pl_reduction(CharmDesign(config_by_name("C11")))
+        assert c11.bram_staging_bytes > c4.bram_staging_bytes

@@ -1,0 +1,59 @@
+"""Packet/circuit/hybrid switching tests (Section IV-A)."""
+
+import pytest
+
+from repro.mapping.switching import (
+    PlioConnection,
+    SwitchingKind,
+    serialization_factor,
+)
+
+
+class TestSerializationFactor:
+    def test_packet_counts_every_delivery(self):
+        # 4 chunks each fanned to 4 sinks over 1 PLIO: 16 serialized sends
+        assert serialization_factor(SwitchingKind.PACKET, 4, 4, 1) == 16
+
+    def test_hybrid_broadcasts_fanout(self):
+        assert serialization_factor(SwitchingKind.HYBRID, 4, 4, 1) == 4
+
+    def test_hybrid_parallelises_across_plios(self):
+        assert serialization_factor(SwitchingKind.HYBRID, 4, 4, 2) == 2
+
+    def test_circuit_fully_parallel(self):
+        assert serialization_factor(SwitchingKind.CIRCUIT, 4, 4, 4) == 1
+
+    def test_circuit_requires_enough_plios(self):
+        with pytest.raises(ValueError):
+            serialization_factor(SwitchingKind.CIRCUIT, 4, 4, 2)
+
+    def test_rejects_zero_plios(self):
+        with pytest.raises(ValueError):
+            serialization_factor(SwitchingKind.PACKET, 4, 4, 0)
+
+    def test_packet_worse_or_equal_to_hybrid(self):
+        for chunks in (1, 4, 16):
+            for fanout in (1, 2, 4):
+                for plios in (1, 2, 4):
+                    packet = serialization_factor(SwitchingKind.PACKET, chunks, fanout, plios)
+                    hybrid = serialization_factor(SwitchingKind.HYBRID, chunks, fanout, plios)
+                    assert packet >= hybrid
+
+
+class TestPlioConnection:
+    def test_deliveries(self):
+        conn = PlioConnection("A", 2, SwitchingKind.PACKET, 4, 4)
+        assert conn.deliveries == 16
+        assert conn.serialization == 8
+
+    def test_hybrid_deliveries_equal_chunks(self):
+        conn = PlioConnection("A", 2, SwitchingKind.HYBRID, 4, 4)
+        assert conn.deliveries == 4
+
+    def test_circuit_validation_at_construction(self):
+        with pytest.raises(ValueError):
+            PlioConnection("A", 2, SwitchingKind.CIRCUIT, 4, 1)
+
+    def test_rejects_zero_plios(self):
+        with pytest.raises(ValueError):
+            PlioConnection("A", 0, SwitchingKind.PACKET, 4, 1)

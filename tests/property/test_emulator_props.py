@@ -1,0 +1,49 @@
+"""Property-based tests: the kernel emulator vs numpy and vs the model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.emulator import AieKernelEmulator
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.kernel_timing import compute_cycles
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+# keep emulated shapes small: the emulator is issue-accurate, not fast
+small_pow2 = st.sampled_from([8, 16, 32])
+precisions = st.sampled_from([Precision.FP32, Precision.INT8, Precision.INT16])
+
+
+@st.composite
+def emulable(draw):
+    shape = GemmShape(draw(small_pow2), draw(small_pow2), draw(small_pow2))
+    precision = draw(precisions)
+    return SingleAieGemmKernel(shape, precision)
+
+
+class TestEmulatorProperties:
+    @given(emulable(), st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_always_matches_numpy(self, kernel, seed):
+        emulation, reference = AieKernelEmulator(kernel).run_random(seed=seed)
+        assert emulation.matches(reference)
+
+    @given(emulable())
+    @settings(max_examples=30, deadline=None)
+    def test_cycles_agree_with_model_on_aligned_shapes(self, kernel):
+        """For K a multiple of the datapath's reduction step, the
+        executed schedule and the closed-form model agree exactly."""
+        if kernel.shape.k % kernel.precision.k_per_cycle != 0:
+            return
+        emulation, _ = AieKernelEmulator(kernel).run_random()
+        model = compute_cycles(kernel.shape, kernel.precision, kernel.style)
+        assert emulation.cycles <= model * 1.01
+        assert emulation.cycles >= model * 0.99
+
+    @given(emulable())
+    @settings(max_examples=30, deadline=None)
+    def test_issue_accounting(self, kernel):
+        emulation, _ = AieKernelEmulator(kernel).run_random()
+        lanes = kernel.precision.lanes
+        expected_blocks = -(-kernel.shape.m * kernel.shape.n // lanes)
+        assert emulation.drains == expected_blocks
+        assert emulation.vector_issues >= expected_blocks

@@ -1,0 +1,74 @@
+"""Property-based tests: pipeline-engine scheduling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import PipelineSimulator, PipelineStage
+
+service_times = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=5
+)
+slot_lists = st.lists(st.integers(1, 4), min_size=1, max_size=5)
+item_counts = st.integers(0, 30)
+
+
+@st.composite
+def pipelines(draw):
+    times = draw(service_times)
+    slots = draw(st.lists(st.integers(1, 4), min_size=len(times), max_size=len(times)))
+    stages = [
+        PipelineStage(f"s{i}", (lambda v: (lambda t: v))(v), slots=slot)
+        for i, (v, slot) in enumerate(zip(times, slots))
+    ]
+    return PipelineSimulator(stages), times
+
+
+class TestEngineInvariants:
+    @given(pipelines(), item_counts)
+    @settings(max_examples=80)
+    def test_makespan_at_least_busiest_stage(self, pipe_and_times, n):
+        pipe, times = pipe_and_times
+        result = pipe.run(n)
+        for i, service in enumerate(times):
+            assert result.makespan >= result.stage_busy(i) - 1e-9
+            assert result.stage_busy(i) >= n * service - 1e-6
+
+    @given(pipelines(), item_counts)
+    @settings(max_examples=80)
+    def test_makespan_at_most_fully_serial(self, pipe_and_times, n):
+        pipe, times = pipe_and_times
+        result = pipe.run(n)
+        assert result.makespan <= n * sum(times) + 1e-6
+
+    @given(pipelines(), item_counts)
+    @settings(max_examples=80)
+    def test_causality(self, pipe_and_times, n):
+        pipe, _ = pipe_and_times
+        result = pipe.run(n)
+        for s in range(1, len(result.stage_names)):
+            for t in range(n):
+                assert result.start_times[s][t] >= result.end_times[s - 1][t] - 1e-9
+
+    @given(pipelines(), st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_in_order_processing(self, pipe_and_times, n):
+        pipe, _ = pipe_and_times
+        result = pipe.run(n)
+        for stage_starts in result.start_times:
+            assert all(
+                b >= a - 1e-9 for a, b in zip(stage_starts, stage_starts[1:])
+            )
+
+    @given(service_times, st.integers(1, 20))
+    @settings(max_examples=60)
+    def test_deeper_buffers_never_slower(self, times, n):
+        def build(slots):
+            return PipelineSimulator(
+                [
+                    PipelineStage(f"s{i}", (lambda v: (lambda t: v))(v), slots=slots)
+                    for i, v in enumerate(times)
+                ]
+            )
+
+        shallow = build(1).run(n).makespan
+        deep = build(3).run(n).makespan
+        assert deep <= shallow + 1e-9

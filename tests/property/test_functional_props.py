@@ -1,0 +1,44 @@
+"""Property-based tests: the tiled dataflow always computes A @ B."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.sim.functional import FunctionalGemm
+from repro.workloads.gemm import GemmShape
+
+
+@st.composite
+def arbitrary_workloads(draw):
+    """Workloads deliberately misaligned with native sizes."""
+    return GemmShape(
+        draw(st.integers(1, 200)),
+        draw(st.integers(1, 300)),
+        draw(st.integers(1, 200)),
+    )
+
+
+class TestFunctionalEquivalence:
+    @given(arbitrary_workloads(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_fp32_matches_numpy(self, workload, seed):
+        design = CharmDesign(config_by_name("C1"))
+        result = FunctionalGemm(design, seed=seed).run(workload)
+        assert result.correct, (workload, result.max_abs_error)
+
+    @given(arbitrary_workloads(), st.integers(0, 1000))
+    @settings(max_examples=15, deadline=None)
+    def test_int8_exact_match(self, workload, seed):
+        design = CharmDesign(config_by_name("C7"))
+        result = FunctionalGemm(design, seed=seed).run(workload)
+        assert result.max_abs_error == 0.0, workload
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_native_multiples_exact_invocation_count(self, sm, sk, sn):
+        design = CharmDesign(config_by_name("C1"))
+        workload = design.native_size.scaled(sm, sk, sn)
+        plan = design.tile_plan(workload)
+        result = FunctionalGemm(design, seed=0).run(workload, plan=plan)
+        assert result.correct
+        assert result.kernel_invocations == plan.total_native_tiles

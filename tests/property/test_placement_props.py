@@ -1,0 +1,47 @@
+"""Property-based tests: physical-placement invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.mapping.placement import CharmPlacer
+
+config_names = st.sampled_from([c.name for c in ALL_CONFIGS if c.num_aies <= 64])
+
+
+class TestPlacementProperties:
+    @given(config_names, st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_tiles_never_shared(self, name, replicas):
+        placer = CharmPlacer()
+        design = CharmDesign(config_by_name(name))
+        placements = placer.place_replicas(design, count=replicas)
+        tiles = [t for p in placements for pack in p.packs for t in pack.tiles]
+        assert len(tiles) == len(set(tiles))
+        assert len(tiles) == replicas * design.config.num_aies
+
+    @given(config_names)
+    @settings(max_examples=15, deadline=None)
+    def test_chains_follow_cascade(self, name):
+        placer = CharmPlacer()
+        placement = placer.place(CharmDesign(config_by_name(name)))
+        for pack in placement.packs:
+            for a, b in zip(pack.tiles, pack.tiles[1:]):
+                assert placer.array.tiles[a].cascade_successor() == b
+
+    @given(config_names)
+    @settings(max_examples=15, deadline=None)
+    def test_fill_until_exhaustion_respects_budgets(self, name):
+        placer = CharmPlacer()
+        design = CharmDesign(config_by_name(name))
+        placements = placer.place_replicas(design)
+        used_aies = sum(p.tiles_used for p in placements)
+        assert used_aies <= placer.device.num_aies
+        assert placer.plio_usage() <= placer.device.usable_plios
+        # greedy fill leaves no room for one more replica
+        expected_max = min(
+            placer.device.num_aies // design.config.num_aies,
+            placer.device.usable_plios // design.config.num_plios,
+        )
+        assert len(placements) <= expected_max
+        assert len(placements) >= expected_max - 1  # snake fragmentation slack

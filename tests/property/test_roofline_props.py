@@ -1,0 +1,50 @@
+"""Property-based tests: roofline attainability invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.roofline import Roofline
+from repro.kernels.precision import Precision
+from repro.workloads.gemm import GemmShape
+
+ois = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+dims = st.integers(min_value=1, max_value=16384)
+
+
+class TestAttainability:
+    @given(ois)
+    def test_attainable_never_exceeds_peak(self, oi):
+        roofline = Roofline(Precision.INT8)
+        assert roofline.attainable(oi) <= 128e12 * 1.0001
+
+    @given(ois)
+    def test_attainable_never_exceeds_bandwidth_line(self, oi):
+        roofline = Roofline(Precision.INT8)
+        assert roofline.attainable(oi) <= oi * roofline.dram_bandwidth() * 1.0001
+
+    @given(ois, ois)
+    def test_attainable_monotone_in_oi(self, a, b):
+        roofline = Roofline(Precision.INT8)
+        low, high = min(a, b), max(a, b)
+        assert roofline.attainable(low) <= roofline.attainable(high) * 1.0001
+
+    @given(st.integers(1, 400))
+    def test_ceiling_scales_with_aies(self, aies):
+        roofline = Roofline(Precision.INT8)
+        peak = roofline.device.peak_ops(Precision.INT8, aies)
+        assert peak == aies * 128 * 1.25e9 * 2
+
+    @given(dims, dims, dims)
+    @settings(max_examples=60)
+    def test_point_on_or_below_roof(self, m, k, n):
+        roofline = Roofline(Precision.INT8)
+        point = roofline.point("w", GemmShape(m, k, n))
+        assert point.attainable_ops <= 128e12 * 1.0001
+        assert point.operational_intensity > 0
+
+    @given(dims, dims, dims)
+    @settings(max_examples=60)
+    def test_compute_bound_iff_right_of_ridge(self, m, k, n):
+        roofline = Roofline(Precision.INT8)
+        point = roofline.point("w", GemmShape(m, k, n))
+        ridge = 128e12 / roofline.dram_bandwidth()
+        assert point.compute_bound == (point.operational_intensity >= ridge)

@@ -1,0 +1,73 @@
+"""Property-based tests: PLIO scheme and switching invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapping.configs import config_by_name
+from repro.mapping.plio_schemes import make_scheme
+from repro.mapping.switching import SwitchingKind, serialization_factor
+
+chunks = st.integers(1, 64)
+fanouts = st.integers(1, 16)
+plio_counts = st.integers(1, 64)
+
+
+class TestSerializationProperties:
+    @given(chunks, fanouts, plio_counts)
+    def test_more_plios_never_serialise_more(self, c, f, p):
+        for kind in (SwitchingKind.PACKET, SwitchingKind.HYBRID):
+            assert serialization_factor(kind, c, f, p + 1) <= serialization_factor(
+                kind, c, f, p
+            )
+
+    @given(chunks, fanouts, plio_counts)
+    def test_packet_at_least_hybrid(self, c, f, p):
+        packet = serialization_factor(SwitchingKind.PACKET, c, f, p)
+        hybrid = serialization_factor(SwitchingKind.HYBRID, c, f, p)
+        assert packet >= hybrid
+
+    @given(chunks, fanouts)
+    def test_hybrid_with_enough_plios_is_parallel(self, c, f):
+        assert serialization_factor(SwitchingKind.HYBRID, c, f, c) == 1
+
+    @given(chunks, fanouts, plio_counts)
+    def test_serialization_covers_all_deliveries(self, c, f, p):
+        """plios * per-plio serialization must cover every delivery."""
+        factor = serialization_factor(SwitchingKind.PACKET, c, f, p)
+        assert factor * p >= c * f
+
+    @given(chunks, fanouts)
+    def test_unit_fanout_packet_equals_hybrid(self, c, p):
+        assert serialization_factor(
+            SwitchingKind.PACKET, c, 1, p
+        ) == serialization_factor(SwitchingKind.HYBRID, c, 1, p)
+
+
+class TestSchemeProperties:
+    @given(
+        st.integers(1, 16),
+        st.integers(1, 16),
+        st.integers(1, 4),
+        st.sampled_from([SwitchingKind.PACKET, SwitchingKind.HYBRID]),
+    )
+    @settings(max_examples=50)
+    def test_invocation_period_at_least_compute(self, pa, pb, pc, kind):
+        config = config_by_name("C1")
+        scheme = make_scheme(config, pa, pb, pc, kind, kind, kind)
+        assert scheme.invocation_cycles() >= scheme.compute_cycles()
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.integers(1, 4))
+    @settings(max_examples=50)
+    def test_utilization_in_unit_interval(self, pa, pb, pc):
+        config = config_by_name("C1")
+        hybrid = SwitchingKind.HYBRID
+        scheme = make_scheme(config, pa, pb, pc, hybrid, hybrid, hybrid)
+        assert 0 < scheme.array_utilization() <= 1.0
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=40)
+    def test_more_b_plios_never_slower(self, pb, extra):
+        config = config_by_name("C1")
+        hybrid = SwitchingKind.HYBRID
+        base = make_scheme(config, 2, pb, 1, hybrid, hybrid, hybrid)
+        more = make_scheme(config, 2, pb + extra, 1, hybrid, hybrid, hybrid)
+        assert more.invocation_cycles() <= base.invocation_cycles()

@@ -1,0 +1,118 @@
+"""Property-based tests: tiling invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.kernels.precision import Precision
+from repro.mapping.tiling import TilePlan
+from repro.workloads.gemm import GemmShape
+
+dims = st.integers(min_value=1, max_value=4096)
+small_dims = st.integers(min_value=1, max_value=64)
+multiples = st.integers(min_value=1, max_value=8)
+
+
+@st.composite
+def shapes(draw, dim=dims):
+    return GemmShape(draw(dim), draw(dim), draw(dim))
+
+
+@st.composite
+def plans(draw):
+    native = GemmShape(
+        32 * draw(st.integers(1, 8)),
+        32 * draw(st.integers(1, 8)),
+        32 * draw(st.integers(1, 8)),
+    )
+    workload = draw(shapes())
+    mult = (draw(multiples), draw(multiples), draw(multiples))
+    return TilePlan(workload, native, Precision.FP32, mult)
+
+
+class TestPaddingProperties:
+    @given(shapes(), shapes(small_dims))
+    def test_padding_covers_workload(self, workload, unit):
+        padded = workload.padded_to(unit)
+        assert padded.m >= workload.m
+        assert padded.k >= workload.k
+        assert padded.n >= workload.n
+
+    @given(shapes(), shapes(small_dims))
+    def test_padding_is_multiple(self, workload, unit):
+        assert workload.padded_to(unit).is_multiple_of(unit)
+
+    @given(shapes(), shapes(small_dims))
+    def test_padding_idempotent(self, workload, unit):
+        once = workload.padded_to(unit)
+        assert once.padded_to(unit) == once
+
+    @given(shapes(), shapes(small_dims))
+    def test_padding_minimal(self, workload, unit):
+        """Shrinking any padded dimension by one unit would under-cover."""
+        padded = workload.padded_to(unit)
+        assert padded.m - unit.m < workload.m
+        assert padded.k - unit.k < workload.k
+        assert padded.n - unit.n < workload.n
+
+    @given(shapes(), shapes(small_dims))
+    def test_tile_counts_cover(self, workload, tile):
+        tm, tk, tn = workload.tile_counts(tile)
+        assert tm * tile.m >= workload.m
+        assert tk * tile.k >= workload.k
+        assert tn * tile.n >= workload.n
+        assert (tm - 1) * tile.m < workload.m
+
+
+class TestTrafficProperties:
+    @given(plans())
+    @settings(max_examples=60)
+    def test_traffic_at_least_minimal(self, plan):
+        traffic = plan.traffic()
+        assert traffic.total >= traffic.minimal
+        assert traffic.tiling_overhead >= 1.0
+
+    @given(plans())
+    @settings(max_examples=60)
+    def test_c_written_exactly_once(self, plan):
+        assert plan.traffic().write_c == plan.padded.bytes_c(4)
+
+    @given(plans())
+    @settings(max_examples=60)
+    def test_effective_oi_never_exceeds_ideal(self, plan):
+        ideal = plan.padded.flops / plan.padded.total_io_bytes(4)
+        assert plan.effective_operational_intensity() <= ideal * 1.0001
+
+    @given(plans())
+    @settings(max_examples=60)
+    def test_tile_accounting_consistent(self, plan):
+        # DRAM tiles times PL tiles per DRAM tile covers at least every
+        # native tile of the padded workload
+        covered = plan.num_dram_tiles * plan.pl_tiles_per_dram_tile
+        assert covered >= plan.total_native_tiles
+
+    @given(plans())
+    @settings(max_examples=60)
+    def test_footprint_positive_and_linear_in_buffering(self, plan):
+        import dataclasses
+
+        single = dataclasses.replace(plan, double_buffered=False)
+        assert plan.pl_footprint_bytes() == 2 * single.pl_footprint_bytes()
+
+
+class TestGrowingTilesNeverIncreaseTraffic:
+    @given(plans(), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_larger_n_multiple(self, plan, extra):
+        import dataclasses
+
+        am, ak, an = plan.multiples
+        bigger = dataclasses.replace(plan, multiples=(am, ak, an * extra))
+        assert bigger.traffic().read_a <= plan.traffic().read_a
+
+    @given(plans(), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_larger_m_multiple(self, plan, extra):
+        import dataclasses
+
+        am, ak, an = plan.multiples
+        bigger = dataclasses.replace(plan, multiples=(am * extra, ak, an))
+        assert bigger.traffic().read_b <= plan.traffic().read_b

@@ -1,0 +1,96 @@
+"""aiesimulator stand-in tests (kernel + graph simulation)."""
+
+import pytest
+
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.configs import config_by_name
+from repro.mapping.plio_schemes import reference_schemes
+from repro.sim.aiesim import simulate_graph, simulate_kernel
+from repro.workloads.gemm import GemmShape
+
+
+class TestKernelSimulation:
+    def test_fp32_32cube_over_90pct_efficiency(self):
+        """Fig. 5: intrinsic kernels exceed 90% efficiency."""
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        report = simulate_kernel(kernel, invocations=128)
+        assert report.efficiency > 0.90
+
+    def test_api_fp32_efficiency_halved(self):
+        intr = simulate_kernel(
+            SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32), invocations=64
+        )
+        api = simulate_kernel(
+            SingleAieGemmKernel(
+                GemmShape(32, 32, 32), Precision.FP32, style=KernelStyle.API
+            ),
+            invocations=64,
+        )
+        assert intr.efficiency / api.efficiency > 1.7
+
+    def test_overlap_reported(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        report = simulate_kernel(kernel, invocations=16)
+        assert report.overlap_cycles > 0
+
+    def test_single_buffer_serialises(self):
+        db = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        sb = SingleAieGemmKernel(
+            GemmShape(32, 32, 32), Precision.FP32, double_buffered=False
+        )
+        t_db = simulate_kernel(db, invocations=16).total_cycles
+        t_sb = simulate_kernel(sb, invocations=16).total_cycles
+        assert t_sb > t_db
+
+    def test_per_invocation_converges_to_steady_state(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        short = simulate_kernel(kernel, invocations=2).per_invocation
+        long = simulate_kernel(kernel, invocations=256).per_invocation
+        assert long < short
+        assert long == pytest.approx(kernel.timing().total, rel=0.02)
+
+    def test_infeasible_kernel_rejected(self):
+        kernel = SingleAieGemmKernel(GemmShape(256, 256, 256), Precision.FP32)
+        with pytest.raises(ValueError):
+            simulate_kernel(kernel)
+
+    def test_rejects_zero_invocations(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        with pytest.raises(ValueError):
+            simulate_kernel(kernel, invocations=0)
+
+    def test_seconds_conversion(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        report = simulate_kernel(kernel, invocations=8)
+        assert report.seconds() == pytest.approx(report.total_cycles / 1.25e9)
+
+    def test_bound_matches_timing_model(self):
+        kernel = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32)
+        assert simulate_kernel(kernel).bound == "compute"
+
+
+class TestGraphSimulation:
+    def test_best_scheme_faster_than_worst(self):
+        schemes = reference_schemes(config_by_name("C1"))
+        worst = simulate_graph(schemes[0], invocations=16)
+        best = simulate_graph(schemes[-1], invocations=16)
+        assert best.total_cycles < worst.total_cycles
+
+    def test_per_invocation_matches_scheme_period(self):
+        scheme = reference_schemes(config_by_name("C1"))[-1]
+        report = simulate_graph(scheme, invocations=256)
+        assert report.per_invocation == pytest.approx(
+            scheme.invocation_cycles(), rel=0.02
+        )
+
+    def test_bottleneck_reported(self):
+        scheme = reference_schemes(config_by_name("C1"))[0]
+        report = simulate_graph(scheme, invocations=4)
+        assert report.bottleneck in ("A", "B", "C", "compute")
+
+    def test_rejects_zero_invocations(self):
+        scheme = reference_schemes(config_by_name("C1"))[0]
+        with pytest.raises(ValueError):
+            simulate_graph(scheme, invocations=0)

@@ -1,0 +1,87 @@
+"""Chunk-level cluster-simulation tests (Fig. 12's literal claims)."""
+
+import pytest
+
+from repro.kernels.kernel_timing import PLIO_BYTES_PER_CYCLE
+from repro.mapping.configs import config_by_name
+from repro.mapping.plio_schemes import reference_schemes
+from repro.sim.cluster import simulate_cluster
+
+
+@pytest.fixture(scope="module")
+def c1_schemes():
+    return {s.total_plios: s for s in reference_schemes(config_by_name("C1"))}
+
+
+class TestFig12aLiteral:
+    def test_sixteenth_aie_waits_sixteen_steps(self, c1_schemes):
+        """Fig. 12(a): with 3 packet-switched PLIOs, the 16th AIE waits
+        16 time steps before it can start."""
+        report = simulate_cluster(c1_schemes[3])
+        chunk_cycles = (
+            c1_schemes[3].config.kernel.bytes_b(4) / PLIO_BYTES_PER_CYCLE
+        )
+        assert report.start_wait_steps(chunk_cycles) == pytest.approx(16.0)
+
+    def test_first_aie_waits_one_step(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[3])
+        chunk_cycles = c1_schemes[3].config.kernel.bytes_a(4) / PLIO_BYTES_PER_CYCLE
+        assert report.first_start == pytest.approx(chunk_cycles)
+
+    def test_all_sixteen_kernels_scheduled(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[3])
+        assert len(report.start_times) == 16
+        assert len(report.pack_done) == 4  # gm * gn packs
+
+
+class TestSchemeComparison:
+    def test_more_plios_start_sooner(self, c1_schemes):
+        waits = {
+            plios: simulate_cluster(scheme).last_start
+            for plios, scheme in c1_schemes.items()
+        }
+        ordered = [waits[p] for p in sorted(waits)]
+        assert all(b <= a for a, b in zip(ordered, ordered[1:]))
+
+    def test_completion_improves_with_plios(self, c1_schemes):
+        worst = simulate_cluster(c1_schemes[3]).completion
+        best = simulate_cluster(c1_schemes[36]).completion
+        assert best < worst
+
+    def test_full_circuit_scheme_starts_everyone_together(self, c1_schemes):
+        """Fig. 12(d): one PLIO per AIE — no serialization wait."""
+        report = simulate_cluster(c1_schemes[36])
+        assert report.last_start == pytest.approx(report.first_start)
+
+    def test_int8_cluster(self):
+        schemes = {s.total_plios: s for s in reference_schemes(config_by_name("C7"))}
+        minimal = simulate_cluster(schemes[3])
+        rich = simulate_cluster(schemes[34])
+        assert rich.completion < minimal.completion
+
+
+class TestDeliveries:
+    def test_packet_deliveries_are_unicast(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[3])
+        assert all(len(d.targets) == 1 for d in report.deliveries)
+
+    def test_hybrid_deliveries_multicast(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[7])
+        a_deliveries = [d for d in report.deliveries if d.plio.startswith("A")]
+        assert all(len(d.targets) == 4 for d in a_deliveries)  # gn = 4
+
+    def test_plio_serialization_no_overlap(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[3])
+        by_plio: dict[str, list] = {}
+        for delivery in report.deliveries:
+            by_plio.setdefault(delivery.plio, []).append(delivery)
+        for deliveries in by_plio.values():
+            deliveries.sort(key=lambda d: d.start)
+            for a, b in zip(deliveries, deliveries[1:]):
+                assert b.start >= a.end - 1e-9
+
+    def test_kernels_start_after_their_inputs(self, c1_schemes):
+        report = simulate_cluster(c1_schemes[7])
+        for delivery in report.deliveries:
+            for target in delivery.targets:
+                assert report.start_times[target] >= delivery.end - 1e-9

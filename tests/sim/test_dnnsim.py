@@ -1,0 +1,75 @@
+"""Dependency-aware DNN simulation tests."""
+
+import pytest
+
+from repro.core.multi_acc import AcceleratorPartition, GemmJob, MultiAccScheduler
+from repro.mapping.configs import config_by_name
+from repro.sim.dnnsim import DnnSimulator
+from repro.workloads.transformer import TransformerConfig
+
+TINY = TransformerConfig("tiny", hidden=1024, intermediate=4096, num_layers=2, num_heads=16)
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return AcceleratorPartition(
+        [config_by_name("C5"), config_by_name("C3"), config_by_name("C1")]
+    )
+
+
+@pytest.fixture(scope="module")
+def run(partition):
+    return DnnSimulator(partition).run(TINY, tokens=1024)
+
+
+class TestStructure:
+    def test_task_count(self, run):
+        # 6 GEMMs per block (3 proj + attn + 2 mlp) x 2 blocks
+        assert len(run.simulation.records) == 12
+
+    def test_projections_overlap_when_resources_allow(self, run):
+        q = run.simulation.records["b0.q_proj"]
+        k = run.simulation.records["b0.k_proj"]
+        # same accelerator -> serialized; different -> overlapped; either
+        # way both must precede attn_out
+        attn = run.simulation.records["b0.attn_out"]
+        assert attn.start >= max(q.finish, k.finish) - 1e-12
+
+    def test_blocks_chain(self, run):
+        first_down = run.simulation.records["b0.mlp_down"]
+        second_q = run.simulation.records["b1.q_proj"]
+        assert second_q.start >= first_down.finish - 1e-12
+
+    def test_critical_path_spans_blocks(self, run):
+        path = run.critical_path()
+        assert path[0].startswith("b0.")
+        assert path[-1] == "b1.mlp_down"
+
+    def test_assignments_cover_all_tasks(self, run):
+        assert set(run.assignments) == set(run.simulation.records)
+
+
+class TestPerformance:
+    def test_makespan_at_least_critical_path_work(self, run):
+        path = run.critical_path()
+        work = sum(run.simulation.records[t].task.duration for t in path)
+        assert run.makespan >= work - 1e-12
+
+    def test_dependency_aware_slower_than_lpt_bound(self, partition, run):
+        """The dependency chain forbids the independent-jobs speedup:
+        the DNN makespan exceeds the unconstrained LPT makespan."""
+        jobs = [
+            GemmJob(g.name, g.shape, count=TINY.num_layers)
+            for g in TINY.layer_gemms(1024)
+        ]
+        unconstrained = MultiAccScheduler(partition).schedule(jobs)
+        assert run.makespan >= unconstrained.makespan / unconstrained.dram_sharing_factor * 0.99
+
+    def test_utilization_reported(self, run):
+        utils = run.utilization()
+        assert utils and all(0 <= v <= 1 for v in utils.values())
+
+    def test_more_tokens_longer(self, partition):
+        short = DnnSimulator(partition).run(TINY, tokens=512).makespan
+        long = DnnSimulator(partition).run(TINY, tokens=2048).makespan
+        assert long > short

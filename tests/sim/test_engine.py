@@ -1,0 +1,146 @@
+"""Buffered-pipeline engine tests: the semantics everything else rests on."""
+
+import pytest
+
+from repro.sim.engine import PipelineSimulator, PipelineStage
+
+
+def constant(value):
+    return lambda item: value
+
+
+class TestBasics:
+    def test_single_stage(self):
+        pipe = PipelineSimulator([PipelineStage("s", constant(2.0))])
+        assert pipe.run(3).makespan == pytest.approx(6.0)
+
+    def test_zero_items(self):
+        pipe = PipelineSimulator([PipelineStage("s", constant(2.0))])
+        assert pipe.run(0).makespan == 0.0
+
+    def test_rejects_empty_pipeline(self):
+        with pytest.raises(ValueError):
+            PipelineSimulator([])
+
+    def test_rejects_negative_items(self):
+        pipe = PipelineSimulator([PipelineStage("s", constant(1.0))])
+        with pytest.raises(ValueError):
+            pipe.run(-1)
+
+    def test_rejects_zero_slots(self):
+        with pytest.raises(ValueError):
+            PipelineStage("s", constant(1.0), slots=0)
+
+
+class TestDoubleBufferedPipeline:
+    def test_steady_state_is_max_of_stage_times(self):
+        """Double buffering: throughput = 1/max(stage times) — exactly
+        the paper's Eq. 1/2 max() structure."""
+        pipe = PipelineSimulator(
+            [
+                PipelineStage("load", constant(3.0), slots=2),
+                PipelineStage("compute", constant(5.0), slots=2),
+                PipelineStage("store", constant(2.0), slots=2),
+            ]
+        )
+        n = 50
+        result = pipe.run(n)
+        # fill (3 + 5 + 2) + (n-1) * max
+        assert result.makespan == pytest.approx(10.0 + (n - 1) * 5.0)
+
+    def test_fill_is_first_item_traversal(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("a", constant(1.0)), PipelineStage("b", constant(4.0))]
+        )
+        result = pipe.run(1)
+        assert result.makespan == pytest.approx(5.0)
+
+
+class TestSingleBufferedPipeline:
+    def test_single_buffer_serialises_adjacent_stages(self):
+        """Section V-G: single buffering serialises producer/consumer."""
+        pipe = PipelineSimulator(
+            [
+                PipelineStage("load", constant(3.0), slots=2),
+                PipelineStage("compute", constant(5.0), slots=1),
+            ]
+        )
+        n = 20
+        result = pipe.run(n)
+        # each load must wait for the previous compute to finish
+        assert result.makespan == pytest.approx(3.0 + n * 5.0 + (n - 1) * 3.0)
+
+    def test_single_always_slower_than_double(self):
+        def build(slots):
+            return PipelineSimulator(
+                [
+                    PipelineStage("load", constant(3.0), slots=2),
+                    PipelineStage("compute", constant(5.0), slots=slots),
+                ]
+            )
+
+        assert build(1).run(10).makespan > build(2).run(10).makespan
+
+    def test_deep_buffers_behave_like_infinite(self):
+        deep = PipelineSimulator(
+            [
+                PipelineStage("a", constant(1.0)),
+                PipelineStage("b", constant(2.0), slots=100),
+            ]
+        )
+        result = deep.run(10)
+        assert result.makespan == pytest.approx(1.0 + 10 * 2.0)
+
+
+class TestVariableService:
+    def test_item_dependent_times(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("s", lambda t: 1.0 if t % 2 == 0 else 3.0)]
+        )
+        assert pipe.run(4).makespan == pytest.approx(8.0)
+
+    def test_lumpy_stage_with_wide_buffer_absorbed(self):
+        """A periodic burst (like the C write-back) hides behind a buffer
+        that spans the burst period."""
+        burst = lambda t: 8.0 if (t + 1) % 4 == 0 else 0.0
+        pipe = PipelineSimulator(
+            [
+                PipelineStage("work", constant(3.0), slots=2),
+                PipelineStage("burst", burst, slots=8),
+            ]
+        )
+        result = pipe.run(16)
+        # bursts (2 per period of 12) never block: makespan ~ work-bound
+        assert result.makespan == pytest.approx(16 * 3.0 + 8.0, rel=0.05)
+
+
+class TestResultQueries:
+    def test_stage_busy(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("a", constant(2.0)), PipelineStage("b", constant(1.0))]
+        )
+        result = pipe.run(5)
+        assert result.stage_busy_by_name("a") == pytest.approx(10.0)
+        assert result.stage_busy_by_name("b") == pytest.approx(5.0)
+
+    def test_bottleneck_stage(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("small", constant(1.0)), PipelineStage("big", constant(4.0))]
+        )
+        assert pipe.run(10).bottleneck_stage() == "big"
+
+    def test_monotone_end_times(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("a", constant(1.5)), PipelineStage("b", constant(2.5))]
+        )
+        result = pipe.run(8)
+        for stage_ends in result.end_times:
+            assert all(b > a for a, b in zip(stage_ends, stage_ends[1:]))
+
+    def test_items_flow_forward_in_time(self):
+        pipe = PipelineSimulator(
+            [PipelineStage("a", constant(1.0)), PipelineStage("b", constant(1.0))]
+        )
+        result = pipe.run(5)
+        for t in range(5):
+            assert result.start_times[1][t] >= result.end_times[0][t]

@@ -1,0 +1,83 @@
+"""Event-simulator tests."""
+
+import pytest
+
+from repro.sim.events import EventSimulator, Task
+
+
+class TestValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            EventSimulator([Task("a", "r", 1.0), Task("a", "r", 1.0)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            EventSimulator([Task("a", "r", 1.0, depends_on=("ghost",))])
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Task("a", "r", -1.0)
+
+    def test_cycle_detected(self):
+        tasks = [
+            Task("a", "r", 1.0, depends_on=("b",)),
+            Task("b", "r", 1.0, depends_on=("a",)),
+        ]
+        with pytest.raises(ValueError, match="cycle"):
+            EventSimulator(tasks).run()
+
+
+class TestScheduling:
+    def test_independent_tasks_on_separate_resources_overlap(self):
+        result = EventSimulator(
+            [Task("a", "r1", 3.0), Task("b", "r2", 3.0)]
+        ).run()
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_same_resource_serialises(self):
+        result = EventSimulator(
+            [Task("a", "r", 3.0), Task("b", "r", 3.0)]
+        ).run()
+        assert result.makespan == pytest.approx(6.0)
+
+    def test_dependencies_respected(self):
+        result = EventSimulator(
+            [Task("a", "r1", 2.0), Task("b", "r2", 1.0, depends_on=("a",))]
+        ).run()
+        assert result.records["b"].start == pytest.approx(2.0)
+        assert result.makespan == pytest.approx(3.0)
+
+    def test_diamond_graph(self):
+        result = EventSimulator(
+            [
+                Task("src", "r1", 1.0),
+                Task("left", "r1", 2.0, depends_on=("src",)),
+                Task("right", "r2", 5.0, depends_on=("src",)),
+                Task("sink", "r1", 1.0, depends_on=("left", "right")),
+            ]
+        ).run()
+        assert result.records["sink"].start == pytest.approx(6.0)
+        assert result.makespan == pytest.approx(7.0)
+
+    def test_zero_tasks(self):
+        assert EventSimulator([]).run().makespan == 0.0
+
+
+class TestAnalysis:
+    def test_resource_utilization(self):
+        result = EventSimulator(
+            [Task("a", "r1", 4.0), Task("b", "r2", 2.0)]
+        ).run()
+        assert result.resource_utilization("r1") == pytest.approx(1.0)
+        assert result.resource_utilization("r2") == pytest.approx(0.5)
+
+    def test_critical_path(self):
+        result = EventSimulator(
+            [
+                Task("src", "r1", 1.0),
+                Task("left", "r1", 2.0, depends_on=("src",)),
+                Task("right", "r2", 5.0, depends_on=("src",)),
+                Task("sink", "r3", 1.0, depends_on=("left", "right")),
+            ]
+        ).run()
+        assert result.critical_path() == ["src", "right", "sink"]

@@ -1,0 +1,81 @@
+"""Functional (numerics) simulation tests: the mapping computes correct GEMMs."""
+
+import numpy as np
+import pytest
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.sim.functional import FunctionalGemm
+from repro.workloads.gemm import GemmShape
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["C1", "C4", "C7", "C8"])
+    def test_native_multiple_workloads(self, name):
+        design = CharmDesign(config_by_name(name))
+        runner = FunctionalGemm(design, seed=7)
+        workload = design.native_size.scaled(2, 2, 2)
+        result = runner.run(workload)
+        assert result.correct, result.max_abs_error
+
+    def test_int8_exact(self):
+        design = CharmDesign(config_by_name("C7"))
+        result = FunctionalGemm(design, seed=1).run(design.native_size.scaled(2, 1, 2))
+        assert result.max_abs_error == 0.0
+
+    def test_padded_workload(self):
+        """Workloads misaligned with the native size are padded and still
+        produce correct (unpadded) results."""
+        design = CharmDesign(config_by_name("C1"))
+        result = FunctionalGemm(design, seed=2).run(GemmShape(100, 300, 200))
+        assert result.correct
+
+    def test_workload_smaller_than_native(self):
+        design = CharmDesign(config_by_name("C1"))
+        result = FunctionalGemm(design, seed=3).run(GemmShape(10, 20, 30))
+        assert result.correct
+
+    def test_explicit_inputs(self):
+        design = CharmDesign(config_by_name("C1"))
+        workload = design.native_size
+        a = np.ones((workload.m, workload.k), dtype=np.float32)
+        b = np.ones((workload.k, workload.n), dtype=np.float32)
+        result = FunctionalGemm(design).run(workload, a, b)
+        assert result.correct
+
+    def test_shape_mismatch_rejected(self):
+        design = CharmDesign(config_by_name("C1"))
+        workload = design.native_size
+        a = np.ones((3, 3), dtype=np.float32)
+        b = np.ones((3, 3), dtype=np.float32)
+        with pytest.raises(ValueError):
+            FunctionalGemm(design).run(workload, a, b)
+
+
+class TestDataflowAccounting:
+    def test_invocation_count_matches_plan(self):
+        design = CharmDesign(config_by_name("C1"))
+        workload = design.native_size.scaled(2, 2, 2)
+        plan = design.tile_plan(workload)
+        result = FunctionalGemm(design).run(workload, plan=plan)
+        assert result.kernel_invocations == plan.total_native_tiles
+
+    def test_cascade_adds_counted(self):
+        design = CharmDesign(config_by_name("C1"))  # gk = 4: 3 adds per chain
+        result = FunctionalGemm(design).run(design.native_size)
+        g = design.config.grouping
+        assert result.cascade_adds == g.gm * g.gn * (g.gk - 1)
+
+    def test_deterministic_by_seed(self):
+        design = CharmDesign(config_by_name("C1"))
+        r1 = FunctionalGemm(design, seed=5).run(design.native_size)
+        r2 = FunctionalGemm(design, seed=5).run(design.native_size)
+        assert r1.max_abs_error == r2.max_abs_error
+
+    def test_make_inputs_dtypes(self):
+        fp32 = FunctionalGemm(CharmDesign(config_by_name("C1")))
+        a, b = fp32.make_inputs(GemmShape(8, 8, 8))
+        assert a.dtype == np.float32
+        int8 = FunctionalGemm(CharmDesign(config_by_name("C7")))
+        a, b = int8.make_inputs(GemmShape(8, 8, 8))
+        assert a.dtype == np.int8

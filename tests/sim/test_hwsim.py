@@ -1,0 +1,160 @@
+"""HW-platform simulator tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import ALL_CONFIGS, config_by_name
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+
+class TestBasicRuns:
+    def test_run_produces_positive_time(self, c6_design, square_2048):
+        run = HwSimulator(c6_design).run(square_2048)
+        assert run.total_seconds > 0
+
+    def test_includes_setup(self, c1_design):
+        run = HwSimulator(c1_design).run(c1_design.native_size)
+        assert run.total_seconds > c1_design.device.aie_setup_seconds
+
+    def test_c6_2048_near_paper_9_95ms(self, c6_design, square_2048):
+        """Section V-G: C6 double-buffered measures 9.95 ms on hardware."""
+        run = HwSimulator(c6_design).run(square_2048)
+        assert run.total_seconds == pytest.approx(9.95e-3, rel=0.15)
+
+    def test_c11_2048_near_paper_0_92ms(self, c11_design, square_2048):
+        run = HwSimulator(c11_design).run(square_2048)
+        assert run.total_seconds == pytest.approx(0.92e-3, rel=0.20)
+
+    def test_throughput_and_efficiency(self, c6_design, square_2048):
+        run = HwSimulator(c6_design).run(square_2048)
+        assert run.throughput_ops == pytest.approx(
+            square_2048.flops / run.total_seconds
+        )
+        assert 0 < run.efficiency < 1
+
+
+class TestModelAgreement:
+    """Section V-A: the analytical model lands within +/-5% of hardware."""
+
+    @pytest.mark.parametrize("name", [c.name for c in ALL_CONFIGS])
+    def test_model_within_5pct_of_hw(self, name, square_2048):
+        design = CharmDesign(config_by_name(name))
+        _, error = HwSimulator(design).compare_with_model(square_2048)
+        assert abs(error) <= 0.05
+
+    def test_model_never_above_hw(self, square_2048):
+        """The simulated HW includes effects the model omits, so the
+        model under-estimates slightly — as on the real board."""
+        for name in ("C5", "C6", "C10", "C11"):
+            design = CharmDesign(config_by_name(name))
+            run, error = HwSimulator(design).compare_with_model(square_2048)
+            assert error <= 0.0
+
+
+class TestBuffering:
+    def test_single_buffering_with_same_plan_slower(self, c6_design, square_2048):
+        """Paper: C6 FP32 goes 9.95 -> 14.72 ms with single buffering."""
+        plan = c6_design.tile_plan(square_2048)
+        double = HwSimulator(c6_design).run(square_2048, plan).total_seconds
+        single_plan = dataclasses.replace(plan, double_buffered=False)
+        single = (
+            HwSimulator(c6_design.with_single_buffering())
+            .run(square_2048, single_plan)
+            .total_seconds
+        )
+        ratio = single / double
+        assert 1.35 <= ratio <= 1.60  # paper: 1.48x
+
+    def test_single_buffering_retiling_recovers_most_of_the_cost(
+        self, c11_design, square_2048
+    ):
+        """Paper: C11 INT8 improves 0.92 -> 0.77 ms because single
+        buffering frees BRAM for larger tiles.  Our DSE's double-buffered
+        plan is already traffic-optimal, so re-tiling recovers most (not
+        all) of the serialisation cost — the deviation is recorded in
+        EXPERIMENTS.md.  Assert the mechanism: re-tiled single buffering
+        beats same-tile single buffering and stays close to double."""
+        plan_db = c11_design.tile_plan(square_2048)
+        double = HwSimulator(c11_design).run(square_2048, plan_db).total_seconds
+        single_design = c11_design.with_single_buffering()
+        same_plan = dataclasses.replace(plan_db, double_buffered=False)
+        single_same = (
+            HwSimulator(single_design).run(square_2048, same_plan).total_seconds
+        )
+        single_retiled = HwSimulator(single_design).run(square_2048).total_seconds
+        assert single_retiled < single_same
+        assert single_retiled / double <= 1.15
+        # and the re-tiled plan genuinely moves fewer DRAM bytes
+        retiled_plan = single_design.tile_plan(square_2048)
+        assert retiled_plan.traffic().total < plan_db.traffic().total
+
+
+class TestTrace:
+    def test_trace_makespan_matches_run(self, c6_design, square_2048):
+        plan = c6_design.tile_plan(square_2048)
+        trace = HwSimulator(c6_design).trace(square_2048, plan)
+        run = HwSimulator(c6_design).run(square_2048, plan)
+        assert trace.makespan == pytest.approx(
+            run.total_seconds - c6_design.device.aie_setup_seconds
+        )
+
+    def test_double_buffering_overlap_visible(self, c6_design, square_2048):
+        trace = HwSimulator(c6_design).trace(square_2048)
+        assert trace.overlap_seconds("load", "aie") > 0
+
+    def test_single_buffering_reduces_overlap(self, c6_design, square_2048):
+        plan = c6_design.tile_plan(square_2048)
+        double = HwSimulator(c6_design).trace(square_2048, plan)
+        single_design = c6_design.with_single_buffering()
+        single_plan = dataclasses.replace(plan, double_buffered=False)
+        single = HwSimulator(single_design).trace(square_2048, single_plan)
+        assert (
+            single.overlap_seconds("load", "aie")
+            < 0.2 * double.overlap_seconds("load", "aie")
+        )
+
+    def test_gantt_renders(self, c6_design, square_2048):
+        trace = HwSimulator(c6_design).trace(square_2048)
+        text = trace.gantt(width=40)
+        assert "load" in text and "aie" in text and "store" in text
+
+
+class TestScalingShapes:
+    def test_strong_scaling_decreases_through_c4(self):
+        """Fig. 9: latency decreases steeply while compute-bound."""
+        workload = GemmShape(4096, 4096, 4096)
+        times = [
+            HwSimulator(CharmDesign(config_by_name(name))).run(workload).total_seconds
+            for name in ("C1", "C2", "C3", "C4", "C5")
+        ]
+        assert all(b < a for a, b in zip(times, times[1:]))
+
+    def test_int8_strong_scaling_monotone(self):
+        workload = GemmShape(4096, 4096, 4096)
+        times = [
+            HwSimulator(CharmDesign(config_by_name(name))).run(workload).total_seconds
+            for name in ("C7", "C8", "C9", "C10", "C11")
+        ]
+        # non-increasing within 5% tolerance at the memory-bound tail
+        for a, b in zip(times, times[1:]):
+            assert b <= a * 1.05
+
+    def test_weak_scaling_increases(self):
+        """Fig. 10: native-size runs get slower as configs grow."""
+        from repro.mapping.configs import FP32_CONFIGS
+
+        times = [
+            HwSimulator(CharmDesign(c)).run(c.native_size).total_seconds
+            for c in FP32_CONFIGS
+        ]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_bottleneck_shifts_to_memory_for_big_configs(self, square_2048):
+        small = HwSimulator(CharmDesign(config_by_name("C1"))).run(square_2048)
+        large = HwSimulator(CharmDesign(config_by_name("C6"))).run(square_2048)
+        assert str(small.bottleneck) in ("aie",)
+        assert str(large.bottleneck) in ("load_a", "load_b", "store_c")

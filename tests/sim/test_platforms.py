@@ -1,0 +1,72 @@
+"""Execution-platform registry tests (Table I)."""
+
+import pytest
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.sim.platforms import PLATFORMS, platform_by_name, run_on_platform
+
+
+class TestTable1Registry:
+    def test_five_platforms(self):
+        assert len(PLATFORMS) == 5
+
+    def test_names_match_paper(self):
+        names = {p.name for p in PLATFORMS}
+        assert names == {"aiesimulator", "sw_emu", "hw_emu", "hw", "analytical"}
+
+    def test_sw_emu_is_fv_only(self):
+        """Table I: sw_emu is functional verification only."""
+        sw_emu = platform_by_name("sw_emu")
+        assert sw_emu.functional_verification and not sw_emu.performance
+        assert sw_emu.usecase == "FV"
+
+    def test_hw_emu_is_slow(self):
+        assert not platform_by_name("hw_emu").fast
+
+    def test_analytical_is_perf_only(self):
+        analytical = platform_by_name("analytical")
+        assert analytical.performance and not analytical.functional_verification
+        assert analytical.usecase == "P"
+
+    def test_aiesimulator_scope(self):
+        assert "AIE" in platform_by_name("aiesimulator").simulation_target
+
+    def test_unknown_platform(self):
+        with pytest.raises(KeyError):
+            platform_by_name("fpga")
+
+
+class TestDispatch:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return CharmDesign(config_by_name("C1"))
+
+    def test_hw_run_reports_seconds_and_verification(self, design):
+        result = run_on_platform("hw", design, design.native_size.scaled(2, 2, 2))
+        assert result.seconds is not None and result.seconds > 0
+        assert result.functionally_verified
+
+    def test_sw_emu_reports_no_performance(self, design):
+        result = run_on_platform("sw_emu", design, design.native_size)
+        assert result.seconds is None
+        assert result.functionally_verified
+
+    def test_analytical_skips_verification(self, design):
+        result = run_on_platform("analytical", design, design.native_size)
+        assert result.seconds is not None
+        assert not result.functionally_verified
+
+    def test_aiesimulator_faster_than_hw(self, design):
+        """aiesimulator excludes DRAM and setup, so it reports less time
+        than the hw platform (the Fig. 5 pink-box effect)."""
+        workload = design.native_size.scaled(2, 2, 2)
+        aiesim = run_on_platform("aiesimulator", design, workload)
+        hw = run_on_platform("hw", design, workload)
+        assert aiesim.seconds < hw.seconds
+
+    def test_hw_emu_close_to_hw(self, design):
+        workload = design.native_size.scaled(2, 2, 2)
+        hw_emu = run_on_platform("hw_emu", design, workload)
+        hw = run_on_platform("hw", design, workload)
+        assert hw_emu.seconds == pytest.approx(hw.seconds)

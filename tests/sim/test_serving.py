@@ -1,0 +1,116 @@
+"""Serving-simulation tests: request streams, queueing, tail latency."""
+
+import pytest
+
+from repro.core.multi_acc import AcceleratorPartition
+from repro.mapping.configs import config_by_name
+from repro.sim.serving import ServingSimulator, generate_trace
+from repro.workloads.gemm import GemmShape
+
+SHAPES = [GemmShape(1024, 1024, 1024), GemmShape(512, 2048, 512)]
+
+
+@pytest.fixture(scope="module")
+def partition():
+    return AcceleratorPartition([config_by_name("C5"), config_by_name("C3")])
+
+
+@pytest.fixture(scope="module")
+def simulator(partition):
+    return ServingSimulator(partition)
+
+
+class TestTraceGeneration:
+    def test_deterministic(self):
+        a = generate_trace(SHAPES, 20, 1e-3, seed=7)
+        b = generate_trace(SHAPES, 20, 1e-3, seed=7)
+        assert [(r.arrival, r.shape) for r in a] == [(r.arrival, r.shape) for r in b]
+
+    def test_seed_changes_trace(self):
+        a = generate_trace(SHAPES, 20, 1e-3, seed=1)
+        b = generate_trace(SHAPES, 20, 1e-3, seed=2)
+        assert [r.arrival for r in a] != [r.arrival for r in b]
+
+    def test_arrivals_increase(self):
+        trace = generate_trace(SHAPES, 50, 1e-3, seed=0)
+        arrivals = [r.arrival for r in trace]
+        assert all(b > a for a, b in zip(arrivals, arrivals[1:]))
+
+    def test_mean_interarrival_approximate(self):
+        trace = generate_trace(SHAPES, 2000, 1e-3, seed=3)
+        mean = trace[-1].arrival / len(trace)
+        assert mean == pytest.approx(1e-3, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            generate_trace(SHAPES, 0, 1e-3)
+        with pytest.raises(ValueError):
+            generate_trace(SHAPES, 5, 0)
+        with pytest.raises(ValueError):
+            generate_trace([], 5, 1e-3)
+
+
+class TestServing:
+    def test_all_requests_complete(self, simulator):
+        trace = generate_trace(SHAPES, 30, 5e-3, seed=0)
+        report = simulator.run(trace)
+        assert len(report.completed) == 30
+
+    def test_latency_at_least_service_time(self, simulator, partition):
+        trace = generate_trace(SHAPES, 10, 1.0, seed=0)  # no queueing
+        report = simulator.run(trace)
+        for completed in report.completed:
+            _, best = partition.best_accelerator(completed.request.shape)
+            assert completed.latency >= best * 0.99
+            assert completed.queueing_delay == pytest.approx(0.0, abs=1e-9)
+
+    def test_overload_builds_queueing_delay(self, simulator):
+        light = simulator.run(generate_trace(SHAPES, 40, 1.0, seed=0))
+        heavy = simulator.run(generate_trace(SHAPES, 40, 1e-4, seed=0))
+        assert heavy.latency_percentile(95) > 3 * light.latency_percentile(95)
+
+    def test_percentiles_ordered(self, simulator):
+        report = simulator.run(generate_trace(SHAPES, 60, 1e-3, seed=1))
+        p50 = report.latency_percentile(50)
+        p95 = report.latency_percentile(95)
+        p99 = report.latency_percentile(99)
+        assert p50 <= p95 <= p99
+
+    def test_load_spreads_across_accelerators(self, simulator):
+        report = simulator.run(generate_trace(SHAPES, 60, 1e-4, seed=2))
+        load = report.accelerator_load()
+        assert len(load) == 2  # both accelerators pick up work under load
+
+    def test_throughput_positive(self, simulator):
+        report = simulator.run(generate_trace(SHAPES, 30, 1e-3, seed=0))
+        assert report.throughput_rps > 0
+
+    def test_percentile_validation(self, simulator):
+        report = simulator.run(generate_trace(SHAPES, 5, 1e-3, seed=0))
+        with pytest.raises(ValueError):
+            report.latency_percentile(0)
+
+
+class TestReleaseTimesInEventSim:
+    def test_release_delays_start(self):
+        from repro.sim.events import EventSimulator, Task
+
+        result = EventSimulator([Task("late", "r", 1.0, release=5.0)]).run()
+        assert result.records["late"].start == pytest.approx(5.0)
+
+    def test_release_with_dependencies(self):
+        from repro.sim.events import EventSimulator, Task
+
+        result = EventSimulator(
+            [
+                Task("a", "r", 1.0),
+                Task("b", "r", 1.0, depends_on=("a",), release=10.0),
+            ]
+        ).run()
+        assert result.records["b"].start == pytest.approx(10.0)
+
+    def test_negative_release_rejected(self):
+        from repro.sim.events import Task
+
+        with pytest.raises(ValueError):
+            Task("x", "r", 1.0, release=-1.0)

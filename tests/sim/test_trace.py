@@ -1,0 +1,81 @@
+"""Execution-trace tests."""
+
+import pytest
+
+from repro.sim.engine import PipelineSimulator, PipelineStage
+from repro.sim.trace import ExecutionTrace
+
+
+def run_pipeline(slots=2, n=6):
+    pipe = PipelineSimulator(
+        [
+            PipelineStage("load", lambda t: 2.0, slots=2),
+            PipelineStage("compute", lambda t: 3.0, slots=slots),
+            PipelineStage("store", lambda t: 1.0, slots=2),
+        ]
+    )
+    return pipe.run(n)
+
+
+class TestEvents:
+    def test_event_count(self):
+        trace = ExecutionTrace(run_pipeline(n=4))
+        assert len(trace.events) == 3 * 4
+
+    def test_zero_duration_events_dropped(self):
+        pipe = PipelineSimulator(
+            [
+                PipelineStage("work", lambda t: 1.0),
+                PipelineStage("maybe", lambda t: 0.0 if t % 2 else 1.0),
+            ]
+        )
+        trace = ExecutionTrace(pipe.run(4))
+        assert len(trace.events_for("maybe")) == 2
+
+    def test_events_within_makespan(self):
+        trace = ExecutionTrace(run_pipeline())
+        for event in trace.events:
+            assert 0 <= event.start <= event.end <= trace.makespan
+
+
+class TestOverlapAnalysis:
+    def test_double_buffering_shows_overlap(self):
+        trace = ExecutionTrace(run_pipeline(slots=2))
+        assert trace.overlap_seconds("load", "compute") > 0
+
+    def test_single_buffering_removes_overlap(self):
+        """The Section V-G story, visible in the trace."""
+        double = ExecutionTrace(run_pipeline(slots=2))
+        single = ExecutionTrace(run_pipeline(slots=1))
+        assert single.overlap_seconds("load", "compute") < double.overlap_seconds(
+            "load", "compute"
+        )
+
+    def test_bottleneck_stage_highest_utilization(self):
+        trace = ExecutionTrace(run_pipeline(n=12))
+        utils = {s: trace.stage_utilization(s) for s in ("load", "compute", "store")}
+        assert max(utils, key=utils.get) == "compute"
+        assert utils["compute"] > 0.8
+
+    def test_idle_plus_busy_is_makespan(self):
+        trace = ExecutionTrace(run_pipeline())
+        busy = sum(e.duration for e in trace.events_for("store"))
+        assert busy + trace.idle_seconds("store") == pytest.approx(trace.makespan)
+
+
+class TestGantt:
+    def test_gantt_has_row_per_stage(self):
+        trace = ExecutionTrace(run_pipeline())
+        lines = trace.gantt().splitlines()
+        assert len(lines) == 4  # 3 stages + axis
+        assert lines[0].strip().startswith("load")
+
+    def test_gantt_width_respected(self):
+        trace = ExecutionTrace(run_pipeline())
+        line = trace.gantt(width=40).splitlines()[0]
+        assert len(line.split("|")[1]) == 40
+
+    def test_empty_trace(self):
+        pipe = PipelineSimulator([PipelineStage("s", lambda t: 1.0)])
+        trace = ExecutionTrace(pipe.run(0))
+        assert trace.gantt() == "(empty trace)"

@@ -1,0 +1,98 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out and "table2" in out
+
+    def test_run_table2(self, capsys):
+        assert main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "384x128x256" in out
+
+    def test_run_csv_format(self, capsys):
+        assert main(["run", "table3", "--format", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert "B1" in out and "," in out
+
+    def test_run_json_format(self, capsys):
+        assert main(["run", "table1", "--format", "json"]) == 0
+        assert "aiesimulator" in capsys.readouterr().out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_estimate(self, capsys):
+        assert main(["estimate", "1024x1024x1024", "--config", "C3"]) == 0
+        out = capsys.readouterr().out
+        assert "bottleneck" in out and "throughput" in out
+
+    def test_dse(self, capsys):
+        assert main(["dse", "512x512x512", "--precision", "fp32", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "rank" in out
+
+    def test_model(self, capsys):
+        assert main(["model", "BERT-large", "--tokens", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "forward pass" in out and "mlp_up" in out
+
+    def test_model_fixed_config(self, capsys):
+        assert main(["model", "BERT-large", "--tokens", "256", "--fixed-config"]) == 0
+        out = capsys.readouterr().out
+        assert "tokens/s" in out
+
+    def test_trace(self, capsys):
+        assert main(["trace", "1024x1024x1024", "--config", "C11", "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "load/AIE overlap" in out and "|" in out
+
+    def test_estimate_json(self, capsys):
+        import json
+
+        assert main(["estimate", "1024x1024x1024", "--config", "C3", "--json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["workload"] == "1024x1024x1024"
+        assert parsed["design"]["config"]["name"] == "C3"
+
+    def test_roofline(self, capsys):
+        assert main(["roofline", "--width", "50", "--height", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "o=ideal" in out and "/" in out
+
+    def test_graph_summary(self, capsys):
+        assert main(["graph", "--config", "C1"]) == 0
+        out = capsys.readouterr().out
+        assert "packs" in out and "PLIO" in out
+
+    def test_graph_dot(self, capsys):
+        assert main(["graph", "--config", "C7", "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith('digraph "C7"')
+
+    def test_chart(self, capsys):
+        assert main(["chart", "table3", "--value", "gflop", "--label", "id"]) == 0
+        out = capsys.readouterr().out
+        assert "#" in out and "L2" in out
+
+    def test_chart_log_scale(self, capsys):
+        assert main(["chart", "table3", "--value", "gflop", "--label", "id", "--log"]) == 0
+        assert "#" in capsys.readouterr().out
+
+    def test_report_to_file(self, capsys, tmp_path):
+        target = tmp_path / "results.md"
+        assert main(["report", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert "# Reproduction results" in text
+        assert "fig9" in text and "table2" in text and "insights" in text

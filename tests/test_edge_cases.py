@@ -1,0 +1,98 @@
+"""Edge-case tests: degenerate shapes and boundary conditions through the
+full pipeline (shape algebra -> plan -> model -> simulator)."""
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.sim.functional import FunctionalGemm
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture(scope="module")
+def design():
+    return CharmDesign(config_by_name("C1"))
+
+
+class TestDegenerateShapes:
+    def test_1x1x1_workload(self, design):
+        """The smallest possible GEMM pads to one native tile."""
+        shape = GemmShape(1, 1, 1)
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.plan.num_dram_tiles == 1
+        assert estimate.total_seconds > design.device.aie_setup_seconds
+        assert FunctionalGemm(design).run(shape).correct
+
+    def test_single_row_gemv(self, design):
+        shape = GemmShape(1, 2048, 2048)
+        assert FunctionalGemm(design).run(shape).correct
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.efficiency < 0.1  # almost all padding
+
+    def test_single_column(self, design):
+        shape = GemmShape(2048, 2048, 1)
+        assert FunctionalGemm(design).run(shape).correct
+
+    def test_single_reduction_step(self, design):
+        shape = GemmShape(256, 1, 256)
+        assert FunctionalGemm(design).run(shape).correct
+
+    def test_prime_dimensions(self, design):
+        shape = GemmShape(127, 257, 509)
+        result = FunctionalGemm(design).run(shape)
+        assert result.correct
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.plan.padded.is_multiple_of(design.native_size)
+
+
+class TestBoundaryWorkloads:
+    def test_exactly_one_native_tile(self, design):
+        estimate = AnalyticalModel(design).estimate(design.native_size)
+        assert estimate.plan.num_dram_tiles == 1
+        assert estimate.plan.pl_tiles_per_dram_tile >= 1
+
+    def test_one_element_over_native(self, design):
+        native = design.native_size
+        shape = GemmShape(native.m + 1, native.k, native.n)
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.plan.padded.m == 2 * native.m
+
+    def test_very_large_workload(self, design):
+        shape = GemmShape(16384, 16384, 16384)
+        estimate = AnalyticalModel(design).estimate(shape)
+        hw = HwSimulator(design).run(shape)
+        assert estimate.total_seconds == pytest.approx(hw.total_seconds, rel=0.05)
+
+    def test_extreme_aspect_ratio(self, design):
+        shape = GemmShape(32768, 32, 32)
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.total_seconds > 0
+
+    def test_model_deterministic(self, design):
+        shape = GemmShape(1000, 2000, 3000)
+        a = AnalyticalModel(design).estimate(shape).total_seconds
+        b = AnalyticalModel(design).estimate(shape).total_seconds
+        assert a == b
+
+
+class TestConsistencyAcrossLayers:
+    def test_padded_workload_same_time_as_its_padding(self, design):
+        """A workload and its padded shape execute identically (padding
+        is executed)."""
+        shape = GemmShape(100, 300, 200)
+        padded = shape.padded_to(design.native_size)
+        t1 = AnalyticalModel(design).estimate(shape).total_seconds
+        t2 = AnalyticalModel(design).estimate(padded).total_seconds
+        assert t1 == pytest.approx(t2)
+
+    def test_all_configs_handle_all_table3_shapes(self):
+        from repro.mapping.configs import ALL_CONFIGS
+        from repro.workloads.dnn import DNN_WORKLOADS
+
+        for config in ALL_CONFIGS:
+            model = AnalyticalModel(CharmDesign(config))
+            for workload in DNN_WORKLOADS:
+                estimate = model.estimate(workload.shape)
+                assert estimate.total_seconds > 0

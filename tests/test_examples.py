@@ -1,0 +1,22 @@
+"""Smoke-run every example script — they must stay working as the
+library evolves (they are the documentation users copy from)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = sorted((pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example prints a real narrative
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 6

@@ -1,0 +1,107 @@
+"""Golden-number regression tests.
+
+EXPERIMENTS.md documents the measured value for every reproduced
+artifact; these tests pin those exact numbers (tight tolerances) so a
+future change cannot silently drift the documented results.  If a test
+here fails because of an *intentional* model change, update both the
+expected value and EXPERIMENTS.md in the same commit.
+"""
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.hw.dram import DramModel, DramPorts
+from repro.hw.interconnect import CommScheme, CommTimingModel
+from repro.kernels.gemm_kernel import SingleAieGemmKernel
+from repro.kernels.precision import Precision
+from repro.kernels.programming import KernelStyle
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.mapping.plio_schemes import reference_schemes
+from repro.sim.hwsim import HwSimulator
+from repro.workloads.gemm import GemmShape
+
+W2048 = GemmShape(2048, 2048, 2048)
+
+
+def golden(value, expected, rel=0.01):
+    assert value == pytest.approx(expected, rel=rel), (
+        f"golden number drifted: {value} vs documented {expected}"
+    )
+
+
+class TestKernelGoldens:
+    def test_fp32_intrinsic_efficiency(self):
+        golden(SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32).efficiency(), 0.920)
+
+    def test_int8_intrinsic_efficiency(self):
+        golden(SingleAieGemmKernel(GemmShape(64, 64, 64), Precision.INT8).efficiency(), 0.900)
+
+    def test_fp32_api_performance_drop(self):
+        intr = SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32).timing().total
+        api = SingleAieGemmKernel(
+            GemmShape(32, 32, 32), Precision.FP32, style=KernelStyle.API
+        ).timing().total
+        golden(1 - intr / api, 0.460, rel=0.02)
+
+    def test_fp32_compute_cycles_32cube(self):
+        golden(SingleAieGemmKernel(GemmShape(32, 32, 32), Precision.FP32).timing().compute, 4452.0)
+
+    def test_int8_compute_cycles_64cube(self):
+        golden(SingleAieGemmKernel(GemmShape(64, 64, 64), Precision.INT8).timing().compute, 2276.0)
+
+
+class TestDramGoldens:
+    def test_2r1w_bandwidth(self):
+        golden(DramModel(ports=DramPorts(2, 1)).total_bandwidth(), 20.0e9)
+
+    def test_4r2w_bandwidth(self):
+        golden(DramModel(ports=DramPorts(4, 2)).total_bandwidth(), 34.0e9)
+
+
+class TestEndToEndGoldens:
+    def test_c6_2048_hw_seconds(self):
+        """EXPERIMENTS.md: 9.21 ms (paper 9.95)."""
+        golden(HwSimulator(CharmDesign(config_by_name("C6"))).run(W2048).total_seconds, 9.214e-3)
+
+    def test_c11_2048_hw_seconds(self):
+        """EXPERIMENTS.md: 1.05 ms (paper 0.92)."""
+        golden(HwSimulator(CharmDesign(config_by_name("C11"))).run(W2048).total_seconds, 1.049e-3)
+
+    def test_c6_model_seconds(self):
+        golden(AnalyticalModel(CharmDesign(config_by_name("C6"))).estimate(W2048).total_seconds, 8.869e-3)
+
+    def test_c1_strong_scaling_4096(self):
+        """EXPERIMENTS.md Fig. 9 table: 655.0 ms."""
+        workload = GemmShape(4096, 4096, 4096)
+        golden(HwSimulator(CharmDesign(config_by_name("C1"))).run(workload).total_seconds, 654.97e-3)
+
+
+class TestInterconnectGoldens:
+    def test_fp32_single_buffer_overhead(self):
+        """EXPERIMENTS.md: +29.7% (paper +32%)."""
+        ratio = CommTimingModel().normalized_to_cascade(
+            CommScheme.BUFFER_SINGLE, Precision.FP32, GemmShape.square(32), 16
+        )
+        golden(ratio, 1.297, rel=0.005)
+
+    def test_int8_via_switch_near(self):
+        """EXPERIMENTS.md: 3.25x (paper 3.17-3.3x)."""
+        ratio = CommTimingModel().normalized_to_cascade(
+            CommScheme.VIA_SWITCH_NEAR, Precision.INT8, GemmShape.square(64), 16
+        )
+        golden(ratio, 3.253, rel=0.005)
+
+
+class TestPlioGoldens:
+    def test_fp32_scheme_speedup(self):
+        """EXPERIMENTS.md: 4.60x pure-ratio (paper 4.63x)."""
+        schemes = reference_schemes(config_by_name("C1"))
+        golden(
+            schemes[0].invocation_cycles() / schemes[-1].invocation_cycles(),
+            4.60,
+            rel=0.01,
+        )
+
+    def test_36_plio_utilization(self):
+        golden(reference_schemes(config_by_name("C1"))[-1].array_utilization(), 0.28)

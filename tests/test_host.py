@@ -1,0 +1,98 @@
+"""Host-runtime (XRT-style API) tests."""
+
+import numpy as np
+import pytest
+
+from repro.host import Device, HostError
+from repro.hw.specs import AIE_ML_DEVICE
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+
+
+@pytest.fixture
+def device():
+    return Device()
+
+
+@pytest.fixture
+def kernel(device):
+    return device.program(CharmDesign(config_by_name("C1")))
+
+
+class TestProgramming:
+    def test_program_validates_design(self, device):
+        kernel = device.program(CharmDesign(config_by_name("C3")))
+        assert device.kernels_programmed == 1
+        assert kernel.launches == 0
+
+    def test_device_mismatch_rejected(self, device):
+        design = CharmDesign(config_by_name("C7"), device=AIE_ML_DEVICE)
+        with pytest.raises(HostError, match="targets"):
+            device.program(design)
+
+
+class TestBufferObjects:
+    def test_alloc_syncs(self, device):
+        bo = device.alloc(np.ones((4, 4), np.float32))
+        assert bo.synced_to_device
+        assert bo.nbytes == 64
+
+    def test_non_matrix_rejected(self, device):
+        with pytest.raises(HostError):
+            device.alloc(np.ones(16, np.float32))
+
+
+class TestKernelRuns:
+    def test_end_to_end_matmul(self, device, kernel):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((64, 256)).astype(np.float32)
+        b = rng.standard_normal((256, 128)).astype(np.float32)
+        run = kernel(device.alloc(a), device.alloc(b))
+        np.testing.assert_allclose(run.result(), a @ b, rtol=1e-4, atol=1e-4)
+        assert run.duration_seconds > 0
+        assert run.verified
+        assert kernel.launches == 1
+
+    def test_incompatible_shapes_rejected(self, device, kernel):
+        a = device.alloc(np.ones((8, 8), np.float32))
+        b = device.alloc(np.ones((4, 4), np.float32))
+        with pytest.raises(HostError, match="incompatible"):
+            kernel(a, b)
+
+    def test_unsynced_buffer_rejected(self, device, kernel):
+        from repro.host import BufferObject
+
+        a = BufferObject(np.ones((8, 8), np.float32))  # never synced
+        b = device.alloc(np.ones((8, 8), np.float32))
+        with pytest.raises(HostError, match="sync"):
+            kernel(a, b)
+
+    def test_throughput_reported(self, device, kernel):
+        a = device.alloc(np.ones((128, 128), np.float32))
+        b = device.alloc(np.ones((128, 128), np.float32))
+        run = kernel(a, b)
+        assert run.throughput_ops == pytest.approx(
+            run.workload.flops / run.duration_seconds
+        )
+
+    def test_larger_workload_takes_longer(self, device, kernel):
+        small = kernel(
+            device.alloc(np.ones((64, 64), np.float32)),
+            device.alloc(np.ones((64, 64), np.float32)),
+        )
+        large = kernel(
+            device.alloc(np.ones((1024, 1024), np.float32)),
+            device.alloc(np.ones((1024, 1024), np.float32)),
+        )
+        assert large.duration_seconds > small.duration_seconds
+
+    def test_multiple_kernels_coexist(self, device):
+        k1 = device.program(CharmDesign(config_by_name("C1")))
+        k2 = device.program(CharmDesign(config_by_name("C7")))
+        a = device.alloc(np.ones((64, 64), np.float32))
+        b = device.alloc(np.ones((64, 64), np.float32))
+        k1(a, b)
+        ai = device.alloc(np.ones((64, 64), np.int8))
+        bi = device.alloc(np.ones((64, 64), np.int8))
+        k2(ai, bi)
+        assert k1.launches == 1 and k2.launches == 1

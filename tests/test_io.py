@@ -1,0 +1,81 @@
+"""Serialization round-trip tests."""
+
+import json
+
+import pytest
+
+from repro.core.analytical_model import AnalyticalModel
+from repro.hw.dram import DramPorts
+from repro.io import (
+    design_from_dict,
+    design_from_json,
+    design_to_dict,
+    design_to_json,
+    estimate_to_dict,
+    estimate_to_json,
+)
+from repro.kernels.programming import KernelStyle
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+
+
+@pytest.fixture
+def design():
+    return CharmDesign(config_by_name("C6"))
+
+
+class TestDesignRoundTrip:
+    def test_dict_round_trip(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        assert restored == design
+
+    def test_json_round_trip(self, design):
+        restored = design_from_json(design_to_json(design))
+        assert restored == design
+
+    def test_variant_fields_preserved(self):
+        design = CharmDesign(
+            config_by_name("C1"),
+            kernel_style=KernelStyle.API,
+            pl_double_buffered=False,
+        ).with_ports(DramPorts(2, 1))
+        restored = design_from_json(design_to_json(design))
+        assert restored.kernel_style is KernelStyle.API
+        assert not restored.pl_double_buffered
+        assert str(restored.config.dram_ports) == "2r1w"
+
+    def test_explicit_plio_split_preserved(self):
+        design = CharmDesign(config_by_name("C1"))  # override (2, 4, 1)
+        restored = design_from_dict(design_to_dict(design))
+        assert restored.config.plio_split() == (2, 4, 1)
+
+    def test_restored_design_validates_and_estimates(self, design):
+        restored = design_from_dict(design_to_dict(design))
+        estimate = AnalyticalModel(restored).estimate(GemmShape(1024, 1024, 1024))
+        assert estimate.total_seconds > 0
+
+    def test_wrong_kind_rejected(self):
+        with pytest.raises(ValueError, match="not a design"):
+            design_from_dict({"kind": "something"})
+
+    def test_wrong_schema_rejected(self, design):
+        data = design_to_dict(design)
+        data["schema"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            design_from_dict(data)
+
+
+class TestEstimateExport:
+    def test_estimate_dict_fields(self, design):
+        estimate = AnalyticalModel(design).estimate(GemmShape(2048, 2048, 2048))
+        data = estimate_to_dict(estimate)
+        assert data["workload"] == "2048x2048x2048"
+        assert data["total_seconds"] == estimate.total_seconds
+        assert data["breakdown"]["memory_bound"] is True
+        assert data["tile_plan"]["tiling_overhead"] >= 1.0
+
+    def test_estimate_json_parses(self, design):
+        estimate = AnalyticalModel(design).estimate(GemmShape(1024, 1024, 1024))
+        parsed = json.loads(estimate_to_json(estimate))
+        assert parsed["design"]["config"]["name"] == "C6"

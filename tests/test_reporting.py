@@ -1,0 +1,72 @@
+"""Reporting/rendering tests."""
+
+import json
+
+from repro.reporting import (
+    format_seconds,
+    format_value,
+    render_csv,
+    render_json,
+    render_table,
+)
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_none(self):
+        assert format_value(None) == "-"
+
+    def test_float_trimmed(self):
+        assert format_value(1.5) == "1.5"
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(1.23e9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+
+class TestFormatSeconds:
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.500 s"
+
+    def test_milliseconds(self):
+        assert format_seconds(9.95e-3) == "9.950 ms"
+
+    def test_microseconds(self):
+        assert format_seconds(100e-6) == "100.0 us"
+
+
+class TestRenderers:
+    ROWS = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+
+    def test_table_alignment(self):
+        text = render_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(line) for line in lines if line}) <= 2
+
+    def test_table_with_title(self):
+        assert render_table(self.ROWS, title="T").startswith("T\n")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([])
+
+    def test_csv(self):
+        text = render_csv(self.ROWS)
+        assert text.splitlines()[0] == "a,b"
+        assert "22,yy" in text
+
+    def test_csv_empty(self):
+        assert render_csv([]) == ""
+
+    def test_json_round_trips(self):
+        parsed = json.loads(render_json(self.ROWS))
+        assert parsed[1]["a"] == 22
+
+    def test_column_subset(self):
+        text = render_table(self.ROWS, columns=["b"])
+        assert "a" not in text.splitlines()[0]

@@ -1,0 +1,57 @@
+"""ASCII bar-chart rendering tests."""
+
+import pytest
+
+from repro.reporting import render_bars
+
+ROWS = [
+    {"config": "C1", "ms": 655.0},
+    {"config": "C4", "ms": 65.6},
+    {"config": "C6", "ms": 66.2},
+]
+
+
+class TestBars:
+    def test_one_line_per_row(self):
+        lines = render_bars(ROWS, "config", "ms").splitlines()
+        assert len(lines) == 3
+
+    def test_title_prepended(self):
+        text = render_bars(ROWS, "config", "ms", title="Fig 9")
+        assert text.splitlines()[0] == "Fig 9"
+
+    def test_largest_value_fills_width(self):
+        text = render_bars(ROWS, "config", "ms", width=30)
+        c1_line = next(l for l in text.splitlines() if l.strip().startswith("C1"))
+        assert "#" * 30 in c1_line
+
+    def test_bars_proportional(self):
+        text = render_bars(ROWS, "config", "ms", width=100)
+        counts = {
+            line.split("|")[0].strip(): line.count("#") for line in text.splitlines()
+        }
+        assert counts["C1"] == 100
+        assert counts["C4"] == pytest.approx(10, abs=1)
+
+    def test_log_scale_compresses(self):
+        linear = render_bars(ROWS, "config", "ms", width=60)
+        log = render_bars(ROWS, "config", "ms", width=60, log_scale=True)
+        bar = lambda text, label: next(
+            l.count("#") for l in text.splitlines() if l.strip().startswith(label)
+        )
+        assert bar(log, "C4") > bar(linear, "C4")
+
+    def test_values_printed(self):
+        assert "655" in render_bars(ROWS, "config", "ms")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            render_bars([{"a": "x", "v": -1}], "a", "v")
+
+    def test_empty(self):
+        assert "(no rows)" in render_bars([], "a", "v")
+
+    def test_zero_value_empty_bar(self):
+        text = render_bars([{"a": "x", "v": 0.0}, {"a": "y", "v": 5.0}], "a", "v")
+        x_line = next(l for l in text.splitlines() if l.strip().startswith("x"))
+        assert "#" not in x_line

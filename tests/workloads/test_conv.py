@@ -1,0 +1,75 @@
+"""Convolution (im2col) workload tests."""
+
+import pytest
+
+from repro.workloads.conv import ConvLayer, RESNET50_LAYERS, layer_by_name
+from repro.workloads.gemm import GemmShape
+
+
+class TestGeometry:
+    def test_output_size_same_padding(self):
+        layer = ConvLayer("c", 64, 64, 3, 56, padding=1)
+        assert layer.output_size == 56
+
+    def test_output_size_stride(self):
+        layer = ConvLayer("c", 3, 64, 7, 224, stride=2, padding=3)
+        assert layer.output_size == 112
+
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            ConvLayer("bad", 3, 8, 9, 4)
+
+
+class TestLowering:
+    def test_im2col_shape(self):
+        layer = ConvLayer("c", 64, 128, 3, 28, padding=1)
+        assert layer.im2col_shape() == GemmShape(28 * 28, 3 * 3 * 64, 128)
+
+    def test_batch_scales_m(self):
+        layer = layer_by_name("stage2_3x3")
+        assert layer.im2col_shape(batch=8).m == 8 * layer.im2col_shape().m
+
+    def test_1x1_conv_has_no_expansion(self):
+        layer = layer_by_name("stage1_1x1a")
+        assert layer.im2col_expansion() == pytest.approx(1.0)
+
+    def test_3x3_conv_expands_about_9x(self):
+        layer = layer_by_name("stage1_3x3")
+        assert layer.im2col_expansion() == pytest.approx(9.0, rel=0.01)
+
+    def test_macs_match_direct_formula(self):
+        layer = layer_by_name("stage3_3x3")
+        direct = (
+            layer.output_size**2
+            * layer.kernel**2
+            * layer.in_channels
+            * layer.out_channels
+        )
+        assert layer.macs() == direct
+
+    def test_rejects_zero_batch(self):
+        with pytest.raises(ValueError):
+            layer_by_name("conv1").im2col_shape(batch=0)
+
+
+class TestIntegrationWithEstimators:
+    def test_conv_runs_through_analytical_model(self):
+        from repro.core.analytical_model import AnalyticalModel
+        from repro.mapping.charm import CharmDesign
+        from repro.mapping.configs import config_by_name
+
+        design = CharmDesign(config_by_name("C5"))
+        shape = layer_by_name("stage2_3x3").im2col_shape(batch=8)
+        estimate = AnalyticalModel(design).estimate(shape)
+        assert estimate.total_seconds > 0
+
+    def test_conv_shapes_are_tall(self):
+        """im2col GEMMs are tall (M >> K, N) — more non-square shapes
+        for the fragmentation study."""
+        tall = [l for l in RESNET50_LAYERS if l.im2col_shape(8).aspect() == "tall"]
+        assert len(tall) >= 4
+
+    def test_zoo_lookup(self):
+        assert layer_by_name("conv1").out_channels == 64
+        with pytest.raises(KeyError):
+            layer_by_name("nope")

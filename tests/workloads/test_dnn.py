@@ -1,0 +1,48 @@
+"""Table III workload data tests."""
+
+import pytest
+
+from repro.workloads.dnn import DNN_WORKLOADS, workload_by_id
+from repro.workloads.gemm import GemmShape
+
+
+class TestTable3Data:
+    def test_six_workloads(self):
+        assert len(DNN_WORKLOADS) == 6
+
+    def test_ids_unique(self):
+        ids = [w.workload_id for w in DNN_WORKLOADS]
+        assert len(set(ids)) == len(ids)
+
+    @pytest.mark.parametrize(
+        "workload_id, expected",
+        [
+            ("B1", GemmShape(3072, 4096, 1024)),
+            ("V1", GemmShape(3072, 1024, 4096)),
+            ("L1", GemmShape(13824, 5120, 4096)),
+            ("L2", GemmShape(6656, 20480, 4096)),
+            ("L3", GemmShape(8192, 128, 3584)),
+            ("L4", GemmShape(4000, 256, 8192)),
+        ],
+    )
+    def test_shapes_match_table3(self, workload_id, expected):
+        assert workload_by_id(workload_id).shape == expected
+
+    def test_networks(self):
+        assert workload_by_id("B1").network == "BERT"
+        assert workload_by_id("V1").network == "ViT"
+        assert workload_by_id("L4").network == "Llama2-70B"
+
+    def test_none_are_square(self):
+        """The paper's point: production shapes are tall/fat/skinny."""
+        assert all(not w.shape.is_square for w in DNN_WORKLOADS)
+
+    def test_lookup_case_insensitive(self):
+        assert workload_by_id("b1") is workload_by_id("B1")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            workload_by_id("Z9")
+
+    def test_str_mentions_network(self):
+        assert "BERT" in str(workload_by_id("B1"))

@@ -1,0 +1,125 @@
+"""Unit tests for the GEMM shape algebra."""
+
+import pytest
+
+from repro.workloads.gemm import GemmShape
+
+
+class TestConstruction:
+    def test_basic_dimensions(self):
+        shape = GemmShape(3, 4, 5)
+        assert (shape.m, shape.k, shape.n) == (3, 4, 5)
+
+    @pytest.mark.parametrize("bad", [0, -1])
+    @pytest.mark.parametrize("position", ["m", "k", "n"])
+    def test_rejects_non_positive(self, bad, position):
+        kwargs = {"m": 1, "k": 1, "n": 1, position: bad}
+        with pytest.raises(ValueError):
+            GemmShape(**kwargs)
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            GemmShape(1.5, 2, 3)
+
+    def test_hashable_and_equal(self):
+        assert GemmShape(1, 2, 3) == GemmShape(1, 2, 3)
+        assert len({GemmShape(1, 2, 3), GemmShape(1, 2, 3)}) == 1
+
+    def test_square_constructor(self):
+        assert GemmShape.square(32) == GemmShape(32, 32, 32)
+
+
+class TestParse:
+    def test_parse_paper_notation(self):
+        assert GemmShape.parse("32x128x32") == GemmShape(32, 128, 32)
+
+    def test_parse_uppercase(self):
+        assert GemmShape.parse("4X8X16") == GemmShape(4, 8, 16)
+
+    @pytest.mark.parametrize("text", ["32x32", "32x32x32x32", "axbxc", ""])
+    def test_parse_rejects_malformed(self, text):
+        with pytest.raises(ValueError):
+            GemmShape.parse(text)
+
+    def test_str_round_trips(self):
+        shape = GemmShape(7, 9, 11)
+        assert GemmShape.parse(str(shape)) == shape
+
+
+class TestArithmetic:
+    def test_macs(self):
+        assert GemmShape(2, 3, 4).macs == 24
+
+    def test_flops_twice_macs(self):
+        shape = GemmShape(5, 6, 7)
+        assert shape.flops == 2 * shape.macs
+
+    def test_element_counts(self):
+        shape = GemmShape(2, 3, 4)
+        assert shape.elements_a() == 6
+        assert shape.elements_b() == 12
+        assert shape.elements_c() == 8
+
+    def test_bytes_scale_with_element_size(self):
+        shape = GemmShape(8, 8, 8)
+        assert shape.bytes_a(4) == 4 * shape.bytes_a(1)
+
+    def test_total_io_bytes(self):
+        shape = GemmShape(2, 3, 4)
+        assert shape.total_io_bytes(1) == 6 + 12 + 8
+
+    def test_operational_intensity(self):
+        shape = GemmShape(128, 128, 128)
+        oi = shape.operational_intensity(4)
+        assert oi == pytest.approx(shape.flops / (3 * 128 * 128 * 4))
+
+
+class TestPaddingAndTiling:
+    def test_padded_to_exact_multiple_unchanged(self):
+        shape = GemmShape(64, 128, 64)
+        assert shape.padded_to(GemmShape(32, 32, 32)) == shape
+
+    def test_padded_rounds_up(self):
+        padded = GemmShape(100, 300, 200).padded_to(GemmShape(32, 128, 32))
+        assert padded == GemmShape(128, 384, 224)
+
+    def test_tile_counts(self):
+        assert GemmShape(64, 64, 64).tile_counts(GemmShape(32, 32, 32)) == (2, 2, 2)
+
+    def test_tile_counts_with_padding(self):
+        assert GemmShape(33, 32, 32).tile_counts(GemmShape(32, 32, 32)) == (2, 1, 1)
+
+    def test_num_tiles(self):
+        assert GemmShape(64, 64, 64).num_tiles(GemmShape(32, 32, 32)) == 8
+
+    def test_is_multiple_of(self):
+        assert GemmShape(64, 128, 256).is_multiple_of(GemmShape(32, 32, 32))
+        assert not GemmShape(65, 128, 256).is_multiple_of(GemmShape(32, 32, 32))
+
+    def test_scaled(self):
+        assert GemmShape(2, 3, 4).scaled(2, 3, 4) == GemmShape(4, 9, 16)
+
+    def test_padding_waste_zero_when_aligned(self):
+        assert GemmShape(64, 64, 64).padding_waste(GemmShape(32, 32, 32)) == 0.0
+
+    def test_padding_waste_positive_when_misaligned(self):
+        waste = GemmShape(33, 33, 33).padding_waste(GemmShape(32, 32, 32))
+        assert 0 < waste < 1
+
+
+class TestAspect:
+    def test_square(self):
+        assert GemmShape(32, 32, 32).aspect() == "square"
+
+    def test_tall(self):
+        assert GemmShape(8192, 128, 64).aspect() == "tall"
+
+    def test_fat(self):
+        assert GemmShape(64, 8192, 128).aspect() == "fat"
+
+    def test_skinny(self):
+        assert GemmShape(64, 128, 8192).aspect() == "skinny"
+
+    def test_ordering_is_total(self):
+        shapes = sorted([GemmShape(2, 1, 1), GemmShape(1, 2, 1), GemmShape(1, 1, 2)])
+        assert shapes[0] == GemmShape(1, 1, 2)

@@ -1,0 +1,68 @@
+"""SpMM workload and estimator tests."""
+
+import pytest
+
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.workloads.gemm import GemmShape
+from repro.workloads.sparse import SpmmEstimator, SpmmWorkload
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return SpmmEstimator(CharmDesign(config_by_name("C5")))
+
+
+SHAPE = GemmShape(4096, 4096, 512)
+
+
+class TestWorkload:
+    def test_nnz(self):
+        workload = SpmmWorkload(GemmShape(100, 100, 10), density=0.1)
+        assert workload.nnz == 1000
+
+    def test_useful_macs_scale_with_density(self):
+        dense = SpmmWorkload(SHAPE, 1.0)
+        sparse = SpmmWorkload(SHAPE, 0.1)
+        assert sparse.useful_macs == pytest.approx(0.1 * dense.useful_macs, rel=0.01)
+
+    def test_csr_bytes_include_indices(self):
+        workload = SpmmWorkload(GemmShape(10, 10, 4), density=1.0)
+        dense_bytes = workload.shape.bytes_a(4)
+        assert workload.csr_bytes(4) > dense_bytes  # indices cost extra
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_rejects_bad_density(self, bad):
+        with pytest.raises(ValueError):
+            SpmmWorkload(SHAPE, bad)
+
+
+class TestComparison:
+    def test_dense_matrix_prefers_dense_execution(self, estimator):
+        """At full density the gather kernel's derated datapath loses."""
+        comparison = estimator.compare(SpmmWorkload(SHAPE, density=1.0))
+        assert not comparison.sparse_wins
+
+    def test_very_sparse_matrix_prefers_sparse_execution(self, estimator):
+        comparison = estimator.compare(SpmmWorkload(SHAPE, density=0.01))
+        assert comparison.sparse_wins
+        assert comparison.speedup > 2
+
+    def test_crossover_exists_and_is_sensible(self, estimator):
+        crossover = estimator.crossover_density(SHAPE)
+        assert 0.01 < crossover < 0.6
+        # just below: sparse wins; just above: dense wins
+        assert estimator.compare(SpmmWorkload(SHAPE, crossover * 0.8)).sparse_wins
+        assert not estimator.compare(SpmmWorkload(SHAPE, min(1.0, crossover * 1.2))).sparse_wins
+
+    def test_sparse_time_monotone_in_density(self, estimator):
+        times = [
+            estimator.compare(SpmmWorkload(SHAPE, d)).sparse_seconds
+            for d in (0.05, 0.1, 0.2, 0.4, 0.8)
+        ]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_dense_time_independent_of_density(self, estimator):
+        a = estimator.compare(SpmmWorkload(SHAPE, 0.05)).dense_seconds
+        b = estimator.compare(SpmmWorkload(SHAPE, 0.5)).dense_seconds
+        assert a == pytest.approx(b)

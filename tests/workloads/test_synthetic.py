@@ -1,0 +1,72 @@
+"""Synthetic workload generator tests."""
+
+import pytest
+
+from repro.workloads.gemm import GemmShape
+from repro.workloads.synthetic import (
+    native_multiples,
+    shape_sweep,
+    single_aie_sweep,
+    square_sweep,
+)
+
+
+class TestSquareSweep:
+    def test_sizes(self):
+        shapes = square_sweep([16, 32, 64])
+        assert shapes == [GemmShape.square(s) for s in (16, 32, 64)]
+
+    def test_empty(self):
+        assert square_sweep([]) == []
+
+
+class TestShapeSweep:
+    def test_cartesian_product(self):
+        shapes = list(shape_sweep([1, 2], [3], [4, 5]))
+        assert len(shapes) == 4
+        assert GemmShape(2, 3, 5) in shapes
+
+    def test_lazy(self):
+        iterator = shape_sweep([1], [1], [1])
+        assert next(iterator) == GemmShape(1, 1, 1)
+
+
+class TestNativeMultiples:
+    def test_scales_all_dimensions(self):
+        native = GemmShape(32, 128, 128)
+        shapes = native_multiples(native, [1, 2, 4])
+        assert shapes[0] == native
+        assert shapes[2] == GemmShape(128, 512, 512)
+
+    def test_all_are_multiples(self):
+        native = GemmShape(32, 128, 128)
+        for shape in native_multiples(native, [2, 3, 5]):
+            assert shape.is_multiple_of(native)
+
+
+class TestSingleAieSweep:
+    def test_respects_memory_bound(self):
+        max_elements = 4096  # FP32 double-buffer operand limit
+        for shape in single_aie_sweep(max_elements):
+            assert shape.elements_a() <= max_elements
+            assert shape.elements_b() <= max_elements
+            assert shape.elements_c() <= max_elements
+
+    def test_contains_paper_kernels(self):
+        shapes = single_aie_sweep(4096)
+        assert GemmShape(32, 32, 32) in shapes
+        assert GemmShape(64, 64, 64) in shapes
+        assert GemmShape(16, 128, 16) in shapes
+
+    def test_sorted_by_macs(self):
+        shapes = single_aie_sweep(4096)
+        macs = [s.macs for s in shapes]
+        assert macs == sorted(macs)
+
+    def test_no_duplicates(self):
+        shapes = single_aie_sweep(16384)
+        assert len(shapes) == len(set(shapes))
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            single_aie_sweep(0)
