@@ -1,0 +1,190 @@
+"""Evaluation-engine throughput: serial vs. cached vs. parallel DSE.
+
+Measures evaluations/second over a fixed DSE candidate set in three
+modes and appends the result to a ``BENCH_eval.json`` trajectory so the
+engine's throughput is tracked across commits:
+
+* ``serial``   — the seed path: every candidate re-derived from scratch
+  (``NULL_CACHE``), one thread.
+* ``cached``   — the memoization layer enabled, one thread.
+* ``parallel`` — memoization plus ``parallel_map`` fan-out.
+
+The script asserts the engine's contract: cached+parallel exploration is
+at least 2x the seed serial path on the same candidate set, and the
+top-10 rankings are byte-identical between serial and parallel runs.
+
+Run directly (``python benchmarks/bench_eval_throughput.py``) or let CI
+invoke the ``--smoke`` variant; ``test_eval_throughput_smoke`` keeps it
+alive under pytest as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.dse import DesignSpaceExplorer, DseResult
+from repro.kernels.precision import Precision
+from repro.perf.cache import EvalCache, NullCache
+from repro.workloads.gemm import GemmShape
+
+DEFAULT_WORKLOAD = GemmShape(1024, 1024, 1024)
+SPEEDUP_FLOOR = 2.0
+
+
+def _ranking_bytes(points: DseResult) -> bytes:
+    """Serialize a ranking for byte-exact comparison (full float repr)."""
+    rows = [
+        {
+            "config_grouping": repr(point.config.grouping),
+            "num_plios": point.config.num_plios,
+            "dram_ports": str(point.config.dram_ports),
+            "seconds": repr(point.seconds),
+        }
+        for point in points
+    ]
+    return json.dumps(rows, sort_keys=True).encode()
+
+
+def _explorer(max_aies: int, jobs: int, cache: EvalCache) -> DesignSpaceExplorer:
+    return DesignSpaceExplorer(
+        Precision.FP32,
+        max_aies=max_aies,
+        explore_ports=True,
+        jobs=jobs,
+        cache=cache,
+    )
+
+
+def _time_mode(
+    explorer: DesignSpaceExplorer, workload: GemmShape, repeats: int
+) -> tuple[float, DseResult]:
+    start = time.perf_counter()
+    result = explorer.explore(workload)
+    for _ in range(repeats - 1):
+        result = explorer.explore(workload)
+    return time.perf_counter() - start, result
+
+
+def run_benchmark(
+    workload: GemmShape = DEFAULT_WORKLOAD,
+    max_aies: int = 128,
+    repeats: int = 3,
+    jobs: int = 4,
+) -> dict:
+    num_candidates = len(_explorer(max_aies, 1, NullCache()).candidates())
+    evaluations = num_candidates * repeats
+
+    serial_seconds, serial_result = _time_mode(
+        _explorer(max_aies, 1, NullCache()), workload, repeats
+    )
+    cached_seconds, _ = _time_mode(
+        _explorer(max_aies, 1, EvalCache()), workload, repeats
+    )
+    parallel_seconds, parallel_result = _time_mode(
+        _explorer(max_aies, jobs, EvalCache()), workload, repeats
+    )
+
+    modes = {
+        "serial": serial_seconds,
+        "cached": cached_seconds,
+        "parallel": parallel_seconds,
+    }
+    return {
+        "timestamp": time.time(),
+        "workload": str(workload),
+        "candidates": num_candidates,
+        "repeats": repeats,
+        "jobs": jobs,
+        "modes": {
+            name: {
+                "seconds": seconds,
+                "evals_per_sec": evaluations / seconds if seconds else 0.0,
+            }
+            for name, seconds in modes.items()
+        },
+        "speedup_cached": serial_seconds / cached_seconds,
+        "speedup_cached_parallel": serial_seconds / parallel_seconds,
+        "rankings_identical": _ranking_bytes(serial_result)
+        == _ranking_bytes(parallel_result),
+    }
+
+
+def append_trajectory(entry: dict, output: Path) -> None:
+    """Append one run to the benchmark's JSON trajectory file."""
+    trajectory: list[dict] = []
+    if output.exists():
+        try:
+            trajectory = json.loads(output.read_text())
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"{output} exists but is not valid JSON ({error}); "
+                "move it aside to start a fresh trajectory"
+            ) from None
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON list trajectory")
+    trajectory.append(entry)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def check(entry: dict) -> list[str]:
+    """The engine's contract; empty list means the run is acceptable."""
+    failures = []
+    if not entry["rankings_identical"]:
+        failures.append("serial and parallel top-10 rankings differ")
+    if entry["speedup_cached_parallel"] < SPEEDUP_FLOOR:
+        failures.append(
+            f"cached+parallel speedup {entry['speedup_cached_parallel']:.2f}x "
+            f"is below the {SPEEDUP_FLOOR}x floor"
+        )
+    return failures
+
+
+def test_eval_throughput_smoke():
+    """Tier-2 smoke: small candidate set, full contract still holds."""
+    entry = run_benchmark(max_aies=64, repeats=3, jobs=2)
+    assert check(entry) == []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", default="1024x1024x1024", help="MxKxN")
+    parser.add_argument("--max-aies", type=int, default=128)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--jobs", "-j", type=int, default=4)
+    parser.add_argument("--output", "-o", default="BENCH_eval.json")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small candidate set for CI (max_aies=64)",
+    )
+    args = parser.parse_args(argv)
+
+    entry = run_benchmark(
+        workload=GemmShape.parse(args.workload),
+        max_aies=64 if args.smoke else args.max_aies,
+        repeats=args.repeats,
+        jobs=args.jobs,
+    )
+    append_trajectory(entry, Path(args.output))
+
+    print(f"workload {entry['workload']}  candidates {entry['candidates']}  "
+          f"repeats {entry['repeats']}  jobs {entry['jobs']}")
+    for name, mode in entry["modes"].items():
+        print(f"{name:>9}: {mode['seconds'] * 1e3:8.1f} ms  "
+              f"{mode['evals_per_sec']:8.1f} evals/s")
+    print(f"speedup (cached):          {entry['speedup_cached']:.2f}x")
+    print(f"speedup (cached+parallel): {entry['speedup_cached_parallel']:.2f}x")
+    print(f"rankings identical:        {entry['rankings_identical']}")
+    print(f"trajectory -> {args.output}")
+
+    failures = check(entry)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

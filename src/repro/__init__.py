@@ -61,6 +61,8 @@ from repro.sim.events import EventSimulator, Task
 from repro.sim.dnnsim import DnnSimulator
 from repro.sim.serving import ServingSimulator, generate_trace
 from repro.core.pareto import pareto_front, knee_point
+from repro.core.dse import DseResult
+from repro.perf import EvalCache, EvalStats, clear_cache, get_cache, parallel_map
 from repro.host import Device as HostDevice
 
 __version__ = "1.0.0"
@@ -101,6 +103,12 @@ __all__ = [
     "ExecutionBreakdown",
     "Roofline",
     "DesignSpaceExplorer",
+    "DseResult",
+    "EvalCache",
+    "EvalStats",
+    "clear_cache",
+    "get_cache",
+    "parallel_map",
     "CharmPlacer",
     "Placement",
     "FragmentationAnalysis",

@@ -34,6 +34,7 @@ from repro.hw.dram import DramModel
 from repro.kernels.kernel_timing import compute_cycles
 from repro.mapping.charm import CharmDesign
 from repro.mapping.tiling import TilePlan
+from repro.perf.cache import EvalCache, design_fingerprint, get_cache
 from repro.workloads.gemm import GemmShape
 
 
@@ -138,18 +139,36 @@ class Estimate:
 
 
 class AnalyticalModel:
-    """Evaluates Eqs. 1 and 2 for a design, producing an :class:`Estimate`."""
+    """Evaluates Eqs. 1 and 2 for a design, producing an :class:`Estimate`.
 
-    def __init__(self, design: CharmDesign):
+    The model is a pure function of its design, so sub-results memoize:
+    per-instance for :meth:`aie_level_times` (read three times per
+    estimate) and process-wide through an :class:`EvalCache` keyed on the
+    design fingerprint, which the batch drivers (DSE, sweeps, serving)
+    share across thousands of candidate evaluations.  Pass
+    ``cache=NULL_CACHE`` to force the uncached baseline.
+    """
+
+    def __init__(self, design: CharmDesign, cache: EvalCache | None = None):
         design.validate()
         self.design = design
         self.device = design.device
         self.dram: DramModel = design.dram
+        self.cache = get_cache() if cache is None else cache
+        self._fingerprint = None
+        self._aie_level: AieLevelTimes | None = None
+
+    @property
+    def fingerprint(self):
+        """Hashable cache key for this design (computed lazily)."""
+        if self._fingerprint is None:
+            self._fingerprint = design_fingerprint(self.design)
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Level 1: PL <-> AIE (Eq. 1)
     # ------------------------------------------------------------------
-    def aie_level_times(self) -> AieLevelTimes:
+    def _compute_aie_level_times(self) -> AieLevelTimes:
         design = self.design
         native = design.native_size
         eb = design.precision.element_bytes
@@ -169,19 +188,41 @@ class AnalyticalModel:
             plio_c=native.bytes_c(eb) / (plios_c * rate),
         )
 
-    def aie_cycles_per_dram_tile(self, plan: TilePlan) -> float:
+    def aie_level_times(self) -> AieLevelTimes:
+        if self._aie_level is None:
+            self._aie_level = self.cache.get_or_compute(
+                "aie_level", self.fingerprint, self._compute_aie_level_times
+            )
+        return self._aie_level
+
+    def aie_cycles_per_dram_tile(
+        self, plan: TilePlan, aie_level: AieLevelTimes | None = None
+    ) -> float:
         """Eq. 1 plus the exposed per-DRAM-tile fill/drain."""
-        level = self.aie_level_times()
+        level = self.aie_level_times() if aie_level is None else aie_level
         return plan.pl_tiles_per_dram_tile * level.period + level.exposed_fill
 
     # ------------------------------------------------------------------
     # Level 2: DRAM <-> PL (Eq. 2)
     # ------------------------------------------------------------------
-    def dram_level_times(self, plan: TilePlan) -> DramLevelTimes:
+    def dram_level_times(
+        self, plan: TilePlan, aie_level: AieLevelTimes | None = None
+    ) -> DramLevelTimes:
+        return self.cache.get_or_compute(
+            "dram_level",
+            (self.fingerprint, plan),
+            lambda: self._compute_dram_level_times(plan, aie_level),
+        )
+
+    def _compute_dram_level_times(
+        self, plan: TilePlan, aie_level: AieLevelTimes | None
+    ) -> DramLevelTimes:
         bytes_a, bytes_b, bytes_c = plan.dram_tile_bytes()
         read_pool = self.dram.read_bandwidth()  # all read ports, multiplexed
         bw_c = self.dram.write_bandwidth()
-        aie_seconds = self.device.cycles_to_seconds(self.aie_cycles_per_dram_tile(plan))
+        aie_seconds = self.device.cycles_to_seconds(
+            self.aie_cycles_per_dram_tile(plan, aie_level)
+        )
         return DramLevelTimes(
             load_a=self.dram.transfer_seconds(bytes_a, read_pool),
             load_b=self.dram.transfer_seconds(bytes_b, read_pool),
@@ -193,9 +234,19 @@ class AnalyticalModel:
     # Full estimate
     # ------------------------------------------------------------------
     def estimate(self, workload: GemmShape, plan: TilePlan | None = None) -> Estimate:
+        return self.cache.get_or_compute(
+            "estimate",
+            (self.fingerprint, workload, plan),
+            lambda: self._compute_estimate(workload, plan),
+        )
+
+    def _compute_estimate(
+        self, workload: GemmShape, plan: TilePlan | None
+    ) -> Estimate:
         if plan is None:
             plan = self.design.tile_plan(workload)
-        dram_level = self.dram_level_times(plan)
+        aie_level = self.aie_level_times()
+        dram_level = self.dram_level_times(plan, aie_level)
         num_tiles = plan.num_dram_tiles
         if self.design.pl_double_buffered:
             steady = dram_level.period
@@ -213,22 +264,27 @@ class AnalyticalModel:
             + max(num_tiles - 1, 0) * steady
             + self.device.aie_setup_seconds
         )
-        breakdown = self._build_breakdown(plan, dram_level, total)
+        breakdown = self._build_breakdown(plan, dram_level, total, aie_level)
         return Estimate(
             design=self.design,
             workload=workload,
             plan=plan,
-            aie_level=self.aie_level_times(),
+            aie_level=aie_level,
             dram_level=dram_level,
             total_seconds=total,
             breakdown=breakdown,
         )
 
     def _build_breakdown(
-        self, plan: TilePlan, dram_level: DramLevelTimes, total: float
+        self,
+        plan: TilePlan,
+        dram_level: DramLevelTimes,
+        total: float,
+        aie_level: AieLevelTimes | None = None,
     ) -> ExecutionBreakdown:
         num_tiles = plan.num_dram_tiles
-        aie_level = self.aie_level_times()
+        if aie_level is None:
+            aie_level = self.aie_level_times()
         compute_seconds = self.device.cycles_to_seconds(
             plan.pl_tiles_per_dram_tile * aie_level.compute * num_tiles
         )

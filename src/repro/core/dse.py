@@ -24,6 +24,9 @@ from repro.kernels.precision import Precision
 from repro.mapping.charm import CharmDesign, DesignError
 from repro.mapping.configs import KERNEL_BY_PRECISION, HardwareConfig
 from repro.mapping.grouping import AieGrouping, pack_depth_for
+from repro.perf.cache import EvalCache, get_cache
+from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
+from repro.perf.parallel import parallel_map, resolve_jobs
 from repro.workloads.gemm import GemmShape
 
 
@@ -47,8 +50,36 @@ class DsePoint:
         return self.config.num_plios
 
 
+class DseResult(list):
+    """Ranked :class:`DsePoint` list plus evaluation accounting.
+
+    Behaves exactly like the plain list earlier releases returned, with
+    an :attr:`stats` field reporting how many candidates were evaluated,
+    how many were skipped as infeasible for the workload (previously
+    swallowed silently), and how the cache behaved.
+    """
+
+    def __init__(self, points: list[DsePoint], stats: EvalStats):
+        super().__init__(points)
+        self.stats = stats
+
+    @property
+    def evaluated(self) -> int:
+        return self.stats.evaluations
+
+    @property
+    def skipped(self) -> int:
+        return self.stats.skipped
+
+
 class DesignSpaceExplorer:
-    """Enumerates and ranks CHARM-style designs for a workload."""
+    """Enumerates and ranks CHARM-style designs for a workload.
+
+    ``jobs`` fans candidate evaluation out over worker threads through
+    :func:`repro.perf.parallel.parallel_map`; results are deterministic
+    and bit-identical to the serial order for any ``jobs``.  All model
+    evaluations share ``cache`` (the process-wide one by default).
+    """
 
     def __init__(
         self,
@@ -56,11 +87,15 @@ class DesignSpaceExplorer:
         device: DeviceSpec = VCK5000,
         max_aies: int | None = None,
         explore_ports: bool = False,
+        jobs: int = 1,
+        cache: EvalCache | None = None,
     ):
         self.precision = precision
         self.device = device
         self.max_aies = device.num_aies if max_aies is None else max_aies
         self.explore_ports = explore_ports
+        self.jobs = resolve_jobs(jobs)
+        self.cache = get_cache() if cache is None else cache
         self.kernel = KERNEL_BY_PRECISION[precision]
 
     # ------------------------------------------------------------------
@@ -104,20 +139,45 @@ class DesignSpaceExplorer:
         return designs
 
     # ------------------------------------------------------------------
-    def explore(self, workload: GemmShape, top: int = 10) -> list[DsePoint]:
-        """Evaluate every candidate on ``workload``; best first."""
-        points = []
-        for design in self.candidates():
-            try:
-                estimate = AnalyticalModel(design).estimate(workload)
-            except (DesignError, ValueError):
-                continue  # candidate cannot tile this workload
-            points.append(DsePoint(config=design.config, estimate=estimate))
+    def _evaluate(self, design: CharmDesign, workload: GemmShape) -> DsePoint | None:
+        """One candidate evaluation; None when it cannot tile ``workload``."""
+        try:
+            estimate = AnalyticalModel(design, cache=self.cache).estimate(workload)
+        except (DesignError, ValueError):
+            return None
+        return DsePoint(config=design.config, estimate=estimate)
+
+    def explore(
+        self, workload: GemmShape, top: int = 10, jobs: int | None = None
+    ) -> DseResult:
+        """Evaluate every candidate on ``workload``; best first.
+
+        Returns a :class:`DseResult` — a ranked list whose ``stats``
+        field reports evaluated/skipped candidate counts and cache
+        behaviour for the batch.
+        """
+        jobs = self.jobs if jobs is None else resolve_jobs(jobs)
+        designs = self.candidates()
+        hits0, misses0 = self.cache.hits, self.cache.misses
+        stats = EvalStats(jobs=jobs)
+        with track(stats):
+            outcomes = parallel_map(
+                lambda design: self._evaluate(design, workload), designs, jobs=jobs
+            )
+        points = [point for point in outcomes if point is not None]
+        stats.evaluations = len(points)
+        stats.skipped = len(designs) - len(points)
+        stats.cache_hits = self.cache.hits - hits0
+        stats.cache_misses = self.cache.misses - misses0
+        GLOBAL_STATS.record(stats)
         points.sort(key=lambda p: (p.seconds, p.num_aies, p.num_plios))
-        return points[:top]
+        return DseResult(points[:top], stats)
 
     def best(self, workload: GemmShape) -> DsePoint:
         points = self.explore(workload, top=1)
         if not points:
-            raise RuntimeError(f"no feasible design found for {workload}")
+            raise RuntimeError(
+                f"no feasible design found for {workload} "
+                f"({points.skipped} candidates skipped as infeasible)"
+            )
         return points[0]

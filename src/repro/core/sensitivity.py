@@ -18,6 +18,8 @@ from typing import Sequence
 from repro.core.analytical_model import AnalyticalModel, Estimate
 from repro.hw.dram import DramPorts
 from repro.mapping.charm import CharmDesign
+from repro.perf.cache import EvalCache, get_cache
+from repro.perf.parallel import parallel_map, resolve_jobs
 from repro.workloads.gemm import GemmShape
 
 
@@ -39,62 +41,83 @@ class SensitivityPoint:
 
 
 class SensitivityAnalysis:
-    """Latency curves under single-parameter perturbations."""
+    """Latency curves under single-parameter perturbations.
 
-    def __init__(self, design: CharmDesign, workload: GemmShape):
+    ``jobs`` evaluates the perturbed designs of each axis concurrently
+    (point order always matches the requested value order); ``cache``
+    memoizes the shared base-design sub-results across axes.
+    """
+
+    def __init__(
+        self,
+        design: CharmDesign,
+        workload: GemmShape,
+        jobs: int = 1,
+        cache: EvalCache | None = None,
+    ):
         design.validate()
         self.design = design
         self.workload = workload
+        self.jobs = resolve_jobs(jobs)
+        self.cache = get_cache() if cache is None else cache
 
     def _evaluate(self, parameter: str, value: object, design: CharmDesign) -> SensitivityPoint:
-        estimate = AnalyticalModel(design).estimate(self.workload)
+        estimate = AnalyticalModel(design, cache=self.cache).estimate(self.workload)
         return SensitivityPoint(parameter=parameter, value=value, estimate=estimate)
+
+    def _evaluate_axis(
+        self, variants: Sequence[tuple[str, object, CharmDesign]]
+    ) -> list[SensitivityPoint]:
+        """Evaluate one axis's perturbed designs, fanning out when asked."""
+        return parallel_map(
+            lambda variant: self._evaluate(*variant), variants, jobs=self.jobs
+        )
 
     # ------------------------------------------------------------------
     def dram_ports(self, setups: Sequence[DramPorts]) -> list[SensitivityPoint]:
         """Vary the DRAM port configuration (the paper's 2r1w vs 4r2w)."""
-        return [
-            self._evaluate("dram_ports", str(ports), self.design.with_ports(ports))
-            for ports in setups
-        ]
+        return self._evaluate_axis(
+            [
+                ("dram_ports", str(ports), self.design.with_ports(ports))
+                for ports in setups
+            ]
+        )
 
     def plio_count(self, counts: Sequence[int]) -> list[SensitivityPoint]:
         """Vary the design's PLIO budget at fixed AIE count."""
-        points = []
+        variants = []
         for count in counts:
             config = dataclasses.replace(
                 self.design.config, num_plios=count, plio_split_override=None
             )
-            points.append(
-                self._evaluate("plios", count, dataclasses.replace(self.design, config=config))
+            variants.append(
+                ("plios", count, dataclasses.replace(self.design, config=config))
             )
-        return points
+        return self._evaluate_axis(variants)
 
     def aie_frequency(self, frequencies_hz: Sequence[float]) -> list[SensitivityPoint]:
         """Vary the AIE clock (e.g. derating for thermal budgets)."""
-        points = []
+        variants = []
         for freq in frequencies_hz:
             device = dataclasses.replace(self.design.device, aie_freq_hz=freq)
-            points.append(
-                self._evaluate(
-                    "aie_freq_hz", freq, dataclasses.replace(self.design, device=device)
-                )
+            variants.append(
+                ("aie_freq_hz", freq, dataclasses.replace(self.design, device=device))
             )
-        return points
+        return self._evaluate_axis(variants)
 
     def pl_memory_fraction(self, fractions: Sequence[float]) -> list[SensitivityPoint]:
         """Vary the usable PL memory fraction (banking/porting pressure)."""
-        points = []
+        variants = []
         for fraction in fractions:
             device = dataclasses.replace(self.design.device, pl_usable_fraction=fraction)
-            points.append(
-                self._evaluate(
+            variants.append(
+                (
                     "pl_usable_fraction",
                     fraction,
                     dataclasses.replace(self.design, device=device),
                 )
             )
-        return points
+        return self._evaluate_axis(variants)
 
     def dram_channel_bandwidth(self, bandwidths: Sequence[float]) -> list[SensitivityPoint]:
         """Vary raw DDR channel bandwidth (e.g. LPDDR/DDR5 what-ifs).
@@ -102,19 +125,19 @@ class SensitivityAnalysis:
         Note: the achieved bandwidth is NoC-assignment limited, so this
         axis saturates — exactly the paper's Section IV-C story.
         """
-        points = []
+        variants = []
         for bandwidth in bandwidths:
             device = dataclasses.replace(
                 self.design.device, dram_channel_bandwidth=bandwidth
             )
-            points.append(
-                self._evaluate(
+            variants.append(
+                (
                     "dram_channel_bandwidth",
                     bandwidth,
                     dataclasses.replace(self.design, device=device),
                 )
             )
-        return points
+        return self._evaluate_axis(variants)
 
     # ------------------------------------------------------------------
     def summary(self) -> dict[str, list[SensitivityPoint]]:

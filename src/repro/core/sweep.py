@@ -6,6 +6,9 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
+from repro.perf.parallel import parallel_map, resolve_jobs
+
 
 @dataclass
 class SweepResult:
@@ -13,6 +16,9 @@ class SweepResult:
 
     axes: dict[str, list[Any]]
     records: list[dict[str, Any]] = field(default_factory=list)
+    #: evaluation accounting for the sweep (combinations evaluated,
+    #: combinations the evaluator declined, wall time, workers used)
+    stats: EvalStats = field(default_factory=EvalStats)
 
     def column(self, key: str) -> list[Any]:
         return [r[key] for r in self.records]
@@ -32,21 +38,32 @@ class SweepResult:
 def sweep(
     axes: Mapping[str, Iterable[Any]],
     evaluate: Callable[..., Mapping[str, Any]],
+    jobs: int = 1,
 ) -> SweepResult:
     """Run ``evaluate(**point)`` over the cartesian product of ``axes``.
 
     Each record contains the axis values plus whatever ``evaluate``
     returns.  ``evaluate`` may return None to skip a combination.
+    ``jobs`` parallelises the evaluations; record order always follows
+    the cartesian-product order, identical to the serial result.
     """
     materialized = {name: list(values) for name, values in axes.items()}
-    result = SweepResult(axes=materialized)
+    stats = EvalStats(jobs=resolve_jobs(jobs))
+    result = SweepResult(axes=materialized, stats=stats)
     names = list(materialized)
-    for combo in itertools.product(*(materialized[n] for n in names)):
-        point = dict(zip(names, combo))
-        outcome = evaluate(**point)
+    points = [
+        dict(zip(names, combo))
+        for combo in itertools.product(*(materialized[n] for n in names))
+    ]
+    with track(stats):
+        outcomes = parallel_map(lambda point: evaluate(**point), points, jobs=jobs)
+    for point, outcome in zip(points, outcomes):
         if outcome is None:
+            stats.skipped += 1
             continue
         record = dict(point)
         record.update(outcome)
         result.records.append(record)
+    stats.evaluations = len(result.records)
+    GLOBAL_STATS.record(stats)
     return result

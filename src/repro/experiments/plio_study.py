@@ -6,33 +6,34 @@ from repro.experiments.runner import ExperimentResult, experiment
 from repro.hw.specs import VCK5000
 from repro.mapping.configs import config_by_name
 from repro.mapping.plio_schemes import reference_schemes
+from repro.perf.parallel import parallel_map
 from repro.sim.aiesim import simulate_graph
 
 
 @experiment("fig13")
-def fig13_plio_sensitivity() -> ExperimentResult:
+def fig13_plio_sensitivity(jobs: int = 1) -> ExperimentResult:
     """GEMM performance sensitivity to PLIO count, 16-AIE designs."""
+
+    def evaluate(scheme):
+        report = simulate_graph(scheme, invocations=8)
+        return {
+            "plios": scheme.total_plios,
+            "split_abc": "{}/{}/{}".format(
+                scheme.conn_a.num_plios,
+                scheme.conn_b.num_plios,
+                scheme.conn_c.num_plios,
+            ),
+            "cycles_per_tile": round(report.per_invocation, 0),
+            "exec_us": round(report.seconds() * 1e6, 2),
+            "bottleneck": report.bottleneck,
+            "max_replicas": scheme.max_replicas(),
+            "array_utilization_pct": round(scheme.array_utilization() * 100, 0),
+        }
+
     panels = {}
     for label, config_name in (("FP32 (C1)", "C1"), ("INT8 (C7)", "C7")):
         config = config_by_name(config_name)
-        rows = []
-        for scheme in reference_schemes(config):
-            report = simulate_graph(scheme, invocations=8)
-            rows.append(
-                {
-                    "plios": scheme.total_plios,
-                    "split_abc": "{}/{}/{}".format(
-                        scheme.conn_a.num_plios,
-                        scheme.conn_b.num_plios,
-                        scheme.conn_c.num_plios,
-                    ),
-                    "cycles_per_tile": round(report.per_invocation, 0),
-                    "exec_us": round(report.seconds() * 1e6, 2),
-                    "bottleneck": report.bottleneck,
-                    "max_replicas": scheme.max_replicas(),
-                    "array_utilization_pct": round(scheme.array_utilization() * 100, 0),
-                }
-            )
+        rows = parallel_map(evaluate, reference_schemes(config), jobs=jobs)
         rows.sort(key=lambda r: r["plios"])
         base, best = rows[0]["cycles_per_tile"], rows[-1]["cycles_per_tile"]
         for row in rows:

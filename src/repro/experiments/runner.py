@@ -9,6 +9,7 @@ one entry point.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -51,7 +52,7 @@ class ExperimentResult:
         raise KeyError(f"no row with {key}={value!r}")
 
 
-ExperimentDriver = Callable[[], ExperimentResult]
+ExperimentDriver = Callable[..., ExperimentResult]
 
 _REGISTRY: dict[str, ExperimentDriver] = {}
 
@@ -68,12 +69,21 @@ def experiment(experiment_id: str) -> Callable[[ExperimentDriver], ExperimentDri
     return register
 
 
-def run_experiment(experiment_id: str) -> ExperimentResult:
+def run_experiment(experiment_id: str, jobs: int = 1) -> ExperimentResult:
+    """Run one registered driver.
+
+    ``jobs`` is forwarded to drivers that declare a ``jobs`` parameter
+    (batch-heavy drivers fan their candidate evaluations out through
+    :func:`repro.perf.parallel.parallel_map`); drivers without one run
+    unchanged, so the flag is always safe to pass.
+    """
     try:
         driver = _REGISTRY[experiment_id.lower()]
     except KeyError:
         known = ", ".join(sorted(_REGISTRY))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+    if "jobs" in inspect.signature(driver).parameters:
+        return driver(jobs=jobs)
     return driver()
 
 

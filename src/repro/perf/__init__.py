@@ -1,0 +1,35 @@
+"""Evaluation engine: memoization, parallel fan-out and instrumentation.
+
+The batch drivers (DSE, sweeps, sensitivity, serving, experiments) all
+funnel their candidate evaluations through this package so one cache,
+one fan-out primitive and one stats format serve the whole library.
+"""
+
+from repro.perf.cache import (
+    DEFAULT_CACHE,
+    NULL_CACHE,
+    EvalCache,
+    NullCache,
+    clear_cache,
+    design_fingerprint,
+    get_cache,
+)
+from repro.perf.metrics import GLOBAL_STATS, EvalStats, StatsRegistry, track
+from repro.perf.parallel import default_chunksize, parallel_map, resolve_jobs
+
+__all__ = [
+    "DEFAULT_CACHE",
+    "NULL_CACHE",
+    "EvalCache",
+    "NullCache",
+    "clear_cache",
+    "design_fingerprint",
+    "get_cache",
+    "GLOBAL_STATS",
+    "EvalStats",
+    "StatsRegistry",
+    "track",
+    "default_chunksize",
+    "parallel_map",
+    "resolve_jobs",
+]

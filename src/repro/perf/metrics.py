@@ -1,0 +1,110 @@
+"""Lightweight timing/counter instrumentation for the evaluation engine.
+
+Every batched evaluation path (DSE exploration, parameter sweeps,
+sensitivity curves, serving prewarm) reports an :class:`EvalStats`
+describing how much work it did and how much of it the memoization layer
+absorbed.  The CLI surfaces the aggregate after a run (``--stats``).
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass
+class EvalStats:
+    """Counters for one batch of model evaluations.
+
+    ``evaluations`` counts candidates actually pushed through the model
+    (skipped/infeasible candidates count in ``skipped`` instead);
+    ``cache_hits``/``cache_misses`` describe how the memoization layer
+    behaved during the batch; ``wall_seconds`` is the batch wall time.
+    """
+
+    evaluations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    skipped: int = 0
+    wall_seconds: float = 0.0
+    jobs: int = 1
+
+    @property
+    def attempted(self) -> int:
+        """Candidates considered, feasible or not."""
+        return self.evaluations + self.skipped
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cache lookups served from memory."""
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def evals_per_second(self) -> float:
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.evaluations / self.wall_seconds
+
+    def merge(self, other: "EvalStats") -> "EvalStats":
+        """Fold ``other`` into this instance (returns self for chaining)."""
+        self.evaluations += other.evaluations
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.skipped += other.skipped
+        self.wall_seconds += other.wall_seconds
+        self.jobs = max(self.jobs, other.jobs)
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "evaluations": self.evaluations,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "skipped": self.skipped,
+            "wall_seconds": self.wall_seconds,
+            "jobs": self.jobs,
+            "hit_rate": self.hit_rate,
+            "evals_per_second": self.evals_per_second,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.evaluations} evaluations ({self.skipped} skipped) in "
+            f"{self.wall_seconds * 1e3:.1f} ms with jobs={self.jobs}; "
+            f"cache {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.hit_rate:.0%})"
+        )
+
+
+@contextmanager
+def track(stats: EvalStats) -> Iterator[EvalStats]:
+    """Time a block of work into ``stats.wall_seconds``."""
+    start = time.perf_counter()
+    try:
+        yield stats
+    finally:
+        stats.wall_seconds += time.perf_counter() - start
+
+
+@dataclass
+class StatsRegistry:
+    """Session-scoped accumulator the CLI drains for ``--stats``."""
+
+    total: EvalStats = field(default_factory=EvalStats)
+    batches: int = 0
+
+    def record(self, stats: EvalStats) -> None:
+        self.total.merge(stats)
+        self.batches += 1
+
+    def reset(self) -> None:
+        self.total = EvalStats()
+        self.batches = 0
+
+
+#: process-wide registry; batch evaluators publish here so the CLI can
+#: report one aggregate line regardless of which subsystems ran
+GLOBAL_STATS = StatsRegistry()

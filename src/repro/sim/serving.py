@@ -16,6 +16,8 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.core.multi_acc import AcceleratorPartition
+from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
+from repro.perf.parallel import parallel_map
 from repro.workloads.gemm import GemmShape
 
 
@@ -109,18 +111,60 @@ def generate_trace(
 
 
 class ServingSimulator:
-    """Earliest-finish dispatch of a request trace over a partition."""
+    """Earliest-finish dispatch of a request trace over a partition.
+
+    Service times are memoized per ``(accelerator, shape)`` pair;
+    :meth:`prewarm` fills that cache in parallel before serving starts
+    so no request pays a cold model evaluation, and :attr:`stats`
+    reports the hit/miss balance after a run.
+    """
 
     def __init__(self, partition: AcceleratorPartition):
         self.partition = partition
         # per-shape service times are reused across requests
         self._service_cache: dict[tuple[str, GemmShape], float] = {}
+        self.stats = EvalStats()
 
     def _service(self, accelerator: str, shape: GemmShape) -> float:
         key = (accelerator, shape)
         if key not in self._service_cache:
+            self.stats.cache_misses += 1
+            self.stats.evaluations += 1
             self._service_cache[key] = self.partition.estimate_on(accelerator, shape)
+        else:
+            self.stats.cache_hits += 1
         return self._service_cache[key]
+
+    def prewarm(self, shapes: Sequence[GemmShape], jobs: int = 1) -> int:
+        """Precompute service times for ``shapes`` on every accelerator.
+
+        Infeasible pairs are skipped (dispatch skips them too).  Returns
+        the number of pairs resolved; with ``jobs > 1`` the model
+        evaluations run concurrently.
+        """
+
+        def resolve(pair: tuple[str, GemmShape]) -> tuple[tuple[str, GemmShape], float] | None:
+            name, shape = pair
+            try:
+                return pair, self.partition.estimate_on(name, shape)
+            except ValueError:
+                return None
+
+        pairs = [
+            (name, shape)
+            for shape in dict.fromkeys(shapes)
+            for name in self.partition.designs
+            if (name, shape) not in self._service_cache
+        ]
+        with track(self.stats):
+            resolved = parallel_map(resolve, pairs, jobs=jobs)
+        warmed = [entry for entry in resolved if entry is not None]
+        for key, service in warmed:
+            self._service_cache[key] = service
+        self.stats.evaluations += len(warmed)
+        self.stats.skipped += len(pairs) - len(warmed)
+        GLOBAL_STATS.record(EvalStats(evaluations=len(warmed), jobs=jobs))
+        return len(warmed)
 
     def run(self, trace: Sequence[Request]) -> ServingReport:
         free_at = {name: 0.0 for name in self.partition.designs}

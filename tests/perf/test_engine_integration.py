@@ -1,0 +1,152 @@
+"""The evaluation engine wired through DSE, sweeps, sensitivity, serving.
+
+The contract under test: parallel results are bit-identical to serial on
+the same candidate list, skipped/infeasible candidates are reported
+instead of silently swallowed, and the cache counters reflect the work.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.dse import DesignSpaceExplorer, DseResult
+from repro.core.sensitivity import SensitivityAnalysis
+from repro.core.sweep import sweep
+from repro.hw.specs import VCK5000
+from repro.kernels.precision import Precision
+from repro.mapping.charm import CharmDesign
+from repro.mapping.configs import config_by_name
+from repro.perf.cache import EvalCache
+from repro.workloads.gemm import GemmShape
+
+WORKLOAD = GemmShape(1024, 1024, 1024)
+
+
+class TestDseParallel:
+    def test_parallel_identical_to_serial(self):
+        serial = DesignSpaceExplorer(
+            Precision.FP32, max_aies=128, cache=EvalCache()
+        ).explore(WORKLOAD)
+        parallel = DesignSpaceExplorer(
+            Precision.FP32, max_aies=128, jobs=4, cache=EvalCache()
+        ).explore(WORKLOAD)
+        assert list(serial) == list(parallel)
+        assert [repr(p.seconds) for p in serial] == [
+            repr(p.seconds) for p in parallel
+        ]
+
+    def test_result_is_still_a_list(self):
+        result = DesignSpaceExplorer(
+            Precision.FP32, max_aies=64, cache=EvalCache()
+        ).explore(WORKLOAD, top=3)
+        assert isinstance(result, DseResult)
+        assert isinstance(result, list)
+        assert len(result) == 3
+        assert result[0].seconds <= result[1].seconds
+
+    def test_stats_report_evaluations(self):
+        explorer = DesignSpaceExplorer(Precision.FP32, max_aies=64, cache=EvalCache())
+        result = explorer.explore(WORKLOAD)
+        assert result.evaluated == len(explorer.candidates())
+        assert result.skipped == 0
+        assert result.stats.wall_seconds > 0
+
+    def test_infeasible_candidates_counted_not_swallowed(self):
+        # a starved PL memory budget makes large-native candidates
+        # untileable; the result must say so rather than hide it
+        starved = dataclasses.replace(VCK5000, pl_usable_fraction=0.01)
+        result = DesignSpaceExplorer(
+            Precision.FP32, device=starved, max_aies=384, cache=EvalCache()
+        ).explore(WORKLOAD)
+        assert result.skipped > 0
+        assert result.evaluated + result.skipped == result.stats.attempted
+
+    def test_explore_jobs_override(self):
+        explorer = DesignSpaceExplorer(Precision.FP32, max_aies=64, cache=EvalCache())
+        assert list(explorer.explore(WORKLOAD)) == list(
+            explorer.explore(WORKLOAD, jobs=4)
+        )
+
+    def test_repeat_exploration_hits_cache(self):
+        cache = EvalCache()
+        explorer = DesignSpaceExplorer(Precision.FP32, max_aies=64, cache=cache)
+        cold = explorer.explore(WORKLOAD)
+        assert cold.stats.cache_hits == 0
+        warm = explorer.explore(WORKLOAD)
+        assert warm.stats.cache_hits >= warm.evaluated
+        assert list(cold) == list(warm)
+
+
+class TestSweepParallel:
+    AXES = {"m": [256, 512, 1024], "n": [256, 512]}
+
+    @staticmethod
+    def _evaluate(m, n):
+        if m == n == 256:
+            return None  # exercise the skip path
+        return {"area": m * n}
+
+    def test_parallel_identical_to_serial(self):
+        serial = sweep(self.AXES, self._evaluate)
+        parallel = sweep(self.AXES, self._evaluate, jobs=4)
+        assert serial.records == parallel.records
+
+    def test_stats_count_skips(self):
+        result = sweep(self.AXES, self._evaluate, jobs=2)
+        assert result.stats.evaluations == 5
+        assert result.stats.skipped == 1
+        assert result.stats.jobs == 2
+
+
+class TestSensitivityParallel:
+    def test_parallel_identical_to_serial(self):
+        design = CharmDesign(config_by_name("C6"))
+        serial = SensitivityAnalysis(design, WORKLOAD, cache=EvalCache())
+        parallel = SensitivityAnalysis(design, WORKLOAD, jobs=4, cache=EvalCache())
+        counts = [48, 96, 192]
+        assert [p.seconds for p in serial.plio_count(counts)] == [
+            p.seconds for p in parallel.plio_count(counts)
+        ]
+        freqs = [0.8e9, 1.0e9, 1.25e9]
+        assert [p.seconds for p in serial.aie_frequency(freqs)] == [
+            p.seconds for p in parallel.aie_frequency(freqs)
+        ]
+
+    def test_point_order_matches_request_order(self):
+        design = CharmDesign(config_by_name("C6"))
+        analysis = SensitivityAnalysis(design, WORKLOAD, jobs=4, cache=EvalCache())
+        fractions = [0.4, 0.1, 0.2]
+        assert [p.value for p in analysis.pl_memory_fraction(fractions)] == fractions
+
+
+class TestServingPrewarm:
+    @pytest.fixture
+    def partition(self):
+        from repro.core.multi_acc import AcceleratorPartition
+
+        return AcceleratorPartition([config_by_name("C1"), config_by_name("C2")])
+
+    def test_prewarm_then_run_all_hits(self, partition):
+        from repro.sim.serving import ServingSimulator, generate_trace
+
+        shapes = [GemmShape(512, 512, 512), GemmShape(1024, 1024, 1024)]
+        simulator = ServingSimulator(partition)
+        warmed = simulator.prewarm(shapes, jobs=2)
+        assert warmed == len(shapes) * len(partition.designs)
+        trace = generate_trace(shapes, num_requests=20, mean_interarrival=0.01)
+        simulator.run(trace)
+        assert simulator.stats.cache_hits > 0
+        assert simulator.stats.cache_misses == 0  # everything prewarmed
+
+    def test_prewarm_matches_lazy_results(self, partition):
+        from repro.sim.serving import ServingSimulator, generate_trace
+
+        shapes = [GemmShape(512, 512, 512)]
+        trace = generate_trace(shapes, num_requests=10, mean_interarrival=0.01)
+        lazy = ServingSimulator(partition).run(trace)
+        warmed_sim = ServingSimulator(partition)
+        warmed_sim.prewarm(shapes, jobs=2)
+        warmed = warmed_sim.run(trace)
+        assert [c.finish for c in lazy.completed] == [
+            c.finish for c in warmed.completed
+        ]

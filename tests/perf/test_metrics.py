@@ -1,0 +1,67 @@
+"""EvalStats / StatsRegistry behaviour."""
+
+from repro.perf.metrics import EvalStats, StatsRegistry, track
+
+
+class TestEvalStats:
+    def test_defaults(self):
+        stats = EvalStats()
+        assert stats.evaluations == 0
+        assert stats.hit_rate == 0.0
+        assert stats.evals_per_second == 0.0
+
+    def test_hit_rate(self):
+        stats = EvalStats(cache_hits=3, cache_misses=1)
+        assert stats.hit_rate == 0.75
+
+    def test_attempted(self):
+        assert EvalStats(evaluations=5, skipped=2).attempted == 7
+
+    def test_merge(self):
+        total = EvalStats(evaluations=1, cache_hits=2, wall_seconds=0.5, jobs=1)
+        total.merge(EvalStats(evaluations=3, cache_misses=4, skipped=1, jobs=8))
+        assert total.evaluations == 4
+        assert total.cache_hits == 2
+        assert total.cache_misses == 4
+        assert total.skipped == 1
+        assert total.wall_seconds == 0.5
+        assert total.jobs == 8
+
+    def test_track_accumulates_wall_time(self):
+        stats = EvalStats()
+        with track(stats):
+            pass
+        first = stats.wall_seconds
+        assert first >= 0
+        with track(stats):
+            sum(range(1000))
+        assert stats.wall_seconds >= first
+
+    def test_evals_per_second(self):
+        stats = EvalStats(evaluations=10, wall_seconds=2.0)
+        assert stats.evals_per_second == 5.0
+
+    def test_summary_mentions_counts(self):
+        text = EvalStats(evaluations=7, skipped=2, jobs=4).summary()
+        assert "7 evaluations" in text
+        assert "2 skipped" in text
+        assert "jobs=4" in text
+
+    def test_as_dict_round_trip(self):
+        stats = EvalStats(evaluations=2, cache_hits=1, cache_misses=1)
+        payload = stats.as_dict()
+        assert payload["evaluations"] == 2
+        assert payload["hit_rate"] == 0.5
+
+
+class TestStatsRegistry:
+    def test_record_and_reset(self):
+        registry = StatsRegistry()
+        registry.record(EvalStats(evaluations=2))
+        registry.record(EvalStats(evaluations=3, skipped=1))
+        assert registry.total.evaluations == 5
+        assert registry.total.skipped == 1
+        assert registry.batches == 2
+        registry.reset()
+        assert registry.total.evaluations == 0
+        assert registry.batches == 0
