@@ -1,17 +1,21 @@
-"""Evaluation-engine throughput: serial vs. cached vs. parallel DSE.
+"""Evaluation-engine throughput: serial vs. cached vs. parallel vs. vectorized DSE.
 
-Measures evaluations/second over a fixed DSE candidate set in three
+Measures evaluations/second over a fixed DSE candidate set in four
 modes and appends the result to a ``BENCH_eval.json`` trajectory so the
 engine's throughput is tracked across commits:
 
-* ``serial``   — the seed path: every candidate re-derived from scratch
-  (``NULL_CACHE``), one thread.
-* ``cached``   — the memoization layer enabled, one thread.
-* ``parallel`` — memoization plus ``parallel_map`` fan-out.
+* ``serial``     — the seed path: every candidate re-derived from
+  scratch (``NULL_CACHE``), one thread.
+* ``cached``     — the memoization layer enabled, one thread.
+* ``parallel``   — memoization plus ``parallel_map`` fan-out.
+* ``vectorized`` — the batch evaluation kernel: one NumPy coarse pass
+  over the whole candidate grid, then a cached exact re-rank of the
+  surviving top-K.
 
 The script asserts the engine's contract: cached+parallel exploration is
-at least 2x the seed serial path on the same candidate set, and the
-top-10 rankings are byte-identical between serial and parallel runs.
+at least 2x the seed serial path on the same candidate set, the
+vectorized path is at least 10x, and the top-10 rankings are
+byte-identical between serial, parallel, and vectorized runs.
 
 Run directly (``python benchmarks/bench_eval_throughput.py``) or let CI
 invoke the ``--smoke`` variant; ``test_eval_throughput_smoke`` keeps it
@@ -33,6 +37,7 @@ from repro.workloads.gemm import GemmShape
 
 DEFAULT_WORKLOAD = GemmShape(1024, 1024, 1024)
 SPEEDUP_FLOOR = 2.0
+VECTORIZED_SPEEDUP_FLOOR = 10.0
 
 
 def _ranking_bytes(points: DseResult) -> bytes:
@@ -49,13 +54,16 @@ def _ranking_bytes(points: DseResult) -> bytes:
     return json.dumps(rows, sort_keys=True).encode()
 
 
-def _explorer(max_aies: int, jobs: int, cache: EvalCache) -> DesignSpaceExplorer:
+def _explorer(
+    max_aies: int, jobs: int, cache: EvalCache, vectorize: bool = False
+) -> DesignSpaceExplorer:
     return DesignSpaceExplorer(
         Precision.FP32,
         max_aies=max_aies,
         explore_ports=True,
         jobs=jobs,
         cache=cache,
+        vectorize=vectorize,
     )
 
 
@@ -87,11 +95,15 @@ def run_benchmark(
     parallel_seconds, parallel_result = _time_mode(
         _explorer(max_aies, jobs, EvalCache()), workload, repeats
     )
+    vectorized_seconds, vectorized_result = _time_mode(
+        _explorer(max_aies, jobs, EvalCache(), vectorize=True), workload, repeats
+    )
 
     modes = {
         "serial": serial_seconds,
         "cached": cached_seconds,
         "parallel": parallel_seconds,
+        "vectorized": vectorized_seconds,
     }
     return {
         "timestamp": time.time(),
@@ -108,8 +120,10 @@ def run_benchmark(
         },
         "speedup_cached": serial_seconds / cached_seconds,
         "speedup_cached_parallel": serial_seconds / parallel_seconds,
+        "speedup_vectorized": serial_seconds / vectorized_seconds,
         "rankings_identical": _ranking_bytes(serial_result)
-        == _ranking_bytes(parallel_result),
+        == _ranking_bytes(parallel_result)
+        == _ranking_bytes(vectorized_result),
     }
 
 
@@ -134,11 +148,16 @@ def check(entry: dict) -> list[str]:
     """The engine's contract; empty list means the run is acceptable."""
     failures = []
     if not entry["rankings_identical"]:
-        failures.append("serial and parallel top-10 rankings differ")
+        failures.append("serial, parallel, and vectorized top-10 rankings differ")
     if entry["speedup_cached_parallel"] < SPEEDUP_FLOOR:
         failures.append(
             f"cached+parallel speedup {entry['speedup_cached_parallel']:.2f}x "
             f"is below the {SPEEDUP_FLOOR}x floor"
+        )
+    if entry["speedup_vectorized"] < VECTORIZED_SPEEDUP_FLOOR:
+        failures.append(
+            f"vectorized speedup {entry['speedup_vectorized']:.2f}x "
+            f"is below the {VECTORIZED_SPEEDUP_FLOOR}x floor"
         )
     return failures
 
@@ -177,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
               f"{mode['evals_per_sec']:8.1f} evals/s")
     print(f"speedup (cached):          {entry['speedup_cached']:.2f}x")
     print(f"speedup (cached+parallel): {entry['speedup_cached_parallel']:.2f}x")
+    print(f"speedup (vectorized):      {entry['speedup_vectorized']:.2f}x")
     print(f"rankings identical:        {entry['rankings_identical']}")
     print(f"trajectory -> {args.output}")
 

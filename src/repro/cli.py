@@ -12,7 +12,10 @@ Usage::
 Global flags (before the subcommand): ``--jobs/-j N`` fans batched
 evaluations out over N worker threads (0 = one per CPU), ``--stats``
 prints evaluation-engine statistics (evaluations, cache hits, wall
-time) to stderr after the command.
+time) to stderr after the command, ``--vectorize`` batch-evaluates
+candidate grids through the NumPy fast path (identical results).
+Stats and cache counters reset at the start of every invocation, so
+``--stats`` always reports per-run numbers.
 """
 
 from __future__ import annotations
@@ -211,6 +214,7 @@ def _cmd_dse(args: argparse.Namespace) -> int:
         Precision.parse(args.precision),
         explore_ports=args.explore_ports,
         jobs=args.jobs,
+        vectorize=args.vectorize,
     )
     points = explorer.explore(workload, top=args.top)
     rows = [
@@ -251,6 +255,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true",
         help="print evaluation-engine statistics to stderr after the command",
+    )
+    parser.add_argument(
+        "--vectorize", action=argparse.BooleanOptionalAction, default=False,
+        help="batch-evaluate candidate grids with the NumPy fast path "
+             "(results identical; --no-vectorize forces the scalar path)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -315,11 +324,16 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
+    from repro.perf import GLOBAL_STATS, get_cache
+
+    # per-invocation counters: successive in-process calls (tests, REPLs)
+    # must not accumulate into each other's --stats report; cache entries
+    # are kept — only the hit/miss counters restart
+    GLOBAL_STATS.reset()
+    get_cache().reset_counters()
     args = build_parser().parse_args(argv)
     status = args.func(args)
     if args.stats:
-        from repro.perf import GLOBAL_STATS, get_cache
-
         print(f"eval stats   {GLOBAL_STATS.total.summary()} "
               f"over {GLOBAL_STATS.batches} batches", file=sys.stderr)
         for table, counters in get_cache().counters().items():

@@ -62,13 +62,18 @@ def design_tradeoff_records(
     workload,
     precision,
     max_aies: int | None = None,
+    vectorize: bool = False,
 ) -> list[dict[str, Any]]:
-    """Candidate records (latency/AIEs/PLIOs/energy) for Pareto study."""
+    """Candidate records (latency/AIEs/PLIOs/energy) for Pareto study.
+
+    ``vectorize`` routes the underlying exploration through the batch
+    evaluation kernel (identical records, far less Python overhead).
+    """
     from repro.core.dse import DesignSpaceExplorer
     from repro.core.energy import EnergyModel
     from repro.mapping.charm import CharmDesign
 
-    explorer = DesignSpaceExplorer(precision, max_aies=max_aies)
+    explorer = DesignSpaceExplorer(precision, max_aies=max_aies, vectorize=vectorize)
     records = []
     for point in explorer.explore(workload, top=100):
         energy = EnergyModel(CharmDesign(point.config)).from_estimate(point.estimate)

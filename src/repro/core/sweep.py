@@ -39,6 +39,7 @@ def sweep(
     axes: Mapping[str, Iterable[Any]],
     evaluate: Callable[..., Mapping[str, Any]],
     jobs: int = 1,
+    batch_evaluate: Callable[[list[dict[str, Any]]], list[Any]] | None = None,
 ) -> SweepResult:
     """Run ``evaluate(**point)`` over the cartesian product of ``axes``.
 
@@ -46,6 +47,13 @@ def sweep(
     returns.  ``evaluate`` may return None to skip a combination.
     ``jobs`` parallelises the evaluations; record order always follows
     the cartesian-product order, identical to the serial result.
+
+    ``batch_evaluate`` is the vectorized opt-in: the sweep cannot
+    auto-vectorize an arbitrary ``evaluate``, but a caller whose
+    evaluator has an array form (e.g. one built on
+    :func:`repro.perf.vectorized.batch_estimate`) can supply a function
+    receiving the full cartesian-product point list and returning one
+    outcome per point (None to skip), replacing the per-point calls.
     """
     materialized = {name: list(values) for name, values in axes.items()}
     stats = EvalStats(jobs=resolve_jobs(jobs))
@@ -56,7 +64,15 @@ def sweep(
         for combo in itertools.product(*(materialized[n] for n in names))
     ]
     with track(stats):
-        outcomes = parallel_map(lambda point: evaluate(**point), points, jobs=jobs)
+        if batch_evaluate is not None:
+            outcomes = list(batch_evaluate(points))
+            if len(outcomes) != len(points):
+                raise ValueError(
+                    f"batch_evaluate returned {len(outcomes)} outcomes "
+                    f"for {len(points)} points"
+                )
+        else:
+            outcomes = parallel_map(lambda point: evaluate(**point), points, jobs=jobs)
     for point, outcome in zip(points, outcomes):
         if outcome is None:
             stats.skipped += 1

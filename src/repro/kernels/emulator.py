@@ -55,11 +55,81 @@ class AieKernelEmulator:
         self.precision = kernel.precision
 
     # ------------------------------------------------------------------
-    def run(self, a: np.ndarray, b: np.ndarray) -> EmulationResult:
-        """Execute the kernel's vector schedule on concrete matrices."""
+    def run(
+        self, a: np.ndarray, b: np.ndarray, interpreted: bool = False
+    ) -> EmulationResult:
+        """Execute the kernel's vector schedule on concrete matrices.
+
+        The default path evaluates all lane blocks at once with a blocked
+        ``einsum`` (same schedule, array-at-a-time); ``interpreted=True``
+        walks the original issue-by-issue interpreter.  Both produce
+        bit-identical results and counters — the vectorized path applies
+        the same float64 accumulation per k-chunk in the same order.
+        """
         shape = self.kernel.shape
         if a.shape != (shape.m, shape.k) or b.shape != (shape.k, shape.n):
             raise ValueError("operand shapes do not match the kernel")
+        if interpreted:
+            return self._run_interpreted(a, b)
+        return self._run_vectorized(a, b)
+
+    def _run_vectorized(self, a: np.ndarray, b: np.ndarray) -> EmulationResult:
+        """Blocked-``einsum`` execution of the same vector schedule.
+
+        Output elements pad up to whole lane blocks (padding lanes
+        recompute element (0, 0) and are discarded), each k-chunk is one
+        accumulation step over all blocks — mirroring the interpreter's
+        per-chunk ``+=`` so FP32 rounding behaviour is identical — and
+        the issue/drain counters come from the block/chunk counts the
+        loop structure makes closed-form.
+        """
+        shape = self.kernel.shape
+        in_dtype, acc_dtype = _DTYPES[self.precision]
+        a = a.astype(acc_dtype)
+        b = b.astype(acc_dtype)
+        lanes = self.precision.lanes
+        k_step = self.precision.k_per_cycle
+        params = style_parameters(self.kernel.style, self.precision)
+
+        outputs = shape.m * shape.n
+        blocks = -(-outputs // lanes)
+        rows = np.repeat(np.arange(shape.m), shape.n)
+        cols = np.tile(np.arange(shape.n), shape.m)
+        pad = blocks * lanes - outputs
+        if pad:
+            rows = np.concatenate([rows, np.zeros(pad, dtype=rows.dtype)])
+            cols = np.concatenate([cols, np.zeros(pad, dtype=cols.dtype)])
+        lhs = a[rows].reshape(blocks, lanes, shape.k)
+        rhs = b[:, cols].T.reshape(blocks, lanes, shape.k)
+
+        accumulator = np.zeros((blocks, lanes), dtype=acc_dtype)
+        chunks = 0
+        for k0 in range(0, shape.k, k_step):
+            k1 = min(k0 + k_step, shape.k)
+            accumulator += np.einsum(
+                "blc,blc->bl", lhs[:, :, k0:k1], rhs[:, :, k0:k1]
+            )
+            chunks += 1
+        vector_issues = blocks * chunks
+        drains = blocks
+
+        c = np.zeros((shape.m, shape.n), dtype=acc_dtype)
+        c.flat[:outputs] = accumulator.reshape(-1)[:outputs]
+
+        loop_cycles = vector_issues + drains * self.precision.drain_cycles
+        cycles = loop_cycles * params.ii_multiplier + params.ramp_cycles
+        out_dtype = np.float32 if self.precision is Precision.FP32 else acc_dtype
+        return EmulationResult(
+            shape=shape,
+            cycles=cycles,
+            vector_issues=vector_issues,
+            drains=drains,
+            result=c.astype(out_dtype),
+        )
+
+    def _run_interpreted(self, a: np.ndarray, b: np.ndarray) -> EmulationResult:
+        """The original issue-by-issue interpreter (ground truth)."""
+        shape = self.kernel.shape
         in_dtype, acc_dtype = _DTYPES[self.precision]
         a = a.astype(acc_dtype)
         b = b.astype(acc_dtype)

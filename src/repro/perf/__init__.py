@@ -16,6 +16,13 @@ from repro.perf.cache import (
 )
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, StatsRegistry, track
 from repro.perf.parallel import default_chunksize, parallel_map, resolve_jobs
+from repro.perf.vectorized import (
+    BatchEstimate,
+    CandidateGrid,
+    batch_estimate,
+    batch_estimate_designs,
+    rank_feasible,
+)
 
 __all__ = [
     "DEFAULT_CACHE",
@@ -32,4 +39,9 @@ __all__ = [
     "default_chunksize",
     "parallel_map",
     "resolve_jobs",
+    "BatchEstimate",
+    "CandidateGrid",
+    "batch_estimate",
+    "batch_estimate_designs",
+    "rank_feasible",
 ]

@@ -132,6 +132,18 @@ class EvalCache:
                 for name, table in self._tables.items()
             }
 
+    def reset_counters(self) -> None:
+        """Zero the hit/miss counters without dropping any entries.
+
+        The CLI calls this at the start of every invocation so ``--stats``
+        reports per-run numbers even when ``main`` runs repeatedly in one
+        process (tests, notebooks) against the warm process-wide cache.
+        """
+        with self._lock:
+            for name in self._hits:
+                self._hits[name] = 0
+                self._misses[name] = 0
+
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
         with self._lock:

@@ -87,3 +87,37 @@ class TestCycleAgreement:
         e2, _ = make_emulator(GemmShape(16, 16, 16), Precision.FP32).run_random(seed=9)
         assert e1.cycles == e2.cycles
         assert np.array_equal(e1.result, e2.result)
+
+
+class TestVectorizedEquivalence:
+    """The blocked-einsum path must be bit-identical to the interpreter."""
+
+    @pytest.mark.parametrize(
+        "shape, precision",
+        [
+            (GemmShape(32, 32, 32), Precision.FP32),
+            (GemmShape(16, 48, 8), Precision.FP32),
+            (GemmShape(3, 5, 7), Precision.FP32),  # partial block, ragged K
+            (GemmShape(64, 64, 64), Precision.INT8),
+            (GemmShape(5, 13, 9), Precision.INT8),
+            (GemmShape(64, 32, 64), Precision.INT16),
+            (GemmShape(7, 9, 11), Precision.INT16),
+        ],
+    )
+    @pytest.mark.parametrize("style", [KernelStyle.INTRINSIC, KernelStyle.API])
+    def test_bit_identical_to_interpreter(self, shape, precision, style):
+        emulator = make_emulator(shape, precision, style)
+        rng = np.random.default_rng(11)
+        if precision is Precision.FP32:
+            a = rng.standard_normal((shape.m, shape.k)).astype(np.float32)
+            b = rng.standard_normal((shape.k, shape.n)).astype(np.float32)
+        else:
+            a = rng.integers(-8, 8, (shape.m, shape.k), dtype=np.int64)
+            b = rng.integers(-8, 8, (shape.k, shape.n), dtype=np.int64)
+        fast = emulator.run(a, b)
+        slow = emulator.run(a, b, interpreted=True)
+        assert fast.cycles == slow.cycles
+        assert fast.vector_issues == slow.vector_issues
+        assert fast.drains == slow.drains
+        assert fast.result.dtype == slow.result.dtype
+        assert np.array_equal(fast.result, slow.result)

@@ -43,6 +43,26 @@ class TestParser:
         out = capsys.readouterr().out
         assert "rank" in out
 
+    def test_dse_vectorize_identical_output(self, capsys):
+        argv = ["dse", "512x512x512", "--precision", "fp32", "--top", "3"]
+        assert main(["--no-vectorize"] + argv) == 0
+        serial = capsys.readouterr().out
+        assert main(["--vectorize"] + argv) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_stats_reset_per_invocation(self, capsys):
+        argv = ["--stats", "dse", "768x768x768", "--precision", "int8", "--top", "2"]
+        assert main(argv) == 0
+        first = capsys.readouterr().err
+        assert main(argv) == 0
+        second = capsys.readouterr().err
+        # both runs report exactly their own batch — the second run hits
+        # the process-wide cache but its counters start from zero again
+        assert "over 1 batches" in first
+        assert "over 1 batches" in second
+        assert "/ 0 misses" not in first.splitlines()[0]
+        assert "/ 0 misses" in second.splitlines()[0]
+
     def test_model(self, capsys):
         assert main(["model", "BERT-large", "--tokens", "256"]) == 0
         out = capsys.readouterr().out
