@@ -59,7 +59,20 @@ from repro.sim.platforms import PLATFORMS, run_on_platform
 from repro.sim.trace import ExecutionTrace
 from repro.sim.events import EventSimulator, Task
 from repro.sim.dnnsim import DnnSimulator
-from repro.sim.serving import ServingSimulator, generate_trace
+from repro.sim.serving import (
+    LoadSweepPoint,
+    LoadSweepResult,
+    ServingReport,
+    ServingSimulator,
+    generate_trace,
+    load_sweep,
+)
+from repro.sim.streaming import (
+    QuantileSketch,
+    SoATrace,
+    StreamingServingReport,
+    generate_trace_soa,
+)
 from repro.core.pareto import pareto_front, knee_point
 from repro.core.dse import DseResult
 from repro.perf import EvalCache, EvalStats, clear_cache, get_cache, parallel_map
@@ -139,7 +152,15 @@ __all__ = [
     "Task",
     "DnnSimulator",
     "ServingSimulator",
+    "ServingReport",
     "generate_trace",
+    "generate_trace_soa",
+    "SoATrace",
+    "StreamingServingReport",
+    "QuantileSketch",
+    "load_sweep",
+    "LoadSweepPoint",
+    "LoadSweepResult",
     "pareto_front",
     "knee_point",
     "HostDevice",

@@ -208,6 +208,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.core.multi_acc import AcceleratorPartition
+    from repro.sim.serving import ServingSimulator, load_sweep
+    from repro.sim.streaming import generate_trace_soa
+
+    shapes = [GemmShape.parse(token) for token in args.shapes.split(",") if token]
+    if not shapes:
+        print("serve: need at least one MxKxN shape", file=sys.stderr)
+        return 2
+    configs = [config_by_name(name) for name in args.configs.split(",") if name]
+    simulator = ServingSimulator(AcceleratorPartition(configs))
+    simulator.prewarm(shapes, jobs=args.jobs, vectorize=args.vectorize)
+
+    if args.sweep:
+        loads = None
+        if args.loads:
+            loads = [float(token) for token in args.loads.split(",") if token]
+        result = load_sweep(
+            simulator,
+            shapes,
+            loads,
+            num_requests=args.requests,
+            seed=args.seed,
+            streaming=args.streaming,
+            quantile_error=args.quantile_error,
+        )
+        print(render_table(result.rows(), title="offered-load sweep"))
+        if result.knee_rps is not None:
+            print(f"saturation knee   ~{result.knee_rps:.0f} rps offered")
+        else:
+            print("saturation knee   not reached (raise --loads)")
+        if result.early_exit:
+            print(f"plateau           {result.plateau_rps:.0f} rps achieved; "
+                  "sweep exited early")
+        return 0
+
+    if args.rate is not None and args.mean_interarrival is not None:
+        print("serve: pass --rate or --mean-interarrival, not both", file=sys.stderr)
+        return 2
+    if args.rate is not None:
+        mean_interarrival = 1.0 / args.rate
+    else:
+        mean_interarrival = args.mean_interarrival or 1e-3
+    trace = generate_trace_soa(shapes, args.requests, mean_interarrival, seed=args.seed)
+    report = simulator.run(
+        trace,
+        streaming=args.streaming,
+        dispatch=args.dispatch,
+        quantile_error=args.quantile_error,
+    )
+    p50, p95, p99 = report.latency_percentiles([50, 95, 99])
+    mode = "streaming (sketched percentiles)" if args.streaming else "exact"
+    print(f"requests     {args.requests} over {len(configs)} accelerators ({mode})")
+    print(f"makespan     {format_seconds(report.makespan)}")
+    print(f"throughput   {report.throughput_rps:.1f} requests/s")
+    print(f"latency      p50 {format_seconds(p50)}   p95 {format_seconds(p95)}   "
+          f"p99 {format_seconds(p99)}   mean {format_seconds(report.mean_latency())}")
+    for name, count in sorted(report.accelerator_load().items()):
+        print(f"load         {name}: {count} requests")
+    return 0
+
+
 def _cmd_dse(args: argparse.Namespace) -> int:
     workload = GemmShape.parse(args.workload)
     explorer = DesignSpaceExplorer(
@@ -320,6 +382,30 @@ def build_parser() -> argparse.ArgumentParser:
     chart.add_argument("--width", type=int, default=50)
     chart.add_argument("--log", action="store_true")
     chart.set_defaults(func=_cmd_chart)
+
+    serve = sub.add_parser("serve", help="simulate serving a GEMM request stream")
+    serve.add_argument("shapes", help="comma-separated MxKxN mix, e.g. "
+                       "1024x1024x1024,512x512x512")
+    serve.add_argument("--configs", default="C5,C3",
+                       help="partition accelerators (Table II names, comma-separated)")
+    serve.add_argument("--requests", type=int, default=10000)
+    serve.add_argument("--rate", type=float, default=None,
+                       help="offered load in requests/sec")
+    serve.add_argument("--mean-interarrival", type=float, default=None,
+                       help="mean seconds between arrivals (alternative to --rate)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--streaming", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="O(1)-memory report with sketched percentiles")
+    serve.add_argument("--quantile-error", type=float, default=0.01,
+                       help="relative error bound for streaming percentiles")
+    serve.add_argument("--dispatch", choices=["auto", "heap", "table", "scan"],
+                       default="auto", help="dispatch engine (all byte-identical)")
+    serve.add_argument("--sweep", action="store_true",
+                       help="sweep offered load; report the saturation knee")
+    serve.add_argument("--loads", default=None,
+                       help="comma-separated offered loads (rps) for --sweep")
+    serve.set_defaults(func=_cmd_serve)
     return parser
 
 

@@ -58,6 +58,33 @@ class EvalStats:
         self.jobs = max(self.jobs, other.jobs)
         return self
 
+    def snapshot(self) -> "EvalStats":
+        """An immutable-by-convention copy of the current counters."""
+        return EvalStats(
+            evaluations=self.evaluations,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            skipped=self.skipped,
+            wall_seconds=self.wall_seconds,
+            jobs=self.jobs,
+        )
+
+    def delta_since(self, snapshot: "EvalStats") -> "EvalStats":
+        """Counters accumulated since ``snapshot`` was taken.
+
+        The standard way to publish one operation's contribution to
+        ``GLOBAL_STATS`` when the operation mutates a long-lived stats
+        object: take a snapshot before, record the delta after.
+        """
+        return EvalStats(
+            evaluations=self.evaluations - snapshot.evaluations,
+            cache_hits=self.cache_hits - snapshot.cache_hits,
+            cache_misses=self.cache_misses - snapshot.cache_misses,
+            skipped=self.skipped - snapshot.skipped,
+            wall_seconds=self.wall_seconds - snapshot.wall_seconds,
+            jobs=self.jobs,
+        )
+
     def as_dict(self) -> dict[str, Any]:
         return {
             "evaluations": self.evaluations,

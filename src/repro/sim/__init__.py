@@ -5,6 +5,23 @@ from repro.sim.aiesim import KernelSimReport, simulate_kernel, GraphSimReport, s
 from repro.sim.hwsim import HwSimulator, HwRunResult
 from repro.sim.functional import FunctionalGemm, FunctionalResult
 from repro.sim.platforms import Platform, PLATFORMS, platform_by_name, run_on_platform
+from repro.sim.serving import (
+    LoadSweepPoint,
+    LoadSweepResult,
+    Request,
+    CompletedRequest,
+    ServingReport,
+    ServingSimulator,
+    generate_trace,
+    load_sweep,
+)
+from repro.sim.streaming import (
+    QuantileSketch,
+    SoATrace,
+    StreamingServingReport,
+    generate_trace_soa,
+    splitmix_uniforms,
+)
 
 __all__ = [
     "PipelineStage",
@@ -22,4 +39,17 @@ __all__ = [
     "PLATFORMS",
     "platform_by_name",
     "run_on_platform",
+    "Request",
+    "CompletedRequest",
+    "ServingReport",
+    "ServingSimulator",
+    "generate_trace",
+    "load_sweep",
+    "LoadSweepPoint",
+    "LoadSweepResult",
+    "QuantileSketch",
+    "SoATrace",
+    "StreamingServingReport",
+    "generate_trace_soa",
+    "splitmix_uniforms",
 ]

@@ -7,18 +7,48 @@ load.  This module generates deterministic pseudo-random request traces
 fully reproducible), dispatches each request to the partition
 accelerator that finishes it earliest, and reports throughput and
 latency percentiles.
+
+Two dispatch engines produce **byte-identical** decisions:
+
+* the seed scan (``dispatch="scan"``) — the original O(requests x
+  accelerators) loop, kept as the ground truth and benchmark baseline;
+* the fast path (default) — per-shape-class service tables resolved
+  once per ``(accelerator, shape)`` pair, a dense earliest-finish scan
+  for small partitions and a per-class lazy earliest-finish heap
+  (O(n log k)) for larger ones.
+
+``run(..., streaming=True)`` feeds dispatched chunks straight into a
+:class:`~repro.sim.streaming.StreamingServingReport` — O(1) memory in
+the trace length, with the sketch's documented percentile error bound —
+and :func:`load_sweep` drives the offered-load -> tail-latency curve
+the paper's serving discussion is about, with saturation-knee detection
+and an early exit once throughput plateaus.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from functools import cached_property
+from typing import Sequence, Union
+
+import numpy as np
 
 from repro.core.multi_acc import AcceleratorPartition
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
 from repro.perf.parallel import parallel_map
+from repro.sim.streaming import SoATrace, StreamingServingReport, generate_trace_soa
 from repro.workloads.gemm import GemmShape
+
+#: partitions at least this large dispatch through the per-class heap
+#: (below it, the dense table scan's constant factors win)
+HEAP_MIN_ACCELERATORS = 7
+
+#: requests buffered between streaming-report flushes (bounds memory)
+DISPATCH_CHUNK = 65536
+
+_DISPATCH_MODES = ("auto", "heap", "table", "scan")
 
 
 @dataclass(frozen=True)
@@ -60,16 +90,32 @@ class ServingReport:
             return 0.0
         return len(self.completed) / self.makespan
 
+    @cached_property
+    def _sorted_latencies(self) -> list[float]:
+        # `completed` is effectively frozen after construction, so the
+        # sort is cached instead of being redone on every percentile
+        return sorted(c.latency for c in self.completed)
+
     def latency_percentile(self, percentile: float) -> float:
-        if not 0 < percentile <= 100:
-            raise ValueError("percentile must be in (0, 100]")
+        return self.latency_percentiles([percentile])[0]
+
+    def latency_percentiles(self, percentiles: Sequence[float]) -> list[float]:
+        """Batch percentile accessor over the cached sorted latencies."""
+        for percentile in percentiles:
+            if not 0 < percentile <= 100:
+                raise ValueError("percentile must be in (0, 100]")
         if not self.completed:
             raise ValueError("no completed requests")
-        latencies = sorted(c.latency for c in self.completed)
-        index = min(len(latencies) - 1, math.ceil(percentile / 100 * len(latencies)) - 1)
-        return latencies[index]
+        latencies = self._sorted_latencies
+        count = len(latencies)
+        return [
+            latencies[min(count - 1, math.ceil(percentile / 100 * count) - 1)]
+            for percentile in percentiles
+        ]
 
     def mean_latency(self) -> float:
+        if not self.completed:
+            raise ValueError("no completed requests")
         return sum(c.latency for c in self.completed) / len(self.completed)
 
     def accelerator_load(self) -> dict[str, int]:
@@ -94,7 +140,13 @@ def generate_trace(
     mean_interarrival: float,
     seed: int = 0,
 ) -> list[Request]:
-    """An exponential-interarrival request trace over a shape mix."""
+    """An exponential-interarrival request trace over a shape mix.
+
+    The scalar reference: :func:`~repro.sim.streaming.generate_trace_soa`
+    produces the same trace bit-identically as a structure-of-arrays
+    (the log is evaluated through ``np.log`` here precisely so both
+    paths share one float64 log implementation).
+    """
     if num_requests < 1:
         raise ValueError("need at least one request")
     if mean_interarrival <= 0:
@@ -104,10 +156,184 @@ def generate_trace(
     requests = []
     clock = 0.0
     for index in range(num_requests):
-        clock += -mean_interarrival * math.log(_lcg_uniform(seed, 2 * index))
+        clock += -mean_interarrival * float(np.log(_lcg_uniform(seed, 2 * index)))
         shape = shapes[int(_lcg_uniform(seed, 2 * index + 1) * len(shapes))]
         requests.append(Request(request_id=index, shape=shape, arrival=clock))
     return requests
+
+
+def _dispatch_pair(arrivals, class_ids, svc0, svc1, free, flush, chunk_size):
+    """Two-accelerator earliest-finish dispatch, fully unrolled.
+
+    The hot loop of the common case (a two-way partition where every
+    class is feasible on both accelerators): the scheduler state lives
+    in two locals, the per-class service times in two flat lists, and
+    iteration runs over chunk slices so the loop body carries no bounds
+    checks.  Decisions are byte-identical to the seed scan (strictly
+    earlier finish wins; ties go to the first accelerator).
+    """
+    n = len(arrivals)
+    free0, free1 = free
+    for lo in range(0, n, chunk_size):
+        hi = lo + chunk_size
+        out_acc: list[int] = []
+        out_start: list[float] = []
+        out_fin: list[float] = []
+        acc_append = out_acc.append
+        start_append = out_start.append
+        fin_append = out_fin.append
+        for arrival, cid in zip(arrivals[lo:hi], class_ids[lo:hi]):
+            start0 = arrival if arrival > free0 else free0
+            finish0 = start0 + svc0[cid]
+            start1 = arrival if arrival > free1 else free1
+            finish1 = start1 + svc1[cid]
+            if finish1 < finish0:
+                free1 = finish1
+                acc_append(1)
+                start_append(start1)
+                fin_append(finish1)
+            else:
+                free0 = finish0
+                acc_append(0)
+                start_append(start0)
+                fin_append(finish0)
+        flush(lo, out_acc, out_start, out_fin)
+    free[0] = free0
+    free[1] = free1
+
+
+def _dispatch_table(arrivals, class_ids, specs, free, flush, chunk_size):
+    """Dense earliest-finish dispatch (byte-identical to the seed scan).
+
+    ``specs[c]`` is a flat ``(acc, service, acc, service, ...)`` tuple in
+    the scan's accelerator iteration order; single- and dual-accelerator
+    classes (the common partitions) are unrolled.
+    """
+    used = {spec for spec in specs if spec}
+    if len(free) == 2 and all(len(spec) == 4 for spec in used):
+        svc0 = [spec[1] if spec else math.inf for spec in specs]
+        svc1 = [spec[3] if spec else math.inf for spec in specs]
+        _dispatch_pair(arrivals, class_ids, svc0, svc1, free, flush, chunk_size)
+        return
+    infinity = math.inf
+    n = len(arrivals)
+    for lo in range(0, n, chunk_size):
+        hi = lo + chunk_size
+        out_acc: list[int] = []
+        out_start: list[float] = []
+        out_fin: list[float] = []
+        acc_append = out_acc.append
+        start_append = out_start.append
+        fin_append = out_fin.append
+        for arrival, cid in zip(arrivals[lo:hi], class_ids[lo:hi]):
+            spec = specs[cid]
+            width = len(spec)
+            if width == 4:
+                acc = spec[0]
+                idle = free[acc]
+                start0 = arrival if arrival > idle else idle
+                finish0 = start0 + spec[1]
+                acc1 = spec[2]
+                idle = free[acc1]
+                start1 = arrival if arrival > idle else idle
+                finish1 = start1 + spec[3]
+                if finish1 < finish0:
+                    best_acc, best_start, best_finish = acc1, start1, finish1
+                else:
+                    best_acc, best_start, best_finish = acc, start0, finish0
+            elif width == 2:
+                best_acc = spec[0]
+                idle = free[best_acc]
+                best_start = arrival if arrival > idle else idle
+                best_finish = best_start + spec[1]
+            else:
+                best_finish = infinity
+                best_acc = -1
+                best_start = 0.0
+                for offset in range(0, width, 2):
+                    acc = spec[offset]
+                    idle = free[acc]
+                    start = arrival if arrival > idle else idle
+                    finish = start + spec[offset + 1]
+                    if finish < best_finish:
+                        best_finish, best_acc, best_start = finish, acc, start
+            free[best_acc] = best_finish
+            acc_append(best_acc)
+            start_append(best_start)
+            fin_append(best_finish)
+        flush(lo, out_acc, out_start, out_fin)
+
+
+def _dispatch_heap(arrivals, class_ids, heap_tables, free, flush, chunk_size):
+    """Per-class lazy earliest-finish heaps: O(n log k) dispatch.
+
+    Each class keeps one heap entry per feasible accelerator keyed by
+    ``(free + service, order)``; entries go stale when another class
+    dispatches the accelerator and are re-keyed lazily on pop.  Idle
+    accelerators (``free <= arrival``) are resolved through the class's
+    static ``(service, order)`` ranking, because their finish is
+    ``arrival + service``, not ``free + service``.  Decisions stay
+    byte-identical to the scan: both minimize ``(finish, scan order)``.
+    """
+    infinity = math.inf
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    heapreplace = heapq.heapreplace
+    n = len(arrivals)
+    out_acc: list[int] = []
+    out_start: list[float] = []
+    out_fin: list[float] = []
+    base = 0
+    for index in range(n):
+        arrival = arrivals[index]
+        heap, services, idle_rank = heap_tables[class_ids[index]]
+        busy_key = infinity
+        busy_order = -1
+        busy_acc = -1
+        stash = None
+        while heap:
+            key, order, acc, snapshot = heap[0]
+            current = free[acc]
+            if snapshot != current:
+                heapreplace(heap, (current + services[acc], order, acc, current))
+                continue
+            if current <= arrival:
+                if stash is None:
+                    stash = []
+                stash.append(heappop(heap))
+                continue
+            busy_key, busy_order, busy_acc = key, order, acc
+            break
+        if stash is not None:
+            for entry in stash:
+                heappush(heap, entry)
+        idle_finish = infinity
+        idle_order = -1
+        idle_acc = -1
+        for service, order, acc in idle_rank:
+            if free[acc] <= arrival:
+                idle_finish = arrival + service
+                idle_order = order
+                idle_acc = acc
+                break
+        if idle_acc >= 0 and (
+            busy_acc < 0
+            or idle_finish < busy_key
+            or (idle_finish == busy_key and idle_order < busy_order)
+        ):
+            best_acc, best_start, best_finish = idle_acc, arrival, idle_finish
+        else:
+            best_acc, best_start, best_finish = busy_acc, free[busy_acc], busy_key
+        free[best_acc] = best_finish
+        out_acc.append(best_acc)
+        out_start.append(best_start)
+        out_fin.append(best_finish)
+        if len(out_acc) >= chunk_size:
+            flush(base, out_acc, out_start, out_fin)
+            base = index + 1
+            out_acc, out_start, out_fin = [], [], []
+    if out_acc:
+        flush(base, out_acc, out_start, out_fin)
 
 
 class ServingSimulator:
@@ -116,13 +342,16 @@ class ServingSimulator:
     Service times are memoized per ``(accelerator, shape)`` pair;
     :meth:`prewarm` fills that cache in parallel before serving starts
     so no request pays a cold model evaluation, and :attr:`stats`
-    reports the hit/miss balance after a run.
+    reports the hit/miss balance after a run.  Every :meth:`run`
+    records its evaluation counters into ``GLOBAL_STATS`` so the CLI's
+    ``--stats`` reflects serving end to end.
     """
 
     def __init__(self, partition: AcceleratorPartition):
         self.partition = partition
         # per-shape service times are reused across requests
         self._service_cache: dict[tuple[str, GemmShape], float] = {}
+        self._infeasible: set[tuple[str, GemmShape]] = set()
         self.stats = EvalStats()
 
     def _service(self, accelerator: str, shape: GemmShape) -> float:
@@ -134,6 +363,28 @@ class ServingSimulator:
         else:
             self.stats.cache_hits += 1
         return self._service_cache[key]
+
+    def _service_or_none(self, accelerator: str, shape: GemmShape) -> float | None:
+        """Like :meth:`_service`, but resolves infeasible pairs to None
+        (counted as skipped, cached so the model is never re-walked)."""
+        key = (accelerator, shape)
+        cached = self._service_cache.get(key)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            return cached
+        if key in self._infeasible:
+            self.stats.skipped += 1
+            return None
+        try:
+            value = self.partition.estimate_on(accelerator, shape)
+        except ValueError:
+            self._infeasible.add(key)
+            self.stats.skipped += 1
+            return None
+        self.stats.cache_misses += 1
+        self.stats.evaluations += 1
+        self._service_cache[key] = value
+        return value
 
     def prewarm(
         self, shapes: Sequence[GemmShape], jobs: int = 1, vectorize: bool = False
@@ -169,6 +420,8 @@ class ServingSimulator:
                 warmed = [entry for entry in resolved if entry is not None]
         for key, service in warmed:
             self._service_cache[key] = service
+        warmed_keys = {key for key, _ in warmed}
+        self._infeasible.update(pair for pair in pairs if pair not in warmed_keys)
         self.stats.evaluations += len(warmed)
         self.stats.skipped += len(pairs) - len(warmed)
         GLOBAL_STATS.record(EvalStats(evaluations=len(warmed), jobs=jobs))
@@ -199,7 +452,49 @@ class ServingSimulator:
                     warmed.append((pair, float(batch.total_seconds[index])))
         return warmed
 
-    def run(self, trace: Sequence[Request]) -> ServingReport:
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        trace: Union[Sequence[Request], SoATrace],
+        *,
+        streaming: bool = False,
+        dispatch: str = "auto",
+        quantile_error: float = 0.01,
+        chunk_size: int = DISPATCH_CHUNK,
+    ) -> ServingReport | StreamingServingReport:
+        """Serve ``trace``; return an exact or streaming report.
+
+        ``dispatch`` selects the engine: ``auto`` (table scan for small
+        partitions, heap above :data:`HEAP_MIN_ACCELERATORS`), ``table``,
+        ``heap``, or ``scan`` (the seed loop, exact mode only).  All
+        engines make byte-identical dispatch decisions.
+        ``streaming=True`` returns a :class:`StreamingServingReport`
+        with O(1) memory and ``quantile_error``-bounded percentiles;
+        the default exact mode materializes every completed request.
+        """
+        if dispatch not in _DISPATCH_MODES:
+            raise ValueError(f"dispatch must be one of {_DISPATCH_MODES}")
+        if streaming and dispatch == "scan":
+            raise ValueError("streaming mode requires a fast dispatch engine")
+        before = self.stats.snapshot()
+        try:
+            with track(self.stats):
+                if dispatch == "scan":
+                    return self._run_scan(trace)
+                return self._run_fast(
+                    trace,
+                    streaming=streaming,
+                    dispatch=dispatch,
+                    quantile_error=quantile_error,
+                    chunk_size=chunk_size,
+                )
+        finally:
+            GLOBAL_STATS.record(self.stats.delta_since(before))
+
+    def _run_scan(self, trace: Union[Sequence[Request], SoATrace]) -> ServingReport:
+        """The seed dispatch loop: linear scan, one object per request."""
+        if isinstance(trace, SoATrace):
+            trace = trace.materialize()
         free_at = {name: 0.0 for name in self.partition.designs}
         completed = []
         for request in sorted(trace, key=lambda r: r.arrival):
@@ -225,3 +520,249 @@ class ServingSimulator:
                 )
             )
         return ServingReport(completed=completed)
+
+    def _normalize(
+        self, trace: Union[Sequence[Request], SoATrace], need_requests: bool
+    ) -> tuple[np.ndarray, list[int], list[GemmShape], list[Request] | None]:
+        """Arrival-sorted SoA view of ``trace`` (+ Request list if needed)."""
+        if isinstance(trace, SoATrace):
+            requests = trace.materialize() if need_requests else None
+            return (
+                trace.arrivals,
+                trace.shape_ids.tolist(),
+                list(trace.shapes),
+                requests,
+            )
+        ordered = sorted(trace, key=lambda r: r.arrival)
+        class_index: dict[GemmShape, int] = {}
+        class_ids = [
+            class_index.setdefault(request.shape, len(class_index))
+            for request in ordered
+        ]
+        arrivals = np.asarray([request.arrival for request in ordered])
+        return arrivals, class_ids, list(class_index), ordered
+
+    def _class_specs(
+        self, classes: Sequence[GemmShape], used: set[int]
+    ) -> list[tuple]:
+        """Flat ``(acc, service, ...)`` dispatch spec per shape class."""
+        names = list(self.partition.designs)
+        specs: list[tuple] = []
+        for class_id, shape in enumerate(classes):
+            if class_id not in used:
+                specs.append(())
+                continue
+            flat: list = []
+            for order, name in enumerate(names):
+                service = self._service_or_none(name, shape)
+                if service is not None:
+                    flat.append(order)
+                    flat.append(service)
+            if not flat:
+                raise ValueError(f"no accelerator can serve {shape}")
+            specs.append(tuple(flat))
+        return specs
+
+    def _run_fast(
+        self,
+        trace: Union[Sequence[Request], SoATrace],
+        *,
+        streaming: bool,
+        dispatch: str,
+        quantile_error: float,
+        chunk_size: int,
+    ) -> ServingReport | StreamingServingReport:
+        names = list(self.partition.designs)
+        arrivals, class_ids, classes, requests = self._normalize(
+            trace, need_requests=not streaming
+        )
+        if streaming:
+            report = StreamingServingReport(names, quantile_error=quantile_error)
+        if len(arrivals) == 0:
+            return report if streaming else ServingReport(completed=[])
+        specs = self._class_specs(classes, set(class_ids))
+        # dispatched service lookups are cache hits by construction
+        self.stats.cache_hits += len(class_ids)
+        free = [0.0] * len(names)
+        arrival_list = arrivals.tolist()
+
+        if streaming:
+            def flush(base: int, accs: list, starts: list, finishes: list) -> None:
+                report.observe_batch(
+                    np.asarray(accs, dtype=np.int64),
+                    arrivals[base : base + len(accs)],
+                    np.asarray(starts),
+                    np.asarray(finishes),
+                )
+        else:
+            completed: list[CompletedRequest] = []
+
+            def flush(base: int, accs: list, starts: list, finishes: list) -> None:
+                for offset in range(len(accs)):
+                    completed.append(
+                        CompletedRequest(
+                            request=requests[base + offset],
+                            accelerator=names[accs[offset]],
+                            start=starts[offset],
+                            finish=finishes[offset],
+                        )
+                    )
+
+        use_heap = dispatch == "heap" or (
+            dispatch == "auto" and len(names) >= HEAP_MIN_ACCELERATORS
+        )
+        if use_heap:
+            heap_tables = []
+            for spec in specs:
+                if not spec:
+                    heap_tables.append(None)
+                    continue
+                services = [math.inf] * len(names)
+                heap = []
+                idle_rank = []
+                for offset in range(0, len(spec), 2):
+                    order = spec[offset]
+                    service = spec[offset + 1]
+                    services[order] = service
+                    heap.append((0.0 + service, order, order, 0.0))
+                    idle_rank.append((service, order, order))
+                heapq.heapify(heap)
+                idle_rank.sort()
+                heap_tables.append((heap, services, idle_rank))
+            _dispatch_heap(
+                arrival_list, class_ids, heap_tables, free, flush, chunk_size
+            )
+        else:
+            _dispatch_table(arrival_list, class_ids, specs, free, flush, chunk_size)
+        return report if streaming else ServingReport(completed=completed)
+
+
+@dataclass(frozen=True)
+class LoadSweepPoint:
+    """One offered-load measurement on the throughput/latency curve."""
+
+    offered_rps: float
+    achieved_rps: float
+    p50: float
+    p99: float
+    mean_latency: float
+    num_requests: int
+
+    @property
+    def saturation(self) -> float:
+        """Achieved / offered throughput (1.0 = keeping up)."""
+        if self.offered_rps == 0:
+            return 0.0
+        return self.achieved_rps / self.offered_rps
+
+
+@dataclass
+class LoadSweepResult:
+    """An offered-load sweep: points, saturation knee, plateau exit."""
+
+    points: list[LoadSweepPoint]
+    #: first offered load the partition could not keep up with
+    knee_rps: float | None
+    #: throughput ceiling observed when the sweep exited early
+    plateau_rps: float | None
+    early_exit: bool
+
+    def rows(self) -> list[dict]:
+        return [
+            {
+                "offered_rps": round(point.offered_rps, 1),
+                "achieved_rps": round(point.achieved_rps, 1),
+                "saturation": round(point.saturation, 3),
+                "p50_ms": round(point.p50 * 1e3, 3),
+                "p99_ms": round(point.p99 * 1e3, 3),
+                "mean_ms": round(point.mean_latency * 1e3, 3),
+            }
+            for point in self.points
+        ]
+
+
+def default_load_ramp(
+    simulator: ServingSimulator, shapes: Sequence[GemmShape], points: int = 10
+) -> list[float]:
+    """A geometric offered-load ramp bracketing the partition's capacity.
+
+    Capacity is approximated as every accelerator draining its mean
+    feasible service time concurrently; the ramp spans 0.1x to ~3x of
+    it so the saturation knee lands inside the sweep.
+    """
+    capacity = 0.0
+    for name in simulator.partition.designs:
+        services = [
+            service
+            for shape in dict.fromkeys(shapes)
+            if (service := simulator._service_or_none(name, shape)) is not None
+        ]
+        if services:
+            capacity += len(services) / sum(services)
+    if capacity <= 0:
+        raise ValueError("no accelerator can serve any of the shapes")
+    factor = (3.0 / 0.1) ** (1.0 / max(points - 1, 1))
+    return [0.1 * capacity * factor**index for index in range(points)]
+
+
+def load_sweep(
+    simulator: ServingSimulator,
+    shapes: Sequence[GemmShape],
+    offered_loads: Sequence[float] | None = None,
+    *,
+    num_requests: int = 2000,
+    seed: int = 0,
+    streaming: bool = True,
+    quantile_error: float = 0.01,
+    knee_tol: float = 0.05,
+    plateau_rtol: float = 0.02,
+) -> LoadSweepResult:
+    """Sweep offered load, collecting throughput and tail-latency curves.
+
+    For each offered load (requests/sec) a fresh SoA trace is generated
+    and served (``streaming=True`` keeps the sweep O(1) in memory).  The
+    *saturation knee* is the first load whose achieved throughput falls
+    below ``offered * (1 - knee_tol)``; once achieved throughput stops
+    growing by more than ``plateau_rtol`` between consecutive points the
+    sweep exits early — past saturation every extra point costs a full
+    simulation and reports the same ceiling.
+    """
+    if offered_loads is None:
+        offered_loads = default_load_ramp(simulator, shapes)
+    if not offered_loads:
+        raise ValueError("need at least one offered load")
+    if any(load <= 0 for load in offered_loads):
+        raise ValueError("offered loads must be positive")
+    points: list[LoadSweepPoint] = []
+    knee_rps: float | None = None
+    plateau_rps: float | None = None
+    early_exit = False
+    for offered in offered_loads:
+        trace = generate_trace_soa(shapes, num_requests, 1.0 / offered, seed=seed)
+        report = simulator.run(
+            trace, streaming=streaming, quantile_error=quantile_error
+        )
+        p50, p99 = report.latency_percentiles([50, 99])
+        point = LoadSweepPoint(
+            offered_rps=offered,
+            achieved_rps=report.throughput_rps,
+            p50=p50,
+            p99=p99,
+            mean_latency=report.mean_latency(),
+            num_requests=num_requests,
+        )
+        points.append(point)
+        if knee_rps is None and point.saturation < 1.0 - knee_tol:
+            knee_rps = offered
+        if len(points) >= 2 and knee_rps is not None:
+            previous = points[-2].achieved_rps
+            if previous > 0 and abs(point.achieved_rps - previous) <= plateau_rtol * previous:
+                plateau_rps = point.achieved_rps
+                early_exit = True
+                break
+    return LoadSweepResult(
+        points=points,
+        knee_rps=knee_rps,
+        plateau_rps=plateau_rps,
+        early_exit=early_exit,
+    )

@@ -27,6 +27,31 @@ class TestEvalStats:
         assert total.wall_seconds == 0.5
         assert total.jobs == 8
 
+    def test_snapshot_and_delta(self):
+        stats = EvalStats(evaluations=2, cache_hits=5, wall_seconds=0.25, jobs=2)
+        before = stats.snapshot()
+        stats.evaluations += 3
+        stats.cache_hits += 1
+        stats.cache_misses += 4
+        stats.skipped += 2
+        stats.wall_seconds += 0.5
+        delta = stats.delta_since(before)
+        assert delta.evaluations == 3
+        assert delta.cache_hits == 1
+        assert delta.cache_misses == 4
+        assert delta.skipped == 2
+        assert delta.wall_seconds == 0.5
+        assert delta.jobs == 2
+        # the snapshot is an independent copy, not a view
+        assert before.evaluations == 2
+
+    def test_delta_of_unchanged_stats_is_zero(self):
+        stats = EvalStats(evaluations=7, cache_hits=9, wall_seconds=1.0)
+        delta = stats.delta_since(stats.snapshot())
+        assert delta.evaluations == 0
+        assert delta.cache_hits == 0
+        assert delta.wall_seconds == 0.0
+
     def test_track_accumulates_wall_time(self):
         stats = EvalStats()
         with track(stats):

@@ -58,6 +58,22 @@ class TestEngineInvariants:
                 b >= a - 1e-9 for a, b in zip(stage_starts, stage_starts[1:])
             )
 
+    @given(service_times, slot_lists, st.integers(0, 700))
+    @settings(max_examples=60)
+    def test_vectorized_bit_identical_to_exact(self, times, slots, n):
+        """Constant-service pipelines: the vectorized path must reproduce
+        the exact event loop to the last bit, across the warmup boundary."""
+        stages = [
+            PipelineStage(f"s{i}", v, slots=slot)
+            for i, (v, slot) in enumerate(zip(times, slots))
+        ]
+        pipe = PipelineSimulator(stages)
+        exact = pipe.run(n, vectorize=False)
+        fast = pipe.run(n, vectorize=True)
+        assert fast.end_times == exact.end_times
+        assert fast.start_times == exact.start_times
+        assert fast.makespan == exact.makespan
+
     @given(service_times, st.integers(1, 20))
     @settings(max_examples=60)
     def test_deeper_buffers_never_slower(self, times, n):

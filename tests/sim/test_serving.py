@@ -1,13 +1,60 @@
 """Serving-simulation tests: request streams, queueing, tail latency."""
 
+import numpy as np
 import pytest
 
 from repro.core.multi_acc import AcceleratorPartition
 from repro.mapping.configs import config_by_name
-from repro.sim.serving import ServingSimulator, generate_trace
+from repro.perf.metrics import GLOBAL_STATS
+from repro.sim.serving import (
+    ServingReport,
+    ServingSimulator,
+    generate_trace,
+    load_sweep,
+)
+from repro.sim.streaming import generate_trace_soa
 from repro.workloads.gemm import GemmShape
 
 SHAPES = [GemmShape(1024, 1024, 1024), GemmShape(512, 2048, 512)]
+
+
+class FakePartition:
+    """A stub partition: hand-authored service times, ValueError = infeasible.
+
+    Lets the dispatch tests cover wide partitions (heap territory) and
+    infeasible (accelerator, shape) pairs, which the paper's real C5/C3
+    partitions never produce for reasonable shapes.
+    """
+
+    def __init__(self, services):
+        # services: {name: {shape: seconds | None}}
+        self.designs = {name: None for name in services}
+        self._services = services
+
+    def estimate_on(self, accelerator, shape):
+        service = self._services[accelerator].get(shape)
+        if service is None:
+            raise ValueError(f"{accelerator} cannot serve {shape}")
+        return service
+
+
+def _wide_fake_partition(num_accelerators=9):
+    """A 9-wide partition (heap dispatch territory) with one shape
+    infeasible on some accelerators and varied service times."""
+    services = {}
+    for index in range(num_accelerators):
+        per_shape = {
+            SHAPES[0]: 0.001 * (1 + (index * 7) % 5),
+            SHAPES[1]: 0.002 * (1 + (index * 3) % 4),
+        }
+        if index % 3 == 0:
+            per_shape[SHAPES[1]] = None  # infeasible on every third acc
+        services[f"acc{index}"] = per_shape
+    return FakePartition(services)
+
+
+def _decisions(report):
+    return [(c.accelerator, c.start, c.finish) for c in report.completed]
 
 
 @pytest.fixture(scope="module")
@@ -89,6 +136,229 @@ class TestServing:
         report = simulator.run(generate_trace(SHAPES, 5, 1e-3, seed=0))
         with pytest.raises(ValueError):
             report.latency_percentile(0)
+
+
+class TestDispatchEngines:
+    """All engines must make byte-identical decisions (same accelerator,
+    same float start/finish) — the tentpole's core contract."""
+
+    def test_table_and_heap_match_scan(self, simulator):
+        trace = generate_trace(SHAPES, 400, 0.3e-3, seed=5)
+        expected = _decisions(simulator.run(trace, dispatch="scan"))
+        assert _decisions(simulator.run(trace, dispatch="table")) == expected
+        assert _decisions(simulator.run(trace, dispatch="heap")) == expected
+        assert _decisions(simulator.run(trace, dispatch="auto")) == expected
+
+    def test_soa_trace_matches_list_trace(self, simulator):
+        scalar = generate_trace(SHAPES, 300, 1e-3, seed=9)
+        soa = generate_trace_soa(SHAPES, 300, 1e-3, seed=9)
+        assert _decisions(simulator.run(soa)) == _decisions(
+            simulator.run(scalar, dispatch="scan")
+        )
+
+    def test_wide_partition_with_infeasible_pairs(self):
+        fake = _wide_fake_partition()
+        simulator = ServingSimulator(fake)
+        trace = generate_trace(SHAPES, 500, 0.5e-3, seed=3)
+        expected = _decisions(simulator.run(trace, dispatch="scan"))
+        assert _decisions(simulator.run(trace, dispatch="table")) == expected
+        assert _decisions(simulator.run(trace, dispatch="heap")) == expected
+        # 9 accelerators: auto routes through the heap
+        assert _decisions(simulator.run(trace, dispatch="auto")) == expected
+
+    def test_single_accelerator_partition(self):
+        fake = FakePartition({"only": {SHAPES[0]: 0.002, SHAPES[1]: 0.003}})
+        simulator = ServingSimulator(fake)
+        trace = generate_trace(SHAPES, 120, 1e-3, seed=1)
+        expected = _decisions(simulator.run(trace, dispatch="scan"))
+        assert _decisions(simulator.run(trace, dispatch="table")) == expected
+        assert _decisions(simulator.run(trace, dispatch="heap")) == expected
+
+    def test_small_chunks_do_not_change_decisions(self, simulator):
+        trace = generate_trace(SHAPES, 150, 1e-3, seed=2)
+        expected = _decisions(simulator.run(trace, dispatch="scan"))
+        assert _decisions(simulator.run(trace, chunk_size=7)) == expected
+
+    def test_unserveable_shape_raises(self):
+        fake = FakePartition({"a": {SHAPES[0]: 0.001, SHAPES[1]: None}})
+        simulator = ServingSimulator(fake)
+        trace = generate_trace(SHAPES, 50, 1e-3, seed=0)
+        with pytest.raises(ValueError, match="no accelerator can serve"):
+            simulator.run(trace)
+        with pytest.raises(ValueError, match="no accelerator can serve"):
+            simulator.run(trace, dispatch="scan")
+
+    def test_empty_trace(self, simulator):
+        assert simulator.run([]).completed == []
+        assert simulator.run([], streaming=True).count == 0
+
+    def test_kwargs_validation(self, simulator):
+        trace = generate_trace(SHAPES, 5, 1e-3, seed=0)
+        with pytest.raises(ValueError, match="dispatch"):
+            simulator.run(trace, dispatch="warp")
+        with pytest.raises(ValueError, match="streaming"):
+            simulator.run(trace, streaming=True, dispatch="scan")
+
+
+class TestStreamingRun:
+    def test_streaming_aggregates_match_exact(self, simulator):
+        trace = generate_trace_soa(SHAPES, 600, 0.5e-3, seed=4)
+        exact = simulator.run(trace)
+        streaming = simulator.run(trace, streaming=True)
+        assert streaming.count == len(exact.completed)
+        assert streaming.makespan == exact.makespan
+        assert streaming.throughput_rps == exact.throughput_rps
+        assert streaming.accelerator_load() == exact.accelerator_load()
+        assert streaming.mean_latency() == pytest.approx(
+            exact.mean_latency(), rel=1e-12
+        )
+
+    def test_streaming_percentiles_within_documented_bound(self, simulator):
+        """Property: sketched percentiles within quantile_error of exact."""
+        for seed in (0, 1, 2):
+            trace = generate_trace_soa(SHAPES, 800, 0.4e-3, seed=seed)
+            exact = simulator.run(trace)
+            for error in (0.01, 0.05):
+                streaming = simulator.run(
+                    trace, streaming=True, quantile_error=error
+                )
+                for p in (50, 90, 95, 99):
+                    reference = exact.latency_percentile(p)
+                    estimate = streaming.latency_percentile(p)
+                    assert abs(estimate - reference) <= error * reference + 1e-12
+
+    def test_streaming_constant_memory_chunks(self, simulator):
+        trace = generate_trace_soa(SHAPES, 300, 1e-3, seed=6)
+        small = simulator.run(trace, streaming=True, chunk_size=11)
+        large = simulator.run(trace, streaming=True)
+        small_summary = small.as_dict()
+        large_summary = large.as_dict()
+        # chunked summation reorders the float adds; everything else is exact
+        for summary in (small_summary, large_summary):
+            summary["mean_latency"] = round(summary["mean_latency"], 12)
+            summary["mean_queueing_delay"] = round(
+                summary["mean_queueing_delay"], 12
+            )
+        assert small_summary == large_summary
+
+
+class TestReportSatellites:
+    def _report(self, simulator):
+        return simulator.run(generate_trace(SHAPES, 80, 1e-3, seed=1))
+
+    def test_batch_percentiles_match_singles(self, simulator):
+        report = self._report(simulator)
+        assert report.latency_percentiles([50, 95, 99]) == [
+            report.latency_percentile(p) for p in (50, 95, 99)
+        ]
+
+    def test_sorted_latencies_cached(self, simulator):
+        report = self._report(simulator)
+        report.latency_percentile(50)
+        first = report._sorted_latencies
+        report.latency_percentile(99)
+        assert report._sorted_latencies is first  # one sort, ever
+
+    def test_empty_report_mean_latency_raises_value_error(self):
+        report = ServingReport(completed=[])
+        with pytest.raises(ValueError, match="no completed requests"):
+            report.mean_latency()
+        with pytest.raises(ValueError, match="no completed requests"):
+            report.latency_percentile(50)
+
+    def test_percentile_validation_in_batch(self, simulator):
+        report = self._report(simulator)
+        with pytest.raises(ValueError):
+            report.latency_percentiles([50, 0])
+
+
+class TestRunRecordsStats:
+    def test_run_publishes_to_global_stats(self):
+        fake = FakePartition({"a": {SHAPES[0]: 0.001, SHAPES[1]: 0.002}})
+        simulator = ServingSimulator(fake)
+        trace = generate_trace(SHAPES, 40, 1e-3, seed=0)
+        GLOBAL_STATS.reset()
+        simulator.run(trace)
+        assert GLOBAL_STATS.batches == 1
+        assert GLOBAL_STATS.total.cache_hits > 0
+        assert GLOBAL_STATS.total.wall_seconds > 0
+
+    def test_prewarm_then_run_all_hits_with_infeasible(self):
+        fake = _wide_fake_partition()
+        simulator = ServingSimulator(fake)
+        simulator.prewarm(SHAPES)
+        misses_before = simulator.stats.cache_misses
+        simulator.run(generate_trace(SHAPES, 60, 1e-3, seed=0))
+        assert simulator.stats.cache_misses == misses_before
+
+    def test_wall_seconds_accumulates(self, simulator):
+        before = simulator.stats.wall_seconds
+        simulator.run(generate_trace(SHAPES, 30, 1e-3, seed=0))
+        assert simulator.stats.wall_seconds > before
+
+
+class TestLoadSweep:
+    def _simulator(self):
+        return ServingSimulator(
+            FakePartition(
+                {
+                    "a": {SHAPES[0]: 0.004, SHAPES[1]: 0.006},
+                    "b": {SHAPES[0]: 0.008, SHAPES[1]: 0.012},
+                }
+            )
+        )
+
+    def test_finds_knee_and_exits_early(self):
+        result = load_sweep(self._simulator(), SHAPES, num_requests=400, seed=1)
+        assert result.knee_rps is not None
+        assert result.early_exit
+        assert result.plateau_rps is not None
+        # the knee is where achieved stops tracking offered
+        knee_point = next(
+            p for p in result.points if p.offered_rps == result.knee_rps
+        )
+        assert knee_point.saturation < 0.95
+
+    def test_explicit_loads_below_capacity_have_no_knee(self):
+        result = load_sweep(
+            self._simulator(), SHAPES, [5.0, 10.0], num_requests=200, seed=0
+        )
+        assert result.knee_rps is None
+        assert not result.early_exit
+        assert len(result.points) == 2
+
+    def test_latency_grows_past_the_knee(self):
+        result = load_sweep(self._simulator(), SHAPES, num_requests=400, seed=1)
+        assert result.points[-1].p99 > result.points[0].p99
+
+    def test_exact_mode_sweep(self):
+        streaming = load_sweep(
+            self._simulator(), SHAPES, [50.0], num_requests=200, streaming=True
+        )
+        exact = load_sweep(
+            self._simulator(), SHAPES, [50.0], num_requests=200, streaming=False
+        )
+        assert exact.points[0].achieved_rps == streaming.points[0].achieved_rps
+
+    def test_rows_shape(self):
+        result = load_sweep(self._simulator(), SHAPES, [50.0], num_requests=100)
+        (row,) = result.rows()
+        assert set(row) == {
+            "offered_rps", "achieved_rps", "saturation", "p50_ms", "p99_ms",
+            "mean_ms",
+        }
+
+    def test_validation(self):
+        simulator = self._simulator()
+        with pytest.raises(ValueError):
+            load_sweep(simulator, SHAPES, [])
+        with pytest.raises(ValueError):
+            load_sweep(simulator, SHAPES, [-5.0])
+        unserveable = ServingSimulator(
+            FakePartition({"a": {SHAPES[0]: None, SHAPES[1]: None}})
+        )
+        with pytest.raises(ValueError, match="no accelerator"):
+            load_sweep(unserveable, SHAPES)
 
 
 class TestReleaseTimesInEventSim:

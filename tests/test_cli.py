@@ -116,3 +116,45 @@ class TestParser:
         text = target.read_text()
         assert "# Reproduction results" in text
         assert "fig9" in text and "table2" in text and "insights" in text
+
+
+class TestServe:
+    SHAPES = "1024x1024x1024,512x512x512"
+
+    def test_point_mode(self, capsys):
+        argv = ["serve", self.SHAPES, "--requests", "200", "--rate", "2000"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "throughput" in out and "requests" in out
+
+    def test_streaming_matches_exact_summary_fields(self, capsys):
+        argv = ["serve", self.SHAPES, "--requests", "300", "--streaming"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "p99" in out and "makespan" in out
+
+    def test_dispatch_pinning(self, capsys):
+        base = ["serve", self.SHAPES, "--requests", "150", "--seed", "3"]
+        outputs = []
+        for engine in ("scan", "table", "heap"):
+            assert main(base + ["--dispatch", engine]) == 0
+            outputs.append(capsys.readouterr().out)
+        # byte-identical dispatch => byte-identical summaries
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_sweep(self, capsys):
+        argv = [
+            "serve", self.SHAPES, "--sweep", "--requests", "150",
+            "--loads", "100,500",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "offered-load sweep" in out and "p99_ms" in out
+
+    def test_rejects_rate_and_interarrival_together(self, capsys):
+        argv = [
+            "serve", self.SHAPES, "--rate", "100",
+            "--mean-interarrival", "0.01",
+        ]
+        assert main(argv) == 2
+        assert "not both" in capsys.readouterr().err
