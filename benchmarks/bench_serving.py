@@ -203,6 +203,79 @@ def verify_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
     }
 
 
+def verify_fault_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
+    """Fault-run invariants: engine identity, determinism, accounting.
+
+    On the same seeded trace and fault schedule the scan, table, and
+    heap engines must make byte-identical decisions (including retries
+    and shed lists), two identical runs must agree byte for byte, every
+    request must be exactly one of completed/shed, and the streaming
+    report's summary must match between the table and heap engines.
+    """
+    from repro.sim.chaos import FaultPolicy, FaultSchedule
+
+    scalar = generate_trace(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
+    soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
+    horizon = num_requests * MEAN_INTERARRIVAL
+    faults = (
+        FaultSchedule.down("C5", 0.1 * horizon, 0.25 * horizon)
+        + FaultSchedule.degraded("C3", 0.2 * horizon, 0.5 * horizon, factor=2.5)
+        + FaultSchedule.down("C3", 0.6 * horizon, 0.7 * horizon)
+    )
+    policy = FaultPolicy(max_retries=2)
+
+    def fault_bytes(report) -> bytes:
+        rows = [
+            (c.request.request_id, c.accelerator, repr(c.start), repr(c.finish),
+             c.retries)
+            for c in report.completed
+        ]
+        shed = [
+            (s.request.request_id, s.retries, s.reason, repr(s.time))
+            for s in report.shed
+        ]
+        return json.dumps([rows, shed]).encode()
+
+    reports = {}
+    for engine, trace in (("scan", scalar), ("table", soa), ("heap", soa)):
+        simulator = ServingSimulator(partition)
+        reports[engine] = simulator.run(
+            trace, dispatch=engine, faults=faults, fault_policy=policy
+        )
+    blobs = {engine: fault_bytes(report) for engine, report in reports.items()}
+    engines_identical = blobs["scan"] == blobs["table"] == blobs["heap"]
+
+    rerun = ServingSimulator(partition).run(
+        soa, dispatch="table", faults=faults, fault_policy=policy
+    )
+    deterministic = fault_bytes(rerun) == blobs["table"]
+
+    base = reports["table"]
+    accounting_exact = (
+        len(base.completed) + base.shed_count == num_requests
+        and base.total_retries == base.kills
+    )
+
+    stream_table = ServingSimulator(partition).run(
+        soa, dispatch="table", streaming=True, faults=faults, fault_policy=policy
+    )
+    stream_heap = ServingSimulator(partition).run(
+        soa, dispatch="heap", streaming=True, faults=faults, fault_policy=policy
+    )
+    streaming_identical = stream_table.as_dict() == stream_heap.as_dict()
+    streaming_consistent = (
+        stream_table.count == len(base.completed)
+        and stream_table.fault_summary() == base.fault_summary()
+    )
+    return {
+        "fault_engines_identical": engines_identical,
+        "fault_deterministic": deterministic,
+        "fault_accounting_exact": accounting_exact,
+        "fault_streaming_identical": bool(streaming_identical),
+        "fault_streaming_consistent": bool(streaming_consistent),
+    }
+
+
 def run_benchmark(
     num_requests: int = DEFAULT_REQUESTS, smoke: bool = False, repeats: int = 2
 ) -> dict:
@@ -270,6 +343,9 @@ def run_benchmark(
         "quantile_error": QUANTILE_ERROR,
     }
     entry.update(verify_contract(partition, min(num_requests, VERIFY_REQUESTS)))
+    entry.update(
+        verify_fault_contract(partition, min(num_requests, VERIFY_REQUESTS))
+    )
     return entry
 
 
@@ -298,6 +374,19 @@ def check(entry: dict) -> list[str]:
         failures.append("SoA trace generation is not bit-identical to scalar")
     if not entry["dispatch_identical"]:
         failures.append("scan, table, and heap dispatch decisions differ")
+    for key, message in (
+        ("fault_engines_identical",
+         "scan, table, and heap disagree under a fault schedule"),
+        ("fault_deterministic", "fault runs are not deterministic"),
+        ("fault_accounting_exact",
+         "fault accounting does not balance (completed + shed != offered)"),
+        ("fault_streaming_identical",
+         "streaming fault summaries differ between table and heap"),
+        ("fault_streaming_consistent",
+         "streaming fault report disagrees with the exact report"),
+    ):
+        if not entry[key]:
+            failures.append(message)
     bound = 2 * entry["quantile_error"]
     for name in ("p50_relative_error", "p99_relative_error"):
         if entry[name] > bound:
@@ -342,6 +431,10 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup:              {entry['speedup']:.2f}x")
     print(f"trace identical:      {entry['trace_identical']}")
     print(f"dispatch identical:   {entry['dispatch_identical']}")
+    print(f"fault contract:       engines={entry['fault_engines_identical']} "
+          f"deterministic={entry['fault_deterministic']} "
+          f"accounting={entry['fault_accounting_exact']} "
+          f"streaming={entry['fault_streaming_identical']}")
     print(f"streaming p50/p99 err: {entry['p50_relative_error']:.5f} / "
           f"{entry['p99_relative_error']:.5f} (bound {2 * entry['quantile_error']})")
     print(f"trajectory -> {args.output}")

@@ -210,6 +210,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.core.multi_acc import AcceleratorPartition
+    from repro.sim.chaos import FaultError, FaultPolicy, parse_fault_spec
     from repro.sim.serving import ServingSimulator, load_sweep
     from repro.sim.streaming import generate_trace_soa
 
@@ -217,9 +218,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if not shapes:
         print("serve: need at least one MxKxN shape", file=sys.stderr)
         return 2
+    if args.rate is not None and args.mean_interarrival is not None:
+        print("serve: pass --rate or --mean-interarrival, not both", file=sys.stderr)
+        return 2
+    if args.rate is not None:
+        mean_interarrival = 1.0 / args.rate
+    else:
+        mean_interarrival = args.mean_interarrival or 1e-3
     configs = [config_by_name(name) for name in args.configs.split(",") if name]
-    simulator = ServingSimulator(AcceleratorPartition(configs))
+    partition = AcceleratorPartition(configs)
+    simulator = ServingSimulator(partition)
     simulator.prewarm(shapes, jobs=args.jobs, vectorize=args.vectorize)
+
+    faults = None
+    fault_policy = None
+    if args.faults:
+        # the expected span of the trace anchors relative chaos windows
+        horizon = args.requests * mean_interarrival
+        try:
+            faults = parse_fault_spec(
+                args.faults,
+                list(partition.designs),
+                device=partition.device,
+                seed=args.fault_seed,
+                horizon=horizon,
+            )
+        except FaultError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
+        fault_policy = FaultPolicy(max_retries=args.max_retries)
 
     if args.sweep:
         loads = None
@@ -233,6 +260,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             streaming=args.streaming,
             quantile_error=args.quantile_error,
+            faults=faults,
+            fault_policy=fault_policy,
         )
         print(render_table(result.rows(), title="offered-load sweep"))
         if result.knee_rps is not None:
@@ -244,19 +273,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "sweep exited early")
         return 0
 
-    if args.rate is not None and args.mean_interarrival is not None:
-        print("serve: pass --rate or --mean-interarrival, not both", file=sys.stderr)
-        return 2
-    if args.rate is not None:
-        mean_interarrival = 1.0 / args.rate
-    else:
-        mean_interarrival = args.mean_interarrival or 1e-3
     trace = generate_trace_soa(shapes, args.requests, mean_interarrival, seed=args.seed)
     report = simulator.run(
         trace,
         streaming=args.streaming,
         dispatch=args.dispatch,
         quantile_error=args.quantile_error,
+        faults=faults,
+        fault_policy=fault_policy,
     )
     p50, p95, p99 = report.latency_percentiles([50, 95, 99])
     mode = "streaming (sketched percentiles)" if args.streaming else "exact"
@@ -267,6 +291,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"p99 {format_seconds(p99)}   mean {format_seconds(report.mean_latency())}")
     for name, count in sorted(report.accelerator_load().items()):
         print(f"load         {name}: {count} requests")
+    if faults is not None:
+        summary = report.fault_summary()
+        print(f"faults       {summary['fault_events'] // 2} windows: "
+              f"{summary['kills']} kills, {summary['retries']} retries, "
+              f"{summary['requeues']} requeues, {summary['shed']} shed")
+        print(f"availability {summary['request_availability']:.1%} of requests; "
+              + "  ".join(f"{name} {up:.1%}"
+                          for name, up in sorted(summary["availability"].items())))
     return 0
 
 
@@ -405,6 +437,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="sweep offered load; report the saturation knee")
     serve.add_argument("--loads", default=None,
                        help="comma-separated offered loads (rps) for --sweep")
+    serve.add_argument("--faults", default=None, metavar="SPEC",
+                       help="inject a fault schedule: 'chaos' (seeded random) or "
+                            "windows like C5:down:0.05:0.1,C3:slow:2.5:0.1:0.3 "
+                            "(also clock/dram/drambw/cols — see docs/robustness.md)")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for 'chaos' fault schedules (deterministic)")
+    serve.add_argument("--max-retries", type=int, default=3,
+                       help="kills a request survives before being shed")
     serve.set_defaults(func=_cmd_serve)
     return parser
 
@@ -422,6 +462,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.stats:
         print(f"eval stats   {GLOBAL_STATS.total.summary()} "
               f"over {GLOBAL_STATS.batches} batches", file=sys.stderr)
+        if GLOBAL_STATS.fault_runs:
+            print(f"fault stats  {GLOBAL_STATS.faults.summary()} "
+                  f"over {GLOBAL_STATS.fault_runs} runs", file=sys.stderr)
         for table, counters in get_cache().counters().items():
             print(f"cache        {table}: {counters['hits']} hits / "
                   f"{counters['misses']} misses ({counters['entries']} entries)",

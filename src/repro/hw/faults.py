@@ -9,24 +9,54 @@ memory-bound configuration?
 
 Faults compose: each injector returns a new spec, so chains like
 ``disable_aie_columns(derate_dram(device, 0.5), 2)`` express multi-fault
-scenarios.
+scenarios.  :mod:`repro.sim.chaos` lifts these static injectors into
+*time-varying* fault schedules for the serving simulator.
+
+Every injector validates its argument uniformly: counts must be plain
+non-negative integers below the available resource, fractions must be
+finite numbers in ``(0, 1]``; anything else (negative derates, >1
+fractions, float column counts, booleans, NaN) raises
+:class:`FaultError`.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 
 from repro.hw.specs import DeviceSpec, VCK5000
+
+#: a degraded device never reports fewer PLIOs than this — even a
+#: heavily-harvested array keeps a minimal set of routable streams
+MIN_USABLE_PLIOS = 3
 
 
 class FaultError(ValueError):
     """A fault specification is impossible."""
 
 
+def _require_count(value: object, upper: int, what: str) -> int:
+    """A plain integer count in ``[0, upper)`` — uniformly enforced."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise FaultError(f"{what} count must be an integer, got {value!r}")
+    if not 0 <= value < upper:
+        raise FaultError(f"cannot disable {value} of {upper} {what}s")
+    return value
+
+
+def _require_fraction(value: object, what: str) -> float:
+    """A finite fraction in ``(0, 1]`` — uniformly enforced."""
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise FaultError(f"{what} must be a number in (0, 1], got {value!r}")
+    fraction = float(value)
+    if not math.isfinite(fraction) or not 0.0 < fraction <= 1.0:
+        raise FaultError(f"{what} must be in (0, 1], got {value!r}")
+    return fraction
+
+
 def disable_aie_columns(device: DeviceSpec, columns: int) -> DeviceSpec:
     """Fuse off whole AIE columns (yield harvesting / column faults)."""
-    if not 0 <= columns < device.aie_cols:
-        raise FaultError(f"cannot disable {columns} of {device.aie_cols} columns")
+    columns = _require_count(columns, device.aie_cols, "AIE column")
     # interface tiles sit under the array: losing columns loses them too
     interface_loss = round(device.num_interface_tiles * columns / device.aie_cols)
     return dataclasses.replace(
@@ -34,14 +64,16 @@ def disable_aie_columns(device: DeviceSpec, columns: int) -> DeviceSpec:
         name=f"{device.name}-cols-{columns}",
         aie_cols=device.aie_cols - columns,
         num_interface_tiles=device.num_interface_tiles - interface_loss,
-        usable_plios=max(3, device.usable_plios - interface_loss * device.plio_in_per_tile),
+        usable_plios=max(
+            MIN_USABLE_PLIOS,
+            device.usable_plios - interface_loss * device.plio_in_per_tile,
+        ),
     )
 
 
 def disable_dram_channels(device: DeviceSpec, channels: int) -> DeviceSpec:
     """Lose DDR4 channels (DIMM/controller faults)."""
-    if not 0 <= channels < device.dram_channels:
-        raise FaultError(f"cannot disable {channels} of {device.dram_channels} channels")
+    channels = _require_count(channels, device.dram_channels, "DRAM channel")
     return dataclasses.replace(
         device,
         name=f"{device.name}-dram-{channels}",
@@ -52,8 +84,7 @@ def disable_dram_channels(device: DeviceSpec, channels: int) -> DeviceSpec:
 
 def derate_clock(device: DeviceSpec, fraction: float) -> DeviceSpec:
     """Thermal derating: run the AIE array at a fraction of nominal."""
-    if not 0 < fraction <= 1.0:
-        raise FaultError("derating fraction must be in (0, 1]")
+    fraction = _require_fraction(fraction, "clock derating fraction")
     return dataclasses.replace(
         device,
         name=f"{device.name}-clk-{fraction:g}",
@@ -63,10 +94,24 @@ def derate_clock(device: DeviceSpec, fraction: float) -> DeviceSpec:
     )
 
 
+def derate_dram(device: DeviceSpec, fraction: float) -> DeviceSpec:
+    """Derate per-channel DRAM bandwidth (throttling / marginal DIMMs).
+
+    Unlike :func:`disable_dram_channels` every channel stays up, but
+    each delivers only ``fraction`` of its nominal bandwidth — the
+    refresh-storm / thermal-throttle failure mode.
+    """
+    fraction = _require_fraction(fraction, "DRAM derating fraction")
+    return dataclasses.replace(
+        device,
+        name=f"{device.name}-drambw-{fraction:g}",
+        dram_channel_bandwidth=device.dram_channel_bandwidth * fraction,
+    )
+
+
 def degrade_pl_memory(device: DeviceSpec, fraction: float) -> DeviceSpec:
     """Lose usable PL memory (column faults / ECC-disabled URAMs)."""
-    if not 0 < fraction <= 1.0:
-        raise FaultError("remaining fraction must be in (0, 1]")
+    fraction = _require_fraction(fraction, "remaining PL-memory fraction")
     return dataclasses.replace(
         device,
         name=f"{device.name}-pl-{fraction:g}",

@@ -117,19 +117,72 @@ def track(stats: EvalStats) -> Iterator[EvalStats]:
 
 
 @dataclass
+class FaultStats:
+    """Counters for one fault-injected serving run.
+
+    ``windows`` is the schedule size; ``kills`` counts executions a down
+    window interrupted; ``retries`` the retry attempts consumed;
+    ``requeues`` the attempts deferred to a schedule transition because
+    nothing was usable; ``shed``/``completed`` partition the offered
+    requests.
+    """
+
+    windows: int = 0
+    kills: int = 0
+    retries: int = 0
+    requeues: int = 0
+    shed: int = 0
+    completed: int = 0
+
+    def merge(self, other: "FaultStats") -> "FaultStats":
+        self.windows += other.windows
+        self.kills += other.kills
+        self.retries += other.retries
+        self.requeues += other.requeues
+        self.shed += other.shed
+        self.completed += other.completed
+        return self
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "windows": self.windows,
+            "kills": self.kills,
+            "retries": self.retries,
+            "requeues": self.requeues,
+            "shed": self.shed,
+            "completed": self.completed,
+        }
+
+    def summary(self) -> str:
+        return (
+            f"{self.windows} fault windows: {self.kills} kills, "
+            f"{self.retries} retries, {self.requeues} requeues, "
+            f"{self.shed} shed / {self.completed} completed"
+        )
+
+
+@dataclass
 class StatsRegistry:
     """Session-scoped accumulator the CLI drains for ``--stats``."""
 
     total: EvalStats = field(default_factory=EvalStats)
     batches: int = 0
+    faults: FaultStats = field(default_factory=FaultStats)
+    fault_runs: int = 0
 
     def record(self, stats: EvalStats) -> None:
         self.total.merge(stats)
         self.batches += 1
 
+    def record_faults(self, stats: FaultStats) -> None:
+        self.faults.merge(stats)
+        self.fault_runs += 1
+
     def reset(self) -> None:
         self.total = EvalStats()
         self.batches = 0
+        self.faults = FaultStats()
+        self.fault_runs = 0
 
 
 #: process-wide registry; batch evaluators publish here so the CLI can

@@ -5,6 +5,16 @@ from repro.sim.aiesim import KernelSimReport, simulate_kernel, GraphSimReport, s
 from repro.sim.hwsim import HwSimulator, HwRunResult
 from repro.sim.functional import FunctionalGemm, FunctionalResult
 from repro.sim.platforms import Platform, PLATFORMS, platform_by_name, run_on_platform
+from repro.sim.chaos import (
+    DEFAULT_FAULT_POLICY,
+    FaultEvent,
+    FaultPolicy,
+    FaultSchedule,
+    FaultWindow,
+    RecoveryEvent,
+    chaos_schedule,
+    parse_fault_spec,
+)
 from repro.sim.serving import (
     LoadSweepPoint,
     LoadSweepResult,
@@ -12,6 +22,7 @@ from repro.sim.serving import (
     CompletedRequest,
     ServingReport,
     ServingSimulator,
+    ShedRequest,
     generate_trace,
     load_sweep,
 )
@@ -43,6 +54,15 @@ __all__ = [
     "CompletedRequest",
     "ServingReport",
     "ServingSimulator",
+    "ShedRequest",
+    "DEFAULT_FAULT_POLICY",
+    "FaultEvent",
+    "FaultPolicy",
+    "FaultSchedule",
+    "FaultWindow",
+    "RecoveryEvent",
+    "chaos_schedule",
+    "parse_fault_spec",
     "generate_trace",
     "load_sweep",
     "LoadSweepPoint",

@@ -23,21 +23,59 @@ the trace length, with the sketch's documented percentile error bound —
 and :func:`load_sweep` drives the offered-load -> tail-latency curve
 the paper's serving discussion is about, with saturation-knee detection
 and an early exit once throughput plateaus.
+
+``run(..., faults=...)`` injects a time-varying
+:class:`~repro.sim.chaos.FaultSchedule` (accelerators go down and come
+back, or serve through degraded :class:`~repro.hw.specs.DeviceSpec`
+variants mid-run) under a :class:`~repro.sim.chaos.FaultPolicy`:
+executions a ``down`` window interrupts are killed and retried with
+exponential backoff, failing over to surviving accelerators, and shed
+with accounting once the retry budget is exhausted or nothing feasible
+remains.  All three engines implement **identical** fault semantics
+(enforced by ``tests/conformance``); ``faults=None`` or an empty
+schedule takes the untouched fault-free paths, byte for byte.
+
+Fault-run semantics, precisely:
+
+* A dispatch *attempt* at time ``t`` considers each feasible
+  accelerator with ``start = max(t, free)``; the accelerator is skipped
+  when ``start`` falls in a ``down`` window or its degraded service is
+  unresolvable.  Service is resolved **at admission**: the window the
+  start instant falls in fixes the service time, even if the execution
+  outlives the window.  The winner minimizes ``(finish, scan order)`` —
+  the same tie-break as fault-free dispatch.
+* Dispatch is not prescient: if the chosen accelerator's next ``down``
+  window opens strictly between start and finish, the execution is
+  *killed* at the window start, the accelerator's clock advances to it,
+  and the request retries after ``policy.backoff(retries)`` — or is
+  shed (``retry_budget_exhausted``) past ``policy.max_retries``.
+* An attempt with no usable accelerator *requeues* (no retry consumed)
+  to the schedule's next state transition; when no transition remains
+  the request is shed (``no_feasible_accelerator``).  A shape no
+  accelerator can serve even fault-free raises ``ValueError`` exactly
+  like the fault-free path.
 """
 
 from __future__ import annotations
 
+import bisect
 import heapq
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Sequence, Union
 
 import numpy as np
 
 from repro.core.multi_acc import AcceleratorPartition
-from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
+from repro.perf.metrics import GLOBAL_STATS, EvalStats, FaultStats, track
 from repro.perf.parallel import parallel_map
+from repro.sim.chaos import (
+    DEFAULT_FAULT_POLICY,
+    FaultError,
+    FaultPolicy,
+    FaultSchedule,
+)
 from repro.sim.streaming import SoATrace, StreamingServingReport, generate_trace_soa
 from repro.workloads.gemm import GemmShape
 
@@ -66,6 +104,8 @@ class CompletedRequest:
     accelerator: str
     start: float
     finish: float
+    #: executions killed by down windows before this one completed
+    retries: int = 0
 
     @property
     def latency(self) -> float:
@@ -76,13 +116,76 @@ class CompletedRequest:
         return self.start - self.request.arrival
 
 
+@dataclass(frozen=True)
+class ShedRequest:
+    """A request dropped with accounting instead of completed."""
+
+    request: Request
+    retries: int
+    #: ``retry_budget_exhausted`` or ``no_feasible_accelerator``
+    reason: str
+    #: when the shedding decision was made
+    time: float
+
+
 @dataclass
 class ServingReport:
     completed: list[CompletedRequest]
+    #: requests dropped under the fault policy (empty on fault-free runs)
+    shed: list[ShedRequest] = field(default_factory=list)
+    #: fault onset/clearance records, ordered by time
+    fault_events: list = field(default_factory=list)
+    #: per-accelerator seconds spent down within the makespan
+    downtime: dict[str, float] = field(default_factory=dict)
+    #: executions killed mid-flight by a down window
+    kills: int = 0
+    #: attempts deferred because no accelerator was usable
+    requeues: int = 0
 
     @property
     def makespan(self) -> float:
         return max((c.finish for c in self.completed), default=0.0)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(c.retries for c in self.completed) + sum(
+            s.retries for s in self.shed
+        )
+
+    def availability(self) -> dict[str, float]:
+        """Per-accelerator up-fraction of the makespan, in ``[0, 1]``."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {name: 1.0 for name in self.downtime}
+        return {
+            name: min(1.0, max(0.0, 1.0 - down / horizon))
+            for name, down in self.downtime.items()
+        }
+
+    @property
+    def request_availability(self) -> float:
+        """Completed / offered requests (1.0 when nothing was offered)."""
+        total = len(self.completed) + len(self.shed)
+        if total == 0:
+            return 1.0
+        return len(self.completed) / total
+
+    def fault_summary(self) -> dict:
+        """The fault-accounting block the CLI and experiments print."""
+        return {
+            "completed": len(self.completed),
+            "shed": self.shed_count,
+            "kills": self.kills,
+            "retries": self.total_retries,
+            "requeues": self.requeues,
+            "fault_events": len(self.fault_events),
+            "request_availability": self.request_availability,
+            "availability": self.availability(),
+        }
 
     @property
     def throughput_rps(self) -> float:
@@ -336,6 +439,262 @@ def _dispatch_heap(arrivals, class_ids, heap_tables, free, flush, chunk_size):
         flush(base, out_acc, out_start, out_fin)
 
 
+class _FaultView:
+    """Fast time-indexed queries over a fault schedule for one partition.
+
+    Window lookups are bisections over per-accelerator sorted arrays;
+    degraded service times are resolved once per ``(accelerator, window,
+    shape class)`` and cached — ``DeviceSpec`` is unhashable, so the
+    cache keys on positions, not objects.  Accelerators whose *healthy*
+    device cannot serve a shape class stay infeasible for it in every
+    window (degraded hardware never unlocks new shapes), which keeps the
+    three selectors' candidate sets identical by construction.
+    """
+
+    def __init__(self, simulator, schedule, names, classes, specs):
+        self.names = names
+        self.classes = classes
+        self.partition = simulator.partition
+        width = len(names)
+        # base (healthy) service per [order][class]; None = infeasible
+        self.base: list[list[float | None]] = [
+            [None] * len(classes) for _ in range(width)
+        ]
+        for cid, spec in enumerate(specs):
+            for offset in range(0, len(spec), 2):
+                self.base[spec[offset]][cid] = spec[offset + 1]
+        self.windows = []
+        self._window_starts = []
+        self._window_ends = []
+        self._down_starts = []
+        for name in names:
+            windows = schedule.for_accelerator(name)
+            self.windows.append(windows)
+            self._window_starts.append([w.start for w in windows])
+            self._window_ends.append([w.end for w in windows])
+            self._down_starts.append([w.start for w in windows if w.kind == "down"])
+        self._transitions = schedule.transitions()
+        self._degraded_cache: dict[tuple[int, int, int], float | None] = {}
+        self._min_cache: dict[tuple[int, int], float | None] = {}
+
+    def window_index_at(self, order: int, time: float) -> int | None:
+        index = bisect.bisect_right(self._window_starts[order], time) - 1
+        if index >= 0 and time < self._window_ends[order][index]:
+            return index
+        return None
+
+    def next_down_after(self, order: int, time: float) -> float | None:
+        """Earliest down-window start strictly after ``time`` (kill check)."""
+        starts = self._down_starts[order]
+        index = bisect.bisect_right(starts, time)
+        return starts[index] if index < len(starts) else None
+
+    def next_transition_after(self, time: float) -> float | None:
+        transitions = self._transitions
+        index = bisect.bisect_right(transitions, time)
+        return transitions[index] if index < len(transitions) else None
+
+    def service_at(self, order: int, cid: int, time: float) -> float | None:
+        """Admission-time service, or None when the accelerator is
+        unusable at ``time`` (down, infeasible, or degraded-invalid)."""
+        base = self.base[order][cid]
+        if base is None:
+            return None
+        index = self.window_index_at(order, time)
+        if index is None:
+            return base
+        window = self.windows[order][index]
+        if window.kind == "down":
+            return None
+        return self._degraded(order, index, cid, base)
+
+    def min_service(self, order: int, cid: int) -> float | None:
+        """Minimum service across every state — the heap's lower bound."""
+        key = (order, cid)
+        if key in self._min_cache:
+            return self._min_cache[key]
+        base = self.base[order][cid]
+        if base is None:
+            value = None
+        else:
+            value = base
+            for index, window in enumerate(self.windows[order]):
+                if window.kind != "degraded":
+                    continue
+                degraded = self._degraded(order, index, cid, base)
+                if degraded is not None and degraded < value:
+                    value = degraded
+        self._min_cache[key] = value
+        return value
+
+    def _degraded(
+        self, order: int, index: int, cid: int, base: float
+    ) -> float | None:
+        key = (order, index, cid)
+        if key in self._degraded_cache:
+            return self._degraded_cache[key]
+        window = self.windows[order][index]
+        if window.factor is not None:
+            value = base * window.factor
+        else:
+            design = self.partition.designs[self.names[order]]
+            config = getattr(design, "config", None)
+            if config is None:
+                raise ValueError(
+                    "device-degraded fault windows need partition designs "
+                    "with a .config (stub partitions should use factor= "
+                    "windows instead)"
+                )
+            from repro.core.analytical_model import AnalyticalModel
+            from repro.mapping.charm import CharmDesign
+
+            candidate = CharmDesign(config, window.device)
+            if not candidate.is_valid():
+                value = None  # design does not survive: down for the window
+            else:
+                try:
+                    value = AnalyticalModel(candidate).estimate(
+                        self.classes[cid]
+                    ).total_seconds
+                except ValueError:
+                    value = None
+        self._degraded_cache[key] = value
+        return value
+
+
+class _ScanFaultSelector:
+    """The seed loop under faults: scan every accelerator per attempt."""
+
+    def __init__(self, view: _FaultView, free: list[float], width: int):
+        self.view = view
+        self.free = free
+        self.width = width
+
+    def select(self, t: float, cid: int):
+        view = self.view
+        free = self.free
+        best_finish = math.inf
+        best_order = -1
+        best_start = 0.0
+        for order in range(self.width):
+            current = free[order]
+            start = current if current > t else t
+            service = view.service_at(order, cid, start)
+            if service is None:
+                continue
+            finish = start + service
+            if finish < best_finish:
+                best_finish, best_order, best_start = finish, order, start
+        if best_order < 0:
+            return None
+        return best_order, best_start, best_finish
+
+
+class _TableFaultSelector:
+    """Dense fault dispatch over the per-class feasible-accelerator specs."""
+
+    def __init__(self, specs: list[tuple], view: _FaultView, free: list[float]):
+        self.specs = specs
+        self.view = view
+        self.free = free
+
+    def select(self, t: float, cid: int):
+        view = self.view
+        free = self.free
+        spec = self.specs[cid]
+        best_finish = math.inf
+        best_order = -1
+        best_start = 0.0
+        for offset in range(0, len(spec), 2):
+            order = spec[offset]
+            current = free[order]
+            start = current if current > t else t
+            service = view.service_at(order, cid, start)
+            if service is None:
+                continue
+            finish = start + service
+            if finish < best_finish:
+                best_finish, best_order, best_start = finish, order, start
+        if best_order < 0:
+            return None
+        return best_order, best_start, best_finish
+
+
+class _HeapFaultSelector:
+    """Lazy per-class heaps under faults, keyed by a true lower bound.
+
+    A fault-free heap entry's key ``free + service`` is exact; under
+    faults the service depends on the admission instant, so entries are
+    keyed ``free + min_service`` (the minimum across the healthy device
+    and every degraded window — a lower bound on any admission's
+    finish).  Popped entries get their exact finish resolved at the
+    attempt time; the pop loop stops as soon as the best exact candidate
+    beats the heap top's lower bound, so no candidate is ever missed.
+    Entries are stashed and pushed back because availability is
+    time-varying — an accelerator unusable now may win later.
+    """
+
+    def __init__(self, specs: list[tuple], view: _FaultView, free: list[float]):
+        self.view = view
+        self.free = free
+        self.heaps: list[list | None] = []
+        self.min_svc: list[dict[int, float] | None] = []
+        for cid, spec in enumerate(specs):
+            if not spec:
+                self.heaps.append(None)
+                self.min_svc.append(None)
+                continue
+            heap = []
+            mins: dict[int, float] = {}
+            for offset in range(0, len(spec), 2):
+                order = spec[offset]
+                lower = view.min_service(order, cid)
+                if lower is None:  # pragma: no cover - base implies a bound
+                    continue
+                mins[order] = lower
+                heap.append((0.0 + lower, order, order, 0.0))
+            heapq.heapify(heap)
+            self.heaps.append(heap)
+            self.min_svc.append(mins)
+
+    def select(self, t: float, cid: int):
+        heap = self.heaps[cid]
+        mins = self.min_svc[cid]
+        view = self.view
+        free = self.free
+        heappop = heapq.heappop
+        heapreplace = heapq.heapreplace
+        best_finish = math.inf
+        best_order = -1
+        best_start = 0.0
+        stash = []
+        while heap:
+            key, order, acc, snapshot = heap[0]
+            current = free[acc]
+            if snapshot != current:
+                heapreplace(heap, (current + mins[acc], order, acc, current))
+                continue
+            if best_order >= 0 and (
+                best_finish < key or (best_finish == key and best_order < order)
+            ):
+                break
+            stash.append(heappop(heap))
+            start = current if current > t else t
+            service = view.service_at(acc, cid, start)
+            if service is None:
+                continue
+            finish = start + service
+            if finish < best_finish or (
+                finish == best_finish and order < best_order
+            ):
+                best_finish, best_order, best_start = finish, order, start
+        for entry in stash:
+            heapq.heappush(heap, entry)
+        if best_order < 0:
+            return None
+        return best_order, best_start, best_finish
+
+
 class ServingSimulator:
     """Earliest-finish dispatch of a request trace over a partition.
 
@@ -461,6 +820,8 @@ class ServingSimulator:
         dispatch: str = "auto",
         quantile_error: float = 0.01,
         chunk_size: int = DISPATCH_CHUNK,
+        faults: FaultSchedule | None = None,
+        fault_policy: FaultPolicy | None = None,
     ) -> ServingReport | StreamingServingReport:
         """Serve ``trace``; return an exact or streaming report.
 
@@ -471,6 +832,11 @@ class ServingSimulator:
         ``streaming=True`` returns a :class:`StreamingServingReport`
         with O(1) memory and ``quantile_error``-bounded percentiles;
         the default exact mode materializes every completed request.
+
+        ``faults`` injects a time-varying fault schedule under
+        ``fault_policy`` (default :data:`~repro.sim.chaos.DEFAULT_FAULT_POLICY`)
+        — see the module docstring for the exact semantics.  ``None`` or
+        an empty schedule takes the fault-free paths untouched.
         """
         if dispatch not in _DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {_DISPATCH_MODES}")
@@ -479,6 +845,16 @@ class ServingSimulator:
         before = self.stats.snapshot()
         try:
             with track(self.stats):
+                if faults is not None and not faults.is_empty:
+                    return self._run_faulted(
+                        trace,
+                        streaming=streaming,
+                        dispatch=dispatch,
+                        quantile_error=quantile_error,
+                        chunk_size=chunk_size,
+                        faults=faults,
+                        policy=fault_policy or DEFAULT_FAULT_POLICY,
+                    )
                 if dispatch == "scan":
                     return self._run_scan(trace)
                 return self._run_fast(
@@ -490,6 +866,167 @@ class ServingSimulator:
                 )
         finally:
             GLOBAL_STATS.record(self.stats.delta_since(before))
+
+    def _run_faulted(
+        self,
+        trace: Union[Sequence[Request], SoATrace],
+        *,
+        streaming: bool,
+        dispatch: str,
+        quantile_error: float,
+        chunk_size: int,
+        faults: FaultSchedule,
+        policy: FaultPolicy,
+    ) -> ServingReport | StreamingServingReport:
+        """The fault-aware event loop, shared by all three engines.
+
+        Attempts live in a heap of ``(time, arrival position, retries)``
+        — time-ordered, position-tied — so re-attempts interleave with
+        later arrivals deterministically.  The engines differ only in
+        candidate *selection*; the loop (kills, backoff, requeues,
+        shedding) is one code path, which is what makes the three
+        engines' fault semantics identical by construction.
+        """
+        names = list(self.partition.designs)
+        unknown = set(faults.accelerators()) - set(names)
+        if unknown:
+            raise FaultError(
+                f"fault schedule names accelerators not in the partition: "
+                f"{sorted(unknown)} (partition has {names})"
+            )
+        arrivals, class_ids, classes, requests = self._normalize(
+            trace, need_requests=not streaming
+        )
+        n = len(arrivals)
+        if streaming:
+            report = StreamingServingReport(names, quantile_error=quantile_error)
+        if n == 0:
+            downtime = {name: 0.0 for name in names}
+            if streaming:
+                report.record_fault_metadata(
+                    fault_events=faults.events(), downtime=downtime
+                )
+                return report
+            return ServingReport(
+                completed=[], fault_events=faults.events(), downtime=downtime
+            )
+        specs = self._class_specs(classes, set(class_ids))
+        self.stats.cache_hits += len(class_ids)
+        view = _FaultView(self, faults, names, classes, specs)
+        free = [0.0] * len(names)
+        use_heap = dispatch == "heap" or (
+            dispatch == "auto" and len(names) >= HEAP_MIN_ACCELERATORS
+        )
+        if use_heap:
+            selector = _HeapFaultSelector(specs, view, free)
+        elif dispatch == "scan":
+            selector = _ScanFaultSelector(view, free, len(names))
+        else:
+            selector = _TableFaultSelector(specs, view, free)
+
+        arrival_list = arrivals.tolist()
+        queue = [(arrival_list[pos], pos, 0) for pos in range(n)]
+        heapq.heapify(queue)
+        completions: list[tuple | None] = [None] * n
+        shed_records: list[tuple[int, int, str, float]] = []
+        kills = 0
+        requeues = 0
+        select = selector.select
+        backoff = policy.backoff
+        max_retries = policy.max_retries
+        while queue:
+            t, pos, retries = heapq.heappop(queue)
+            best = select(t, class_ids[pos])
+            if best is None:
+                nxt = view.next_transition_after(t)
+                if nxt is None:
+                    shed_records.append((pos, retries, "no_feasible_accelerator", t))
+                    continue
+                requeues += 1
+                heapq.heappush(queue, (nxt, pos, retries))
+                continue
+            order, start, finish = best
+            next_down = view.next_down_after(order, start)
+            if next_down is not None and next_down < finish:
+                # killed: the down window opened mid-execution
+                kills += 1
+                free[order] = next_down
+                if retries + 1 > max_retries:
+                    shed_records.append(
+                        (pos, retries + 1, "retry_budget_exhausted", next_down)
+                    )
+                    continue
+                heapq.heappush(
+                    queue, (next_down + backoff(retries + 1), pos, retries + 1)
+                )
+                continue
+            free[order] = finish
+            completions[pos] = (order, start, finish, retries)
+
+        shed_records.sort()
+        makespan = max(
+            (entry[2] for entry in completions if entry is not None), default=0.0
+        )
+        downtime = {name: 0.0 for name in names}
+        downtime.update(faults.downtime(makespan))
+        GLOBAL_STATS.record_faults(
+            FaultStats(
+                windows=len(faults),
+                kills=kills,
+                retries=sum(entry[3] for entry in completions if entry is not None)
+                + sum(record[1] for record in shed_records),
+                requeues=requeues,
+                shed=len(shed_records),
+                completed=sum(1 for entry in completions if entry is not None),
+            )
+        )
+
+        if streaming:
+            positions = [pos for pos in range(n) if completions[pos] is not None]
+            for lo in range(0, len(positions), chunk_size):
+                batch = positions[lo : lo + chunk_size]
+                report.observe_batch(
+                    np.asarray([completions[pos][0] for pos in batch], dtype=np.int64),
+                    arrivals[batch],
+                    np.asarray([completions[pos][1] for pos in batch]),
+                    np.asarray([completions[pos][2] for pos in batch]),
+                )
+            report.record_fault_metadata(
+                shed_count=len(shed_records),
+                total_retries=sum(
+                    entry[3] for entry in completions if entry is not None
+                )
+                + sum(record[1] for record in shed_records),
+                kills=kills,
+                requeues=requeues,
+                fault_events=faults.events(),
+                downtime=downtime,
+            )
+            return report
+
+        completed = [
+            CompletedRequest(
+                request=requests[pos],
+                accelerator=names[entry[0]],
+                start=entry[1],
+                finish=entry[2],
+                retries=entry[3],
+            )
+            for pos, entry in enumerate(completions)
+            if entry is not None
+        ]
+        shed = [
+            ShedRequest(request=requests[pos], retries=r, reason=reason, time=when)
+            for pos, r, reason, when in shed_records
+        ]
+        return ServingReport(
+            completed=completed,
+            shed=shed,
+            fault_events=faults.events(),
+            downtime=downtime,
+            kills=kills,
+            requeues=requeues,
+        )
 
     def _run_scan(self, trace: Union[Sequence[Request], SoATrace]) -> ServingReport:
         """The seed dispatch loop: linear scan, one object per request."""
@@ -716,6 +1253,8 @@ def load_sweep(
     quantile_error: float = 0.01,
     knee_tol: float = 0.05,
     plateau_rtol: float = 0.02,
+    faults: FaultSchedule | None = None,
+    fault_policy: FaultPolicy | None = None,
 ) -> LoadSweepResult:
     """Sweep offered load, collecting throughput and tail-latency curves.
 
@@ -726,6 +1265,11 @@ def load_sweep(
     growing by more than ``plateau_rtol`` between consecutive points the
     sweep exits early — past saturation every extra point costs a full
     simulation and reports the same ceiling.
+
+    ``faults`` applies the same fault schedule to every point of the
+    sweep (the schedule is in absolute trace time), so the curve shows
+    degraded-capacity behaviour; latency percentiles cover completed
+    requests only, with shedding reflected in achieved throughput.
     """
     if offered_loads is None:
         offered_loads = default_load_ramp(simulator, shapes)
@@ -740,7 +1284,11 @@ def load_sweep(
     for offered in offered_loads:
         trace = generate_trace_soa(shapes, num_requests, 1.0 / offered, seed=seed)
         report = simulator.run(
-            trace, streaming=streaming, quantile_error=quantile_error
+            trace,
+            streaming=streaming,
+            quantile_error=quantile_error,
+            faults=faults,
+            fault_policy=fault_policy,
         )
         p50, p99 = report.latency_percentiles([50, 99])
         point = LoadSweepPoint(

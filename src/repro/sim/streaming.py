@@ -295,6 +295,13 @@ class StreamingServingReport:
             name: QuantileSketch(quantile_error) for name in self.accelerator_names
         }
         self._loads = {name: 0 for name in self.accelerator_names}
+        # fault accounting (zero / empty on fault-free runs)
+        self.shed_count = 0
+        self.total_retries = 0
+        self.kills = 0
+        self.requeues = 0
+        self.fault_events: list = []
+        self.downtime: dict[str, float] = {}
 
     def observe_batch(
         self,
@@ -371,6 +378,55 @@ class StreamingServingReport:
     def accelerator_load(self) -> dict[str, int]:
         return {name: load for name, load in self._loads.items() if load}
 
+    # -- fault accounting ----------------------------------------------
+    def record_fault_metadata(
+        self,
+        *,
+        shed_count: int = 0,
+        total_retries: int = 0,
+        kills: int = 0,
+        requeues: int = 0,
+        fault_events: Sequence | None = None,
+        downtime: dict[str, float] | None = None,
+    ) -> None:
+        """Attach a fault run's accounting (mirrors ``ServingReport``)."""
+        self.shed_count = shed_count
+        self.total_retries = total_retries
+        self.kills = kills
+        self.requeues = requeues
+        self.fault_events = list(fault_events or [])
+        self.downtime = dict(downtime or {})
+
+    def availability(self) -> dict[str, float]:
+        """Per-accelerator up-fraction of the makespan, in ``[0, 1]``."""
+        horizon = self.makespan
+        if horizon <= 0:
+            return {name: 1.0 for name in self.downtime}
+        return {
+            name: min(1.0, max(0.0, 1.0 - down / horizon))
+            for name, down in self.downtime.items()
+        }
+
+    @property
+    def request_availability(self) -> float:
+        """Completed / offered requests (1.0 when nothing was offered)."""
+        total = self.count + self.shed_count
+        if total == 0:
+            return 1.0
+        return self.count / total
+
+    def fault_summary(self) -> dict:
+        return {
+            "completed": self.count,
+            "shed": self.shed_count,
+            "kills": self.kills,
+            "retries": self.total_retries,
+            "requeues": self.requeues,
+            "fault_events": len(self.fault_events),
+            "request_availability": self.request_availability,
+            "availability": self.availability(),
+        }
+
     def as_dict(self) -> dict:
         summary = {
             "requests": self.count,
@@ -379,6 +435,8 @@ class StreamingServingReport:
             "quantile_error": self.quantile_error,
             "accelerator_load": self.accelerator_load(),
         }
+        if self.fault_events or self.shed_count or self.downtime:
+            summary["faults"] = self.fault_summary()
         if self.count:
             p50, p95, p99 = self.latency_percentiles([50, 95, 99])
             summary.update(

@@ -4,8 +4,10 @@ import pytest
 
 from repro.core.analytical_model import AnalyticalModel
 from repro.hw.faults import (
+    MIN_USABLE_PLIOS,
     FaultError,
     derate_clock,
+    derate_dram,
     disable_aie_columns,
     disable_dram_channels,
     degrade_pl_memory,
@@ -107,3 +109,48 @@ class TestDegradation:
         design = CharmDesign(config_by_name("C4"), device=device)
         _, error = HwSimulator(design).compare_with_model(WORKLOAD)
         assert abs(error) <= 0.05
+
+
+class TestUniformValidation:
+    """Every injector enforces the same argument contract (regression
+    for the historically inconsistent per-injector checks)."""
+
+    @pytest.mark.parametrize("injector", [disable_aie_columns, disable_dram_channels])
+    @pytest.mark.parametrize("bad", [1.0, 2.5, True, False, "2", None])
+    def test_counts_must_be_plain_integers(self, injector, bad):
+        with pytest.raises(FaultError, match="integer"):
+            injector(VCK5000, bad)
+
+    @pytest.mark.parametrize(
+        "injector", [derate_clock, derate_dram, degrade_pl_memory]
+    )
+    @pytest.mark.parametrize(
+        "bad", [0.0, -0.5, 1.0001, float("nan"), float("inf"), True, "half", None]
+    )
+    def test_fractions_must_be_finite_in_unit_interval(self, injector, bad):
+        with pytest.raises(FaultError):
+            injector(VCK5000, bad)
+
+    @pytest.mark.parametrize(
+        "injector", [derate_clock, derate_dram, degrade_pl_memory]
+    )
+    def test_full_fraction_is_identity_shaped(self, injector):
+        degraded = injector(VCK5000, 1.0)
+        assert degraded.num_aies == VCK5000.num_aies
+
+    def test_zero_count_allowed(self):
+        assert disable_aie_columns(VCK5000, 0).aie_cols == VCK5000.aie_cols
+
+    def test_derate_dram_scales_channel_bandwidth_only(self):
+        degraded = derate_dram(VCK5000, 0.5)
+        assert degraded.dram_channel_bandwidth == pytest.approx(
+            VCK5000.dram_channel_bandwidth * 0.5
+        )
+        assert degraded.dram_channels == VCK5000.dram_channels
+        assert degraded.name == "VCK5000-drambw-0.5"
+
+    def test_usable_plios_floor(self):
+        # fusing off all but one column would strip every PLIO; the
+        # degraded spec keeps the minimal routable set instead
+        worst = disable_aie_columns(VCK5000, VCK5000.aie_cols - 1)
+        assert worst.usable_plios == MIN_USABLE_PLIOS

@@ -1,0 +1,244 @@
+"""Unit tests for the fault-schedule data model and the chaos generator."""
+
+import pytest
+
+from repro.hw.faults import FaultError, derate_clock
+from repro.hw.specs import VCK5000
+from repro.sim.chaos import (
+    DEFAULT_FAULT_POLICY,
+    FaultEvent,
+    FaultPolicy,
+    FaultSchedule,
+    FaultWindow,
+    RecoveryEvent,
+    chaos_schedule,
+    parse_fault_spec,
+)
+
+ACCS = ["C5", "C3"]
+
+
+class TestFaultWindow:
+    def test_down_window(self):
+        window = FaultWindow("C5", 0.1, 0.2, "down")
+        assert window.duration() == pytest.approx(0.1)
+        assert window.detail == "down"
+
+    def test_degraded_factor_detail(self):
+        window = FaultWindow("C5", 0.0, 1.0, "degraded", factor=2.5)
+        assert window.detail == "2.5x slower"
+
+    def test_degraded_device_detail_uses_device_name(self):
+        device = derate_clock(VCK5000, 0.8)
+        window = FaultWindow("C5", 0.0, 1.0, "degraded", device=device)
+        assert window.detail == device.name
+
+    def test_label_overrides_detail(self):
+        window = FaultWindow("C5", 0.0, 1.0, "down", label="maintenance")
+        assert window.detail == "maintenance"
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(FaultError, match="fault kind"):
+            FaultWindow("C5", 0.0, 1.0, "broken")
+
+    @pytest.mark.parametrize("start,end", [(-0.1, 1.0), (0.5, 0.5), (1.0, 0.5)])
+    def test_rejects_bad_interval(self, start, end):
+        with pytest.raises(FaultError, match="start < end"):
+            FaultWindow("C5", start, end, "down")
+
+    def test_down_takes_no_modifiers(self):
+        with pytest.raises(FaultError, match="neither factor nor device"):
+            FaultWindow("C5", 0.0, 1.0, "down", factor=2.0)
+
+    def test_degraded_needs_exactly_one_modifier(self):
+        with pytest.raises(FaultError, match="exactly one"):
+            FaultWindow("C5", 0.0, 1.0, "degraded")
+        with pytest.raises(FaultError, match="exactly one"):
+            FaultWindow("C5", 0.0, 1.0, "degraded", factor=2.0, device=VCK5000)
+
+    @pytest.mark.parametrize("factor", [0.5, 0.99, float("nan")])
+    def test_degraded_factor_must_be_at_least_one(self, factor):
+        with pytest.raises(FaultError, match="factor"):
+            FaultWindow("C5", 0.0, 1.0, "degraded", factor=factor)
+
+
+class TestFaultSchedule:
+    def test_orders_windows_by_start(self):
+        schedule = FaultSchedule.down("C5", 0.5, 0.6) + FaultSchedule.down(
+            "C3", 0.1, 0.2
+        )
+        assert [w.start for w in schedule.windows] == [0.1, 0.5]
+        assert len(schedule) == 2
+        assert schedule.accelerators() == ("C3", "C5")
+        assert not schedule.is_empty
+        assert FaultSchedule(()).is_empty
+
+    def test_rejects_overlap_on_same_accelerator(self):
+        with pytest.raises(FaultError, match="overlapping"):
+            FaultSchedule.down("C5", 0.0, 0.5) + FaultSchedule.down("C5", 0.4, 0.6)
+
+    def test_allows_overlap_across_accelerators(self):
+        schedule = FaultSchedule.down("C5", 0.0, 0.5) + FaultSchedule.down(
+            "C3", 0.4, 0.6
+        )
+        assert len(schedule) == 2
+
+    def test_allows_touching_windows(self):
+        schedule = FaultSchedule.down("C5", 0.0, 0.5) + FaultSchedule.down(
+            "C5", 0.5, 0.6
+        )
+        assert schedule.for_accelerator("C5")[1].start == 0.5
+
+    def test_events_pair_onset_and_clearance(self):
+        schedule = FaultSchedule.down("C5", 0.1, 0.2)
+        events = schedule.events()
+        assert [type(e) for e in events] == [FaultEvent, RecoveryEvent]
+        assert events[0].time == 0.1 and events[1].time == 0.2
+        assert events[0].accelerator == "C5"
+
+    def test_transitions_are_sorted_unique(self):
+        schedule = FaultSchedule.down("C5", 0.1, 0.3) + FaultSchedule.down(
+            "C3", 0.3, 0.5
+        )
+        assert schedule.transitions() == (0.1, 0.3, 0.5)
+
+    def test_downtime_clips_to_horizon_and_skips_degraded(self):
+        schedule = (
+            FaultSchedule.down("C5", 0.1, 0.3)
+            + FaultSchedule.down("C5", 0.8, 1.2)
+            + FaultSchedule.degraded("C3", 0.0, 1.0, factor=2.0)
+        )
+        downtime = schedule.downtime(1.0)
+        assert downtime["C5"] == pytest.approx(0.2 + 0.2)
+        assert "C3" not in downtime
+        assert schedule.downtime(0.0) == {"C5": 0.0}
+
+    def test_equality_is_structural(self):
+        assert FaultSchedule.down("C5", 0.1, 0.2) == FaultSchedule.down(
+            "C5", 0.1, 0.2
+        )
+        assert FaultSchedule.down("C5", 0.1, 0.2) != FaultSchedule.down(
+            "C3", 0.1, 0.2
+        )
+
+
+class TestFaultPolicy:
+    def test_backoff_is_exponential_and_capped(self):
+        policy = FaultPolicy(
+            max_retries=5, backoff_base=1e-3, backoff_factor=2.0, backoff_cap=3e-3
+        )
+        assert policy.backoff(1) == pytest.approx(1e-3)
+        assert policy.backoff(2) == pytest.approx(2e-3)
+        assert policy.backoff(3) == pytest.approx(3e-3)
+        assert policy.backoff(4) == pytest.approx(3e-3)
+
+    def test_backoff_is_one_based(self):
+        with pytest.raises(ValueError, match="1-based"):
+            DEFAULT_FAULT_POLICY.backoff(0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"backoff_base": 0.0},
+            {"backoff_factor": 0.5},
+            {"backoff_base": 1.0, "backoff_cap": 0.5},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultPolicy(**kwargs)
+
+
+class TestChaosSchedule:
+    def test_deterministic_per_seed(self):
+        first = chaos_schedule(ACCS, 1.0, seed=7)
+        second = chaos_schedule(ACCS, 1.0, seed=7)
+        assert first == second
+
+    def test_seed_changes_schedule(self):
+        assert chaos_schedule(ACCS, 1.0, seed=1) != chaos_schedule(ACCS, 1.0, seed=2)
+
+    def test_windows_stay_inside_horizon(self):
+        schedule = chaos_schedule(ACCS, 0.5, seed=3, outages_per_accelerator=4)
+        assert schedule.accelerators() == ("C3", "C5")
+        for window in schedule.windows:
+            assert 0.0 <= window.start < window.end <= 0.5 + 1e-12
+
+    def test_degraded_windows_use_device_injectors_when_given(self):
+        schedule = chaos_schedule(ACCS, 1.0, seed=9, device=VCK5000, down_fraction=0.0)
+        assert schedule.windows
+        for window in schedule.windows:
+            assert window.kind == "degraded"
+            assert window.device is not None and window.factor is None
+
+    def test_factor_windows_without_device(self):
+        schedule = chaos_schedule(ACCS, 1.0, seed=9, down_fraction=0.0)
+        for window in schedule.windows:
+            assert window.factor is not None and 1.5 <= window.factor < 3.5
+
+    @pytest.mark.parametrize(
+        "kwargs,match",
+        [
+            ({"accelerators": ACCS, "horizon": 0.0}, "horizon"),
+            ({"accelerators": ACCS, "horizon": 1.0, "outages_per_accelerator": 0}, "outage"),
+            ({"accelerators": [], "horizon": 1.0}, "accelerator"),
+        ],
+    )
+    def test_validation(self, kwargs, match):
+        with pytest.raises(FaultError, match=match):
+            chaos_schedule(**kwargs)
+
+
+class TestParseFaultSpec:
+    def test_down_window(self):
+        schedule = parse_fault_spec("C5:down:0.05:0.10", ACCS)
+        assert len(schedule) == 1
+        window = schedule.windows[0]
+        assert (window.accelerator, window.kind) == ("C5", "down")
+        assert (window.start, window.end) == (0.05, 0.10)
+
+    def test_slow_window(self):
+        window = parse_fault_spec("C3:slow:2.5:0.1:0.3", ACCS).windows[0]
+        assert window.kind == "degraded" and window.factor == 2.5
+
+    def test_comma_separated_windows_compose(self):
+        schedule = parse_fault_spec(
+            "C5:down:0.0:0.1, C3:slow:2.0:0.2:0.4", ACCS
+        )
+        assert len(schedule) == 2
+
+    @pytest.mark.parametrize("kind,value", [("clock", "0.8"), ("dram", "1"),
+                                            ("drambw", "0.5"), ("cols", "2")])
+    def test_device_windows(self, kind, value):
+        spec = f"C5:{kind}:{value}:0.1:0.4"
+        window = parse_fault_spec(spec, ACCS, device=VCK5000).windows[0]
+        assert window.kind == "degraded"
+        assert window.device is not None
+        assert window.detail == f"{kind} {value}"
+
+    def test_device_windows_need_a_device(self):
+        with pytest.raises(FaultError, match="need a device"):
+            parse_fault_spec("C5:clock:0.8:0.1:0.4", ACCS)
+
+    def test_chaos_mode(self):
+        schedule = parse_fault_spec("chaos", ACCS, seed=4, horizon=2.0)
+        assert schedule == chaos_schedule(ACCS, 2.0, seed=4)
+        bigger = parse_fault_spec("chaos:5", ACCS, seed=4, horizon=2.0)
+        assert bigger == chaos_schedule(ACCS, 2.0, seed=4, outages_per_accelerator=5)
+
+    def test_bad_chaos_count(self):
+        with pytest.raises(FaultError, match="chaos outage count"):
+            parse_fault_spec("chaos:lots", ACCS)
+
+    def test_unknown_accelerator_lists_partition(self):
+        with pytest.raises(FaultError, match="partition has"):
+            parse_fault_spec("C9:down:0.0:0.1", ACCS)
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "C5:down:0.1", "C5:down:a:b", "C5:frob:2:0.1:0.2", "C5:slow:x:0.1:0.2"],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultError):
+            parse_fault_spec(spec, ACCS)

@@ -6,7 +6,9 @@ import pytest
 from repro.core.multi_acc import AcceleratorPartition
 from repro.mapping.configs import config_by_name
 from repro.perf.metrics import GLOBAL_STATS
+from repro.sim.chaos import FaultError, FaultPolicy, FaultSchedule
 from repro.sim.serving import (
+    Request,
     ServingReport,
     ServingSimulator,
     generate_trace,
@@ -384,3 +386,145 @@ class TestReleaseTimesInEventSim:
 
         with pytest.raises(ValueError):
             Task("x", "r", 1.0, release=-1.0)
+
+
+class TestFaultInjection:
+    """Fault-schedule semantics: kills, retries, failover, shedding."""
+
+    def _single(self, service=0.001):
+        return FakePartition({"solo": {SHAPES[0]: service}})
+
+    def _request(self, arrival=0.0, request_id=0, shape=SHAPES[0]):
+        return Request(request_id=request_id, shape=shape, arrival=arrival)
+
+    def test_down_window_kills_retries_and_completes(self):
+        # execution starts at 0, the window at 0.0005 kills it; the retry
+        # lands inside the window (requeued to its end) and completes
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.down("solo", 0.0005, 0.002)
+        report = simulator.run([self._request()], faults=faults)
+        assert len(report.completed) == 1
+        completed = report.completed[0]
+        assert completed.retries == 1
+        assert completed.start == pytest.approx(0.002)
+        assert completed.finish == pytest.approx(0.003)
+        assert report.kills == 1
+        assert report.requeues == 1
+        assert report.total_retries == 1
+        assert report.shed == []
+
+    def test_retry_budget_exhausted_sheds_with_accounting(self):
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.down("solo", 0.0005, 0.002)
+        policy = FaultPolicy(max_retries=0)
+        report = simulator.run([self._request()], faults=faults, fault_policy=policy)
+        assert report.completed == []
+        assert len(report.shed) == 1
+        shed = report.shed[0]
+        assert shed.reason == "retry_budget_exhausted"
+        assert shed.retries == 1
+        assert shed.time == pytest.approx(0.0005)
+        assert report.request_availability == 0.0
+        assert report.fault_summary()["shed"] == 1
+
+    def test_killed_request_fails_over_to_survivor(self):
+        partition = FakePartition(
+            {"fast": {SHAPES[0]: 0.001}, "slow": {SHAPES[0]: 0.005}}
+        )
+        simulator = ServingSimulator(partition)
+        faults = FaultSchedule.down("fast", 0.0005, 0.1)
+        report = simulator.run([self._request()], faults=faults)
+        completed = report.completed[0]
+        assert completed.accelerator == "slow"
+        assert completed.retries == 1
+
+    def test_service_resolved_at_admission(self):
+        # the degraded window fixes the service time at admission even
+        # though the window ends mid-execution
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.degraded("solo", 0.0, 0.0015, factor=10.0)
+        report = simulator.run([self._request()], faults=faults)
+        assert report.completed[0].finish == pytest.approx(0.01)
+
+    def test_degraded_window_slows_service(self):
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.degraded("solo", 0.0, 10.0, factor=3.0)
+        report = simulator.run([self._request()], faults=faults)
+        assert report.completed[0].finish == pytest.approx(0.003)
+        assert report.kills == 0
+
+    def test_device_window_needs_real_designs(self):
+        from repro.hw.specs import VCK5000
+
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.degraded("solo", 0.0, 1.0, device=VCK5000)
+        with pytest.raises(ValueError, match="factor="):
+            simulator.run([self._request()], faults=faults)
+
+    def test_unknown_accelerator_in_schedule_rejected(self):
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.down("ghost", 0.0, 1.0)
+        with pytest.raises(FaultError, match="ghost"):
+            simulator.run([self._request()], faults=faults)
+
+    def test_downtime_and_availability_reported(self):
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.down("solo", 0.0005, 0.002)
+        report = simulator.run([self._request()], faults=faults)
+        assert report.downtime["solo"] == pytest.approx(0.0015)
+        availability = report.availability()
+        assert availability["solo"] == pytest.approx(1 - 0.0015 / 0.003)
+        assert report.request_availability == 1.0
+
+    def test_fault_events_attached_in_time_order(self):
+        simulator = ServingSimulator(self._single())
+        faults = FaultSchedule.down("solo", 0.0005, 0.002)
+        report = simulator.run([self._request()], faults=faults)
+        assert [e.time for e in report.fault_events] == [0.0005, 0.002]
+
+    def test_fault_summary_keys(self):
+        simulator = ServingSimulator(self._single())
+        report = simulator.run(
+            [self._request()], faults=FaultSchedule.down("solo", 5.0, 6.0)
+        )
+        assert set(report.fault_summary()) == {
+            "completed", "shed", "kills", "retries", "requeues",
+            "fault_events", "request_availability", "availability",
+        }
+
+    def test_streaming_run_carries_fault_metadata(self):
+        partition = _wide_fake_partition(4)
+        trace = generate_trace(SHAPES, 200, 1e-3, seed=2)
+        faults = FaultSchedule.down("acc1", 0.01, 0.05)
+        exact = ServingSimulator(partition).run(trace, faults=faults)
+        stream = ServingSimulator(partition).run(
+            trace, streaming=True, faults=faults
+        )
+        assert stream.fault_summary() == exact.fault_summary()
+        assert "faults" in stream.as_dict()
+
+    def test_streaming_fault_free_dict_has_no_faults_key(self):
+        partition = _wide_fake_partition(4)
+        trace = generate_trace(SHAPES, 50, 1e-3, seed=2)
+        stream = ServingSimulator(partition).run(trace, streaming=True)
+        assert "faults" not in stream.as_dict()
+
+    def test_load_sweep_accepts_faults(self):
+        partition = _wide_fake_partition(4)
+        simulator = ServingSimulator(partition)
+        faults = FaultSchedule.down("acc1", 0.0, 0.02)
+        result = load_sweep(
+            simulator,
+            SHAPES,
+            [1000.0],
+            num_requests=100,
+            faults=faults,
+            fault_policy=FaultPolicy(max_retries=2),
+        )
+        assert len(result.points) == 1
+
+    def test_zero_requests_with_faults(self):
+        simulator = ServingSimulator(self._single())
+        report = simulator.run([], faults=FaultSchedule.down("solo", 0.0, 1.0))
+        assert report.completed == [] and report.shed == []
+        assert report.downtime == {"solo": 0.0}

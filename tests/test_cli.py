@@ -158,3 +158,75 @@ class TestServe:
         ]
         assert main(argv) == 2
         assert "not both" in capsys.readouterr().err
+
+
+class TestServeFaults:
+    SHAPES = "1024x1024x1024,512x512x512"
+    BASE = ["serve", SHAPES, "--requests", "200", "--rate", "2000", "--seed", "3"]
+
+    def test_window_spec_prints_fault_lines(self, capsys):
+        argv = self.BASE + ["--faults", "C5:down:0.01:0.03"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "availability" in out
+        assert "kills" in out and "shed" in out
+
+    def test_chaos_mode_deterministic_under_seed(self, capsys):
+        argv = self.BASE + ["--faults", "chaos", "--fault-seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_fault_seed_changes_chaos_schedule(self, capsys):
+        outputs = []
+        for seed in ("1", "2"):
+            argv = self.BASE + ["--faults", "chaos", "--fault-seed", seed]
+            assert main(argv) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+    def test_faulted_dispatch_engines_byte_identical(self, capsys):
+        outputs = []
+        for engine in ("scan", "table", "heap"):
+            argv = self.BASE + [
+                "--faults", "C5:down:0.005:0.02,C3:slow:2.5:0.0:0.05",
+                "--dispatch", engine,
+            ]
+            assert main(argv) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_device_degraded_window_runs(self, capsys):
+        argv = self.BASE + ["--faults", "C5:cols:1:0.0:0.05"]
+        assert main(argv) == 0
+        assert "availability" in capsys.readouterr().out
+
+    def test_bad_spec_exits_2(self, capsys):
+        argv = self.BASE + ["--faults", "C9:down:0.0:0.1"]
+        assert main(argv) == 2
+        assert "unknown accelerator" in capsys.readouterr().err
+
+    def test_malformed_spec_exits_2(self, capsys):
+        argv = self.BASE + ["--faults", "C5:frob:1:2:3"]
+        assert main(argv) == 2
+        assert "fault" in capsys.readouterr().err
+
+    def test_fault_free_output_unchanged_by_flag_absence(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "faults" not in out and "availability" not in out
+
+    def test_stats_prints_fault_line(self, capsys):
+        argv = ["--stats"] + self.BASE + ["--faults", "C5:down:0.005:0.02"]
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "fault stats" in captured.err
+
+    def test_sweep_accepts_faults(self, capsys):
+        argv = [
+            "serve", self.SHAPES, "--sweep", "--requests", "150",
+            "--loads", "100,500", "--faults", "C5:down:0.01:0.05",
+        ]
+        assert main(argv) == 0
+        assert "offered-load sweep" in capsys.readouterr().out

@@ -11,6 +11,14 @@ import pytest
 
 from repro.core.analytical_model import AnalyticalModel
 from repro.hw.dram import DramModel, DramPorts
+from repro.hw.faults import (
+    derate_clock,
+    derate_dram,
+    disable_aie_columns,
+    disable_dram_channels,
+    surviving_configs,
+)
+from repro.hw.specs import VCK5000
 from repro.hw.interconnect import CommScheme, CommTimingModel
 from repro.kernels.gemm_kernel import SingleAieGemmKernel
 from repro.kernels.precision import Precision
@@ -105,3 +113,53 @@ class TestPlioGoldens:
 
     def test_36_plio_utilization(self):
         golden(reference_schemes(config_by_name("C1"))[-1].array_utilization(), 0.28)
+
+
+class TestDegradedDeviceGoldens:
+    """Table II designs on faulted devices, pinned exactly.
+
+    The 2048-cube estimates are *port*-bottlenecked on the DRAM side,
+    so fusing off one or two AIE columns or halving per-channel DRAM
+    bandwidth leaves the model's totals bit-identical to the healthy
+    device — that invariance is the golden.  Losing whole channels or
+    derating the clock does move the totals; those degraded values are
+    frozen too.
+    """
+
+    HEALTHY = {"C6": 0.008868607108697838, "C5": 0.006662528564705882,
+               "C3": 0.015781807336694677}
+
+    def _seconds(self, config, device):
+        design = CharmDesign(config_by_name(config), device=device)
+        assert design.is_valid()
+        return AnalyticalModel(design).estimate(W2048).total_seconds
+
+    @pytest.mark.parametrize("config", ["C6", "C5", "C3"])
+    @pytest.mark.parametrize("columns", [1, 2])
+    def test_column_harvesting_leaves_2048_estimates_unchanged(self, config, columns):
+        device = disable_aie_columns(VCK5000, columns)
+        assert self._seconds(config, device) == self.HEALTHY[config]
+
+    @pytest.mark.parametrize("config", ["C6", "C5", "C3"])
+    def test_dram_derate_half_leaves_2048_estimates_unchanged(self, config):
+        device = derate_dram(VCK5000, 0.5)
+        assert self._seconds(config, device) == self.HEALTHY[config]
+
+    def test_two_channels_down(self):
+        device = disable_dram_channels(VCK5000, 2)
+        golden(self._seconds("C6", device), 0.012667767579286072, rel=1e-9)
+        golden(self._seconds("C5", device), 0.009669474447058821, rel=1e-9)
+        golden(self._seconds("C3", device), 0.015851198395518205, rel=1e-9)
+
+    def test_clock_derate_80_percent(self):
+        device = derate_clock(VCK5000, 0.8)
+        golden(self._seconds("C6", device), 0.008872678650578178, rel=1e-9)
+        golden(self._seconds("C5", device), 0.006671187764705882, rel=1e-9)
+        golden(self._seconds("C3", device), 0.01966606364145658, rel=1e-9)
+
+    def test_survivor_sets_under_column_faults(self):
+        assert len(surviving_configs(disable_aie_columns(VCK5000, 1))) == 11
+        assert len(surviving_configs(disable_aie_columns(VCK5000, 2))) == 11
+        # C6 needs 48 of 50 columns; the third fused column kills it
+        assert "C6" not in surviving_configs(disable_aie_columns(VCK5000, 3))
+        assert len(surviving_configs(derate_dram(VCK5000, 0.5))) == 11
