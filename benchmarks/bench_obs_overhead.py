@@ -1,0 +1,309 @@
+"""Observability overhead: the disabled tracer must be free.
+
+The obs subsystem instruments the serving hot path (``serve.run``
+spans, per-chunk dispatch spans, the fault loop) behind a
+disabled-by-default tracer whose fast path is one attribute check.
+This benchmark holds that contract to numbers and appends each run to
+a ``BENCH_obs.json`` trajectory:
+
+* ``untraced`` — the serving engine with the ``span`` entry point
+  monkeypatched to a pure no-op, i.e. the pre-obs code path;
+* ``disabled`` — the shipped code with tracing off (the default);
+* ``overhead`` — the relative throughput delta between them, gated at
+  ``OVERHEAD_LIMIT`` (3%) on the full run;
+* ``noop_span_ns`` — the cost of one disabled ``span(...)`` call,
+  gated at ``NOOP_NS_CEILING``.
+
+It also asserts the export contract end to end: dispatch decisions are
+byte-identical with the tracer enabled vs. disabled, the exported
+Chrome trace passes schema validation (monotone ``ts``, matched
+``b``/``e`` pairs, one track per accelerator), and the per-request
+wait + execute spans sum to the exact report's latency accounting
+within float tolerance.
+
+Run directly (``python benchmarks/bench_obs_overhead.py``) or let CI
+invoke the full 100k-request run; ``--trace-out`` additionally writes
+the enabled-run trace for upload as a workflow artifact.
+``test_obs_overhead_smoke`` keeps the contract alive under pytest with
+a reduced trace and a noise-lenient gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from pathlib import Path
+
+from repro.core.multi_acc import AcceleratorPartition
+from repro.mapping.configs import config_by_name
+from repro.obs.export import ChromeTraceBuilder, validate_chrome_trace, write_chrome_trace
+from repro.obs.spans import _NULL_SPAN, GLOBAL_TRACER, span
+from repro.sim.serving import ServingSimulator
+from repro.sim.streaming import generate_trace_soa
+from repro.workloads.gemm import GemmShape
+
+DEFAULT_REQUESTS = 100_000
+VERIFY_REQUESTS = 5_000
+#: relative throughput delta allowed for the shipped-but-disabled tracer
+OVERHEAD_LIMIT = 0.03
+#: pytest smoke runs are short, so scheduler noise dominates — lenient
+SMOKE_OVERHEAD_LIMIT = 0.15
+#: one disabled span() call (attribute check + return of the null span)
+NOOP_NS_CEILING = 2_000.0
+#: exported spans must reproduce the report's latency sums to this
+ACCOUNTING_RTOL = 1e-6
+
+SHAPES = (
+    GemmShape(1024, 1024, 1024),
+    GemmShape(512, 512, 512),
+    GemmShape(2048, 1024, 512),
+)
+CONFIGS = ("C5", "C3")
+MEAN_INTERARRIVAL = 0.5e-3
+
+
+def _null_span(*_args, **_kwargs):
+    return _NULL_SPAN
+
+
+def _time_serving(simulator, soa, repeats: int) -> float:
+    """Best-of-N wall time for one streaming serving run."""
+    best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulator.run(soa, streaming=True)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def measure_overhead(num_requests: int, repeats: int = 3) -> dict:
+    """Shipped-disabled vs. pure-no-op serving throughput."""
+    import repro.sim.serving as serving_mod
+
+    partition = AcceleratorPartition([config_by_name(name) for name in CONFIGS])
+    simulator = ServingSimulator(partition)
+    simulator.prewarm(SHAPES)
+    soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
+
+    assert not GLOBAL_TRACER.enabled, "benchmark requires the tracer disabled"
+    # interleave-resistant ordering: untraced first (it is the baseline
+    # the shipped path is compared against), then the shipped path
+    original_span = serving_mod.span
+    serving_mod.span = _null_span
+    try:
+        untraced_seconds = _time_serving(simulator, soa, repeats)
+    finally:
+        serving_mod.span = original_span
+    disabled_seconds = _time_serving(simulator, soa, repeats)
+
+    return {
+        "untraced_seconds": untraced_seconds,
+        "disabled_seconds": disabled_seconds,
+        "untraced_rps": num_requests / untraced_seconds,
+        "disabled_rps": num_requests / disabled_seconds,
+        "overhead": (disabled_seconds - untraced_seconds) / untraced_seconds,
+    }
+
+
+def measure_noop_span(calls: int = 200_000) -> float:
+    """Nanoseconds for one disabled module-level span() call."""
+    assert not GLOBAL_TRACER.enabled
+    best = math.inf
+    for _ in range(3):
+        started = time.perf_counter()
+        for _ in range(calls):
+            span("bench.noop")
+        best = min(best, time.perf_counter() - started)
+    return best / calls * 1e9
+
+
+def _dispatch_bytes(report) -> bytes:
+    rows = [
+        (c.request.request_id, c.accelerator, repr(c.start), repr(c.finish))
+        for c in report.completed
+    ]
+    return json.dumps(rows).encode()
+
+
+def verify_trace_contract(num_requests: int) -> dict:
+    """Enabled-run export invariants: identity, schema, accounting."""
+    partition = AcceleratorPartition([config_by_name(name) for name in CONFIGS])
+    simulator = ServingSimulator(partition)
+    simulator.prewarm(SHAPES)
+    soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=11)
+
+    baseline = simulator.run(soa)
+    GLOBAL_TRACER.enable(clear=True)
+    try:
+        traced = simulator.run(soa)
+        spans = GLOBAL_TRACER.spans()
+    finally:
+        GLOBAL_TRACER.disable()
+    dispatch_identical = _dispatch_bytes(baseline) == _dispatch_bytes(traced)
+
+    builder = ChromeTraceBuilder()
+    builder.add_spans(spans)
+    builder.add_serving_report(traced)
+    trace = builder.build()
+    try:
+        validate_chrome_trace(trace)
+        trace_valid = True
+    except ValueError:
+        trace_valid = False
+
+    # accounting: per-request wait (b/e pair) + execute (X) durations
+    # must reproduce the report's total latency
+    wait_start: dict[str, float] = {}
+    wait_us = 0.0
+    exec_us = 0.0
+    accelerator_tracks: set[str] = set()
+    for event in trace["traceEvents"]:
+        if event.get("cat") == "wait":
+            if event["ph"] == "b":
+                wait_start[event["id"]] = event["ts"]
+            elif event["ph"] == "e":
+                wait_us += event["ts"] - wait_start[event["id"]]
+        elif event.get("cat") == "execute":
+            exec_us += event["dur"]
+        elif event["ph"] == "M" and event["name"] == "thread_name":
+            accelerator_tracks.add(event["args"]["name"])
+    span_latency = (wait_us + exec_us) / 1e6
+    report_latency = sum(c.latency for c in traced.completed)
+    accounting_error = (
+        abs(span_latency - report_latency) / report_latency
+        if report_latency
+        else 0.0
+    )
+    per_accelerator_tracks = {
+        c.accelerator for c in traced.completed
+    } <= accelerator_tracks
+    return {
+        "dispatch_identical": dispatch_identical,
+        "trace_valid": trace_valid,
+        "accounting_error": accounting_error,
+        "per_accelerator_tracks": per_accelerator_tracks,
+        "trace": trace,
+    }
+
+
+def run_benchmark(
+    num_requests: int = DEFAULT_REQUESTS, smoke: bool = False, repeats: int = 3
+) -> dict:
+    entry = {
+        "timestamp": time.time(),
+        "requests": num_requests,
+        "shapes": [str(shape) for shape in SHAPES],
+        "configs": list(CONFIGS),
+        "smoke": smoke,
+        "overhead_limit": SMOKE_OVERHEAD_LIMIT if smoke else OVERHEAD_LIMIT,
+        "noop_ns_ceiling": NOOP_NS_CEILING,
+        "accounting_rtol": ACCOUNTING_RTOL,
+    }
+    entry.update(measure_overhead(num_requests, repeats=repeats))
+    entry["noop_span_ns"] = measure_noop_span()
+    contract = verify_trace_contract(min(num_requests, VERIFY_REQUESTS))
+    entry["_trace"] = contract.pop("trace")
+    entry.update(contract)
+    return entry
+
+
+def check(entry: dict) -> list[str]:
+    """The obs overhead contract; empty list means acceptable."""
+    failures = []
+    if entry["overhead"] > entry["overhead_limit"]:
+        failures.append(
+            f"disabled-tracer overhead {entry['overhead']:.2%} exceeds the "
+            f"{entry['overhead_limit']:.0%} limit"
+        )
+    if entry["noop_span_ns"] > entry["noop_ns_ceiling"]:
+        failures.append(
+            f"disabled span() costs {entry['noop_span_ns']:.0f} ns "
+            f"(ceiling {entry['noop_ns_ceiling']:.0f} ns)"
+        )
+    if not entry["dispatch_identical"]:
+        failures.append("dispatch decisions differ with tracing enabled")
+    if not entry["trace_valid"]:
+        failures.append("exported Chrome trace fails schema validation")
+    if not entry["per_accelerator_tracks"]:
+        failures.append("exported trace is missing per-accelerator tracks")
+    if entry["accounting_error"] > entry["accounting_rtol"]:
+        failures.append(
+            f"trace latency accounting off by {entry['accounting_error']:.2e} "
+            f"(> {entry['accounting_rtol']:.0e} relative)"
+        )
+    return failures
+
+
+def append_trajectory(entry: dict, output: Path) -> None:
+    """Append one run to the benchmark's JSON trajectory file."""
+    trajectory: list[dict] = []
+    if output.exists():
+        try:
+            trajectory = json.loads(output.read_text())
+        except json.JSONDecodeError as error:
+            raise SystemExit(
+                f"{output} exists but is not valid JSON ({error}); "
+                "move it aside to start a fresh trajectory"
+            ) from None
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{output} is not a JSON list trajectory")
+    trajectory.append(entry)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+
+
+def test_obs_overhead_smoke():
+    """Tier-2 smoke: reduced trace, noise-lenient overhead gate."""
+    entry = run_benchmark(num_requests=20_000, smoke=True, repeats=3)
+    assert check(entry) == []
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=DEFAULT_REQUESTS)
+    parser.add_argument("--output", "-o", default="BENCH_obs.json")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced trace for CI with a noise-lenient overhead gate",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also write the enabled-run Chrome trace (CI artifact)",
+    )
+    args = parser.parse_args(argv)
+
+    entry = run_benchmark(
+        num_requests=20_000 if args.smoke else args.requests, smoke=args.smoke
+    )
+    trace = entry.pop("_trace")
+    if args.trace_out:
+        write_chrome_trace(args.trace_out, trace)
+        print(f"trace -> {args.trace_out} ({len(trace['traceEvents'])} events)")
+    append_trajectory(entry, Path(args.output))
+
+    print(f"requests {entry['requests']}  partition {'+'.join(entry['configs'])}")
+    print(f"untraced: {entry['untraced_seconds']:8.3f} s  "
+          f"{entry['untraced_rps']:12.1f} req/s")
+    print(f"disabled: {entry['disabled_seconds']:8.3f} s  "
+          f"{entry['disabled_rps']:12.1f} req/s")
+    print(f"overhead:             {entry['overhead']:+.2%} "
+          f"(limit {entry['overhead_limit']:.0%})")
+    print(f"noop span:            {entry['noop_span_ns']:.0f} ns "
+          f"(ceiling {entry['noop_ns_ceiling']:.0f} ns)")
+    print(f"dispatch identical:   {entry['dispatch_identical']}")
+    print(f"trace valid:          {entry['trace_valid']}")
+    print(f"accel tracks present: {entry['per_accelerator_tracks']}")
+    print(f"accounting error:     {entry['accounting_error']:.2e} "
+          f"(tolerance {entry['accounting_rtol']:.0e})")
+    print(f"trajectory -> {args.output}")
+
+    failures = check(entry)
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

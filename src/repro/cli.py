@@ -8,6 +8,9 @@ Usage::
     versal-gemm estimate 2048x2048x2048 --config C6
     versal-gemm dse 4096x4096x4096 --precision fp32
     versal-gemm -j 4 --stats dse 4096x4096x4096    # parallel + stats
+    versal-gemm serve 1024x1024x1024 --trace-out trace.json \
+        --metrics-out metrics.prom                 # observability out
+    versal-gemm obs summary trace.json             # analyze a trace
 
 Global flags (before the subcommand): ``--jobs/-j N`` fans batched
 evaluations out over N worker threads (0 = one per CPU), ``--stats``
@@ -16,6 +19,12 @@ time) to stderr after the command, ``--vectorize`` batch-evaluates
 candidate grids through the NumPy fast path (identical results).
 Stats and cache counters reset at the start of every invocation, so
 ``--stats`` always reports per-run numbers.
+
+``serve`` and ``dse`` additionally accept ``--trace-out trace.json``
+(enable the tracer for the run and export a Chrome trace-event file —
+open it at https://ui.perfetto.dev) and ``--metrics-out metrics.prom``
+(dump the metrics registry in Prometheus text format); see
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -29,8 +38,14 @@ from repro.experiments import available_experiments, run_experiment
 from repro.kernels.precision import Precision
 from repro.mapping.charm import CharmDesign
 from repro.mapping.configs import config_by_name
+from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.spans import GLOBAL_TRACER
 from repro.reporting import RENDERERS, format_seconds, render_bars, render_table
 from repro.workloads.gemm import GemmShape
+
+#: exact serving reports queued by commands for the end-of-run trace
+#: export (cleared at the start of every ``main`` invocation)
+_PENDING_TRACE_SOURCES: list = []
 
 
 def _cmd_list(_: argparse.Namespace) -> int:
@@ -282,6 +297,35 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         faults=faults,
         fault_policy=fault_policy,
     )
+    if args.trace_out:
+        if args.streaming:
+            print("serve: --trace-out with --streaming exports spans only "
+                  "(per-request lifecycles need the exact report)",
+                  file=sys.stderr)
+        else:
+            _PENDING_TRACE_SOURCES.append(report)
+    if args.metrics_out:
+        summary = report.fault_summary()
+        GLOBAL_METRICS.counter(
+            "repro_serving_requests_total", "Requests completed by serving runs"
+        ).inc(summary["completed"])
+        GLOBAL_METRICS.counter(
+            "repro_serving_shed_total", "Requests shed by serving runs"
+        ).inc(summary["shed"])
+        GLOBAL_METRICS.gauge(
+            "repro_serving_throughput_rps", "Completed requests per second"
+        ).set(report.throughput_rps)
+        if not args.streaming:
+            GLOBAL_METRICS.histogram(
+                "repro_serving_latency_seconds",
+                "End-to-end request latency",
+                relative_error=args.quantile_error,
+            ).observe_many([c.latency for c in report.completed])
+            GLOBAL_METRICS.histogram(
+                "repro_serving_queue_seconds",
+                "Request queueing delay before dispatch",
+                relative_error=args.quantile_error,
+            ).observe_many([c.queueing_delay for c in report.completed])
     p50, p95, p99 = report.latency_percentiles([50, 95, 99])
     mode = "streaming (sketched percentiles)" if args.streaming else "exact"
     print(f"requests     {args.requests} over {len(configs)} accelerators ({mode})")
@@ -330,6 +374,33 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_summary(args: argparse.Namespace) -> int:
+    """Validate a Chrome trace and print utilization/overlap/bottleneck."""
+    from repro.obs.export import validate_chrome_trace
+    from repro.obs.summary import load_trace, summarize_trace
+
+    try:
+        trace = load_trace(args.trace)
+        validate_chrome_trace(trace)
+    except (OSError, ValueError) as error:
+        print(f"obs summary: {error}", file=sys.stderr)
+        return 2
+    print(summarize_trace(trace).render())
+    return 0
+
+
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="enable the tracer for this run and write a Chrome "
+             "trace-event JSON (open at https://ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the metrics registry in Prometheus text format",
+    )
+
+
 def _jobs_arg(value: str) -> int:
     jobs = int(value)
     if jobs < 0:
@@ -375,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--precision", default="fp32", choices=["fp32", "int8", "int16"])
     dse.add_argument("--top", type=int, default=10)
     dse.add_argument("--explore-ports", action="store_true")
+    _add_obs_flags(dse)
     dse.set_defaults(func=_cmd_dse)
 
     model = sub.add_parser("model", help="estimate a transformer forward pass")
@@ -445,8 +517,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for 'chaos' fault schedules (deterministic)")
     serve.add_argument("--max-retries", type=int, default=3,
                        help="kills a request survives before being shed")
+    _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    obs = sub.add_parser("obs", help="observability utilities")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    obs_summary = obs_sub.add_parser(
+        "summary", help="per-track utilization/overlap/bottleneck of a trace"
+    )
+    obs_summary.add_argument("trace", help="Chrome trace-event JSON file")
+    obs_summary.set_defaults(func=_cmd_obs_summary)
     return parser
+
+
+def _write_trace_file(path: str) -> None:
+    from repro.obs.export import ChromeTraceBuilder, write_chrome_trace
+
+    builder = ChromeTraceBuilder()
+    builder.add_spans(GLOBAL_TRACER.spans())
+    for report in _PENDING_TRACE_SOURCES:
+        builder.add_serving_report(report)
+    write_chrome_trace(path, builder.build())
+    print(f"wrote {path} ({len(builder)} trace events)", file=sys.stderr)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -456,9 +548,25 @@ def main(argv: list[str] | None = None) -> int:
     # must not accumulate into each other's --stats report; cache entries
     # are kept — only the hit/miss counters restart
     GLOBAL_STATS.reset()
+    GLOBAL_METRICS.reset()
     get_cache().reset_counters()
+    _PENDING_TRACE_SOURCES.clear()
     args = build_parser().parse_args(argv)
-    status = args.func(args)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        GLOBAL_TRACER.enable(clear=True)
+    try:
+        status = args.func(args)
+    finally:
+        if trace_out:
+            GLOBAL_TRACER.disable()
+    if status == 0 and trace_out:
+        _write_trace_file(trace_out)
+    metrics_out = getattr(args, "metrics_out", None)
+    if status == 0 and metrics_out:
+        with open(metrics_out, "w") as handle:
+            handle.write(GLOBAL_METRICS.to_prometheus())
+        print(f"wrote {metrics_out}", file=sys.stderr)
     if args.stats:
         print(f"eval stats   {GLOBAL_STATS.total.summary()} "
               f"over {GLOBAL_STATS.batches} batches", file=sys.stderr)

@@ -34,6 +34,7 @@ from repro.hw.dram import DramModel
 from repro.kernels.kernel_timing import compute_cycles
 from repro.mapping.charm import CharmDesign
 from repro.mapping.tiling import TilePlan
+from repro.obs.spans import GLOBAL_TRACER, span
 from repro.perf.cache import EvalCache, design_fingerprint, get_cache
 from repro.workloads.gemm import GemmShape
 
@@ -234,11 +235,30 @@ class AnalyticalModel:
     # Full estimate
     # ------------------------------------------------------------------
     def estimate(self, workload: GemmShape, plan: TilePlan | None = None) -> Estimate:
-        return self.cache.get_or_compute(
-            "estimate",
-            (self.fingerprint, workload, plan),
-            lambda: self._compute_estimate(workload, plan),
-        )
+        if not GLOBAL_TRACER.enabled:
+            # the hot path: one attribute check, no span machinery
+            return self.cache.get_or_compute(
+                "estimate",
+                (self.fingerprint, workload, plan),
+                lambda: self._compute_estimate(workload, plan),
+            )
+        with span("model.estimate", track="model", workload=str(workload)) as sp:
+            result = self.cache.get_or_compute(
+                "estimate",
+                (self.fingerprint, workload, plan),
+                lambda: self._compute_estimate(workload, plan),
+            )
+            breakdown = result.breakdown
+            sp.set(
+                total_seconds=result.total_seconds,
+                bottleneck=breakdown.dram_bottleneck.value,
+                load_a_seconds=breakdown.load_a_seconds,
+                load_b_seconds=breakdown.load_b_seconds,
+                aie_seconds=breakdown.aie_seconds,
+                store_c_seconds=breakdown.store_c_seconds,
+                setup_seconds=breakdown.setup_seconds,
+            )
+            return result
 
     def _compute_estimate(
         self, workload: GemmShape, plan: TilePlan | None

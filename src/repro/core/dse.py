@@ -24,6 +24,7 @@ from repro.kernels.precision import Precision
 from repro.mapping.charm import CharmDesign, DesignError
 from repro.mapping.configs import KERNEL_BY_PRECISION, HardwareConfig
 from repro.mapping.grouping import AieGrouping, pack_depth_for
+from repro.obs.spans import span
 from repro.perf.cache import EvalCache, get_cache
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
 from repro.perf.parallel import parallel_map, resolve_jobs
@@ -177,36 +178,53 @@ class DesignSpaceExplorer:
         hits0, misses0 = self.cache.hits, self.cache.misses
         stats = EvalStats(jobs=jobs)
         feasibility: tuple[int, int] | None = None
-        with track(stats):
-            if vectorize and designs:
-                from repro.perf.vectorized import batch_estimate_designs, rank_feasible
+        explore_span = span(
+            "dse.explore",
+            track="dse",
+            workload=str(workload),
+            candidates=len(designs),
+            jobs=jobs,
+            vectorize=bool(vectorize),
+        )
+        with explore_span:
+            with track(stats):
+                if vectorize and designs:
+                    from repro.perf.vectorized import (
+                        batch_estimate_designs,
+                        rank_feasible,
+                    )
 
-                batch = batch_estimate_designs(designs, workload)
-                # generous safety margin over `top`: the exact pass
-                # re-sorts the survivors, so near-ties cannot be lost
-                coarse_k = max(4 * top, top + 16)
-                survivors = rank_feasible(batch)[:coarse_k]
-                feasibility = (batch.num_feasible, batch.num_infeasible)
-                outcomes = parallel_map(
-                    lambda index: self._evaluate(designs[index], workload),
-                    survivors,
-                    jobs=jobs,
-                )
+                    batch = batch_estimate_designs(designs, workload)
+                    # generous safety margin over `top`: the exact pass
+                    # re-sorts the survivors, so near-ties cannot be lost
+                    coarse_k = max(4 * top, top + 16)
+                    survivors = rank_feasible(batch)[:coarse_k]
+                    feasibility = (batch.num_feasible, batch.num_infeasible)
+                    outcomes = parallel_map(
+                        lambda index: self._evaluate(designs[index], workload),
+                        survivors,
+                        jobs=jobs,
+                    )
+                else:
+                    outcomes = parallel_map(
+                        lambda design: self._evaluate(design, workload),
+                        designs,
+                        jobs=jobs,
+                    )
+            points = [point for point in outcomes if point is not None]
+            if feasibility is None:
+                stats.evaluations = len(points)
+                stats.skipped = len(designs) - len(points)
             else:
-                outcomes = parallel_map(
-                    lambda design: self._evaluate(design, workload), designs, jobs=jobs
-                )
-        points = [point for point in outcomes if point is not None]
-        if feasibility is None:
-            stats.evaluations = len(points)
-            stats.skipped = len(designs) - len(points)
-        else:
-            stats.evaluations, stats.skipped = feasibility
-        stats.cache_hits = self.cache.hits - hits0
-        stats.cache_misses = self.cache.misses - misses0
-        GLOBAL_STATS.record(stats)
-        points.sort(key=lambda p: (p.seconds, p.num_aies, p.num_plios))
-        return DseResult(points[:top], stats)
+                stats.evaluations, stats.skipped = feasibility
+            stats.cache_hits = self.cache.hits - hits0
+            stats.cache_misses = self.cache.misses - misses0
+            GLOBAL_STATS.record(stats)
+            explore_span.set(
+                evaluated=stats.evaluations, skipped=stats.skipped
+            )
+            points.sort(key=lambda p: (p.seconds, p.num_aies, p.num_plios))
+            return DseResult(points[:top], stats)
 
     def best(self, workload: GemmShape) -> DsePoint:
         points = self.explore(workload, top=1)

@@ -18,6 +18,7 @@ from typing import Sequence
 from repro.core.analytical_model import AnalyticalModel, Estimate
 from repro.hw.dram import DramPorts
 from repro.mapping.charm import CharmDesign
+from repro.obs.spans import span
 from repro.perf.cache import EvalCache, get_cache
 from repro.perf.parallel import parallel_map, resolve_jobs
 from repro.workloads.gemm import GemmShape
@@ -71,13 +72,19 @@ class SensitivityAnalysis:
         self, variants: Sequence[tuple[str, object, CharmDesign]]
     ) -> list[SensitivityPoint]:
         """Evaluate one axis's perturbed designs, fanning out when asked."""
-        if self.vectorize:
-            points = self._evaluate_axis_vectorized(variants)
-            if points is not None:
-                return points
-        return parallel_map(
-            lambda variant: self._evaluate(*variant), variants, jobs=self.jobs
-        )
+        with span(
+            "sensitivity.axis",
+            track="sensitivity",
+            parameter=variants[0][0] if variants else "",
+            points=len(variants),
+        ):
+            if self.vectorize:
+                points = self._evaluate_axis_vectorized(variants)
+                if points is not None:
+                    return points
+            return parallel_map(
+                lambda variant: self._evaluate(*variant), variants, jobs=self.jobs
+            )
 
     def _evaluate_axis_vectorized(
         self, variants: Sequence[tuple[str, object, CharmDesign]]

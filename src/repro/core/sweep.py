@@ -6,6 +6,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.obs.spans import span
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, track
 from repro.perf.parallel import parallel_map, resolve_jobs
 
@@ -63,23 +64,34 @@ def sweep(
         dict(zip(names, combo))
         for combo in itertools.product(*(materialized[n] for n in names))
     ]
-    with track(stats):
-        if batch_evaluate is not None:
-            outcomes = list(batch_evaluate(points))
-            if len(outcomes) != len(points):
-                raise ValueError(
-                    f"batch_evaluate returned {len(outcomes)} outcomes "
-                    f"for {len(points)} points"
+    sweep_span = span(
+        "sweep.run",
+        track="sweep",
+        axes=",".join(names),
+        points=len(points),
+        vectorize=batch_evaluate is not None,
+    )
+    with sweep_span:
+        with track(stats):
+            if batch_evaluate is not None:
+                outcomes = list(batch_evaluate(points))
+                if len(outcomes) != len(points):
+                    raise ValueError(
+                        f"batch_evaluate returned {len(outcomes)} outcomes "
+                        f"for {len(points)} points"
+                    )
+            else:
+                outcomes = parallel_map(
+                    lambda point: evaluate(**point), points, jobs=jobs
                 )
-        else:
-            outcomes = parallel_map(lambda point: evaluate(**point), points, jobs=jobs)
-    for point, outcome in zip(points, outcomes):
-        if outcome is None:
-            stats.skipped += 1
-            continue
-        record = dict(point)
-        record.update(outcome)
-        result.records.append(record)
-    stats.evaluations = len(result.records)
-    GLOBAL_STATS.record(stats)
-    return result
+        for point, outcome in zip(points, outcomes):
+            if outcome is None:
+                stats.skipped += 1
+                continue
+            record = dict(point)
+            record.update(outcome)
+            result.records.append(record)
+        stats.evaluations = len(result.records)
+        GLOBAL_STATS.record(stats)
+        sweep_span.set(evaluated=stats.evaluations, skipped=stats.skipped)
+        return result

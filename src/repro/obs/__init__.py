@@ -1,0 +1,66 @@
+"""Unified observability: tracing spans, metrics, Perfetto export.
+
+Three cooperating pieces:
+
+* :mod:`repro.obs.spans` — the ``span(...)`` context-manager API and
+  process-wide :data:`~repro.obs.spans.GLOBAL_TRACER` (disabled by
+  default, zero-overhead when off);
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in
+  :data:`~repro.obs.metrics.GLOBAL_METRICS` with Prometheus text and
+  JSON exposition;
+* :mod:`repro.obs.export` / :mod:`repro.obs.summary` — Chrome
+  trace-event JSON out (loadable in Perfetto), and per-track
+  utilization/overlap/bottleneck analysis back in.
+
+This package deliberately has no module-level imports from
+``repro.sim`` or ``repro.perf`` — those layers import *us*, and
+``repro/sim/__init__`` transitively imports ``repro.perf.metrics``.
+"""
+
+from repro.obs.export import (
+    ChromeTraceBuilder,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    GLOBAL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.spans import (
+    GLOBAL_TRACER,
+    Span,
+    Tracer,
+    instant,
+    span,
+    tracing_enabled,
+)
+from repro.obs.summary import (
+    TraceSummary,
+    TrackStats,
+    load_trace,
+    summarize_trace,
+)
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "Counter",
+    "Gauge",
+    "GLOBAL_METRICS",
+    "GLOBAL_TRACER",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceSummary",
+    "TrackStats",
+    "Tracer",
+    "instant",
+    "load_trace",
+    "span",
+    "summarize_trace",
+    "tracing_enabled",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,368 @@
+"""Chrome trace-event JSON export (Perfetto / ``chrome://tracing``).
+
+Renders any of the library's collected timelines as the Trace Event
+Format both viewers load:
+
+* tracer spans from :mod:`repro.obs.spans` (wall-clock phases: model
+  estimates, DSE batches, serving runs, pipeline simulations) — one
+  track per span track name, complete ``X`` events;
+* exact serving reports — per-request lifecycles in *simulated* time:
+  an async ``b``/``e`` wait interval from arrival to dispatch, an ``X``
+  execution slice on the owning accelerator's track, and instant ``i``
+  markers for chaos kills/requeues/sheds plus ``X`` windows for fault
+  schedules;
+* :class:`~repro.sim.trace.ExecutionTrace` pipeline timelines — one
+  track per stage, one ``X`` slice per (stage, item) interval.
+
+Wall-clock and simulated-time events live under separate pids so
+Perfetto groups them as two processes instead of interleaving two
+incompatible clocks on one timeline.  :func:`validate_chrome_trace` is
+the schema contract the tests (and ``obs summary``) enforce: a
+``traceEvents`` list, nondecreasing timestamps, matched ``b``/``e``
+pairs, and ``X`` events with nonnegative durations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.spans import Span
+    from repro.sim.serving import ServingReport
+    from repro.sim.trace import ExecutionTrace
+
+__all__ = [
+    "ChromeTraceBuilder",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: seconds -> Chrome trace microseconds
+_MICROS = 1e6
+
+#: pid for wall-clock (tracer span) events
+WALL_PID = 1
+#: pid for simulated-time (serving / pipeline) events
+SIM_PID = 2
+
+_PROCESS_NAMES = {
+    WALL_PID: "versal-gemm (wall clock)",
+    SIM_PID: "versal-gemm (simulated time)",
+}
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _jsonable_args(attrs: dict[str, Any] | None) -> dict[str, Any]:
+    if not attrs:
+        return {}
+    return {str(key): _jsonable(value) for key, value in attrs.items()}
+
+
+class ChromeTraceBuilder:
+    """Accumulates events from any source and emits one sorted trace."""
+
+    def __init__(self):
+        self._events: list[dict[str, Any]] = []
+        self._tids: dict[tuple[int, str], int] = {}
+        self._next_tid = 1
+
+    # -- track bookkeeping ---------------------------------------------
+    def tid(self, track: str, pid: int = WALL_PID) -> int:
+        key = (pid, track)
+        tid = self._tids.get(key)
+        if tid is None:
+            tid = self._tids[key] = self._next_tid
+            self._next_tid += 1
+        return tid
+
+    def _metadata_events(self) -> list[dict[str, Any]]:
+        events: list[dict[str, Any]] = []
+        for pid in sorted({pid for pid, _ in self._tids}):
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {"name": _PROCESS_NAMES.get(pid, f"process {pid}")},
+                }
+            )
+        for (pid, track), tid in sorted(self._tids.items(), key=lambda kv: kv[1]):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": track},
+                }
+            )
+            events.append(
+                {
+                    "name": "thread_sort_index",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"sort_index": tid},
+                }
+            )
+        return events
+
+    # -- sources --------------------------------------------------------
+    def add_spans(self, spans: "Iterable[Span]") -> "ChromeTraceBuilder":
+        """Tracer spans as complete ``X`` events (wall-clock pid)."""
+        for span in spans:
+            args = _jsonable_args(span.attrs)
+            args["depth"] = span.depth
+            self._events.append(
+                {
+                    "name": span.name,
+                    "cat": "span",
+                    "ph": "X",
+                    "ts": span.start * _MICROS,
+                    "dur": max(span.duration, 0.0) * _MICROS,
+                    "pid": WALL_PID,
+                    "tid": self.tid(span.track or "main", WALL_PID),
+                    "args": args,
+                }
+            )
+        return self
+
+    def add_serving_report(self, report: "ServingReport") -> "ChromeTraceBuilder":
+        """Per-request lifecycles from an exact serving report.
+
+        Wait intervals are async ``b``/``e`` pairs keyed by request id
+        (they overlap freely, which sync slices cannot), executions are
+        ``X`` slices on the owning accelerator's track, and the chaos
+        loop's kill/requeue/shed decisions plus the fault schedule's
+        windows land on per-accelerator fault tracks.  Streaming reports
+        hold no per-request state — exporting one raises ``TypeError``.
+        """
+        completed = getattr(report, "completed", None)
+        if completed is None:
+            raise TypeError(
+                "per-request export needs an exact ServingReport; streaming "
+                "reports do not retain request lifecycles"
+            )
+        wait_tid = self.tid("request queue", SIM_PID)
+        for item in completed:
+            arrival = item.request.arrival
+            request_id = item.request.request_id
+            self._events.append(
+                {
+                    "name": "wait",
+                    "cat": "wait",
+                    "ph": "b",
+                    "id": str(request_id),
+                    "ts": arrival * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": wait_tid,
+                    "args": {"request_id": request_id},
+                }
+            )
+            self._events.append(
+                {
+                    "name": "wait",
+                    "cat": "wait",
+                    "ph": "e",
+                    "id": str(request_id),
+                    "ts": item.start * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": wait_tid,
+                }
+            )
+            self._events.append(
+                {
+                    "name": str(item.request.shape),
+                    "cat": "execute",
+                    "ph": "X",
+                    "ts": item.start * _MICROS,
+                    "dur": (item.finish - item.start) * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": self.tid(item.accelerator, SIM_PID),
+                    "args": {
+                        "request_id": request_id,
+                        "retries": getattr(item, "retries", 0),
+                        "latency_s": item.latency,
+                        "queue_s": item.start - arrival,
+                    },
+                }
+            )
+        for shed in getattr(report, "shed", ()):
+            self._events.append(
+                {
+                    "name": f"shed:{shed.reason}",
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": shed.time * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": self.tid("chaos", SIM_PID),
+                    "args": {
+                        "request_id": shed.request.request_id,
+                        "retries": shed.retries,
+                    },
+                }
+            )
+        for time, kind, request_id, retries in getattr(report, "fault_timeline", ()):
+            self._events.append(
+                {
+                    "name": kind,
+                    "cat": "fault",
+                    "ph": "i",
+                    "s": "p",
+                    "ts": time * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": self.tid("chaos", SIM_PID),
+                    "args": {"request_id": request_id, "retries": retries},
+                }
+            )
+        self._add_fault_windows(getattr(report, "fault_events", ()))
+        return self
+
+    def _add_fault_windows(self, fault_events: Sequence[Any]) -> None:
+        """Pair onset/recovery records into ``X`` windows per accelerator."""
+        open_windows: dict[tuple[str, str], list[Any]] = {}
+        for event in fault_events:
+            key = (event.accelerator, event.kind)
+            is_onset = type(event).__name__ == "FaultEvent"
+            if is_onset:
+                open_windows.setdefault(key, []).append(event)
+                continue
+            pending = open_windows.get(key)
+            if not pending:
+                continue
+            onset = pending.pop(0)
+            self._events.append(
+                {
+                    "name": f"{onset.kind}: {onset.detail or onset.accelerator}",
+                    "cat": "fault-window",
+                    "ph": "X",
+                    "ts": onset.time * _MICROS,
+                    "dur": (event.time - onset.time) * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": self.tid(f"{onset.accelerator} faults", SIM_PID),
+                    "args": {"kind": onset.kind, "detail": onset.detail},
+                }
+            )
+
+    def add_execution_trace(
+        self, trace: "ExecutionTrace | Sequence[dict[str, Any]]"
+    ) -> "ChromeTraceBuilder":
+        """Pipeline stage intervals — one track per stage.
+
+        Accepts an :class:`~repro.sim.trace.ExecutionTrace` or the
+        records its ``events_json()`` returns (the shared event source).
+        """
+        events = trace if isinstance(trace, (list, tuple)) else trace.events_json()
+        for record in events:
+            self._events.append(
+                {
+                    "name": f"item {record['item']}",
+                    "cat": "stage",
+                    "ph": "X",
+                    "ts": record["start"] * _MICROS,
+                    "dur": (record["end"] - record["start"]) * _MICROS,
+                    "pid": SIM_PID,
+                    "tid": self.tid(record["stage"], SIM_PID),
+                    "args": {"item": record["item"]},
+                }
+            )
+        return self
+
+    # -- output ---------------------------------------------------------
+    def build(self) -> dict[str, Any]:
+        """The finished trace: metadata first, then events by timestamp."""
+        body = sorted(self._events, key=lambda event: event["ts"])
+        return {
+            "traceEvents": self._metadata_events() + body,
+            "displayTimeUnit": "ms",
+        }
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def write_chrome_trace(path: str, trace: dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(trace, handle)
+        handle.write("\n")
+
+
+_ALLOWED_PHASES = frozenset("XBEbeiM")
+
+
+def validate_chrome_trace(trace: dict[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``trace`` satisfies the schema the
+    exporters guarantee (and Perfetto's JSON importer accepts).
+
+    Checks: a ``traceEvents`` list of dicts, every event carrying a
+    string ``name``, a known ``ph`` and a nonnegative numeric ``ts``;
+    ``X`` events with nonnegative ``dur``; ``B``/``E`` stacks balanced
+    per (pid, tid); async ``b``/``e`` matched per (pid, cat, id); and
+    non-metadata timestamps nondecreasing in file order.
+    """
+    if not isinstance(trace, dict) or not isinstance(
+        trace.get("traceEvents"), list
+    ):
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    sync_stacks: dict[tuple[Any, Any], int] = {}
+    async_open: dict[tuple[Any, Any, Any], int] = {}
+    last_ts: float | None = None
+    for index, event in enumerate(trace["traceEvents"]):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            raise ValueError(f"{where} is not an object")
+        phase = event.get("ph")
+        if phase not in _ALLOWED_PHASES:
+            raise ValueError(f"{where} has unsupported phase {phase!r}")
+        if not isinstance(event.get("name"), str):
+            raise ValueError(f"{where} is missing a string 'name'")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"{where} needs a nonnegative numeric 'ts'")
+        if phase == "M":
+            continue
+        if last_ts is not None and ts < last_ts:
+            raise ValueError(f"{where} breaks timestamp monotonicity")
+        last_ts = ts
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where} ('X') needs a nonnegative 'dur'")
+        elif phase == "B":
+            sync_stacks[(event.get("pid"), event.get("tid"))] = (
+                sync_stacks.get((event.get("pid"), event.get("tid")), 0) + 1
+            )
+        elif phase == "E":
+            key = (event.get("pid"), event.get("tid"))
+            depth = sync_stacks.get(key, 0)
+            if depth <= 0:
+                raise ValueError(f"{where} ('E') without a matching 'B'")
+            sync_stacks[key] = depth - 1
+        elif phase == "b":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            if None in key:
+                raise ValueError(f"{where} ('b') needs pid, cat and id")
+            async_open[key] = async_open.get(key, 0) + 1
+        elif phase == "e":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            pending = async_open.get(key, 0)
+            if pending <= 0:
+                raise ValueError(f"{where} ('e') without a matching 'b'")
+            async_open[key] = pending - 1
+    unbalanced = {key: depth for key, depth in sync_stacks.items() if depth}
+    if unbalanced:
+        raise ValueError(f"unclosed 'B' events on tracks {sorted(unbalanced)}")
+    dangling = {key: n for key, n in async_open.items() if n}
+    if dangling:
+        raise ValueError(f"unmatched 'b' events for {sorted(dangling)}")

@@ -1,0 +1,238 @@
+"""Structured tracing spans with a zero-overhead disabled fast path.
+
+The paper reads its double-buffering and bottleneck stories off
+``aiesimulator`` timelines; this module is the library's equivalent
+instrument: every subsystem (the analytical model, DSE, sweeps, the
+serving engines, the pipeline simulator) opens :func:`span` blocks
+around its phases, and the exporter in :mod:`repro.obs.export` renders
+the collected spans as a Chrome trace-event timeline loadable in
+Perfetto.
+
+The contract that keeps this safe to leave in hot paths:
+
+* Tracing is **disabled by default**.  The module-level :func:`span`
+  fast path does one attribute check and returns a shared no-op
+  context manager — no allocation, no timestamp, no lock.  The bound
+  is asserted by ``benchmarks/bench_obs_overhead.py`` (≤ 3% serving
+  throughput delta on 100k requests, and a per-call ceiling).
+* Timestamps are monotonic (``time.perf_counter``) relative to the
+  tracer's enable epoch, so exported timelines are nonnegative and
+  ordered even across threads.
+* The span stack is thread-local: concurrent workers (``jobs=N`` DSE,
+  the serving simulator) nest spans independently and default their
+  track to the worker thread's name, giving one Perfetto track per
+  worker with no coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterator
+
+__all__ = [
+    "GLOBAL_TRACER",
+    "Span",
+    "Tracer",
+    "instant",
+    "span",
+    "tracing_enabled",
+]
+
+
+class Span:
+    """One named, timed interval with attributes.
+
+    Used as a context manager: entering stamps ``start``, exiting
+    stamps ``end`` and records the span into its tracer (only if the
+    tracer is still enabled, so a mid-run ``disable()`` never loses the
+    invariant that recorded spans are complete).
+    """
+
+    __slots__ = ("name", "track", "start", "end", "attrs", "depth", "_tracer")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        track: str | None,
+        attrs: dict[str, Any] | None,
+    ):
+        self.name = name
+        self.track = track
+        self.attrs = attrs
+        self.start = 0.0
+        self.end = 0.0
+        self.depth = 0
+        self._tracer = tracer
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach attributes discovered mid-span (returns self)."""
+        if self.attrs is None:
+            self.attrs = attrs
+        else:
+            self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        if self.track is None:
+            self.track = (
+                stack[-1].track if stack else threading.current_thread().name
+            )
+        self.depth = len(stack)
+        stack.append(self)
+        self.start = time.perf_counter() - tracer.epoch
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        tracer = self._tracer
+        self.end = time.perf_counter() - tracer.epoch
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        if tracer.enabled:
+            tracer._record(self)
+        return False
+
+
+class _NullSpan:
+    """The shared disabled-path span: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+    def set(self, **_attrs: Any) -> "_NullSpan":
+        return self
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Process-wide span collector.
+
+    ``enabled`` is a plain attribute so the disabled check compiles to
+    one attribute load; recording takes a lock (spans may finish on any
+    worker thread).  ``max_spans`` bounds memory on runaway traces —
+    further spans are counted in :attr:`dropped` instead of stored.
+    """
+
+    def __init__(self, max_spans: int = 1_000_000):
+        if max_spans < 1:
+            raise ValueError("max_spans must be positive")
+        self.enabled = False
+        self.max_spans = max_spans
+        self.dropped = 0
+        self.epoch = time.perf_counter()
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # -- lifecycle ------------------------------------------------------
+    def enable(self, clear: bool = True) -> None:
+        """Start collecting; ``clear`` (default) drops prior spans and
+        re-anchors the timestamp epoch at zero."""
+        if clear:
+            self.clear()
+            self.epoch = time.perf_counter()
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    # -- recording ------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+
+    def span(self, name: str, track: str | None = None, **attrs: Any) -> Span:
+        """A new span context manager (records on exit while enabled)."""
+        return Span(self, name, track, attrs or None)
+
+    def instant(self, name: str, track: str | None = None, **attrs: Any) -> None:
+        """Record a zero-duration marker at the current timestamp."""
+        if not self.enabled:
+            return
+        marker = Span(self, name, track, attrs or None)
+        if marker.track is None:
+            stack = self._stack()
+            marker.track = (
+                stack[-1].track if stack else threading.current_thread().name
+            )
+        marker.start = marker.end = time.perf_counter() - self.epoch
+        self._record(marker)
+
+    # -- reading --------------------------------------------------------
+    def spans(self) -> list[Span]:
+        """A snapshot of the recorded spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def drain(self) -> list[Span]:
+        """Return the recorded spans and clear the buffer."""
+        with self._lock:
+            spans = self._spans
+            self._spans = []
+            self.dropped = 0
+            return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self.spans())
+
+
+#: the process-wide tracer every instrumented subsystem reports to
+GLOBAL_TRACER = Tracer()
+
+
+def span(name: str, track: str | None = None, **attrs: Any):
+    """Open a span on :data:`GLOBAL_TRACER` — or a shared no-op.
+
+    This is the instrumentation entry point for hot paths: when tracing
+    is disabled (the default) it returns the singleton null span after
+    a single attribute check.
+    """
+    tracer = GLOBAL_TRACER
+    if not tracer.enabled:
+        return _NULL_SPAN
+    return tracer.span(name, track=track, **attrs)
+
+
+def instant(name: str, track: str | None = None, **attrs: Any) -> None:
+    """Record a zero-duration marker on :data:`GLOBAL_TRACER` (no-op
+    while disabled)."""
+    tracer = GLOBAL_TRACER
+    if tracer.enabled:
+        tracer.instant(name, track=track, **attrs)
+
+
+def tracing_enabled() -> bool:
+    return GLOBAL_TRACER.enabled

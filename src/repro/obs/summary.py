@@ -1,0 +1,256 @@
+"""Analysis of exported Chrome traces: utilization, overlap, bottleneck.
+
+``versal-gemm obs summary trace.json`` reads a trace produced by
+:mod:`repro.obs.export` (or any Trace Event Format file with ``X`` and
+``b``/``e`` events) back into per-track interval sets and reports the
+same three quantities the paper reads off ``aiesimulator`` timelines:
+
+* per-track **busy time and utilization** (merged-interval busy seconds
+  over the trace's wall span),
+* **overlap** — for each track, how much of its busy time at least one
+  *other* track is also busy (the double-buffering question: is data
+  movement hidden behind compute?),
+* a **bottleneck attribution table** mirroring
+  :class:`repro.core.breakdown.ExecutionBreakdown`: the busiest track is
+  the bound phase, every track gets its share of the wall clock.
+
+All math happens on merged intervals, so nested or duplicated events on
+one track never double-count busy time.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.reporting import render_table
+
+__all__ = ["TraceSummary", "TrackStats", "load_trace", "summarize_trace"]
+
+_MICROS = 1e6
+
+
+def load_trace(path: str) -> dict[str, Any]:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _merge(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Merge overlapping/touching intervals; drops nothing else."""
+    if not intervals:
+        return []
+    intervals.sort()
+    merged = [intervals[0]]
+    for start, end in intervals[1:]:
+        last_start, last_end = merged[-1]
+        if start <= last_end:
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _track_names(events: Sequence[Mapping[str, Any]]) -> dict[tuple[Any, Any], str]:
+    """(pid, tid) -> human track label, from ``M`` metadata events."""
+    processes: dict[Any, str] = {}
+    threads: dict[tuple[Any, Any], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        name = (event.get("args") or {}).get("name")
+        if event.get("name") == "process_name" and name:
+            processes[event.get("pid")] = str(name)
+        elif event.get("name") == "thread_name" and name:
+            threads[(event.get("pid"), event.get("tid"))] = str(name)
+    labels: dict[tuple[Any, Any], str] = {}
+    pids = {pid for pid, _ in threads}
+    for key, thread_name in threads.items():
+        # qualify with the process only when several processes coexist
+        if len(pids) > 1 and key[0] in processes:
+            labels[key] = f"{processes[key[0]]}/{thread_name}"
+        else:
+            labels[key] = thread_name
+    return labels
+
+
+def _collect_intervals(
+    events: Sequence[Mapping[str, Any]],
+) -> tuple[dict[str, list[tuple[float, float]]], dict[str, int]]:
+    """Per-track raw intervals (seconds) and instant-marker counts."""
+    labels = _track_names(events)
+
+    def track_of(event: Mapping[str, Any]) -> str:
+        key = (event.get("pid"), event.get("tid"))
+        return labels.get(key, f"pid{key[0]}/tid{key[1]}")
+
+    intervals: dict[str, list[tuple[float, float]]] = {}
+    instants: dict[str, int] = {}
+    sync_open: dict[tuple[Any, Any], list[float]] = {}
+    async_open: dict[tuple[Any, Any, Any], list[tuple[float, str]]] = {}
+    for event in events:
+        phase = event.get("ph")
+        ts = float(event.get("ts", 0.0)) / _MICROS
+        if phase == "X":
+            track = track_of(event)
+            end = ts + float(event.get("dur", 0.0)) / _MICROS
+            intervals.setdefault(track, []).append((ts, end))
+        elif phase == "i":
+            track = track_of(event)
+            instants[track] = instants.get(track, 0) + 1
+        elif phase == "B":
+            sync_open.setdefault((event.get("pid"), event.get("tid")), []).append(ts)
+        elif phase == "E":
+            stack = sync_open.get((event.get("pid"), event.get("tid")))
+            if stack:
+                start = stack.pop()
+                track = track_of(event)
+                intervals.setdefault(track, []).append((start, ts))
+        elif phase == "b":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            async_open.setdefault(key, []).append((ts, track_of(event)))
+        elif phase == "e":
+            key = (event.get("pid"), event.get("cat"), event.get("id"))
+            pending = async_open.get(key)
+            if pending:
+                start, track = pending.pop(0)
+                intervals.setdefault(track, []).append((start, ts))
+    return intervals, instants
+
+
+@dataclass
+class TrackStats:
+    """Merged-interval accounting for one timeline track."""
+
+    track: str
+    events: int
+    busy_seconds: float
+    utilization: float
+    overlap_seconds: float  # busy time shared with >= 1 other track
+    instants: int = 0
+
+    @property
+    def overlap_fraction(self) -> float:
+        return self.overlap_seconds / self.busy_seconds if self.busy_seconds else 0.0
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``obs summary`` prints, computed once from a trace."""
+
+    wall_seconds: float
+    tracks: list[TrackStats] = field(default_factory=list)
+
+    @property
+    def bottleneck(self) -> str | None:
+        """The busiest track — the timeline's bound phase."""
+        busy = [t for t in self.tracks if t.busy_seconds > 0]
+        if not busy:
+            return None
+        return max(busy, key=lambda t: t.busy_seconds).track
+
+    def rows(self) -> list[dict[str, Any]]:
+        rows = []
+        for stats in self.tracks:
+            rows.append(
+                {
+                    "track": stats.track,
+                    "events": stats.events,
+                    "busy_s": f"{stats.busy_seconds:.6f}",
+                    "util_%": f"{100.0 * stats.utilization:.1f}",
+                    "overlap_s": f"{stats.overlap_seconds:.6f}",
+                    "overlap_%": f"{100.0 * stats.overlap_fraction:.1f}",
+                    "bound": "<-- bound" if stats.track == self.bottleneck else "",
+                }
+            )
+        return rows
+
+    def render(self) -> str:
+        lines = [
+            render_table(
+                self.rows(),
+                columns=[
+                    "track",
+                    "events",
+                    "busy_s",
+                    "util_%",
+                    "overlap_s",
+                    "overlap_%",
+                    "bound",
+                ],
+                title="Per-track utilization & overlap",
+            ),
+            "",
+            f"wall span : {self.wall_seconds:.6f} s",
+        ]
+        bound = self.bottleneck
+        if bound is not None:
+            stats = next(t for t in self.tracks if t.track == bound)
+            lines.append(
+                f"bottleneck: {bound} "
+                f"(busy {stats.busy_seconds:.6f} s, "
+                f"{100.0 * stats.utilization:.1f}% of wall)"
+            )
+        instants = sum(t.instants for t in self.tracks)
+        if instants:
+            lines.append(f"instants  : {instants} marker(s)")
+        return "\n".join(lines)
+
+
+def _overlap_with_others(
+    merged: dict[str, list[tuple[float, float]]]
+) -> dict[str, float]:
+    """Per track: busy seconds during which another track is also busy.
+
+    Boundary sweep over all interval edges; within one segment the
+    active-track set is constant, so a track accrues overlap exactly
+    when it is active alongside at least one other.
+    """
+    boundaries: list[tuple[float, int, str]] = []
+    for track, intervals in merged.items():
+        for start, end in intervals:
+            boundaries.append((start, 1, track))
+            boundaries.append((end, -1, track))
+    boundaries.sort(key=lambda edge: (edge[0], -edge[1]))
+    overlap = {track: 0.0 for track in merged}
+    active: dict[str, int] = {}
+    previous = None
+    for time, delta, track in boundaries:
+        if previous is not None and time > previous and len(active) >= 2:
+            width = time - previous
+            for name in active:
+                overlap[name] += width
+        previous = time
+        count = active.get(track, 0) + delta
+        if count <= 0:
+            active.pop(track, None)
+        else:
+            active[track] = count
+    return overlap
+
+
+def summarize_trace(trace: dict[str, Any]) -> TraceSummary:
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must be a dict with a 'traceEvents' list")
+    raw, instants = _collect_intervals(events)
+    merged = {track: _merge(list(spans)) for track, spans in raw.items()}
+    edges = [edge for spans in merged.values() for span in spans for edge in span]
+    wall = (max(edges) - min(edges)) if edges else 0.0
+    overlap = _overlap_with_others(merged)
+    tracks = []
+    for track in sorted(set(raw) | set(instants)):
+        spans = merged.get(track, [])
+        busy = sum(end - start for start, end in spans)
+        tracks.append(
+            TrackStats(
+                track=track,
+                events=len(raw.get(track, [])),
+                busy_seconds=busy,
+                utilization=busy / wall if wall else 0.0,
+                overlap_seconds=overlap.get(track, 0.0),
+                instants=instants.get(track, 0),
+            )
+        )
+    tracks.sort(key=lambda stats: stats.busy_seconds, reverse=True)
+    return TraceSummary(wall_seconds=wall, tracks=tracks)

@@ -4,14 +4,24 @@ Every batched evaluation path (DSE exploration, parameter sweeps,
 sensitivity curves, serving prewarm) reports an :class:`EvalStats`
 describing how much work it did and how much of it the memoization layer
 absorbed.  The CLI surfaces the aggregate after a run (``--stats``).
+
+The dataclasses remain the in-process *views* call sites read, but
+:class:`StatsRegistry` also publishes every recorded batch into
+:data:`repro.obs.metrics.GLOBAL_METRICS`, so ``--metrics-out`` exposes
+the same counters in Prometheus/JSON form under the
+``repro_eval_*`` / ``repro_fault_*`` names documented in
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator
+
+from repro.obs.metrics import GLOBAL_METRICS
 
 
 @dataclass
@@ -161,28 +171,97 @@ class FaultStats:
         )
 
 
-@dataclass
 class StatsRegistry:
-    """Session-scoped accumulator the CLI drains for ``--stats``."""
+    """Session-scoped accumulator the CLI drains for ``--stats``.
 
-    total: EvalStats = field(default_factory=EvalStats)
-    batches: int = 0
-    faults: FaultStats = field(default_factory=FaultStats)
-    fault_runs: int = 0
+    Thread-safe: parallel ``jobs=N`` evaluators and the serving
+    simulator publish concurrently, so ``record``/``record_faults`` and
+    ``reset`` hold a lock around the merge (dataclass ``merge`` is a
+    multi-field read-modify-write and would lose updates otherwise).
+    Each recorded batch is mirrored into the process-wide
+    :data:`repro.obs.metrics.GLOBAL_METRICS` registry; the dataclass
+    attributes stay as views so existing call sites keep working.
+    """
 
-    def record(self, stats: EvalStats) -> None:
-        self.total.merge(stats)
-        self.batches += 1
-
-    def record_faults(self, stats: FaultStats) -> None:
-        self.faults.merge(stats)
-        self.fault_runs += 1
-
-    def reset(self) -> None:
+    def __init__(self):
+        self._lock = threading.Lock()
         self.total = EvalStats()
         self.batches = 0
         self.faults = FaultStats()
         self.fault_runs = 0
+
+    def record(self, stats: EvalStats) -> None:
+        with self._lock:
+            self.total.merge(stats)
+            self.batches += 1
+        _publish_eval(stats)
+
+    def record_faults(self, stats: FaultStats) -> None:
+        with self._lock:
+            self.faults.merge(stats)
+            self.fault_runs += 1
+        _publish_faults(stats)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.total = EvalStats()
+            self.batches = 0
+            self.faults = FaultStats()
+            self.fault_runs = 0
+        GLOBAL_METRICS.reset("repro_eval_")
+        GLOBAL_METRICS.reset("repro_fault_")
+
+
+def _publish_eval(stats: EvalStats) -> None:
+    """Mirror one evaluation batch onto the metrics registry."""
+    metrics = GLOBAL_METRICS
+    metrics.counter(
+        "repro_eval_evaluations_total", "Model evaluations performed"
+    ).inc(stats.evaluations)
+    metrics.counter(
+        "repro_eval_cache_hits_total", "Evaluations served from the memo cache"
+    ).inc(stats.cache_hits)
+    metrics.counter(
+        "repro_eval_cache_misses_total", "Evaluations that missed the memo cache"
+    ).inc(stats.cache_misses)
+    metrics.counter(
+        "repro_eval_skipped_total", "Infeasible candidates skipped"
+    ).inc(stats.skipped)
+    metrics.counter(
+        "repro_eval_wall_seconds_total", "Wall time spent in evaluation batches"
+    ).inc(max(stats.wall_seconds, 0.0))
+    metrics.counter(
+        "repro_eval_batches_total", "Evaluation batches recorded"
+    ).inc(1)
+    metrics.gauge(
+        "repro_eval_jobs", "Peak worker count across recorded batches"
+    ).max_(stats.jobs)
+
+
+def _publish_faults(stats: FaultStats) -> None:
+    """Mirror one fault-injected serving run onto the metrics registry."""
+    metrics = GLOBAL_METRICS
+    metrics.counter(
+        "repro_fault_windows_total", "Fault windows in injected schedules"
+    ).inc(stats.windows)
+    metrics.counter(
+        "repro_fault_kills_total", "Executions interrupted by a down window"
+    ).inc(stats.kills)
+    metrics.counter(
+        "repro_fault_retries_total", "Retry attempts consumed"
+    ).inc(stats.retries)
+    metrics.counter(
+        "repro_fault_requeues_total", "Attempts deferred to a schedule transition"
+    ).inc(stats.requeues)
+    metrics.counter(
+        "repro_fault_shed_total", "Requests shed after exhausting retries"
+    ).inc(stats.shed)
+    metrics.counter(
+        "repro_fault_completed_total", "Requests completed under faults"
+    ).inc(stats.completed)
+    metrics.counter(
+        "repro_fault_runs_total", "Fault-injected serving runs recorded"
+    ).inc(1)
 
 
 #: process-wide registry; batch evaluators publish here so the CLI can

@@ -37,6 +37,8 @@ from typing import Callable, Mapping, Sequence, Union
 
 import numpy as np
 
+from repro.obs.spans import span
+
 #: ``run(vectorize=None)`` auto-enables the vectorized solver at this size
 VECTORIZE_MIN_ITEMS = 512
 
@@ -178,9 +180,16 @@ class PipelineSimulator:
         eligible = all(value is not None for value in constants)
         if vectorize is None:
             vectorize = eligible and num_items >= VECTORIZE_MIN_ITEMS
-        if vectorize and eligible and num_items > 0:
-            return self._run_vectorized(num_items, constants)
-        return self._run_exact(num_items)
+        with span(
+            "pipeline.run",
+            track="pipeline",
+            items=num_items,
+            stages=len(self.stages),
+            vectorize=bool(vectorize and eligible),
+        ):
+            if vectorize and eligible and num_items > 0:
+                return self._run_vectorized(num_items, constants)
+            return self._run_exact(num_items)
 
     def _run_exact(self, num_items: int) -> PipelineResult:
         n_stages = len(self.stages)

@@ -68,6 +68,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.core.multi_acc import AcceleratorPartition
+from repro.obs.spans import GLOBAL_TRACER, span
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, FaultStats, track
 from repro.perf.parallel import parallel_map
 from repro.sim.chaos import (
@@ -141,6 +142,10 @@ class ServingReport:
     kills: int = 0
     #: attempts deferred because no accelerator was usable
     requeues: int = 0
+    #: chaos-loop decision log, ``(time, kind, request_id, retries)`` with
+    #: kind in {"kill", "requeue"}, time-ordered — the trace exporter
+    #: renders these as instant markers (sheds carry their own records)
+    fault_timeline: list = field(default_factory=list)
 
     @property
     def makespan(self) -> float:
@@ -771,7 +776,13 @@ class ServingSimulator:
             for name in self.partition.designs
             if (name, shape) not in self._service_cache
         ]
-        with track(self.stats):
+        with span(
+            "serve.prewarm",
+            track="serving",
+            pairs=len(pairs),
+            jobs=jobs,
+            vectorize=vectorize,
+        ), track(self.stats):
             if vectorize and pairs:
                 warmed = self._prewarm_vectorized(pairs)
             else:
@@ -844,7 +855,14 @@ class ServingSimulator:
             raise ValueError("streaming mode requires a fast dispatch engine")
         before = self.stats.snapshot()
         try:
-            with track(self.stats):
+            with span(
+                "serve.run",
+                track="serving",
+                requests=len(trace),
+                dispatch=dispatch,
+                streaming=streaming,
+                faulted=faults is not None and not faults.is_empty,
+            ), track(self.stats):
                 if faults is not None and not faults.is_empty:
                     return self._run_faulted(
                         trace,
@@ -929,39 +947,55 @@ class ServingSimulator:
         heapq.heapify(queue)
         completions: list[tuple | None] = [None] * n
         shed_records: list[tuple[int, int, str, float]] = []
+        # decision log for the trace exporter; streaming mode keeps its
+        # O(1)-memory promise by not collecting one
+        timeline: list[tuple[float, str, int, int]] | None = (
+            None if streaming else []
+        )
         kills = 0
         requeues = 0
         select = selector.select
         backoff = policy.backoff
         max_retries = policy.max_retries
-        while queue:
-            t, pos, retries = heapq.heappop(queue)
-            best = select(t, class_ids[pos])
-            if best is None:
-                nxt = view.next_transition_after(t)
-                if nxt is None:
-                    shed_records.append((pos, retries, "no_feasible_accelerator", t))
+        loop_span = span("serve.fault_loop", track="serving", requests=n)
+        with loop_span:
+            while queue:
+                t, pos, retries = heapq.heappop(queue)
+                best = select(t, class_ids[pos])
+                if best is None:
+                    nxt = view.next_transition_after(t)
+                    if nxt is None:
+                        shed_records.append(
+                            (pos, retries, "no_feasible_accelerator", t)
+                        )
+                        continue
+                    requeues += 1
+                    if timeline is not None:
+                        timeline.append((nxt, "requeue", pos, retries))
+                    heapq.heappush(queue, (nxt, pos, retries))
                     continue
-                requeues += 1
-                heapq.heappush(queue, (nxt, pos, retries))
-                continue
-            order, start, finish = best
-            next_down = view.next_down_after(order, start)
-            if next_down is not None and next_down < finish:
-                # killed: the down window opened mid-execution
-                kills += 1
-                free[order] = next_down
-                if retries + 1 > max_retries:
-                    shed_records.append(
-                        (pos, retries + 1, "retry_budget_exhausted", next_down)
+                order, start, finish = best
+                next_down = view.next_down_after(order, start)
+                if next_down is not None and next_down < finish:
+                    # killed: the down window opened mid-execution
+                    kills += 1
+                    if timeline is not None:
+                        timeline.append((next_down, "kill", pos, retries + 1))
+                    free[order] = next_down
+                    if retries + 1 > max_retries:
+                        shed_records.append(
+                            (pos, retries + 1, "retry_budget_exhausted", next_down)
+                        )
+                        continue
+                    heapq.heappush(
+                        queue, (next_down + backoff(retries + 1), pos, retries + 1)
                     )
                     continue
-                heapq.heappush(
-                    queue, (next_down + backoff(retries + 1), pos, retries + 1)
-                )
-                continue
-            free[order] = finish
-            completions[pos] = (order, start, finish, retries)
+                free[order] = finish
+                completions[pos] = (order, start, finish, retries)
+            loop_span.set(
+                kills=kills, requeues=requeues, shed=len(shed_records)
+            )
 
         shed_records.sort()
         makespan = max(
@@ -1019,6 +1053,10 @@ class ServingSimulator:
             ShedRequest(request=requests[pos], retries=r, reason=reason, time=when)
             for pos, r, reason, when in shed_records
         ]
+        fault_timeline = sorted(
+            (when, kind, requests[pos].request_id, retries)
+            for when, kind, pos, retries in (timeline or [])
+        )
         return ServingReport(
             completed=completed,
             shed=shed,
@@ -1026,6 +1064,7 @@ class ServingSimulator:
             downtime=downtime,
             kills=kills,
             requeues=requeues,
+            fault_timeline=fault_timeline,
         )
 
     def _run_scan(self, trace: Union[Sequence[Request], SoATrace]) -> ServingReport:
@@ -1144,6 +1183,20 @@ class ServingSimulator:
                             finish=finishes[offset],
                         )
                     )
+
+        if GLOBAL_TRACER.enabled:
+            # wrap only when tracing: the disabled path keeps the raw
+            # flush callback with zero indirection
+            inner_flush = flush
+
+            def flush(base: int, accs: list, starts: list, finishes: list) -> None:
+                with span(
+                    "serve.dispatch_chunk",
+                    track="serving",
+                    base=base,
+                    size=len(accs),
+                ):
+                    inner_flush(base, accs, starts, finishes)
 
         use_heap = dispatch == "heap" or (
             dispatch == "auto" and len(names) >= HEAP_MIN_ACCELERATORS

@@ -75,20 +75,41 @@ class ExecutionTrace:
         return self.makespan - sum(e.duration for e in self.events_for(stage))
 
     # ------------------------------------------------------------------
+    def events_json(self) -> list[dict]:
+        """The event list as plain records — the single source both the
+        text Gantt and the Chrome-trace exporter render from."""
+        return [
+            {
+                "stage": event.stage,
+                "item": event.item,
+                "start": event.start,
+                "end": event.end,
+                "duration": event.duration,
+            }
+            for event in self.events
+        ]
+
     def gantt(self, width: int = 72) -> str:
         """Text-mode Gantt chart: one row per stage, one glyph per slot."""
+        if width < 1:
+            raise ValueError(f"width must be a positive integer, got {width}")
         if self.makespan <= 0:
             return "(empty trace)"
         scale = width / self.makespan
+        by_stage: dict[str, list[dict]] = {
+            stage: [] for stage in self.result.stage_names
+        }
+        for record in self.events_json():
+            by_stage[record["stage"]].append(record)
         lines = []
         for stage in self.result.stage_names:
             row = [" "] * width
-            for event in self.events_for(stage):
-                lo = min(width - 1, int(event.start * scale))
-                hi = min(width, max(lo + 1, int(event.end * scale)))
-                glyph = str(event.item % 10)
+            for record in by_stage[stage]:
+                lo = min(width - 1, int(record["start"] * scale))
+                hi = min(width, max(lo + 1, int(record["end"] * scale)))
+                glyph = str(record["item"] % 10)
                 for i in range(lo, hi):
                     row[i] = glyph
             lines.append(f"{stage:>12} |{''.join(row)}|")
-        axis = f"{'':>12} 0{'':{width - 2}}{self.makespan:.3g}"
+        axis = f"{'':>12} 0{'':{max(width - 2, 0)}}{self.makespan:.3g}"
         return "\n".join(lines + [axis])

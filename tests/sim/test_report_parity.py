@@ -1,0 +1,78 @@
+"""Exact vs streaming report parity: identical metric surface.
+
+Satellite regression: downstream consumers (the CLI fault block, the
+chaos conformance harness, the metrics exporter) key on
+``fault_summary()`` names — the two report flavors must never drift.
+"""
+
+import pytest
+
+from repro.core.multi_acc import AcceleratorPartition
+from repro.mapping.configs import config_by_name
+from repro.sim.chaos import FaultPolicy, FaultSchedule
+from repro.sim.serving import ServingSimulator
+from repro.sim.streaming import generate_trace_soa
+from repro.workloads.gemm import GemmShape
+
+SHAPES = (GemmShape(1024, 1024, 1024), GemmShape(512, 512, 512))
+REQUESTS = 300
+MEAN_INTERARRIVAL = 0.5e-3
+
+
+def run_pair(faults=None):
+    """The same trace through the exact and the streaming engine."""
+    reports = []
+    for streaming in (False, True):
+        partition = AcceleratorPartition(
+            [config_by_name("C5"), config_by_name("C3")]
+        )
+        simulator = ServingSimulator(partition)
+        simulator.prewarm(SHAPES)
+        trace = generate_trace_soa(SHAPES, REQUESTS, MEAN_INTERARRIVAL, seed=9)
+        reports.append(
+            simulator.run(
+                trace,
+                streaming=streaming,
+                faults=faults,
+                fault_policy=(
+                    FaultPolicy(max_retries=2) if faults is not None else None
+                ),
+            )
+        )
+    return reports
+
+
+def fault_schedule():
+    horizon = REQUESTS * MEAN_INTERARRIVAL
+    return FaultSchedule.down(
+        "C5", 0.1 * horizon, 0.6 * horizon
+    ) + FaultSchedule.down("C3", 0.2 * horizon, 0.4 * horizon)
+
+
+class TestFaultSummaryParity:
+    def test_identical_keys_fault_free(self):
+        exact, streaming = run_pair()
+        assert list(exact.fault_summary()) == list(streaming.fault_summary())
+
+    def test_identical_keys_under_faults(self):
+        exact, streaming = run_pair(faults=fault_schedule())
+        assert list(exact.fault_summary()) == list(streaming.fault_summary())
+
+    def test_identical_values_under_faults(self):
+        exact, streaming = run_pair(faults=fault_schedule())
+        a, b = exact.fault_summary(), streaming.fault_summary()
+        for key in a:
+            assert a[key] == pytest.approx(b[key]), key
+
+    def test_shared_read_api_agrees(self):
+        exact, streaming = run_pair()
+        assert streaming.count == len(exact.completed)
+        assert streaming.makespan == pytest.approx(exact.makespan)
+        assert streaming.throughput_rps == pytest.approx(exact.throughput_rps)
+        assert streaming.mean_latency() == pytest.approx(exact.mean_latency())
+
+    def test_timeline_only_on_exact_reports(self):
+        exact, streaming = run_pair(faults=fault_schedule())
+        # the streaming engine's O(1)-memory promise: no per-decision log
+        assert not hasattr(streaming, "fault_timeline")
+        assert len(exact.fault_timeline) == exact.kills + exact.requeues

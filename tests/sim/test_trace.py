@@ -79,3 +79,127 @@ class TestGantt:
         pipe = PipelineSimulator([PipelineStage("s", lambda t: 1.0)])
         trace = ExecutionTrace(pipe.run(0))
         assert trace.gantt() == "(empty trace)"
+
+    def test_width_must_be_positive(self):
+        """Satellite fix: width <= 0 used to silently break the bars."""
+        trace = ExecutionTrace(run_pipeline())
+        for width in (0, -1, -72):
+            with pytest.raises(ValueError, match="width"):
+                trace.gantt(width=width)
+
+    def test_width_one_renders(self):
+        trace = ExecutionTrace(run_pipeline())
+        lines = trace.gantt(width=1).splitlines()
+        assert len(lines) == 4
+        assert all(len(line.split("|")[1]) == 1 for line in lines[:3])
+
+
+class TestEventsJson:
+    def test_records_mirror_events(self):
+        trace = ExecutionTrace(run_pipeline(n=4))
+        records = trace.events_json()
+        assert len(records) == len(trace.events)
+        for record, event in zip(records, trace.events):
+            assert record == {
+                "stage": event.stage,
+                "item": event.item,
+                "start": event.start,
+                "end": event.end,
+                "duration": event.duration,
+            }
+
+    def test_json_serializable(self):
+        import json
+
+        trace = ExecutionTrace(run_pipeline())
+        json.dumps(trace.events_json())
+
+    def test_shared_source_with_chrome_exporter(self):
+        """The exporter consumes events_json directly (satellite goal)."""
+        from repro.obs.export import ChromeTraceBuilder, validate_chrome_trace
+
+        trace = ExecutionTrace(run_pipeline(n=4))
+        chrome = ChromeTraceBuilder().add_execution_trace(trace.events_json()).build()
+        validate_chrome_trace(chrome)
+        slices = [e for e in chrome["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == len(trace.events)
+
+
+def two_stage(n):
+    pipe = PipelineSimulator(
+        [
+            PipelineStage("load", lambda t: 2.0, slots=2),
+            PipelineStage("compute", lambda t: 3.0, slots=2),
+        ]
+    )
+    return ExecutionTrace(pipe.run(n))
+
+
+class TestHandComputedFixtures:
+    """Satellite: overlap/idle/utilization against worked examples.
+
+    Two stages, load 2 s and compute 3 s, double buffered (slots=2).
+    For n=3: load runs [0,2], [2,4], [5,7] (item 2 blocks on the full
+    buffer until compute 0 drains at t=5); compute runs [2,5], [5,8],
+    [8,11].  Overlap = [2,4] with compute 0 plus [5,7] with compute 1
+    = 4 s; makespan 11 s; load busy 6 s, compute busy 9 s.
+    """
+
+    def test_three_item_intervals(self):
+        trace = two_stage(3)
+        assert [(e.start, e.end) for e in trace.events_for("load")] == [
+            (0.0, 2.0),
+            (2.0, 4.0),
+            (5.0, 7.0),
+        ]
+        assert [(e.start, e.end) for e in trace.events_for("compute")] == [
+            (2.0, 5.0),
+            (5.0, 8.0),
+            (8.0, 11.0),
+        ]
+
+    def test_three_item_overlap(self):
+        trace = two_stage(3)
+        assert trace.overlap_seconds("load", "compute") == pytest.approx(4.0)
+        # overlap is symmetric
+        assert trace.overlap_seconds("compute", "load") == pytest.approx(4.0)
+
+    def test_three_item_utilization_and_idle(self):
+        trace = two_stage(3)
+        assert trace.makespan == pytest.approx(11.0)
+        assert trace.stage_utilization("load") == pytest.approx(6.0 / 11.0)
+        assert trace.stage_utilization("compute") == pytest.approx(9.0 / 11.0)
+        assert trace.idle_seconds("load") == pytest.approx(5.0)
+        assert trace.idle_seconds("compute") == pytest.approx(2.0)
+
+    def test_single_item_pipeline_serializes(self):
+        trace = two_stage(1)
+        assert [(e.stage, e.start, e.end) for e in trace.events] == [
+            ("load", 0.0, 2.0),
+            ("compute", 2.0, 5.0),
+        ]
+        assert trace.makespan == pytest.approx(5.0)
+        assert trace.overlap_seconds("load", "compute") == 0.0
+        assert trace.stage_utilization("load") == pytest.approx(0.4)
+        assert trace.stage_utilization("compute") == pytest.approx(0.6)
+        assert trace.idle_seconds("load") == pytest.approx(3.0)
+
+    def test_zero_duration_events_excluded_everywhere(self):
+        pipe = PipelineSimulator(
+            [
+                PipelineStage("work", lambda t: 2.0),
+                PipelineStage("sometimes", lambda t: 0.0 if t == 0 else 1.0),
+            ]
+        )
+        trace = ExecutionTrace(pipe.run(2))
+        assert all(e.duration > 0 for e in trace.events)
+        assert len(trace.events_for("sometimes")) == 1
+        assert len(trace.events_json()) == len(trace.events)
+
+    def test_empty_pipeline_zero_everything(self):
+        pipe = PipelineSimulator([PipelineStage("s", lambda t: 1.0)])
+        trace = ExecutionTrace(pipe.run(0))
+        assert trace.events == []
+        assert trace.stage_utilization("s") == 0.0
+        assert trace.overlap_seconds("s", "s") == 0.0
+        assert trace.events_json() == []

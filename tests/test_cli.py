@@ -230,3 +230,92 @@ class TestServeFaults:
         ]
         assert main(argv) == 0
         assert "offered-load sweep" in capsys.readouterr().out
+
+
+class TestObservability:
+    SHAPES = "1024x1024x1024,512x512x512"
+
+    def serve_argv(self, *extra):
+        return ["serve", self.SHAPES, "--requests", "200", *extra]
+
+    def test_trace_out_writes_valid_chrome_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        assert main(self.serve_argv("--trace-out", str(path))) == 0
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+        events = trace["traceEvents"]
+        assert any(e["ph"] == "X" and e["name"] == "serve.run" for e in events)
+        # per-request serving lifecycle rendered alongside the spans
+        assert any(e.get("cat") == "execute" for e in events)
+
+    def test_trace_out_tracer_disabled_afterwards(self, tmp_path):
+        from repro.obs.spans import GLOBAL_TRACER
+
+        path = tmp_path / "trace.json"
+        assert main(self.serve_argv("--trace-out", str(path))) == 0
+        assert not GLOBAL_TRACER.enabled
+
+    def test_metrics_out_writes_prometheus_text(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        assert main(self.serve_argv("--metrics-out", str(path))) == 0
+        text = path.read_text()
+        assert "# TYPE repro_serving_requests_total counter" in text
+        assert "repro_serving_requests_total 200" in text
+        assert "repro_serving_latency_seconds_count 200" in text
+        assert 'repro_serving_latency_seconds{quantile="0.99"}' in text
+        assert "repro_eval_evaluations_total" in text  # migrated EvalStats
+
+    def test_streaming_trace_still_exports_spans(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        argv = self.serve_argv("--streaming", "--trace-out", str(path))
+        assert main(argv) == 0
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "serve.run" in names
+
+    def test_dse_trace_out(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        argv = ["dse", "1024x1024x1024", "--top", "3", "--trace-out", str(path)]
+        assert main(argv) == 0
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "dse.explore" in names and "model.estimate" in names
+
+    def test_obs_summary_renders_table(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        assert main(self.serve_argv("--trace-out", str(path))) == 0
+        capsys.readouterr()
+        assert main(["obs", "summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "track" in out and "util" in out and "bottleneck:" in out
+
+    def test_obs_summary_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "summary", str(tmp_path / "nope.json")]) == 2
+        assert "obs summary:" in capsys.readouterr().err
+
+    def test_obs_summary_invalid_trace_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": [{"name": "x", "ph": "Z", "ts": 0}]}')
+        assert main(["obs", "summary", str(path)]) == 2
+        assert "obs summary:" in capsys.readouterr().err
+
+    def test_serving_output_identical_with_and_without_tracing(
+        self, capsys, tmp_path
+    ):
+        argv = self.serve_argv("--seed", "7")
+        assert main(argv) == 0
+        baseline = capsys.readouterr().out
+        traced = argv + ["--trace-out", str(tmp_path / "t.json")]
+        assert main(traced) == 0
+        assert capsys.readouterr().out == baseline
