@@ -8,21 +8,35 @@ and appends the result to a ``BENCH_serving.json`` trajectory:
   ``math.log`` trace generation, the O(requests x accelerators) Python
   scan materializing one ``CompletedRequest`` per request, and
   percentiles from a full sort.
-* ``fast`` — the current engine: vectorized structure-of-arrays trace
-  generation, table/heap dispatch, and the streaming report (O(1)
-  memory, sketched percentiles).
+* ``fast`` — the previous engine generation: vectorized
+  structure-of-arrays trace generation, table dispatch, and the
+  streaming report (O(1) memory, sketched percentiles).
+* ``vectorized`` — the event-batch engine: the same SoA trace driven
+  through the fault-free vectorized dispatch path (native exact loop
+  with a NumPy speculate-and-verify fallback).
+
+The script also times the analytical-model prewarm cold (empty
+``EvalCache``) versus warm (restored from an on-disk snapshot via
+``save_disk``/``load_disk``) and records the ratio as the ``cache``
+entry.
 
 The script asserts the serving engine's contract on every run:
 
 * fast-mode throughput is at least ``SPEEDUP_FLOOR`` (10x) over the
   seed loop on the full trace (a reduced floor applies to ``--smoke``
   runs on small CI traces, where constant overheads dominate);
+* vectorized-mode throughput is at least ``VECTORIZED_FLOOR`` (3x)
+  over fast mode on the full trace (reduced on ``--smoke``);
 * exact-mode dispatch decisions (accelerator, start, finish) are
-  **byte-identical** between the scan, table, and heap engines on a
-  verification subset;
+  **byte-identical** between the scan, table, heap, and vectorized
+  engines on a verification subset — fault-free and under a fault
+  schedule;
 * SoA trace generation is bit-identical to the scalar generator;
 * streaming P50/P99 are within twice the sketch's documented relative
-  error bound of the exact percentiles.
+  error bound of the exact percentiles;
+* the warm prewarm serves every estimate from the snapshot (hits > 0)
+  and, on full runs, is at least ``PREWARM_SPEEDUP_FLOOR`` (10x)
+  faster than the cold prewarm.
 
 Run directly (``python benchmarks/bench_serving.py``) or let CI invoke
 the ``--smoke`` variant; ``test_serving_throughput_smoke`` keeps it
@@ -51,6 +65,9 @@ DEFAULT_REQUESTS = 1_000_000
 VERIFY_REQUESTS = 20_000
 SPEEDUP_FLOOR = 10.0
 SMOKE_SPEEDUP_FLOOR = 3.0
+VECTORIZED_FLOOR = 3.0
+SMOKE_VECTORIZED_FLOOR = 2.0
+PREWARM_SPEEDUP_FLOOR = 10.0
 QUANTILE_ERROR = 0.01
 
 SHAPES = (
@@ -189,15 +206,25 @@ def verify_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
     scan = simulator.run(scalar, dispatch="scan")
     table = simulator.run(soa, dispatch="table")
     heap = simulator.run(soa, dispatch="heap")
+    vectorized = simulator.run(soa, dispatch="vectorized")
     dispatch_identical = (
-        _dispatch_bytes(scan) == _dispatch_bytes(table) == _dispatch_bytes(heap)
+        _dispatch_bytes(scan)
+        == _dispatch_bytes(table)
+        == _dispatch_bytes(heap)
+        == _dispatch_bytes(vectorized)
     )
     exact_p50, exact_p99 = scan.latency_percentiles([50, 99])
-    streaming = simulator.run(soa, streaming=True, quantile_error=QUANTILE_ERROR)
+    streaming = simulator.run(
+        soa, streaming=True, quantile_error=QUANTILE_ERROR, dispatch="table"
+    )
+    stream_vec = simulator.run(
+        soa, streaming=True, quantile_error=QUANTILE_ERROR, dispatch="vectorized"
+    )
     stream_p50, stream_p99 = streaming.latency_percentiles([50, 99])
     return {
         "trace_identical": trace_identical,
         "dispatch_identical": dispatch_identical,
+        "streaming_identical": streaming.as_dict() == stream_vec.as_dict(),
         "p50_relative_error": abs(stream_p50 - exact_p50) / exact_p50,
         "p99_relative_error": abs(stream_p99 - exact_p99) / exact_p99,
     }
@@ -206,11 +233,11 @@ def verify_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
 def verify_fault_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
     """Fault-run invariants: engine identity, determinism, accounting.
 
-    On the same seeded trace and fault schedule the scan, table, and
-    heap engines must make byte-identical decisions (including retries
-    and shed lists), two identical runs must agree byte for byte, every
-    request must be exactly one of completed/shed, and the streaming
-    report's summary must match between the table and heap engines.
+    On the same seeded trace and fault schedule the scan, table, heap,
+    and vectorized engines must make byte-identical decisions
+    (including retries and shed lists), two identical runs must agree
+    byte for byte, every request must be exactly one of completed/shed,
+    and the streaming report's summary must match across engines.
     """
     from repro.sim.chaos import FaultPolicy, FaultSchedule
 
@@ -237,13 +264,20 @@ def verify_fault_contract(partition: AcceleratorPartition, num_requests: int) ->
         return json.dumps([rows, shed]).encode()
 
     reports = {}
-    for engine, trace in (("scan", scalar), ("table", soa), ("heap", soa)):
+    for engine, trace in (
+        ("scan", scalar),
+        ("table", soa),
+        ("heap", soa),
+        ("vectorized", soa),
+    ):
         simulator = ServingSimulator(partition)
         reports[engine] = simulator.run(
             trace, dispatch=engine, faults=faults, fault_policy=policy
         )
     blobs = {engine: fault_bytes(report) for engine, report in reports.items()}
-    engines_identical = blobs["scan"] == blobs["table"] == blobs["heap"]
+    engines_identical = (
+        blobs["scan"] == blobs["table"] == blobs["heap"] == blobs["vectorized"]
+    )
 
     rerun = ServingSimulator(partition).run(
         soa, dispatch="table", faults=faults, fault_policy=policy
@@ -262,7 +296,13 @@ def verify_fault_contract(partition: AcceleratorPartition, num_requests: int) ->
     stream_heap = ServingSimulator(partition).run(
         soa, dispatch="heap", streaming=True, faults=faults, fault_policy=policy
     )
-    streaming_identical = stream_table.as_dict() == stream_heap.as_dict()
+    stream_vec = ServingSimulator(partition).run(
+        soa, dispatch="vectorized", streaming=True, faults=faults,
+        fault_policy=policy,
+    )
+    streaming_identical = (
+        stream_table.as_dict() == stream_heap.as_dict() == stream_vec.as_dict()
+    )
     streaming_consistent = (
         stream_table.count == len(base.completed)
         and stream_table.fault_summary() == base.fault_summary()
@@ -310,13 +350,29 @@ def run_benchmark(
         del seed_trace, seed_report
         gc.collect()
 
+    # ``fast`` pins the table engine — the previous generation's auto
+    # pick — so the vectorized speedup is measured against a fixed
+    # baseline rather than whatever auto-selection currently resolves to
     fast_seconds = math.inf
     for _ in range(repeats):
         started = time.perf_counter()
         soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
-        report = simulator.run(soa, streaming=True, quantile_error=QUANTILE_ERROR)
+        report = simulator.run(
+            soa, streaming=True, quantile_error=QUANTILE_ERROR, dispatch="table"
+        )
         fast_p50, fast_p99 = report.latency_percentiles([50, 99])
         fast_seconds = min(fast_seconds, time.perf_counter() - started)
+
+    vectorized_seconds = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
+        report = simulator.run(
+            soa, streaming=True, quantile_error=QUANTILE_ERROR,
+            dispatch="vectorized",
+        )
+        vec_p50, vec_p99 = report.latency_percentiles([50, 99])
+        vectorized_seconds = min(vectorized_seconds, time.perf_counter() - started)
 
     entry = {
         "timestamp": time.time(),
@@ -338,15 +394,62 @@ def run_benchmark(
                 "p50": fast_p50,
                 "p99": fast_p99,
             },
+            "vectorized": {
+                "seconds": vectorized_seconds,
+                "requests_per_sec": num_requests / vectorized_seconds,
+                "p50": vec_p50,
+                "p99": vec_p99,
+            },
         },
         "speedup": seed_seconds / fast_seconds,
+        "vectorized_speedup": fast_seconds / vectorized_seconds,
         "quantile_error": QUANTILE_ERROR,
     }
     entry.update(verify_contract(partition, min(num_requests, VERIFY_REQUESTS)))
     entry.update(
         verify_fault_contract(partition, min(num_requests, VERIFY_REQUESTS))
     )
+    entry["cache"] = measure_cache_warmup(partition)
     return entry
+
+
+def measure_cache_warmup(partition: AcceleratorPartition, repeats: int = 3) -> dict:
+    """Cold vs warm analytical-model prewarm through the disk snapshot.
+
+    Cold: clear the process cache and prewarm a fresh simulator (every
+    estimate recomputed).  Warm: restore the snapshot ``save_disk``
+    wrote and prewarm again — every estimate must come from the
+    snapshot.  Best-of-N on both sides; the process cache is left warm.
+    """
+    import shutil
+    import tempfile
+
+    from repro.perf import clear_cache, get_cache
+
+    tmpdir = tempfile.mkdtemp(prefix="bench-evalcache-")
+    cold_seconds = warm_seconds = math.inf
+    warm_hits = 0
+    try:
+        for _ in range(repeats):
+            clear_cache()
+            started = time.perf_counter()
+            ServingSimulator(partition).prewarm(SHAPES)
+            cold_seconds = min(cold_seconds, time.perf_counter() - started)
+            get_cache().save_disk(tmpdir)
+            clear_cache()
+            started = time.perf_counter()
+            get_cache().load_disk(tmpdir)
+            ServingSimulator(partition).prewarm(SHAPES)
+            warm_seconds = min(warm_seconds, time.perf_counter() - started)
+            warm_hits = get_cache().hits
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return {
+        "cold_prewarm_seconds": cold_seconds,
+        "warm_prewarm_seconds": warm_seconds,
+        "prewarm_speedup": cold_seconds / warm_seconds,
+        "warm_hits": warm_hits,
+    }
 
 
 def append_trajectory(entry: dict, output: Path) -> None:
@@ -369,11 +472,18 @@ def append_trajectory(entry: dict, output: Path) -> None:
 def check(entry: dict) -> list[str]:
     """The serving engine's contract; empty list means acceptable."""
     floor = SMOKE_SPEEDUP_FLOOR if entry["smoke"] else SPEEDUP_FLOOR
+    vec_floor = SMOKE_VECTORIZED_FLOOR if entry["smoke"] else VECTORIZED_FLOOR
     failures = []
     if not entry["trace_identical"]:
         failures.append("SoA trace generation is not bit-identical to scalar")
     if not entry["dispatch_identical"]:
-        failures.append("scan, table, and heap dispatch decisions differ")
+        failures.append(
+            "scan, table, heap, and vectorized dispatch decisions differ"
+        )
+    if not entry["streaming_identical"]:
+        failures.append(
+            "streaming summaries differ between table and vectorized engines"
+        )
     for key, message in (
         ("fault_engines_identical",
          "scan, table, and heap disagree under a fault schedule"),
@@ -397,6 +507,19 @@ def check(entry: dict) -> list[str]:
     if entry["speedup"] < floor:
         failures.append(
             f"serving speedup {entry['speedup']:.2f}x is below the {floor}x floor"
+        )
+    if entry["vectorized_speedup"] < vec_floor:
+        failures.append(
+            f"vectorized speedup {entry['vectorized_speedup']:.2f}x over fast "
+            f"is below the {vec_floor}x floor"
+        )
+    cache = entry["cache"]
+    if cache["warm_hits"] <= 0:
+        failures.append("warm prewarm served no estimates from the snapshot")
+    if not entry["smoke"] and cache["prewarm_speedup"] < PREWARM_SPEEDUP_FLOOR:
+        failures.append(
+            f"warm prewarm speedup {cache['prewarm_speedup']:.1f}x is below "
+            f"the {PREWARM_SPEEDUP_FLOOR}x floor"
         )
     return failures
 
@@ -425,12 +548,18 @@ def main(argv: list[str] | None = None) -> int:
     print(f"requests {entry['requests']}  partition {'+'.join(entry['configs'])}  "
           f"shapes {len(entry['shapes'])}")
     for name, mode in entry["modes"].items():
-        print(f"{name:>5}: {mode['seconds']:8.3f} s  "
+        print(f"{name:>10}: {mode['seconds']:8.3f} s  "
               f"{mode['requests_per_sec']:12.1f} req/s  "
               f"p50 {mode['p50'] * 1e3:.3f} ms  p99 {mode['p99'] * 1e3:.3f} ms")
     print(f"speedup:              {entry['speedup']:.2f}x")
+    print(f"vectorized speedup:   {entry['vectorized_speedup']:.2f}x over fast")
+    cache = entry["cache"]
+    print(f"prewarm cache:        cold {cache['cold_prewarm_seconds'] * 1e3:.2f} ms"
+          f"  warm {cache['warm_prewarm_seconds'] * 1e3:.2f} ms"
+          f"  ({cache['prewarm_speedup']:.1f}x, {cache['warm_hits']} hits)")
     print(f"trace identical:      {entry['trace_identical']}")
     print(f"dispatch identical:   {entry['dispatch_identical']}")
+    print(f"streaming identical:  {entry['streaming_identical']}")
     print(f"fault contract:       engines={entry['fault_engines_identical']} "
           f"deterministic={entry['fault_deterministic']} "
           f"accounting={entry['fault_accounting_exact']} "

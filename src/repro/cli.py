@@ -275,6 +275,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             seed=args.seed,
             streaming=args.streaming,
             quantile_error=args.quantile_error,
+            jobs=args.jobs,
             faults=faults,
             fault_policy=fault_policy,
         )
@@ -422,6 +423,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="print evaluation-engine statistics to stderr after the command",
     )
     parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist the evaluation cache under DIR: warm-start from a "
+             "previous invocation's snapshot and save an updated one on "
+             "success (corrupt or stale snapshots cold-start silently)",
+    )
+    parser.add_argument(
         "--vectorize", action=argparse.BooleanOptionalAction, default=False,
         help="batch-evaluate candidate grids with the NumPy fast path "
              "(results identical; --no-vectorize forces the scalar path)",
@@ -503,8 +510,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="O(1)-memory report with sketched percentiles")
     serve.add_argument("--quantile-error", type=float, default=0.01,
                        help="relative error bound for streaming percentiles")
-    serve.add_argument("--dispatch", choices=["auto", "heap", "table", "scan"],
-                       default="auto", help="dispatch engine (all byte-identical)")
+    serve.add_argument(
+        "--dispatch",
+        choices=["auto", "vectorized", "heap", "table", "scan"],
+        default="auto", help="dispatch engine (all byte-identical)")
     serve.add_argument("--sweep", action="store_true",
                        help="sweep offered load; report the saturation knee")
     serve.add_argument("--loads", default=None,
@@ -552,6 +561,8 @@ def main(argv: list[str] | None = None) -> int:
     get_cache().reset_counters()
     _PENDING_TRACE_SOURCES.clear()
     args = build_parser().parse_args(argv)
+    if args.cache_dir:
+        get_cache().load_disk(args.cache_dir)
     trace_out = getattr(args, "trace_out", None)
     if trace_out:
         GLOBAL_TRACER.enable(clear=True)
@@ -562,6 +573,24 @@ def main(argv: list[str] | None = None) -> int:
             GLOBAL_TRACER.disable()
     if status == 0 and trace_out:
         _write_trace_file(trace_out)
+    if status == 0 and args.cache_dir:
+        get_cache().save_disk(args.cache_dir)
+    cache = get_cache()
+    disk = cache.disk_stats()
+    GLOBAL_METRICS.counter(
+        "repro_cache_hits_total", "Evaluation-cache hits this invocation"
+    ).inc(cache.hits)
+    GLOBAL_METRICS.counter(
+        "repro_cache_misses_total", "Evaluation-cache misses this invocation"
+    ).inc(cache.misses)
+    GLOBAL_METRICS.counter(
+        "repro_cache_disk_loaded_total",
+        "Evaluation-cache entries warm-started from disk",
+    ).inc(disk["loaded"])
+    GLOBAL_METRICS.counter(
+        "repro_cache_disk_saved_total",
+        "Evaluation-cache entries persisted to disk",
+    ).inc(disk["saved"])
     metrics_out = getattr(args, "metrics_out", None)
     if status == 0 and metrics_out:
         with open(metrics_out, "w") as handle:
@@ -576,6 +605,10 @@ def main(argv: list[str] | None = None) -> int:
         for table, counters in get_cache().counters().items():
             print(f"cache        {table}: {counters['hits']} hits / "
                   f"{counters['misses']} misses ({counters['entries']} entries)",
+                  file=sys.stderr)
+        if args.cache_dir:
+            print(f"cache disk   {disk['loaded']} loaded / {disk['saved']} saved"
+                  + (" (cold start)" if disk["cold_starts"] else ""),
                   file=sys.stderr)
     return status
 

@@ -1,0 +1,378 @@
+"""Optional C acceleration for the vectorized dispatch engine.
+
+Two pieces of the fault-free fast path are irreducibly sequential —
+per-element decision chains NumPy cannot express — and in CPython they
+cost two orders of magnitude more than the arithmetic they perform:
+
+* the θ-walk guesser in :mod:`repro.sim.dispatch_batch`, and
+* the exact earliest-finish recurrence itself (each admission updates
+  the free time the next admission reads).
+
+This module compiles both as a few dozen lines of C once per process
+(system ``cc``, a temp directory, no build system) and exposes them
+through :data:`theta_walk` and :data:`dispatch_exact`.
+
+``dispatch_exact`` mirrors the scan loop bit for bit — same
+``arrival if arrival > free else free`` start rule, same strict
+``finish1 < finish0`` tie-break, same fault-segment ``limit`` /
+next-down cut conditions as ``_corrected_step`` — so the NumPy
+speculate-and-verify engine becomes the fallback rather than the hot
+path when a compiler is present.  Plain ``-O2`` keeps IEEE semantics
+(no ``-ffast-math``, no FMA contraction opportunities in pure
+add/compare code), and a self-check against a Python reference guards
+the build before it is trusted.  Any failure (no ``cc``, sandboxed
+filesystem, self-check mismatch) leaves both exports ``None`` and the
+pure-Python paths take over.  Set ``REPRO_NO_NATIVE=1`` to force that
+fallback explicitly (CI exercises it so the Python paths stay covered).
+"""
+
+from __future__ import annotations
+
+import ctypes
+import os
+import shutil
+import subprocess
+import tempfile
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stdint.h>
+
+int64_t repro_theta_walk(const double *u, const double *v, int64_t n,
+                         double theta, uint8_t *out)
+{
+    int64_t picks = 0;
+    for (int64_t j = 0; j < n; ++j) {
+        if (u[j] > theta) {
+            out[j] = 1;
+            theta += v[j];
+            ++picks;
+        } else {
+            out[j] = 0;
+        }
+    }
+    return picks;
+}
+
+int64_t repro_dispatch_pair(const double *arrivals, const int64_t *cids,
+                            const double *svc0, const double *svc1,
+                            int64_t n, double limit, double nd0, double nd1,
+                            double *state, uint8_t *acc,
+                            double *start, double *fin)
+{
+    double f0 = state[0];
+    double f1 = state[1];
+    int64_t j = 0;
+    for (; j < n; ++j) {
+        double a = arrivals[j];
+        int64_t c = cids[j];
+        double st0 = a > f0 ? a : f0;
+        double st1 = a > f1 ? a : f1;
+        if (st0 >= limit || st1 >= limit)
+            break;
+        double e0 = st0 + svc0[c];
+        double e1 = st1 + svc1[c];
+        if (e1 < e0) {
+            if (e1 > nd1)
+                break;
+            f1 = e1;
+            acc[j] = 1;
+            start[j] = st1;
+            fin[j] = e1;
+        } else {
+            if (e0 > nd0)
+                break;
+            f0 = e0;
+            acc[j] = 0;
+            start[j] = st0;
+            fin[j] = e0;
+        }
+    }
+    state[0] = f0;
+    state[1] = f1;
+    return j;
+}
+
+int64_t repro_dispatch_single(const double *arrivals, const int64_t *cids,
+                              const double *svc0,
+                              int64_t n, double limit, double nd0,
+                              double *state, uint8_t *acc,
+                              double *start, double *fin)
+{
+    double f0 = state[0];
+    int64_t j = 0;
+    for (; j < n; ++j) {
+        double a = arrivals[j];
+        double st0 = a > f0 ? a : f0;
+        if (st0 >= limit)
+            break;
+        double e0 = st0 + svc0[cids[j]];
+        if (e0 > nd0)
+            break;
+        f0 = e0;
+        acc[j] = 0;
+        start[j] = st0;
+        fin[j] = e0;
+    }
+    state[0] = f0;
+    return j;
+}
+"""
+
+_DOUBLE_P = ctypes.POINTER(ctypes.c_double)
+_INT64_P = ctypes.POINTER(ctypes.c_int64)
+_UINT8_P = ctypes.POINTER(ctypes.c_uint8)
+
+
+def _reference_walk(u, v, theta):
+    out = []
+    for j, value in enumerate(u):
+        if value > theta:
+            out.append(1)
+            theta += v[j]
+        else:
+            out.append(0)
+    return out
+
+
+def _reference_dispatch(arrivals, cids, rows, state, limit, nds):
+    """Pure-Python mirror of the scan/``_corrected_step`` loop."""
+    out = []
+    for a, c in zip(arrivals, cids):
+        starts = [a if a > f else f for f in state]
+        if any(st >= limit for st in starts):
+            break
+        fins = [st + row[c] for st, row in zip(starts, rows)]
+        best = 0
+        if len(fins) == 2 and fins[1] < fins[0]:
+            best = 1
+        if fins[best] > nds[best]:
+            break
+        state[best] = fins[best]
+        out.append((best, starts[best], fins[best]))
+    return out
+
+
+def _check_dispatch(pair, single):
+    inf = float("inf")
+    arrivals = [0.0, 0.1, 0.15, 0.2, 1.0, 1.05, 1.5, 2.0]
+    cids = [0, 1, 0, 1, 0, 0, 1, 1]
+    rows = [[0.3, 0.5], [0.4, 0.5]]
+    cases = [
+        (2, inf, (inf, inf)),
+        (2, 1.2, (inf, inf)),
+        (2, inf, (1.4, inf)),
+        (2, inf, (inf, 0.6)),
+        (1, inf, (inf,)),
+        (1, 0.9, (0.7,)),
+    ]
+    for width, limit, nds in cases:
+        state = [0.05, 0.0][:width]
+        expect = _reference_dispatch(
+            arrivals, cids, rows[:width], list(state), limit, nds
+        )
+        arr = np.asarray(arrivals)
+        cid = np.asarray(cids, dtype=np.int64)
+        svc = [np.asarray(row) for row in rows]
+        st = np.asarray(state)
+        acc = np.empty(arr.size, dtype=np.uint8)
+        starts = np.empty(arr.size)
+        fins = np.empty(arr.size)
+        if width == 2:
+            q = pair(
+                arr.ctypes.data_as(_DOUBLE_P),
+                cid.ctypes.data_as(_INT64_P),
+                svc[0].ctypes.data_as(_DOUBLE_P),
+                svc[1].ctypes.data_as(_DOUBLE_P),
+                arr.size,
+                limit,
+                nds[0],
+                nds[1],
+                st.ctypes.data_as(_DOUBLE_P),
+                acc.ctypes.data_as(_UINT8_P),
+                starts.ctypes.data_as(_DOUBLE_P),
+                fins.ctypes.data_as(_DOUBLE_P),
+            )
+        else:
+            q = single(
+                arr.ctypes.data_as(_DOUBLE_P),
+                cid.ctypes.data_as(_INT64_P),
+                svc[0].ctypes.data_as(_DOUBLE_P),
+                arr.size,
+                limit,
+                nds[0],
+                st.ctypes.data_as(_DOUBLE_P),
+                acc.ctypes.data_as(_UINT8_P),
+                starts.ctypes.data_as(_DOUBLE_P),
+                fins.ctypes.data_as(_DOUBLE_P),
+            )
+        got = list(zip(acc[:q].tolist(), starts[:q].tolist(), fins[:q].tolist()))
+        if q != len(expect) or got != expect:
+            return False
+    return True
+
+
+def _build():
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    tmp = None
+    try:
+        tmp = tempfile.mkdtemp(prefix="repro-native-")
+        source = os.path.join(tmp, "walk.c")
+        lib_path = os.path.join(tmp, "libreprowalk.so")
+        with open(source, "w", encoding="utf-8") as handle:
+            handle.write(_SOURCE)
+        for compiler in ("cc", "gcc", "clang"):
+            if shutil.which(compiler) is None:
+                continue
+            try:
+                subprocess.run(
+                    [compiler, "-O2", "-fPIC", "-shared", "-o", lib_path, source],
+                    check=True,
+                    capture_output=True,
+                    timeout=120,
+                )
+                break
+            except (subprocess.SubprocessError, OSError):
+                continue
+        else:
+            return None
+        library = ctypes.CDLL(lib_path)
+        walk = library.repro_theta_walk
+        walk.restype = ctypes.c_int64
+        walk.argtypes = [_DOUBLE_P, _DOUBLE_P, ctypes.c_int64, ctypes.c_double, _UINT8_P]
+        pair = library.repro_dispatch_pair
+        pair.restype = ctypes.c_int64
+        pair.argtypes = [
+            _DOUBLE_P,
+            _INT64_P,
+            _DOUBLE_P,
+            _DOUBLE_P,
+            ctypes.c_int64,
+            ctypes.c_double,
+            ctypes.c_double,
+            ctypes.c_double,
+            _DOUBLE_P,
+            _UINT8_P,
+            _DOUBLE_P,
+            _DOUBLE_P,
+        ]
+        single = library.repro_dispatch_single
+        single.restype = ctypes.c_int64
+        single.argtypes = [
+            _DOUBLE_P,
+            _INT64_P,
+            _DOUBLE_P,
+            ctypes.c_int64,
+            ctypes.c_double,
+            ctypes.c_double,
+            _DOUBLE_P,
+            _UINT8_P,
+            _DOUBLE_P,
+            _DOUBLE_P,
+        ]
+
+        # self-check against the reference implementations before
+        # trusting the build
+        check_u = [0.5, -1.0, 2.0, 0.25, 3.0, 3.0, 0.0]
+        check_v = [1.0, 1.0, 0.5, 2.0, 0.5, 0.5, 1.0]
+        for theta in (-1.0, 0.0, 0.4, 10.0):
+            cu = np.asarray(check_u)
+            cv = np.asarray(check_v)
+            got = np.empty(cu.size, dtype=np.uint8)
+            walk(
+                cu.ctypes.data_as(_DOUBLE_P),
+                cv.ctypes.data_as(_DOUBLE_P),
+                cu.size,
+                theta,
+                got.ctypes.data_as(_UINT8_P),
+            )
+            if got.tolist() != _reference_walk(check_u, check_v, theta):
+                return None
+        if not _check_dispatch(pair, single):
+            return None
+        return walk, pair, single
+    except Exception:
+        return None
+    finally:
+        # the loaded .so stays mapped; the directory entry can go
+        if tmp is not None:
+            shutil.rmtree(tmp, ignore_errors=True)
+
+
+_BUILT = _build()
+_WALK, _PAIR, _SINGLE = _BUILT if _BUILT is not None else (None, None, None)
+
+
+def _theta_walk_native(u: np.ndarray, v: np.ndarray, theta: float) -> np.ndarray:
+    """Boolean pick array for the k=2 busy-regime θ-walk, at C speed."""
+    u = np.ascontiguousarray(u, dtype=np.float64)
+    v = np.ascontiguousarray(v, dtype=np.float64)
+    out = np.empty(u.size, dtype=np.uint8)
+    _WALK(
+        u.ctypes.data_as(_DOUBLE_P),
+        v.ctypes.data_as(_DOUBLE_P),
+        u.size,
+        theta,
+        out.ctypes.data_as(_UINT8_P),
+    )
+    return out.view(np.bool_)
+
+
+def _dispatch_exact_native(arrivals, class_ids, services, free, limit, nd0, nd1):
+    """Exact earliest-finish dispatch over one clean stretch.
+
+    ``services`` is the engine's ``(width, classes)`` float64 matrix
+    (width 1 or 2, every entry finite); ``free`` is the mutable
+    per-accelerator clock list, updated in place.  Returns
+    ``(accepted, accs, starts, fins)`` — the maximal prefix satisfying
+    the ``limit`` / next-down constraints, with per-request results
+    bit-identical to the scan loop.
+    """
+    arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
+    class_ids = np.ascontiguousarray(class_ids, dtype=np.int64)
+    n = arrivals.size
+    acc = np.empty(n, dtype=np.uint8)
+    starts = np.empty(n, dtype=np.float64)
+    fins = np.empty(n, dtype=np.float64)
+    state = np.asarray(free, dtype=np.float64)
+    svc0 = np.ascontiguousarray(services[0])
+    if services.shape[0] == 2:
+        svc1 = np.ascontiguousarray(services[1])
+        q = _PAIR(
+            arrivals.ctypes.data_as(_DOUBLE_P),
+            class_ids.ctypes.data_as(_INT64_P),
+            svc0.ctypes.data_as(_DOUBLE_P),
+            svc1.ctypes.data_as(_DOUBLE_P),
+            n,
+            limit,
+            nd0,
+            nd1,
+            state.ctypes.data_as(_DOUBLE_P),
+            acc.ctypes.data_as(_UINT8_P),
+            starts.ctypes.data_as(_DOUBLE_P),
+            fins.ctypes.data_as(_DOUBLE_P),
+        )
+        free[1] = float(state[1])
+    else:
+        q = _SINGLE(
+            arrivals.ctypes.data_as(_DOUBLE_P),
+            class_ids.ctypes.data_as(_INT64_P),
+            svc0.ctypes.data_as(_DOUBLE_P),
+            n,
+            limit,
+            nd0,
+            state.ctypes.data_as(_DOUBLE_P),
+            acc.ctypes.data_as(_UINT8_P),
+            starts.ctypes.data_as(_DOUBLE_P),
+            fins.ctypes.data_as(_DOUBLE_P),
+        )
+    free[0] = float(state[0])
+    return q, acc[:q], starts[:q], fins[:q]
+
+
+#: the accelerated kernels, or ``None`` when no compiler is available —
+#: callers must keep a pure-Python path behind these checks
+theta_walk = _theta_walk_native if _WALK is not None else None
+dispatch_exact = _dispatch_exact_native if _PAIR is not None else None

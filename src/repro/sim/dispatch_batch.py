@@ -1,0 +1,509 @@
+"""Speculative NumPy batch engine for earliest-finish dispatch.
+
+The scalar engines in :mod:`repro.sim.serving` retire one request per
+loop iteration; at a million requests the interpreter overhead dwarfs
+the arithmetic.  This module dispatches the same trace in vectorized
+*speculate-and-verify* rounds while staying **byte-identical** to the
+seed scan:
+
+1. **Guess** the per-request accelerator assignment with cheap
+   approximate math — a θ-walk over cumulative service sums when the
+   partition is saturated (every start is a busy handoff), or an
+   elementwise ``arrival + service`` argmin when it is idle.
+2. **Reconstruct** the per-accelerator finish trajectories the guess
+   implies, exactly: each accelerator's busy chain is a sequential
+   ``np.cumsum`` (NumPy's ``add.accumulate`` adds left to right, the
+   same float64 additions the scalar loop performs one at a time).
+3. **Verify** every decision against the true earliest-finish rule on
+   the reconstructed state: candidate finishes are
+   ``max(arrival, free) + service`` — the scan's exact expression —
+   and a position is valid only when the guessed winner matches and the
+   winner's start semantics (busy vs idle) match the reconstruction.
+4. **Accept** the longest valid prefix.  By induction the scheduler
+   state at the first mismatch is exact, so one scalar *corrected step*
+   is computed from the already-verified candidates and the round
+   always makes progress.
+
+Why byte-identity holds: the scan computes ``start = max(arrival,
+free)`` (a comparison, no rounding) and ``finish = start + service``
+(one float64 add).  Every accepted value here is produced by that same
+single add — either inside a sequential cumsum over the accelerator's
+busy chain or as ``arrival + service`` for an idle admission — on
+bit-equal operands.  The θ-walk's rearranged arithmetic is only ever a
+*guess*; nothing it computes reaches the output.
+
+Widths 1 and 2 are handled natively (the common partitions); wider
+partitions are the caller's job (``serving.py`` delegates them to the
+table/heap engines, which are byte-identical anyway).  The entry points
+report how far they got so callers can fall back mid-trace:
+persistent low acceptance (an adversarial arrival pattern) bails out
+rather than degrading quadratically.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.sim._native import dispatch_exact as _native_dispatch
+from repro.sim._native import theta_walk as _native_walk
+
+#: speculation window right after a cut (kept small: a failed round's
+#: cost is proportional to the window it speculated over)
+MIN_WINDOW = 512
+
+#: a round accepting fewer than this many requests counts as stalled
+STALL_ACCEPT = 256
+
+#: consecutive stalled rounds before handing a burst to the scalar
+#: fallback — regime-transition churn (idle<->busy warmup) is skipped
+#: at scalar speed instead of being speculated over and over
+MAX_STALLS = 2
+
+#: first scalar-fallback burst length; doubles while stalls persist, so
+#: adversarial traces degrade to scalar throughput plus a vanishing
+#: fraction of failed speculation rounds
+MIN_BURST = 256
+
+_INF = math.inf
+
+
+def _finite_or(values: np.ndarray, fill: float) -> np.ndarray:
+    if np.isfinite(values).all():
+        return values
+    return np.where(np.isfinite(values), values, fill)
+
+
+def _theta_walk(u_list, v_list, theta: float) -> list:
+    """Indices the θ-walk guesses for accelerator 1 (k=2 busy regime).
+
+    Position ``j`` is an acc-1 pick iff ``U[j] > θ``, where θ starts at
+    ``free1 - free0`` folded into the cumulative-sum frame and grows by
+    ``V[j]`` at each pick.  Pure guess — accuracy only affects speed.
+
+    This is the pure-Python fallback; when a C compiler is available the
+    walk runs natively (:mod:`repro.sim._native`) — same decision chain,
+    two orders of magnitude cheaper per element.
+    """
+    enders = []
+    append = enders.append
+    for j, u in enumerate(u_list):
+        if u > theta:
+            append(j)
+            theta += v_list[j]
+    return enders
+
+
+def _walk_picks(u: np.ndarray, v: np.ndarray, theta: float) -> np.ndarray:
+    """Boolean θ-walk pick array, native when possible."""
+    if _native_walk is not None:
+        return _native_walk(u, v, theta)
+    d = np.zeros(u.size, dtype=bool)
+    enders = _theta_walk(u.tolist(), v.tolist(), theta)
+    if enders:
+        d[enders] = True
+    return d
+
+
+_ARANGE = np.empty(0, dtype=np.int64)
+
+
+def _arange(n: int) -> np.ndarray:
+    """A cached ``0..n-1`` view (the busy round needs it every call)."""
+    global _ARANGE
+    if _ARANGE.size < n:
+        _ARANGE = np.arange(max(n, 2 * _ARANGE.size), dtype=np.int64)
+    return _ARANGE[:n]
+
+
+def _round_k2_busy(
+    a, c, s0, s1, free, limit=_INF, nd0=_INF, nd1=_INF, corrected=True
+):
+    """One saturated-regime speculation round over a two-wide partition.
+
+    Returns ``(accepted, accs, starts, fins, reason)`` where ``reason``
+    is ``None`` (full window), ``"idle"`` (the cut position needs an
+    idle admission — the caller should try the idle guesser), or
+    ``"boundary"`` (a ``limit``/``nd`` fault-segment constraint cut).
+    """
+    f0, f1 = free
+    B = a.size
+    s0f = _finite_or(s0, 0.0)
+    u = np.cumsum(s0f)
+    u -= s1
+    if s0f is not s0:
+        u[~np.isfinite(s0)] = _INF
+    v = s0f + _finite_or(s1, 0.0)
+    d = _walk_picks(u, v, f1 - f0)
+    keep0 = ~d
+    traj0 = np.cumsum(np.concatenate(((f0,), s0[keep0])))
+    traj1 = np.cumsum(np.concatenate(((f1,), s1[d])))
+    excl0 = np.cumsum(keep0)
+    excl0 -= keep0
+    excl1 = _arange(B) - excl0
+    f0b = traj0[excl0]
+    f1b = traj1[excl1]
+    # the selected accelerator's free-before must not exceed the
+    # arrival (busy-handoff semantics); test before the in-place max
+    # below clobbers the free-before arrays
+    ok = np.where(d, f1b, f0b) >= a
+    st0 = np.maximum(a, f0b, out=f0b)
+    st1 = np.maximum(a, f1b, out=f1b)
+    fin0 = st0 + s0
+    fin1 = st1 + s1
+    w = fin1 < fin0
+    ok &= w == d
+    if limit != _INF:
+        ok &= (st0 < limit) & (st1 < limit)
+    if nd0 != _INF or nd1 != _INF:
+        ok &= np.where(d, fin1 <= nd1, fin0 <= nd0)
+    if ok.all():
+        free[0] = float(traj0[-1])
+        free[1] = float(traj1[-1])
+        return (
+            B,
+            d,
+            np.where(d, st1, st0),
+            np.where(d, fin1, fin0),
+            None,
+        )
+    q = int(np.argmin(ok))
+    n0 = int(excl0[q])
+    free[0] = float(traj0[n0])
+    free[1] = float(traj1[q - n0])
+    accs = d[:q]
+    starts = np.where(d[:q], st1[:q], st0[:q])
+    fins = np.where(d[:q], fin1[:q], fin0[:q])
+    sel_free_q = float(traj1[q - n0]) if d[q] else float(traj0[n0])
+    reason = None if sel_free_q >= float(a[q]) else "idle"
+    if not corrected:
+        return q, accs, starts, fins, reason or "boundary"
+    step = _corrected_step(
+        float(a[q]),
+        float(s0[q]),
+        float(s1[q]),
+        free,
+        limit,
+        nd0,
+        nd1,
+    )
+    if step is None:
+        return q, accs, starts, fins, "boundary"
+    return (
+        q + 1,
+        np.concatenate((accs, (step[0],))),
+        np.concatenate((starts, (step[1],))),
+        np.concatenate((fins, (step[2],))),
+        reason,
+    )
+
+
+def _round_k2_idle(
+    a, c, s0, s1, free, limit=_INF, nd0=_INF, nd1=_INF, corrected=True
+):
+    """One idle-regime round: every admission guessed as ``arrival + service``."""
+    f0, f1 = free
+    B = a.size
+    fin0c = a + s0
+    fin1c = a + s1
+    d = fin1c < fin0c
+    fins_full = np.where(d, fin1c, fin0c)
+    idx = np.arange(B)
+    last0 = np.maximum.accumulate(np.where(d, -1, idx))
+    last1 = np.maximum.accumulate(np.where(d, idx, -1))
+    prev0 = np.empty(B, dtype=np.int64)
+    prev0[0] = -1
+    prev0[1:] = last0[:-1]
+    prev1 = np.empty(B, dtype=np.int64)
+    prev1[0] = -1
+    prev1[1:] = last1[:-1]
+    f0b = np.where(prev0 >= 0, fins_full[np.maximum(prev0, 0)], f0)
+    f1b = np.where(prev1 >= 0, fins_full[np.maximum(prev1, 0)], f1)
+    ok = (a >= f0b) & (a >= f1b)
+    if nd0 != _INF or nd1 != _INF:
+        ok &= np.where(d, fin1c <= nd1, fin0c <= nd0)
+    # starts equal arrivals wherever ``ok`` holds, so a finite ``limit``
+    # is already satisfied: segment batches only contain times < limit
+    if ok.all():
+        i0 = int(last0[-1])
+        i1 = int(last1[-1])
+        free[0] = float(fins_full[i0]) if i0 >= 0 else f0
+        free[1] = float(fins_full[i1]) if i1 >= 0 else f1
+        return B, d, a.copy(), fins_full, None
+    q = int(np.argmin(ok))
+    if q:
+        i0 = int(last0[q - 1])
+        i1 = int(last1[q - 1])
+        free[0] = float(fins_full[i0]) if i0 >= 0 else f0
+        free[1] = float(fins_full[i1]) if i1 >= 0 else f1
+    accs = d[:q]
+    starts = a[:q].copy()
+    fins = fins_full[:q]
+    busy_cut = bool(a[q] < f0b[q]) or bool(a[q] < f1b[q])
+    reason = "busy" if busy_cut else None
+    if not corrected:
+        return q, accs, starts, fins, reason or "boundary"
+    step = _corrected_step(
+        float(a[q]),
+        float(s0[q]),
+        float(s1[q]),
+        free,
+        limit,
+        nd0,
+        nd1,
+    )
+    if step is None:
+        return q, accs, starts, fins, "boundary"
+    return (
+        q + 1,
+        np.concatenate((accs, (step[0],))),
+        np.concatenate((starts, (step[1],))),
+        np.concatenate((fins, (step[2],))),
+        reason,
+    )
+
+
+def _corrected_step(arrival, s0, s1, free, limit, nd0, nd1):
+    """One exact scalar dispatch step from verified state.
+
+    Mirrors the scan body bit for bit: ``start = arrival if arrival >
+    free else free``, ``finish = start + service``, acc 1 wins only on
+    a strictly earlier finish.  Updates ``free`` in place and returns
+    ``(acc, start, finish)``, or ``None`` when a fault-segment
+    constraint (start beyond ``limit``, finish past the accelerator's
+    next down window) means the scalar fault loop must take over.
+    """
+    f0, f1 = free
+    st0 = arrival if arrival > f0 else f0
+    st1 = arrival if arrival > f1 else f1
+    if st0 >= limit or st1 >= limit:
+        return None
+    fin0 = st0 + s0
+    fin1 = st1 + s1
+    if fin1 < fin0:
+        if fin1 > nd1:
+            return None
+        free[1] = fin1
+        return 1, st1, fin1
+    if fin0 > nd0:
+        return None
+    free[0] = fin0
+    return 0, st0, fin0
+
+
+def _corrected_step_k1(arrival, s0, free, limit, nd0):
+    f0 = free[0]
+    st0 = arrival if arrival > f0 else f0
+    if st0 >= limit:
+        return None
+    fin0 = st0 + s0
+    if fin0 > nd0:
+        return None
+    free[0] = fin0
+    return 0, st0, fin0
+
+
+def _round_k1_busy(a, c, s0, free, limit=_INF, nd0=_INF, corrected=True):
+    f0 = free[0]
+    B = a.size
+    traj = np.cumsum(np.concatenate(((f0,), s0)))
+    f0b = traj[:-1]
+    st = np.maximum(a, f0b)
+    fin = st + s0
+    ok = f0b >= a
+    if limit != _INF:
+        ok &= st < limit
+    if nd0 != _INF:
+        ok &= fin <= nd0
+    if ok.all():
+        free[0] = float(traj[-1])
+        return B, np.zeros(B, dtype=np.int64), st, fin, None
+    q = int(np.argmin(ok))
+    free[0] = float(traj[q])
+    reason = None if bool(f0b[q] >= a[q]) else "idle"
+    accs = np.zeros(q, dtype=np.int64)
+    if not corrected:
+        return q, accs, st[:q], fin[:q], reason or "boundary"
+    step = _corrected_step_k1(float(a[q]), float(s0[q]), free, limit, nd0)
+    if step is None:
+        return q, accs, st[:q], fin[:q], "boundary"
+    return (
+        q + 1,
+        np.zeros(q + 1, dtype=np.int64),
+        np.concatenate((st[:q], (step[1],))),
+        np.concatenate((fin[:q], (step[2],))),
+        reason,
+    )
+
+
+def _round_k1_idle(a, c, s0, free, limit=_INF, nd0=_INF, corrected=True):
+    f0 = free[0]
+    B = a.size
+    fin = a + s0
+    f0b = np.empty(B)
+    f0b[0] = f0
+    f0b[1:] = fin[:-1]
+    ok = a >= f0b
+    if nd0 != _INF:
+        ok &= fin <= nd0
+    if ok.all():
+        free[0] = float(fin[-1])
+        return B, np.zeros(B, dtype=np.int64), a.copy(), fin, None
+    q = int(np.argmin(ok))
+    if q:
+        free[0] = float(fin[q - 1])
+    reason = "busy" if bool(a[q] < f0b[q]) else None
+    accs = np.zeros(q, dtype=np.int64)
+    if not corrected:
+        return q, accs, a[:q].copy(), fin[:q], reason or "boundary"
+    step = _corrected_step_k1(float(a[q]), float(s0[q]), free, limit, nd0)
+    if step is None:
+        return q, accs, a[:q].copy(), fin[:q], "boundary"
+    return (
+        q + 1,
+        np.zeros(q + 1, dtype=np.int64),
+        np.concatenate((a[:q], (step[1],))),
+        np.concatenate((fin[:q], (step[2],))),
+        reason,
+    )
+
+
+def _one_round(a, c, services, free, busy, limit=_INF, next_downs=None, corrected=True):
+    nd = next_downs or ()
+    if services.shape[0] == 1:
+        nd0 = nd[0] if nd else _INF
+        row = services[0][c]
+        if busy:
+            return _round_k1_busy(a, c, row, free, limit, nd0, corrected)
+        return _round_k1_idle(a, c, row, free, limit, nd0, corrected)
+    nd0 = nd[0] if nd else _INF
+    nd1 = nd[1] if nd else _INF
+    s0 = services[0][c]
+    s1 = services[1][c]
+    if busy:
+        return _round_k2_busy(a, c, s0, s1, free, limit, nd0, nd1, corrected)
+    return _round_k2_idle(a, c, s0, s1, free, limit, nd0, nd1, corrected)
+
+
+def dispatch_vectorized(
+    arrivals, class_ids, services, free, flush, chunk_size, fallback=None
+):
+    """Dispatch a fault-free trace in speculate-and-verify rounds.
+
+    ``services`` is a ``(width, classes)`` float64 matrix with ``inf``
+    marking infeasible pairs; ``free`` is the mutable per-accelerator
+    clock list shared with the scalar engines.  ``fallback(lo, hi)``
+    dispatches ``arrivals[lo:hi]`` through a scalar engine from the
+    current ``free`` state: it absorbs the stretches speculation keeps
+    mispredicting (regime transitions, adversarial arrival patterns) in
+    escalating bursts.  Without a fallback the function returns early
+    instead; the return value is how many requests were dispatched from
+    the front of the trace (``arrivals.size`` when a fallback is given).
+    """
+    n = int(arrivals.size)
+    if services.shape[0] > 2:
+        return 0
+    if _native_dispatch is not None and np.isfinite(services).all():
+        # exact native loop: no speculation to verify, no constraints to
+        # hit — every chunk is fully dispatched in one C pass, and the
+        # chunk-sized flushes keep streaming summation boundaries
+        # identical to the scalar engines
+        pos = 0
+        while pos < n:
+            hi = min(pos + chunk_size, n)
+            _, accs, starts, fins = _native_dispatch(
+                arrivals[pos:hi], class_ids[pos:hi], services, free,
+                _INF, _INF, _INF,
+            )
+            flush(pos, accs, starts, fins)
+            pos = hi
+        return n
+    pos = 0
+    max_window = max(chunk_size, MIN_WINDOW)
+    window = MIN_WINDOW
+    busy = max(free) > float(arrivals[0]) if n else False
+    stalls = 0
+    burst = MIN_BURST
+    while pos < n:
+        hi = min(pos + window, n)
+        span = hi - pos
+        q, accs, starts, fins, reason = _one_round(
+            arrivals[pos:hi], class_ids[pos:hi], services, free, busy
+        )
+        if q:
+            flush(pos, accs, starts, fins)
+            pos += q
+        if reason == "idle":
+            busy = False
+        elif reason == "busy":
+            busy = True
+        if q >= span:
+            window = min(window * 4, max_window)
+            stalls = 0
+            burst = MIN_BURST
+        elif q >= STALL_ACCEPT:
+            window = min(max(2 * q, MIN_WINDOW), max_window)
+            stalls = 0
+            burst = MIN_BURST
+        else:
+            window = MIN_WINDOW
+            stalls += 1
+            if stalls >= MAX_STALLS:
+                if fallback is None:
+                    return pos
+                end = min(pos + burst, n)
+                fallback(pos, end)
+                pos = end
+                burst = min(burst * 2, max_window)
+                stalls = 0
+                if pos < n:
+                    busy = max(free) > float(arrivals[pos])
+    return n
+
+
+def dispatch_segment(times, class_ids, services, free, limit, next_downs):
+    """Dispatch one clean fault segment (no window active, all times
+    below ``limit``); used by the fault loop between transitions.
+
+    ``next_downs[order]`` is the first down-window start after the
+    segment opens (``inf`` when none): any admission whose start would
+    reach ``limit`` or whose finish would cross its accelerator's next
+    down window is left to the scalar fault loop, which owns the kill
+    and requeue bookkeeping.  Returns ``(accepted, accs, starts,
+    fins)`` for the verified prefix.
+    """
+    n = int(times.size)
+    if n and _native_dispatch is not None and np.isfinite(services).all():
+        nd = next_downs or ()
+        nd0 = nd[0] if nd else _INF
+        nd1 = nd[1] if len(nd) > 1 else _INF
+        q, accs, starts, fins = _native_dispatch(
+            times, class_ids, services, free, limit, nd0, nd1
+        )
+        return q, ([(0, accs, starts, fins)] if q else [])
+    busy = max(free) > float(times[0]) if n else False
+    pos = 0
+    out = []
+    while pos < n:
+        q, accs, starts, fins, reason = _one_round(
+            times[pos:n],
+            class_ids[pos:n],
+            services,
+            free,
+            busy,
+            limit=limit,
+            next_downs=next_downs,
+        )
+        if q:
+            out.append((pos, accs, starts, fins))
+            pos += q
+        if reason == "boundary":
+            break
+        if reason == "idle":
+            busy = False
+        elif reason == "busy":
+            busy = True
+        if not q:
+            break
+    return pos, out

@@ -8,14 +8,19 @@ fully reproducible), dispatches each request to the partition
 accelerator that finishes it earliest, and reports throughput and
 latency percentiles.
 
-Two dispatch engines produce **byte-identical** decisions:
+The dispatch engines all produce **byte-identical** decisions:
 
 * the seed scan (``dispatch="scan"``) — the original O(requests x
   accelerators) loop, kept as the ground truth and benchmark baseline;
 * the fast path (default) — per-shape-class service tables resolved
   once per ``(accelerator, shape)`` pair, a dense earliest-finish scan
   for small partitions and a per-class lazy earliest-finish heap
-  (O(n log k)) for larger ones.
+  (O(n log k)) for larger ones;
+* the vectorized engine (``dispatch="vectorized"``, auto-selected for
+  one- and two-wide partitions on fault-free runs) — NumPy
+  speculate-and-verify batches over the SoA trace
+  (:mod:`repro.sim.dispatch_batch`), retiring tens of thousands of
+  requests per interpreter round-trip.
 
 ``run(..., streaming=True)`` feeds dispatched chunks straight into a
 :class:`~repro.sim.streaming.StreamingServingReport` — O(1) memory in
@@ -70,14 +75,20 @@ import numpy as np
 from repro.core.multi_acc import AcceleratorPartition
 from repro.obs.spans import GLOBAL_TRACER, span
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, FaultStats, track
-from repro.perf.parallel import parallel_map
+from repro.perf.parallel import parallel_map, resolve_jobs
 from repro.sim.chaos import (
     DEFAULT_FAULT_POLICY,
     FaultError,
     FaultPolicy,
     FaultSchedule,
 )
-from repro.sim.streaming import SoATrace, StreamingServingReport, generate_trace_soa
+from repro.sim.dispatch_batch import dispatch_segment, dispatch_vectorized
+from repro.sim.streaming import (
+    SoATrace,
+    StreamingServingReport,
+    derive_seed,
+    generate_trace_soa,
+)
 from repro.workloads.gemm import GemmShape
 
 #: partitions at least this large dispatch through the per-class heap
@@ -87,7 +98,11 @@ HEAP_MIN_ACCELERATORS = 7
 #: requests buffered between streaming-report flushes (bounds memory)
 DISPATCH_CHUNK = 65536
 
-_DISPATCH_MODES = ("auto", "heap", "table", "scan")
+_DISPATCH_MODES = ("auto", "vectorized", "heap", "table", "scan")
+
+#: widths the speculative NumPy engine handles natively; wider
+#: partitions delegate to the (byte-identical) table/heap engines
+VECTORIZED_MAX_ACCELERATORS = 2
 
 
 @dataclass(frozen=True)
@@ -836,10 +851,15 @@ class ServingSimulator:
     ) -> ServingReport | StreamingServingReport:
         """Serve ``trace``; return an exact or streaming report.
 
-        ``dispatch`` selects the engine: ``auto`` (table scan for small
-        partitions, heap above :data:`HEAP_MIN_ACCELERATORS`), ``table``,
+        ``dispatch`` selects the engine: ``auto`` (the speculative NumPy
+        batch engine up to :data:`VECTORIZED_MAX_ACCELERATORS` on
+        fault-free runs, table scan for other small partitions, heap
+        above :data:`HEAP_MIN_ACCELERATORS`), ``vectorized``, ``table``,
         ``heap``, or ``scan`` (the seed loop, exact mode only).  All
-        engines make byte-identical dispatch decisions.
+        engines make byte-identical dispatch decisions; ``vectorized``
+        on a wider partition or under a fault schedule's active windows
+        delegates to the scalar engines (same decisions, engine choice
+        is purely a throughput knob).
         ``streaming=True`` returns a :class:`StreamingServingReport`
         with O(1) memory and ``quantile_error``-bounded percentiles;
         the default exact mode materializes every completed request.
@@ -957,10 +977,84 @@ class ServingSimulator:
         select = selector.select
         backoff = policy.backoff
         max_retries = policy.max_retries
+        # the vectorized engine batches clean segments — stretches where
+        # no fault window is active on any accelerator — through the
+        # speculate-and-verify rounds; the scalar loop below keeps sole
+        # ownership of kills, requeues and shedding, so anything the
+        # batch cannot prove safe (an admission crossing the next
+        # transition or down window) is simply handed back to it
+        use_batch = (
+            dispatch == "vectorized"
+            and len(names) <= VECTORIZED_MAX_ACCELERATORS
+        )
+        services = self._service_matrix(names, specs) if use_batch else None
+        width = len(names)
+        min_batch = 64
+        batch_paused = False
+        no_batch_before = -math.inf
         loop_span = span("serve.fault_loop", track="serving", requests=n)
         with loop_span:
             while queue:
+                if (
+                    use_batch
+                    and not batch_paused
+                    and len(queue) >= min_batch
+                    and queue[0][0] >= no_batch_before
+                ):
+                    t0 = queue[0][0]
+                    if all(
+                        view.window_index_at(order, t0) is None
+                        for order in range(width)
+                    ):
+                        nxt = view.next_transition_after(t0)
+                        limit = math.inf if nxt is None else nxt
+                        batch = []
+                        while queue and queue[0][0] < limit:
+                            batch.append(heapq.heappop(queue))
+                        if len(batch) >= min_batch:
+                            times = np.asarray([item[0] for item in batch])
+                            cids = np.asarray(
+                                [class_ids[item[1]] for item in batch],
+                                dtype=np.int64,
+                            )
+                            next_downs = tuple(
+                                nd if (nd := view.next_down_after(order, t0))
+                                is not None
+                                else math.inf
+                                for order in range(width)
+                            )
+                            accepted, segments = dispatch_segment(
+                                times, cids, services, free, limit, next_downs
+                            )
+                            for seg_base, accs, starts, fins in segments:
+                                for off, (acc, start, fin) in enumerate(
+                                    zip(
+                                        accs.tolist(),
+                                        starts.tolist(),
+                                        fins.tolist(),
+                                    )
+                                ):
+                                    item = batch[seg_base + off]
+                                    completions[item[1]] = (
+                                        acc,
+                                        start,
+                                        fin,
+                                        item[2],
+                                    )
+                            for item in batch[accepted:]:
+                                heapq.heappush(queue, item)
+                            if accepted == 0:
+                                # boundary-blocked segment: the scalar
+                                # loop finishes it without re-draining
+                                no_batch_before = limit
+                            elif accepted < len(batch):
+                                batch_paused = True
+                            continue
+                        for item in batch:
+                            heapq.heappush(queue, item)
+                        no_batch_before = limit
                 t, pos, retries = heapq.heappop(queue)
+                batch_paused = False
                 best = select(t, class_ids[pos])
                 if best is None:
                     nxt = view.next_transition_after(t)
@@ -1098,17 +1192,22 @@ class ServingSimulator:
         return ServingReport(completed=completed)
 
     def _normalize(
-        self, trace: Union[Sequence[Request], SoATrace], need_requests: bool
-    ) -> tuple[np.ndarray, list[int], list[GemmShape], list[Request] | None]:
-        """Arrival-sorted SoA view of ``trace`` (+ Request list if needed)."""
+        self,
+        trace: Union[Sequence[Request], SoATrace],
+        need_requests: bool,
+        as_arrays: bool = False,
+    ) -> tuple[np.ndarray, Sequence[int], list[GemmShape], list[Request] | None]:
+        """Arrival-sorted SoA view of ``trace`` (+ Request list if needed).
+
+        ``as_arrays=True`` keeps the class ids as an int64 array (the
+        vectorized engine's native form — an ``SoATrace`` passes through
+        without a single element being boxed); the default returns the
+        list the scalar engines index fastest.
+        """
         if isinstance(trace, SoATrace):
             requests = trace.materialize() if need_requests else None
-            return (
-                trace.arrivals,
-                trace.shape_ids.tolist(),
-                list(trace.shapes),
-                requests,
-            )
+            class_ids = trace.shape_ids if as_arrays else trace.shape_ids.tolist()
+            return trace.arrivals, class_ids, list(trace.shapes), requests
         ordered = sorted(trace, key=lambda r: r.arrival)
         class_index: dict[GemmShape, int] = {}
         class_ids = [
@@ -1116,6 +1215,8 @@ class ServingSimulator:
             for request in ordered
         ]
         arrivals = np.asarray([request.arrival for request in ordered])
+        if as_arrays:
+            class_ids = np.asarray(class_ids, dtype=np.int64)
         return arrivals, class_ids, list(class_index), ordered
 
     def _class_specs(
@@ -1139,6 +1240,15 @@ class ServingSimulator:
             specs.append(tuple(flat))
         return specs
 
+    @staticmethod
+    def _service_matrix(names: Sequence[str], specs: Sequence[tuple]) -> np.ndarray:
+        """Dense ``(width, classes)`` service matrix; ``inf`` = infeasible."""
+        services = np.full((len(names), len(specs)), np.inf)
+        for cid, spec in enumerate(specs):
+            for offset in range(0, len(spec), 2):
+                services[spec[offset], cid] = spec[offset + 1]
+        return services
+
     def _run_fast(
         self,
         trace: Union[Sequence[Request], SoATrace],
@@ -1149,18 +1259,32 @@ class ServingSimulator:
         chunk_size: int,
     ) -> ServingReport | StreamingServingReport:
         names = list(self.partition.designs)
+        use_vectorized = (
+            dispatch == "vectorized"
+            or (dispatch == "auto" and len(names) <= VECTORIZED_MAX_ACCELERATORS)
+        ) and len(names) <= VECTORIZED_MAX_ACCELERATORS
         arrivals, class_ids, classes, requests = self._normalize(
-            trace, need_requests=not streaming
+            trace, need_requests=not streaming, as_arrays=use_vectorized
         )
         if streaming:
             report = StreamingServingReport(names, quantile_error=quantile_error)
         if len(arrivals) == 0:
             return report if streaming else ServingReport(completed=[])
-        specs = self._class_specs(classes, set(class_ids))
+        used = (
+            # bincount instead of np.unique: no million-element sort
+            set(
+                np.flatnonzero(
+                    np.bincount(class_ids, minlength=len(classes))
+                ).tolist()
+            )
+            if use_vectorized
+            else set(class_ids)
+        )
+        specs = self._class_specs(classes, used)
         # dispatched service lookups are cache hits by construction
         self.stats.cache_hits += len(class_ids)
         free = [0.0] * len(names)
-        arrival_list = arrivals.tolist()
+        arrival_list = None if use_vectorized else arrivals.tolist()
 
         if streaming:
             def flush(base: int, accs: list, starts: list, finishes: list) -> None:
@@ -1198,8 +1322,98 @@ class ServingSimulator:
                 ):
                     inner_flush(base, accs, starts, finishes)
 
+        if use_vectorized:
+            if streaming:
+                # The streaming report's running float sums depend on
+                # flush boundaries, so the variable-length accepted
+                # segments are buffered and re-emitted as exact
+                # ``chunk_size`` blocks — the same boundaries the scalar
+                # engines use — keeping ``as_dict()`` bit-identical.
+                pend_accs: list[np.ndarray] = []
+                pend_starts: list[np.ndarray] = []
+                pend_fins: list[np.ndarray] = []
+                pend = {"count": 0, "base": 0}
+
+                def vflush(base, accs, starts, finishes):
+                    if pend["count"] == 0:
+                        pend["base"] = base
+                    accs = np.asarray(accs, dtype=np.int64)
+                    pend_accs.append(accs)
+                    pend_starts.append(np.asarray(starts))
+                    pend_fins.append(np.asarray(finishes))
+                    pend["count"] += len(accs)
+                    while pend["count"] >= chunk_size:
+                        accs_all = np.concatenate(pend_accs)
+                        starts_all = np.concatenate(pend_starts)
+                        fins_all = np.concatenate(pend_fins)
+                        flush(
+                            pend["base"],
+                            accs_all[:chunk_size],
+                            starts_all[:chunk_size],
+                            fins_all[:chunk_size],
+                        )
+                        del pend_accs[:], pend_starts[:], pend_fins[:]
+                        pend["base"] += chunk_size
+                        pend["count"] -= chunk_size
+                        if pend["count"]:
+                            pend_accs.append(accs_all[chunk_size:])
+                            pend_starts.append(starts_all[chunk_size:])
+                            pend_fins.append(fins_all[chunk_size:])
+
+                def vfinish() -> None:
+                    if pend["count"]:
+                        flush(
+                            pend["base"],
+                            np.concatenate(pend_accs),
+                            np.concatenate(pend_starts),
+                            np.concatenate(pend_fins),
+                        )
+                        del pend_accs[:], pend_starts[:], pend_fins[:]
+                        pend["count"] = 0
+
+                seg_flush = vflush
+            else:
+                inner = flush
+
+                def vflush(base, accs, starts, finishes):
+                    inner(base, accs.tolist(), starts.tolist(), finishes.tolist())
+
+                vfinish = None
+                seg_flush = flush
+
+            services = self._service_matrix(names, specs)
+
+            def fallback(lo: int, hi: int) -> None:
+                # scalar burst over a stretch speculation keeps
+                # mispredicting; same engine state, same decisions
+                def burst_flush(base, accs, starts, finishes):
+                    seg_flush(lo + base, accs, starts, finishes)
+
+                _dispatch_table(
+                    arrivals[lo:hi].tolist(),
+                    class_ids[lo:hi].tolist(),
+                    specs,
+                    free,
+                    burst_flush,
+                    chunk_size,
+                )
+
+            dispatch_vectorized(
+                arrivals,
+                class_ids,
+                services,
+                free,
+                vflush,
+                chunk_size,
+                fallback=fallback,
+            )
+            if vfinish is not None:
+                vfinish()
+            return report if streaming else ServingReport(completed=completed)
+
         use_heap = dispatch == "heap" or (
-            dispatch == "auto" and len(names) >= HEAP_MIN_ACCELERATORS
+            dispatch in ("auto", "vectorized")
+            and len(names) >= HEAP_MIN_ACCELERATORS
         )
         if use_heap:
             heap_tables = []
@@ -1306,18 +1520,29 @@ def load_sweep(
     quantile_error: float = 0.01,
     knee_tol: float = 0.05,
     plateau_rtol: float = 0.02,
+    jobs: int = 1,
     faults: FaultSchedule | None = None,
     fault_policy: FaultPolicy | None = None,
 ) -> LoadSweepResult:
     """Sweep offered load, collecting throughput and tail-latency curves.
 
     For each offered load (requests/sec) a fresh SoA trace is generated
-    and served (``streaming=True`` keeps the sweep O(1) in memory).  The
-    *saturation knee* is the first load whose achieved throughput falls
-    below ``offered * (1 - knee_tol)``; once achieved throughput stops
-    growing by more than ``plateau_rtol`` between consecutive points the
-    sweep exits early — past saturation every extra point costs a full
-    simulation and reports the same ceiling.
+    and served (``streaming=True`` keeps the sweep O(1) in memory).
+    Every point draws its trace from :func:`~repro.sim.streaming.derive_seed`
+    ``(seed, point index)``, so the points are decorrelated yet fully
+    determined by ``seed`` alone.  The *saturation knee* is the first
+    load whose achieved throughput falls below ``offered * (1 -
+    knee_tol)``; once achieved throughput stops growing by more than
+    ``plateau_rtol`` between consecutive points the sweep exits early —
+    past saturation every extra point costs a full simulation and
+    reports the same ceiling.
+
+    ``jobs > 1`` evaluates points in waves of ``jobs`` through
+    :func:`~repro.perf.parallel.parallel_map` — thread-based, so the
+    simulator's SoA traces and service tables are shared, never pickled
+    — while the knee/plateau fold still walks the results in offered-
+    load order and truncates at the same point, making the returned
+    sweep byte-equal to a ``jobs=1`` run (``jobs=0`` uses every core).
 
     ``faults`` applies the same fault schedule to every point of the
     sweep (the schedule is in absolute trace time), so the curve shows
@@ -1326,16 +1551,17 @@ def load_sweep(
     """
     if offered_loads is None:
         offered_loads = default_load_ramp(simulator, shapes)
+    offered_loads = list(offered_loads)
     if not offered_loads:
         raise ValueError("need at least one offered load")
     if any(load <= 0 for load in offered_loads):
         raise ValueError("offered loads must be positive")
-    points: list[LoadSweepPoint] = []
-    knee_rps: float | None = None
-    plateau_rps: float | None = None
-    early_exit = False
-    for offered in offered_loads:
-        trace = generate_trace_soa(shapes, num_requests, 1.0 / offered, seed=seed)
+
+    def evaluate(task: tuple[int, float]) -> LoadSweepPoint:
+        index, offered = task
+        trace = generate_trace_soa(
+            shapes, num_requests, 1.0 / offered, seed=derive_seed(seed, index)
+        )
         report = simulator.run(
             trace,
             streaming=streaming,
@@ -1344,7 +1570,7 @@ def load_sweep(
             fault_policy=fault_policy,
         )
         p50, p99 = report.latency_percentiles([50, 99])
-        point = LoadSweepPoint(
+        return LoadSweepPoint(
             offered_rps=offered,
             achieved_rps=report.throughput_rps,
             p50=p50,
@@ -1352,15 +1578,33 @@ def load_sweep(
             mean_latency=report.mean_latency(),
             num_requests=num_requests,
         )
-        points.append(point)
-        if knee_rps is None and point.saturation < 1.0 - knee_tol:
-            knee_rps = offered
-        if len(points) >= 2 and knee_rps is not None:
-            previous = points[-2].achieved_rps
-            if previous > 0 and abs(point.achieved_rps - previous) <= plateau_rtol * previous:
-                plateau_rps = point.achieved_rps
-                early_exit = True
-                break
+
+    wave = resolve_jobs(jobs)
+    points: list[LoadSweepPoint] = []
+    knee_rps: float | None = None
+    plateau_rps: float | None = None
+    early_exit = False
+    position = 0
+    while position < len(offered_loads) and not early_exit:
+        tasks = [
+            (index, offered_loads[index])
+            for index in range(position, min(position + wave, len(offered_loads)))
+        ]
+        position += len(tasks)
+        for point in parallel_map(evaluate, tasks, jobs=wave, chunksize=1):
+            points.append(point)
+            if knee_rps is None and point.saturation < 1.0 - knee_tol:
+                knee_rps = point.offered_rps
+            if len(points) >= 2 and knee_rps is not None:
+                previous = points[-2].achieved_rps
+                if (
+                    previous > 0
+                    and abs(point.achieved_rps - previous)
+                    <= plateau_rtol * previous
+                ):
+                    plateau_rps = point.achieved_rps
+                    early_exit = True
+                    break
     return LoadSweepResult(
         points=points,
         knee_rps=knee_rps,

@@ -1,9 +1,10 @@
 """Differential conformance harness for the serving dispatch engines.
 
-The serving engine's core claim is that the scan, table, and heap
-dispatch paths — and the exact and streaming reports — are *the same
-scheduler* expressed three ways.  This module makes that claim a
-first-class, reusable assertion instead of an ad-hoc benchmark check:
+The serving engine's core claim is that the scan, table, heap, and
+vectorized dispatch paths — and the exact and streaming reports — are
+*the same scheduler* expressed four ways.  This module makes that
+claim a first-class, reusable assertion instead of an ad-hoc benchmark
+check:
 
 * :func:`make_partition` builds stub partitions of any width (1–9+),
   crossing the ``HEAP_MIN_ACCELERATORS`` auto-dispatch boundary, with
@@ -100,7 +101,7 @@ def assert_engines_identical(
     policy=None,
     quantile_error: float = 0.01,
 ) -> dict:
-    """Assert scan/table/heap dispatch and exact/streaming reports agree.
+    """Assert all dispatch engines and exact/streaming reports agree.
 
     Runs each engine on a **fresh** simulator (no shared scheduler
     state), diffs the per-request assignment and shed lists byte for
@@ -110,7 +111,7 @@ def assert_engines_identical(
     the exact table-engine report's rows for further assertions.
     """
     exact = {}
-    for engine in ("scan", "table", "heap"):
+    for engine in ("scan", "table", "heap", "vectorized"):
         simulator = ServingSimulator(partition)
         exact[engine] = simulator.run(
             trace, dispatch=engine, faults=faults, fault_policy=policy
@@ -118,7 +119,7 @@ def assert_engines_identical(
     base = exact["table"]
     base_rows = dispatch_rows(base)
     base_shed = shed_rows(base)
-    for engine in ("scan", "heap"):
+    for engine in ("scan", "heap", "vectorized"):
         assert dispatch_rows(exact[engine]) == base_rows, (
             f"{engine} dispatch differs from table"
         )
@@ -130,7 +131,7 @@ def assert_engines_identical(
         )
 
     streaming = {}
-    for engine in ("table", "heap"):
+    for engine in ("table", "heap", "vectorized"):
         simulator = ServingSimulator(partition)
         streaming[engine] = simulator.run(
             trace,
@@ -140,9 +141,10 @@ def assert_engines_identical(
             faults=faults,
             fault_policy=policy,
         )
-    assert streaming["table"].as_dict() == streaming["heap"].as_dict(), (
-        "streaming summaries differ between table and heap"
-    )
+    for engine in ("heap", "vectorized"):
+        assert streaming["table"].as_dict() == streaming[engine].as_dict(), (
+            f"streaming summaries differ between table and {engine}"
+        )
 
     stream = streaming["table"]
     assert stream.count == len(base.completed)

@@ -1,0 +1,142 @@
+"""Conformance for the vectorized fault-free dispatch engine.
+
+The parametrized width tests in ``test_dispatch_identity`` already run
+the vectorized engine through :func:`harness.assert_engines_identical`;
+this module covers the engine's own seams: chunk-boundary stress, the
+native-vs-NumPy split (the C exact loop and the speculate-and-verify
+fallback must be the *same scheduler*), and the fault-segment cut
+conditions at ``limit`` / next-down boundaries.
+"""
+
+import math
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.sim import dispatch_batch
+from repro.sim.chaos import FaultPolicy, FaultSchedule
+from repro.sim.serving import ServingSimulator, generate_trace
+from repro.sim.streaming import generate_trace_soa
+
+from .harness import (
+    SHAPES,
+    assert_engines_identical,
+    dispatch_rows,
+    make_partition,
+)
+
+
+def _trace(num_requests=300, mean_interarrival=1e-3, seed=19):
+    return generate_trace(SHAPES, num_requests, mean_interarrival, seed=seed)
+
+
+@pytest.fixture
+def no_native(monkeypatch):
+    """Force the pure-NumPy speculative paths inside this process."""
+    monkeypatch.setattr(dispatch_batch, "_native_dispatch", None)
+    monkeypatch.setattr(dispatch_batch, "_native_walk", None)
+
+
+@pytest.mark.parametrize("width", [1, 2])
+@pytest.mark.parametrize("chunk_size", [7, 64, 65536])
+def test_small_chunk_identity(width, chunk_size):
+    """Flush boundaries must not leak into results at any chunk size."""
+    partition = make_partition(width)
+    trace = _trace()
+    base = ServingSimulator(partition).run(
+        trace, dispatch="table", chunk_size=chunk_size
+    )
+    vec = ServingSimulator(partition).run(
+        trace, dispatch="vectorized", chunk_size=chunk_size
+    )
+    assert dispatch_rows(vec) == dispatch_rows(base)
+    stream_base = ServingSimulator(partition).run(
+        trace, dispatch="table", streaming=True, chunk_size=chunk_size
+    )
+    stream_vec = ServingSimulator(partition).run(
+        trace, dispatch="vectorized", streaming=True, chunk_size=chunk_size
+    )
+    assert stream_vec.as_dict() == stream_base.as_dict()
+
+
+@pytest.mark.parametrize("width", [1, 2])
+def test_numpy_fallback_identical(no_native, width):
+    """The speculative NumPy engine must match scan without the C loop."""
+    assert_engines_identical(_trace(), make_partition(width))
+    assert_engines_identical(
+        _trace(),
+        make_partition(width),
+        faults=FaultSchedule.down("acc0", 0.02, 0.06),
+        policy=FaultPolicy(max_retries=2),
+    )
+
+
+def test_native_and_fallback_agree():
+    """C exact loop vs speculate-and-verify on the same segment."""
+    if dispatch_batch._native_dispatch is None:
+        pytest.skip("no C compiler available")
+    soa = generate_trace_soa(SHAPES, 4000, 4e-4, seed=5)
+    services = np.asarray(
+        [[0.001, 0.004, 0.002], [0.003, 0.001, 0.005]], dtype=np.float64
+    )
+    for limit, next_downs in [
+        (math.inf, (math.inf, math.inf)),
+        (float(soa.arrivals[2500]), (math.inf, math.inf)),
+        (math.inf, (float(soa.arrivals[1200]) + 0.5, math.inf)),
+        (float(soa.arrivals[3000]), (0.9, 1.1)),
+    ]:
+        free_native = [0.0, 0.0]
+        accepted_native, segs_native = dispatch_batch.dispatch_segment(
+            soa.arrivals, soa.shape_ids, services, free_native, limit, next_downs
+        )
+        saved = dispatch_batch._native_dispatch
+        dispatch_batch._native_dispatch = None
+        try:
+            free_py = [0.0, 0.0]
+            accepted_py, segs_py = dispatch_batch.dispatch_segment(
+                soa.arrivals, soa.shape_ids, services, free_py, limit, next_downs
+            )
+        finally:
+            dispatch_batch._native_dispatch = saved
+
+        def flat(segs):
+            rows = []
+            for base, accs, starts, fins in segs:
+                for off, (acc, start, fin) in enumerate(
+                    zip(accs.tolist(), starts.tolist(), fins.tolist())
+                ):
+                    rows.append((base + off, int(acc), repr(start), repr(fin)))
+            return rows
+
+        assert accepted_native == accepted_py
+        assert flat(segs_native) == flat(segs_py)
+        assert [repr(f) for f in free_native] == [repr(f) for f in free_py]
+
+
+def test_repro_no_native_env_forces_fallback():
+    """``REPRO_NO_NATIVE=1`` must disable the C kernels at import."""
+    env = dict(os.environ, REPRO_NO_NATIVE="1")
+    src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    code = (
+        "from repro.sim._native import theta_walk, dispatch_exact\n"
+        "assert theta_walk is None and dispatch_exact is None\n"
+    )
+    subprocess.run([sys.executable, "-c", code], check=True, env=env, timeout=120)
+
+
+def test_walk_fallback_matches_native():
+    if dispatch_batch._native_walk is None:
+        pytest.skip("no C compiler available")
+    rng = np.random.default_rng(21)
+    u = np.cumsum(rng.uniform(0.0, 2e-3, 5000)) - rng.uniform(0.0, 1e-3, 5000)
+    v = rng.uniform(1e-4, 3e-3, 5000)
+    for theta in (-1e-3, 0.0, 2e-3):
+        native = dispatch_batch._native_walk(u, v, theta)
+        picks = np.zeros(u.size, dtype=bool)
+        enders = dispatch_batch._theta_walk(u.tolist(), v.tolist(), theta)
+        picks[enders] = True
+        assert np.array_equal(native, picks)

@@ -267,6 +267,8 @@ class TestReportSatellites:
             report.mean_latency()
         with pytest.raises(ValueError, match="no completed requests"):
             report.latency_percentile(50)
+        with pytest.raises(ValueError, match="no completed requests"):
+            report.latency_percentiles([50, 99])
 
     def test_percentile_validation_in_batch(self, simulator):
         report = self._report(simulator)
@@ -349,6 +351,34 @@ class TestLoadSweep:
             "offered_rps", "achieved_rps", "saturation", "p50_ms", "p99_ms",
             "mean_ms",
         }
+
+    def test_plateau_detected_once_and_skips_remaining_points(self):
+        loads = [20.0, 40.0, 80.0, 160.0, 320.0, 640.0, 1280.0, 2560.0]
+        result = load_sweep(
+            self._simulator(), SHAPES, loads, num_requests=400, seed=1
+        )
+        assert result.early_exit
+        assert len(result.points) < len(loads)  # tail skipped
+        # the evaluated points are a strict prefix of the ramp, in order
+        assert [p.offered_rps for p in result.points] == loads[: len(result.points)]
+        # the knee is exactly the first saturating point
+        saturating = [
+            p.offered_rps for p in result.points if p.saturation < 1.0 - 0.05
+        ]
+        assert result.knee_rps == saturating[0]
+        # the plateau is the last evaluated point's ceiling
+        assert result.plateau_rps == result.points[-1].achieved_rps
+
+    @pytest.mark.parametrize("jobs", [2, 3])
+    def test_jobs_byte_equal_to_serial(self, jobs):
+        loads = [20.0, 40.0, 80.0, 160.0, 320.0, 640.0]
+        serial = load_sweep(
+            self._simulator(), SHAPES, loads, num_requests=300, seed=4, jobs=1
+        )
+        threaded = load_sweep(
+            self._simulator(), SHAPES, loads, num_requests=300, seed=4, jobs=jobs
+        )
+        assert threaded == serial  # dataclass equality: exact floats
 
     def test_validation(self):
         simulator = self._simulator()

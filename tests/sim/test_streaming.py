@@ -69,6 +69,28 @@ class TestGenerateTraceSoa:
         with pytest.raises(ValueError):
             generate_trace_soa([], 5, 1e-3)
 
+    def test_single_request_parity(self):
+        (request,) = generate_trace(SHAPES, 1, 1e-3, seed=9)
+        soa = generate_trace_soa(SHAPES, 1, 1e-3, seed=9)
+        assert soa.arrivals.tolist() == [request.arrival]
+        assert SHAPES[int(soa.shape_ids[0])] == request.shape
+
+    def test_empty_trace_rejected_like_scalar(self):
+        with pytest.raises(ValueError):
+            generate_trace(SHAPES, 0, 1e-3)
+        with pytest.raises(ValueError):
+            generate_trace_soa(SHAPES, 0, 1e-3)
+
+    @pytest.mark.parametrize("num_requests", [65535, 65536, 65537])
+    def test_parity_at_chunk_boundaries(self, num_requests):
+        """Sizes straddling ``DISPATCH_CHUNK`` stay bit-identical."""
+        scalar = generate_trace(SHAPES, num_requests, 0.5e-3, seed=7)
+        soa = generate_trace_soa(SHAPES, num_requests, 0.5e-3, seed=7)
+        assert soa.arrivals.tolist() == [r.arrival for r in scalar]
+        assert [SHAPES[i] for i in soa.shape_ids.tolist()] == [
+            r.shape for r in scalar
+        ]
+
 
 class TestSoATrace:
     def test_len(self):
@@ -204,6 +226,8 @@ class TestStreamingServingReport:
             report.mean_latency()
         with pytest.raises(ValueError, match="no completed requests"):
             report.latency_percentile(50)
+        with pytest.raises(ValueError, match="no completed requests"):
+            report.latency_percentiles([50, 99])
         with pytest.raises(ValueError, match="no completed requests"):
             report.mean_queueing_delay()
         assert report.throughput_rps == 0.0
