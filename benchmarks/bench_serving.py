@@ -14,6 +14,9 @@ and appends the result to a ``BENCH_serving.json`` trajectory:
 * ``vectorized`` — the event-batch engine: the same SoA trace driven
   through the fault-free vectorized dispatch path (native exact loop
   with a NumPy speculate-and-verify fallback).
+* ``sharded`` — cluster-scale serving: the trace partitioned across a
+  process pool of shard replicas (``ShardedServingCluster``), each
+  running the vectorized engine, merged into one fleet report.
 
 The script also times the analytical-model prewarm cold (empty
 ``EvalCache``) versus warm (restored from an on-disk snapshot via
@@ -32,6 +35,14 @@ The script asserts the serving engine's contract on every run:
   engines on a verification subset — fault-free and under a fault
   schedule;
 * SoA trace generation is bit-identical to the scalar generator;
+* every shard of a sharded serve is byte-identical to an unsharded
+  in-process run over the same sub-trace (for shard counts 2, 4, 8),
+  merged percentiles stay within the sketch bound of the exact union
+  of the shard streams, and the pooled fleet report equals the inline
+  reference; on hosts with >= ``SHARDED_MIN_CPUS`` cores the sharded
+  serve must beat single-process vectorized by ``SHARDED_FLOOR``
+  (the speedup gate disarms on smaller machines — the determinism
+  checks never do);
 * streaming P50/P99 are within twice the sketch's documented relative
   error bound of the exact percentiles;
 * the warm prewarm serves every estimate from the snapshot (hits > 0)
@@ -49,6 +60,7 @@ import argparse
 import gc
 import json
 import math
+import os
 import sys
 import time
 from pathlib import Path
@@ -69,6 +81,11 @@ VECTORIZED_FLOOR = 3.0
 SMOKE_VECTORIZED_FLOOR = 2.0
 PREWARM_SPEEDUP_FLOOR = 10.0
 QUANTILE_ERROR = 0.01
+SHARDED_FLOOR = 3.0
+SHARDED_SHARD_COUNTS = (2, 4, 8)
+#: the speedup gate only arms on machines with enough cores to host the
+#: shard pool; identity and percentile checks run everywhere
+SHARDED_MIN_CPUS = 4
 
 SHAPES = (
     GemmShape(1024, 1024, 1024),
@@ -316,8 +333,138 @@ def verify_fault_contract(partition: AcceleratorPartition, num_requests: int) ->
     }
 
 
+def verify_sharded_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
+    """Sharded-serving invariants across shard counts 2, 4, 8.
+
+    For each shard count the inline (no-pool) cluster serves the trace;
+    every per-shard report must be byte-identical to an unsharded
+    in-process run over the same sub-trace, the merged counts must be
+    exact, and the merged sketch percentiles must sit within the
+    documented relative-error bound of the exact ranked values of the
+    union of the per-shard latency streams.
+    """
+    from repro.sim.cluster_serving import serve_sharded
+    from repro.sim.streaming import generate_trace_shard, shard_arrival_offsets
+
+    simulator = ServingSimulator(partition)
+    simulator.prewarm(SHAPES)
+    identical = True
+    counts_exact = True
+    percentile_errors: dict[str, float] = {}
+    for shards in SHARDED_SHARD_COUNTS:
+        fleet = serve_sharded(
+            simulator, SHAPES, num_requests, MEAN_INTERARRIVAL,
+            shards=shards, seed=7, start_method="inline",
+            quantile_error=QUANTILE_ERROR, keep_shard_reports=True,
+        )
+        counts_exact &= fleet.report.count == num_requests
+        offsets = shard_arrival_offsets(
+            num_requests, MEAN_INTERARRIVAL, 7, fleet.bounds
+        )
+        latencies: list[float] = []
+        for index, (lo, hi) in enumerate(fleet.bounds):
+            sub = generate_trace_shard(
+                SHAPES, num_requests, MEAN_INTERARRIVAL, 7,
+                lo=lo, hi=hi, arrival_offset=offsets[index],
+            )
+            reference = simulator.run(
+                sub, streaming=True, quantile_error=QUANTILE_ERROR
+            )
+            identical &= (
+                reference.as_dict() == fleet.shard_reports[index].as_dict()
+            )
+            exact = simulator.run(sub)
+            latencies.extend(c.latency for c in exact.completed)
+        ordered = sorted(latencies)
+        worst = 0.0
+        for percentile in (50.0, 99.0):
+            rank = min(len(ordered), math.ceil(percentile / 100 * len(ordered)))
+            exact_value = ordered[rank - 1]
+            estimate = fleet.report.latency_percentile(percentile)
+            worst = max(worst, abs(estimate - exact_value) / exact_value)
+        percentile_errors[str(shards)] = worst
+    return {
+        "sharded_identical": bool(identical),
+        "sharded_counts_exact": bool(counts_exact),
+        "sharded_percentile_errors": percentile_errors,
+    }
+
+
+def run_sharded_benchmark(
+    partition: AcceleratorPartition,
+    num_requests: int,
+    start_method: str | None = None,
+    repeats: int = 2,
+    shards: int | None = None,
+) -> dict:
+    """Time a warm sharded cluster against single-process vectorized.
+
+    The pool and the shard plan are built outside the timed region
+    (``ShardedServingCluster.warm``) and one untimed serve absorbs
+    first-touch costs, so the measurement isolates steady-state fleet
+    throughput — the regime the 100M-request experiments run in.  The
+    merged fleet report is also checked equal to an inline reference
+    serve, which pins the pooled path (fork or spawn) to the already-
+    verified no-pool semantics.
+    """
+    from repro.sim.cluster_serving import ShardedServingCluster
+
+    cpu_count = os.cpu_count() or 1
+    shards = shards or min(max(cpu_count, 2), 8)
+    simulator = ServingSimulator(partition)
+    simulator.prewarm(SHAPES)
+
+    baseline_seconds = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
+        simulator.run(
+            soa, streaming=True, quantile_error=QUANTILE_ERROR,
+            dispatch="vectorized",
+        )
+        baseline_seconds = min(baseline_seconds, time.perf_counter() - started)
+
+    sharded_seconds = math.inf
+    with ShardedServingCluster(
+        simulator, SHAPES, shards=shards, dispatch="vectorized",
+        quantile_error=QUANTILE_ERROR, start_method=start_method,
+    ) as cluster:
+        method = cluster.start_method
+        cluster.warm(num_requests, MEAN_INTERARRIVAL, seed=7)
+        cluster.serve(num_requests, MEAN_INTERARRIVAL, seed=7)  # untimed warm-up
+        fleet = None
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fleet = cluster.serve(num_requests, MEAN_INTERARRIVAL, seed=7)
+            sharded_seconds = min(sharded_seconds, time.perf_counter() - started)
+    with ShardedServingCluster(
+        simulator, SHAPES, shards=shards, dispatch="vectorized",
+        quantile_error=QUANTILE_ERROR, start_method="inline",
+    ) as reference_cluster:
+        inline_fleet = reference_cluster.serve(
+            num_requests, MEAN_INTERARRIVAL, seed=7
+        )
+
+    gated = cpu_count >= SHARDED_MIN_CPUS and method != "inline"
+    return {
+        "shards": fleet.shards,
+        "start_method": method,
+        "cpu_count": cpu_count,
+        "gated": gated,
+        "seconds": sharded_seconds,
+        "requests_per_sec": num_requests / sharded_seconds,
+        "vectorized_seconds": baseline_seconds,
+        "speedup_vs_vectorized": baseline_seconds / sharded_seconds,
+        "matches_inline": fleet.report.as_dict() == inline_fleet.report.as_dict(),
+        "fleet": fleet.as_dict(),
+    }
+
+
 def run_benchmark(
-    num_requests: int = DEFAULT_REQUESTS, smoke: bool = False, repeats: int = 2
+    num_requests: int = DEFAULT_REQUESTS,
+    smoke: bool = False,
+    repeats: int = 2,
+    start_method: str | None = None,
 ) -> dict:
     partition = AcceleratorPartition([config_by_name(name) for name in CONFIGS])
 
@@ -409,6 +556,12 @@ def run_benchmark(
     entry.update(
         verify_fault_contract(partition, min(num_requests, VERIFY_REQUESTS))
     )
+    entry.update(
+        verify_sharded_contract(partition, min(num_requests, VERIFY_REQUESTS))
+    )
+    entry["sharded"] = run_sharded_benchmark(
+        partition, num_requests, start_method=start_method
+    )
     entry["cache"] = measure_cache_warmup(partition)
     return entry
 
@@ -469,6 +622,37 @@ def append_trajectory(entry: dict, output: Path) -> None:
     output.write_text(json.dumps(trajectory, indent=2) + "\n")
 
 
+def check_sharded(entry: dict) -> list[str]:
+    """The sharded-serving contract; empty list means acceptable."""
+    failures = []
+    if not entry["sharded_identical"]:
+        failures.append(
+            "per-shard reports differ from unsharded runs over the same "
+            "sub-traces"
+        )
+    if not entry["sharded_counts_exact"]:
+        failures.append("merged fleet counts do not equal the offered trace")
+    for shards, error in entry["sharded_percentile_errors"].items():
+        if error > entry["quantile_error"]:
+            failures.append(
+                f"merged percentiles at {shards} shards off by {error:.4f} "
+                f"(> {entry['quantile_error']} sketch bound)"
+            )
+    sharded = entry["sharded"]
+    if not sharded["matches_inline"]:
+        failures.append(
+            f"{sharded['start_method']} pool fleet report differs from the "
+            "inline reference"
+        )
+    if sharded["gated"] and sharded["speedup_vs_vectorized"] < SHARDED_FLOOR:
+        failures.append(
+            f"sharded speedup {sharded['speedup_vs_vectorized']:.2f}x over "
+            f"vectorized is below the {SHARDED_FLOOR}x floor "
+            f"({sharded['shards']} shards on {sharded['cpu_count']} cpus)"
+        )
+    return failures
+
+
 def check(entry: dict) -> list[str]:
     """The serving engine's contract; empty list means acceptable."""
     floor = SMOKE_SPEEDUP_FLOOR if entry["smoke"] else SPEEDUP_FLOOR
@@ -521,6 +705,7 @@ def check(entry: dict) -> list[str]:
             f"warm prewarm speedup {cache['prewarm_speedup']:.1f}x is below "
             f"the {PREWARM_SPEEDUP_FLOOR}x floor"
         )
+    failures.extend(check_sharded(entry))
     return failures
 
 
@@ -528,6 +713,23 @@ def test_serving_throughput_smoke():
     """Tier-2 smoke: small trace, full contract still holds."""
     entry = run_benchmark(num_requests=50_000, smoke=True)
     assert check(entry) == []
+
+
+def _print_sharded(entry: dict) -> None:
+    sharded = entry["sharded"]
+    gate = "armed" if sharded["gated"] else "disarmed"
+    print(f"{'sharded':>10}: {sharded['seconds']:8.3f} s  "
+          f"{sharded['requests_per_sec']:12.1f} req/s  "
+          f"({sharded['shards']} shards via {sharded['start_method']})")
+    print(f"sharded speedup:      {sharded['speedup_vs_vectorized']:.2f}x over "
+          f"vectorized (gate {gate}, {sharded['cpu_count']} cpus)")
+    print(f"sharded identical:    {entry['sharded_identical']}  "
+          f"counts exact: {entry['sharded_counts_exact']}  "
+          f"pool==inline: {sharded['matches_inline']}")
+    worst = max(entry["sharded_percentile_errors"].values())
+    print(f"sharded p50/p99 err:  {worst:.5f} worst across shard counts "
+          f"{list(entry['sharded_percentile_errors'])} "
+          f"(bound {entry['quantile_error']})")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -538,12 +740,57 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke", action="store_true",
         help="small trace for CI (50k requests, reduced speedup floor)",
     )
+    parser.add_argument(
+        "--start-method", choices=["fork", "spawn", "forkserver", "inline"],
+        default=None,
+        help="shard pool start method (default: fork where available)",
+    )
+    parser.add_argument(
+        "--sharded-only", action="store_true",
+        help="run only the sharded contract + benchmark and skip the "
+        "trajectory append (CI uses this for the alternate start method)",
+    )
+    parser.add_argument(
+        "--fleet-report-out", default=None,
+        help="write the merged fleet report JSON to this path",
+    )
     args = parser.parse_args(argv)
+    num_requests = 50_000 if args.smoke else args.requests
+
+    if args.sharded_only:
+        partition = AcceleratorPartition(
+            [config_by_name(name) for name in CONFIGS]
+        )
+        entry = {
+            "smoke": args.smoke,
+            "quantile_error": QUANTILE_ERROR,
+        }
+        entry.update(
+            verify_sharded_contract(partition, min(num_requests, VERIFY_REQUESTS))
+        )
+        entry["sharded"] = run_sharded_benchmark(
+            partition, num_requests, start_method=args.start_method
+        )
+        _print_sharded(entry)
+        if args.fleet_report_out:
+            Path(args.fleet_report_out).write_text(
+                json.dumps(entry["sharded"]["fleet"], indent=2) + "\n"
+            )
+            print(f"fleet report -> {args.fleet_report_out}")
+        failures = check_sharded(entry)
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1 if failures else 0
 
     entry = run_benchmark(
-        num_requests=50_000 if args.smoke else args.requests, smoke=args.smoke
+        num_requests=num_requests, smoke=args.smoke,
+        start_method=args.start_method,
     )
     append_trajectory(entry, Path(args.output))
+    if args.fleet_report_out:
+        Path(args.fleet_report_out).write_text(
+            json.dumps(entry["sharded"]["fleet"], indent=2) + "\n"
+        )
 
     print(f"requests {entry['requests']}  partition {'+'.join(entry['configs'])}  "
           f"shapes {len(entry['shapes'])}")
@@ -553,6 +800,7 @@ def main(argv: list[str] | None = None) -> int:
               f"p50 {mode['p50'] * 1e3:.3f} ms  p99 {mode['p99'] * 1e3:.3f} ms")
     print(f"speedup:              {entry['speedup']:.2f}x")
     print(f"vectorized speedup:   {entry['vectorized_speedup']:.2f}x over fast")
+    _print_sharded(entry)
     cache = entry["cache"]
     print(f"prewarm cache:        cold {cache['cold_prewarm_seconds'] * 1e3:.2f} ms"
           f"  warm {cache['warm_prewarm_seconds'] * 1e3:.2f} ms"

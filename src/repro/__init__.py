@@ -72,6 +72,12 @@ from repro.sim.streaming import (
     SoATrace,
     StreamingServingReport,
     generate_trace_soa,
+    generate_trace_shard,
+)
+from repro.sim.cluster_serving import (
+    FleetReport,
+    ShardedServingCluster,
+    serve_sharded,
 )
 from repro.core.pareto import pareto_front, knee_point
 from repro.core.dse import DseResult
@@ -158,6 +164,10 @@ __all__ = [
     "SoATrace",
     "StreamingServingReport",
     "QuantileSketch",
+    "generate_trace_shard",
+    "FleetReport",
+    "ShardedServingCluster",
+    "serve_sharded",
     "load_sweep",
     "LoadSweepPoint",
     "LoadSweepResult",

@@ -236,6 +236,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.rate is not None and args.mean_interarrival is not None:
         print("serve: pass --rate or --mean-interarrival, not both", file=sys.stderr)
         return 2
+    if args.shards < 1:
+        print("serve: --shards must be at least 1", file=sys.stderr)
+        return 2
+    if args.shards > 1 and args.dispatch == "scan":
+        print("serve: --shards streams its reports; the scan engine is "
+              "exact-mode only", file=sys.stderr)
+        return 2
     if args.rate is not None:
         mean_interarrival = 1.0 / args.rate
     else:
@@ -276,6 +283,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             streaming=args.streaming,
             quantile_error=args.quantile_error,
             jobs=args.jobs,
+            shards=args.shards,
+            start_method=args.start_method,
             faults=faults,
             fault_policy=fault_policy,
         )
@@ -289,19 +298,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                   "sweep exited early")
         return 0
 
-    trace = generate_trace_soa(shapes, args.requests, mean_interarrival, seed=args.seed)
-    report = simulator.run(
-        trace,
-        streaming=args.streaming,
-        dispatch=args.dispatch,
-        quantile_error=args.quantile_error,
-        faults=faults,
-        fault_policy=fault_policy,
-    )
+    fleet = None
+    if args.shards > 1:
+        from repro.sim.cluster_serving import ShardedServingCluster
+
+        with ShardedServingCluster(
+            simulator,
+            shapes,
+            shards=args.shards,
+            dispatch=args.dispatch,
+            quantile_error=args.quantile_error,
+            start_method=args.start_method,
+            max_workers=args.jobs if args.jobs != 1 else None,
+            faults=faults,
+            fault_policy=fault_policy,
+        ) as cluster:
+            fleet = cluster.serve(args.requests, mean_interarrival, seed=args.seed)
+        report = fleet.report
+    else:
+        trace = generate_trace_soa(
+            shapes, args.requests, mean_interarrival, seed=args.seed
+        )
+        report = simulator.run(
+            trace,
+            streaming=args.streaming,
+            dispatch=args.dispatch,
+            quantile_error=args.quantile_error,
+            faults=faults,
+            fault_policy=fault_policy,
+        )
     if args.trace_out:
-        if args.streaming:
-            print("serve: --trace-out with --streaming exports spans only "
-                  "(per-request lifecycles need the exact report)",
+        if args.streaming or fleet is not None:
+            print("serve: --trace-out with --streaming/--shards exports spans "
+                  "only (per-request lifecycles need the exact report)",
                   file=sys.stderr)
         else:
             _PENDING_TRACE_SOURCES.append(report)
@@ -316,7 +345,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         GLOBAL_METRICS.gauge(
             "repro_serving_throughput_rps", "Completed requests per second"
         ).set(report.throughput_rps)
-        if not args.streaming:
+        if fleet is not None:
+            GLOBAL_METRICS.gauge(
+                "repro_serving_shards", "Shard replicas in the last fleet serve"
+            ).set(fleet.shards)
+        if not args.streaming and fleet is None:
             GLOBAL_METRICS.histogram(
                 "repro_serving_latency_seconds",
                 "End-to-end request latency",
@@ -328,7 +361,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 relative_error=args.quantile_error,
             ).observe_many([c.queueing_delay for c in report.completed])
     p50, p95, p99 = report.latency_percentiles([50, 95, 99])
-    mode = "streaming (sketched percentiles)" if args.streaming else "exact"
+    if fleet is not None:
+        mode = (f"{fleet.shards} shards via {fleet.start_method}, "
+                "sketched percentiles")
+    elif args.streaming:
+        mode = "streaming (sketched percentiles)"
+    else:
+        mode = "exact"
     print(f"requests     {args.requests} over {len(configs)} accelerators ({mode})")
     print(f"makespan     {format_seconds(report.makespan)}")
     print(f"throughput   {report.throughput_rps:.1f} requests/s")
@@ -514,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--dispatch",
         choices=["auto", "vectorized", "heap", "table", "scan"],
         default="auto", help="dispatch engine (all byte-identical)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="partition the trace across N process-parallel "
+                            "shard replicas and merge one fleet report")
+    serve.add_argument("--start-method",
+                       choices=["fork", "spawn", "forkserver", "inline"],
+                       default=None,
+                       help="multiprocessing start method for --shards "
+                            "(default: fork where available, else spawn; "
+                            "inline = no pool, serial reference mode)")
     serve.add_argument("--sweep", action="store_true",
                        help="sweep offered load; report the saturation knee")
     serve.add_argument("--loads", default=None,

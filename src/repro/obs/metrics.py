@@ -23,6 +23,7 @@ units in the name (``_seconds``, ``_total``).
 
 from __future__ import annotations
 
+import copy
 import json
 import re
 import threading
@@ -246,6 +247,65 @@ class MetricsRegistry:
     def families(self) -> list[str]:
         with self._lock:
             return sorted(self._families)
+
+    # -- cross-process merge --------------------------------------------
+    def dump(self) -> list[dict]:
+        """Picklable, *mergeable* state of every instrument.
+
+        Unlike :meth:`snapshot` (which renders quantiles and drops the
+        sketch buckets), a dump carries enough to reconstruct each
+        instrument exactly: counter/gauge values and deep copies of the
+        histogram sketches.  It contains no locks, so shard workers can
+        ship it across a process boundary for the parent's
+        :meth:`merge_dump`.
+        """
+        out: list[dict] = []
+        with self._lock:
+            for name in sorted(self._families):
+                family = self._families[name]
+                children = []
+                for label_key in sorted(family.children):
+                    child = family.children[label_key]
+                    if family.kind == "summary":
+                        state: Any = copy.deepcopy(child.sketch)
+                    else:
+                        state = child.value
+                    children.append((label_key, state))
+                out.append(
+                    {
+                        "name": name,
+                        "kind": family.kind,
+                        "help": family.help,
+                        "children": children,
+                    }
+                )
+        return out
+
+    def merge_dump(self, dump: list[dict]) -> None:
+        """Fold another registry's :meth:`dump` into this one.
+
+        Counters add, histograms merge their sketches bucket-exactly,
+        and gauges keep the running maximum — the gauges this registry
+        publishes (peak worker counts, last-run throughput) all read
+        sensibly under max when k shard workers report in.  Instruments
+        the dump names are created on demand.
+        """
+        for family in dump:
+            kind = family["kind"]
+            name = family["name"]
+            help_ = family["help"]
+            for label_key, state in family["children"]:
+                labels = dict(label_key)
+                if kind == "counter":
+                    self.counter(name, help_, **labels).inc(state)
+                elif kind == "gauge":
+                    self.gauge(name, help_, **labels).max_(state)
+                else:
+                    histogram = self.histogram(
+                        name, help_, relative_error=state.relative_error, **labels
+                    )
+                    with histogram._lock:
+                        histogram.sketch.merge(state)
 
     # -- exposition -----------------------------------------------------
     def to_prometheus(self) -> str:

@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
 from repro.obs.metrics import GLOBAL_METRICS
@@ -210,6 +210,33 @@ class StatsRegistry:
             self.fault_runs = 0
         GLOBAL_METRICS.reset("repro_eval_")
         GLOBAL_METRICS.reset("repro_fault_")
+
+    # -- cross-process merge --------------------------------------------
+    def dump(self) -> dict[str, Any]:
+        """A picklable snapshot a shard worker ships to its parent."""
+        with self._lock:
+            return {
+                "total": self.total.snapshot(),
+                "batches": self.batches,
+                "faults": replace(self.faults),
+                "fault_runs": self.fault_runs,
+            }
+
+    def merge_dump(self, dump: dict[str, Any]) -> None:
+        """Fold a worker's :meth:`dump` into this registry.
+
+        Deliberately does **not** mirror the merged counters into
+        ``GLOBAL_METRICS``: the worker's own metrics registry already
+        published them, and its dump is merged separately through
+        :meth:`repro.obs.metrics.MetricsRegistry.merge_dump` — routing
+        them here too would double-count every ``repro_eval_*`` /
+        ``repro_fault_*`` series.
+        """
+        with self._lock:
+            self.total.merge(dump["total"])
+            self.batches += dump["batches"]
+            self.faults.merge(dump["faults"])
+            self.fault_runs += dump["fault_runs"]
 
 
 def _publish_eval(stats: EvalStats) -> None:

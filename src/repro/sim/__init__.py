@@ -31,7 +31,15 @@ from repro.sim.streaming import (
     SoATrace,
     StreamingServingReport,
     generate_trace_soa,
+    generate_trace_shard,
+    shard_arrival_offsets,
+    shard_bounds,
     splitmix_uniforms,
+)
+from repro.sim.cluster_serving import (
+    FleetReport,
+    ShardedServingCluster,
+    serve_sharded,
 )
 
 __all__ = [
@@ -71,5 +79,11 @@ __all__ = [
     "SoATrace",
     "StreamingServingReport",
     "generate_trace_soa",
+    "generate_trace_shard",
+    "shard_arrival_offsets",
+    "shard_bounds",
     "splitmix_uniforms",
+    "FleetReport",
+    "ShardedServingCluster",
+    "serve_sharded",
 ]

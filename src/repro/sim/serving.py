@@ -873,6 +873,13 @@ class ServingSimulator:
             raise ValueError(f"dispatch must be one of {_DISPATCH_MODES}")
         if streaming and dispatch == "scan":
             raise ValueError("streaming mode requires a fast dispatch engine")
+        if len(trace) == 0:
+            # one uniform contract across all four engines: an empty
+            # trace has no dispatch semantics (generate_trace* likewise
+            # reject num_requests < 1)
+            raise ValueError(
+                "cannot serve an empty trace: num_requests must be positive"
+            )
         before = self.stats.snapshot()
         try:
             with span(
@@ -938,16 +945,6 @@ class ServingSimulator:
         n = len(arrivals)
         if streaming:
             report = StreamingServingReport(names, quantile_error=quantile_error)
-        if n == 0:
-            downtime = {name: 0.0 for name in names}
-            if streaming:
-                report.record_fault_metadata(
-                    fault_events=faults.events(), downtime=downtime
-                )
-                return report
-            return ServingReport(
-                completed=[], fault_events=faults.events(), downtime=downtime
-            )
         specs = self._class_specs(classes, set(class_ids))
         self.stats.cache_hits += len(class_ids)
         view = _FaultView(self, faults, names, classes, specs)
@@ -1268,8 +1265,6 @@ class ServingSimulator:
         )
         if streaming:
             report = StreamingServingReport(names, quantile_error=quantile_error)
-        if len(arrivals) == 0:
-            return report if streaming else ServingReport(completed=[])
         used = (
             # bincount instead of np.unique: no million-element sort
             set(
@@ -1521,6 +1516,8 @@ def load_sweep(
     knee_tol: float = 0.05,
     plateau_rtol: float = 0.02,
     jobs: int = 1,
+    shards: int = 1,
+    start_method: str | None = None,
     faults: FaultSchedule | None = None,
     fault_policy: FaultPolicy | None = None,
 ) -> LoadSweepResult:
@@ -1548,6 +1545,16 @@ def load_sweep(
     sweep (the schedule is in absolute trace time), so the curve shows
     degraded-capacity behaviour; latency percentiles cover completed
     requests only, with shedding reflected in achieved throughput.
+
+    ``shards > 1`` serves each point through a shared
+    :class:`~repro.sim.cluster_serving.ShardedServingCluster` (one
+    process pool reused across points, ``start_method`` selecting
+    fork/spawn/forkserver/inline): every point's trace is partitioned
+    into ``shards`` replicas whose per-shard dispatch is byte-identical
+    to unsharded runs over the same sub-traces.  Points then evaluate
+    sequentially — the parallelism budget lives in the shard pool, so
+    ``jobs`` bounds the pool's worker processes instead of sweep
+    threads.  Sharded points imply ``streaming=True``.
     """
     if offered_loads is None:
         offered_loads = default_load_ramp(simulator, shapes)
@@ -1556,19 +1563,41 @@ def load_sweep(
         raise ValueError("need at least one offered load")
     if any(load <= 0 for load in offered_loads):
         raise ValueError("offered loads must be positive")
+    if shards < 1:
+        raise ValueError("need at least one shard")
 
-    def evaluate(task: tuple[int, float]) -> LoadSweepPoint:
-        index, offered = task
-        trace = generate_trace_soa(
-            shapes, num_requests, 1.0 / offered, seed=derive_seed(seed, index)
-        )
-        report = simulator.run(
-            trace,
-            streaming=streaming,
+    cluster = None
+    if shards > 1:
+        from repro.sim.cluster_serving import ShardedServingCluster
+
+        cluster = ShardedServingCluster(
+            simulator,
+            shapes,
+            shards=shards,
             quantile_error=quantile_error,
+            start_method=start_method,
+            max_workers=resolve_jobs(jobs) if jobs != 1 else None,
             faults=faults,
             fault_policy=fault_policy,
         )
+
+    def evaluate(task: tuple[int, float]) -> LoadSweepPoint:
+        index, offered = task
+        if cluster is not None:
+            report = cluster.serve(
+                num_requests, 1.0 / offered, seed=derive_seed(seed, index)
+            ).report
+        else:
+            trace = generate_trace_soa(
+                shapes, num_requests, 1.0 / offered, seed=derive_seed(seed, index)
+            )
+            report = simulator.run(
+                trace,
+                streaming=streaming,
+                quantile_error=quantile_error,
+                faults=faults,
+                fault_policy=fault_policy,
+            )
         p50, p99 = report.latency_percentiles([50, 99])
         return LoadSweepPoint(
             offered_rps=offered,
@@ -1579,32 +1608,38 @@ def load_sweep(
             num_requests=num_requests,
         )
 
-    wave = resolve_jobs(jobs)
+    # one pool submission pipeline at a time: sharded sweeps keep their
+    # parallelism inside the cluster, so points go through in order
+    wave = 1 if cluster is not None else resolve_jobs(jobs)
     points: list[LoadSweepPoint] = []
     knee_rps: float | None = None
     plateau_rps: float | None = None
     early_exit = False
     position = 0
-    while position < len(offered_loads) and not early_exit:
-        tasks = [
-            (index, offered_loads[index])
-            for index in range(position, min(position + wave, len(offered_loads)))
-        ]
-        position += len(tasks)
-        for point in parallel_map(evaluate, tasks, jobs=wave, chunksize=1):
-            points.append(point)
-            if knee_rps is None and point.saturation < 1.0 - knee_tol:
-                knee_rps = point.offered_rps
-            if len(points) >= 2 and knee_rps is not None:
-                previous = points[-2].achieved_rps
-                if (
-                    previous > 0
-                    and abs(point.achieved_rps - previous)
-                    <= plateau_rtol * previous
-                ):
-                    plateau_rps = point.achieved_rps
-                    early_exit = True
-                    break
+    try:
+        while position < len(offered_loads) and not early_exit:
+            tasks = [
+                (index, offered_loads[index])
+                for index in range(position, min(position + wave, len(offered_loads)))
+            ]
+            position += len(tasks)
+            for point in parallel_map(evaluate, tasks, jobs=wave, chunksize=1):
+                points.append(point)
+                if knee_rps is None and point.saturation < 1.0 - knee_tol:
+                    knee_rps = point.offered_rps
+                if len(points) >= 2 and knee_rps is not None:
+                    previous = points[-2].achieved_rps
+                    if (
+                        previous > 0
+                        and abs(point.achieved_rps - previous)
+                        <= plateau_rtol * previous
+                    ):
+                        plateau_rps = point.achieved_rps
+                        early_exit = True
+                        break
+    finally:
+        if cluster is not None:
+            cluster.close()
     return LoadSweepResult(
         points=points,
         knee_rps=knee_rps,

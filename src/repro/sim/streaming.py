@@ -172,6 +172,123 @@ def generate_trace_soa(
     return SoATrace(shapes=tuple(shapes), shape_ids=shape_ids, arrivals=arrivals)
 
 
+# ----------------------------------------------------------------------
+# Trace sharding: index-addressable sub-trace generation
+# ----------------------------------------------------------------------
+# Request ``i`` of a trace draws its inter-arrival from uniform index
+# ``2 * i`` and its shape pick from ``2 * i + 1`` — pure functions of
+# the index through :func:`splitmix_uniforms` — so any contiguous slice
+# ``[lo, hi)`` can be regenerated without touching the rest of the
+# trace.  Arrivals are a strictly sequential left fold (``np.cumsum``
+# accumulates element by element), so a shard additionally needs the
+# fold's carry at its boundary: the last arrival of the previous shard.
+# Seeding the first inter-arrival with that carry reproduces the full
+# trace's arrivals *bitwise* — IEEE-754 addition is commutative, so
+# ``inter[lo] + carry`` is the exact operation the full cumsum performs
+# at position ``lo``, and every later element folds identically.
+
+
+def shard_bounds(num_requests: int, shards: int) -> list[tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` request ranges splitting a trace evenly.
+
+    The first ``num_requests % shards`` shards take one extra request.
+    Never produces an empty shard: the effective shard count is
+    ``min(shards, num_requests)``.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    shards = min(shards, num_requests)
+    base, extra = divmod(num_requests, shards)
+    bounds: list[tuple[int, int]] = []
+    lo = 0
+    for index in range(shards):
+        hi = lo + base + (1 if index < extra else 0)
+        bounds.append((lo, hi))
+        lo = hi
+    return bounds
+
+
+def _shard_interarrivals(
+    seed: int, lo: int, hi: int, mean_interarrival: float
+) -> np.ndarray:
+    """Inter-arrivals for requests ``[lo, hi)`` — the exact elementwise
+    values :func:`generate_trace_soa` derives for those positions."""
+    inter = splitmix_uniforms(seed, np.arange(2 * lo, 2 * hi, 2, dtype=np.uint64))
+    np.log(inter, out=inter)
+    inter *= -mean_interarrival
+    return inter
+
+
+def shard_arrival_offsets(
+    num_requests: int,
+    mean_interarrival: float,
+    seed: int,
+    bounds: Sequence[tuple[int, int]],
+) -> list[float]:
+    """The arrival-clock carry entering each shard of ``bounds``.
+
+    ``offsets[j]`` is the last arrival of shard ``j - 1`` (0.0 for the
+    first shard) under the full trace's sequential accumulation.  The
+    pass is inherently serial — each shard's carry depends on the
+    previous one — but costs one vectorized log/cumsum sweep over the
+    trace (~2% of a vectorized serving run), and callers cache it per
+    ``(num_requests, mean_interarrival, seed, shards)``.
+    """
+    if mean_interarrival <= 0:
+        raise ValueError("mean inter-arrival must be positive")
+    offsets = [0.0]
+    carry = 0.0
+    for lo, hi in list(bounds)[:-1]:
+        inter = _shard_interarrivals(seed, lo, hi, mean_interarrival)
+        if carry != 0.0:
+            inter[0] += carry
+        carry = float(np.cumsum(inter)[-1])
+        offsets.append(carry)
+    return offsets
+
+
+def generate_trace_shard(
+    shapes: Sequence[GemmShape],
+    num_requests: int,
+    mean_interarrival: float,
+    seed: int = 0,
+    *,
+    lo: int,
+    hi: int,
+    arrival_offset: float = 0.0,
+) -> SoATrace:
+    """Requests ``[lo, hi)`` of ``generate_trace_soa(shapes, num_requests,
+    mean_interarrival, seed)``, byte-identical to slicing the full trace.
+
+    ``arrival_offset`` is the carry from :func:`shard_arrival_offsets`
+    (the last arrival before ``lo``); with it the shard's arrival array
+    equals ``full.arrivals[lo:hi]`` bitwise.  Only O(hi - lo) work and
+    memory — the rest of the trace is never materialized.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if mean_interarrival <= 0:
+        raise ValueError("mean inter-arrival must be positive")
+    if not shapes:
+        raise ValueError("need at least one shape")
+    if not 0 <= lo < hi <= num_requests:
+        raise ValueError(
+            f"shard [{lo}, {hi}) must be a non-empty slice of [0, {num_requests})"
+        )
+    inter = _shard_interarrivals(seed, lo, hi, mean_interarrival)
+    if arrival_offset != 0.0:
+        # the exact add the full cumsum performs at position ``lo``
+        # (commutativity makes carry + inter[0] == inter[0] + carry)
+        inter[0] += arrival_offset
+    arrivals = np.cumsum(inter)
+    picks = splitmix_uniforms(seed, np.arange(2 * lo + 1, 2 * hi, 2, dtype=np.uint64))
+    picks *= np.float64(len(shapes))
+    shape_ids = picks.astype(np.int64)
+    return SoATrace(shapes=tuple(shapes), shape_ids=shape_ids, arrivals=arrivals)
+
+
 class QuantileSketch:
     """Log-bucketed quantile sketch with a relative-error guarantee.
 
@@ -379,6 +496,9 @@ class StreamingServingReport:
         self.requeues = 0
         self.fault_events: list = []
         self.downtime: dict[str, float] = {}
+        # fleet accounting (grows through :meth:`merge`)
+        self.replicas = 1
+        self._merged_horizon = 0.0
 
     def observe_batch(
         self,
@@ -500,8 +620,15 @@ class StreamingServingReport:
         self.downtime = dict(downtime or {})
 
     def availability(self) -> dict[str, float]:
-        """Per-accelerator up-fraction of the makespan, in ``[0, 1]``."""
-        horizon = self.makespan
+        """Per-accelerator up-fraction of the exposure horizon, in ``[0, 1]``.
+
+        A single report's horizon is its makespan.  A merged fleet
+        report's horizon is the *sum* of the merged replicas' makespans
+        (fleet-seconds): each replica contributes its own exposure and
+        its own downtime, so the fraction is the fleet-wide up time over
+        fleet-wide run time.
+        """
+        horizon = self._makespan if self.replicas == 1 else self._merged_horizon
         if horizon <= 0:
             return {name: 1.0 for name in self.downtime}
         return {
@@ -516,6 +643,49 @@ class StreamingServingReport:
         if total == 0:
             return 1.0
         return self.count / total
+
+    def merge(self, other: "StreamingServingReport") -> "StreamingServingReport":
+        """Fold a sibling shard's report into this one (fleet union).
+
+        Both reports must cover the same accelerator names at the same
+        ``quantile_error``.  Counts, sums and loads add; the makespan is
+        the latest finish across replicas; every sketch merges bucket-
+        exactly, so merged percentiles keep the documented relative-
+        error bound **with respect to the union of the merged latency
+        streams**.  Fault accounting adds too — each replica ran the
+        schedule over its own exposure window, so merged downtime /
+        availability read as fleet-seconds (see :meth:`availability`).
+        Returns ``self`` for chaining.
+        """
+        if other is self:
+            raise ValueError("cannot merge a report into itself")
+        if other.quantile_error != self.quantile_error:
+            raise ValueError("can only merge reports with identical quantile_error")
+        if other.accelerator_names != self.accelerator_names:
+            raise ValueError(
+                "can only merge reports over the same accelerator names "
+                f"({self.accelerator_names} vs {other.accelerator_names})"
+            )
+        self._merged_horizon = (
+            self._merged_horizon if self.replicas > 1 else self._makespan
+        ) + (other._merged_horizon if other.replicas > 1 else other._makespan)
+        self.replicas += other.replicas
+        self.count += other.count
+        self._makespan = max(self._makespan, other._makespan)
+        self._latency_sum += other._latency_sum
+        self._queueing_sum += other._queueing_sum
+        self._latency.merge(other._latency)
+        for name in self.accelerator_names:
+            self._per_accelerator[name].merge(other._per_accelerator[name])
+            self._loads[name] += other._loads[name]
+        self.shed_count += other.shed_count
+        self.total_retries += other.total_retries
+        self.kills += other.kills
+        self.requeues += other.requeues
+        self.fault_events = list(self.fault_events) + list(other.fault_events)
+        for name, down in other.downtime.items():
+            self.downtime[name] = self.downtime.get(name, 0.0) + down
+        return self
 
     def fault_summary(self) -> dict:
         return {
@@ -537,6 +707,8 @@ class StreamingServingReport:
             "quantile_error": self.quantile_error,
             "accelerator_load": self.accelerator_load(),
         }
+        if self.replicas > 1:
+            summary["replicas"] = self.replicas
         if self.fault_events or self.shed_count or self.downtime:
             summary["faults"] = self.fault_summary()
         if self.count:

@@ -106,3 +106,35 @@ def test_fault_runs_deterministic():
     second = ServingSimulator(partition).run(trace, faults=schedule)
     assert dispatch_rows(first) == dispatch_rows(second)
     assert first.fault_summary() == second.fault_summary()
+
+
+@pytest.mark.parametrize("dispatch", ["scan", "table", "heap", "vectorized", "auto"])
+def test_empty_trace_rejected_uniformly(dispatch):
+    """Every engine raises the same clear ValueError for an empty trace.
+
+    The contract mirrors ``generate_trace*``'s ``num_requests >= 1``
+    validation: an empty trace has no dispatch semantics, so no engine
+    gets to pick its own degenerate behaviour.
+    """
+    import numpy as np
+
+    from repro.sim.streaming import SoATrace
+
+    partition = make_partition(2)
+    simulator = ServingSimulator(partition)
+    empty_soa = SoATrace(
+        shapes=SHAPES,
+        shape_ids=np.empty(0, dtype=np.int64),
+        arrivals=np.empty(0, dtype=np.float64),
+    )
+    for trace in ([], empty_soa):
+        with pytest.raises(ValueError, match="empty trace"):
+            simulator.run(trace, dispatch=dispatch)
+        if dispatch != "scan":
+            with pytest.raises(ValueError, match="empty trace"):
+                simulator.run(trace, dispatch=dispatch, streaming=True)
+        with pytest.raises(ValueError, match="empty trace"):
+            simulator.run(
+                trace, dispatch=dispatch, faults=_schedule_for(2),
+                fault_policy=FaultPolicy(max_retries=1),
+            )

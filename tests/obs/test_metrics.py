@@ -146,3 +146,78 @@ class TestExposition:
     def test_empty_registry_renders_empty(self, registry):
         assert registry.to_prometheus() == ""
         assert registry.snapshot() == {}
+
+
+class TestDumpMerge:
+    """Cross-process state shipping: ``dump`` / ``merge_dump``."""
+
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.counter("repro_test_total", "things", kind="a").inc(3)
+        registry.gauge("repro_test_jobs", "peak workers").set(4)
+        registry.histogram("repro_test_seconds").observe_many([0.5, 1.0, 2.0])
+        return registry
+
+    def test_round_trip_into_empty_registry(self):
+        source = self._populated()
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+        assert target.snapshot() == source.snapshot()
+
+    def test_dump_survives_pickling(self):
+        import pickle
+
+        source = self._populated()
+        blob = pickle.dumps(source.dump(), protocol=pickle.HIGHEST_PROTOCOL)
+        target = MetricsRegistry()
+        target.merge_dump(pickle.loads(blob))
+        assert target.snapshot() == source.snapshot()
+
+    def test_counters_add_and_gauges_keep_max(self):
+        left = MetricsRegistry()
+        left.counter("repro_test_total").inc(2)
+        left.gauge("repro_test_jobs").set(8)
+        right = MetricsRegistry()
+        right.counter("repro_test_total").inc(5)
+        right.gauge("repro_test_jobs").set(3)
+        left.merge_dump(right.dump())
+        assert left.counter("repro_test_total").value == 7
+        # peak semantics: the merged gauge is the fleet-wide maximum
+        assert left.gauge("repro_test_jobs").value == 8
+
+    def test_summary_merge_is_bucket_exact(self):
+        shard_a = MetricsRegistry()
+        shard_a.histogram("repro_test_seconds").observe_many([0.1, 0.2, 0.4])
+        shard_b = MetricsRegistry()
+        shard_b.histogram("repro_test_seconds").observe_many([0.8, 1.6])
+        shard_a.merge_dump(shard_b.dump())
+        union = MetricsRegistry()
+        union.histogram("repro_test_seconds").observe_many(
+            [0.1, 0.2, 0.4, 0.8, 1.6]
+        )
+        merged = shard_a.histogram("repro_test_seconds")
+        reference = union.histogram("repro_test_seconds")
+        assert merged.count == reference.count
+        assert merged.quantiles([50, 99]) == reference.quantiles([50, 99])
+
+    def test_merge_does_not_mutate_the_source_dump(self):
+        source = self._populated()
+        dump = source.dump()
+        target = MetricsRegistry()
+        target.merge_dump(dump)
+        target.histogram("repro_test_seconds").observe(100.0)
+        target.merge_dump(source.dump())  # unaffected by target's extra sample
+        source.histogram("repro_test_seconds").observe(50.0)
+        # the first dump's deep-copied sketch did not see the late sample
+        fresh = MetricsRegistry()
+        fresh.merge_dump(dump)
+        assert fresh.histogram("repro_test_seconds").count == 3
+
+    def test_labels_preserved_across_merge(self):
+        source = MetricsRegistry()
+        source.counter("repro_test_total", engine="heap").inc(2)
+        source.counter("repro_test_total", engine="table").inc(3)
+        target = MetricsRegistry()
+        target.merge_dump(source.dump())
+        assert target.counter("repro_test_total", engine="heap").value == 2
+        assert target.counter("repro_test_total", engine="table").value == 3

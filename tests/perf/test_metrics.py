@@ -176,3 +176,64 @@ class TestThreadSafety:
         # lockstep inside the lock, so they can never disagree
         assert registry.total.evaluations == registry.total.cache_hits
         registry.reset()
+
+
+class TestStatsRegistryDumpMerge:
+    """Cross-process shipping of eval/fault counters."""
+
+    def _populated(self):
+        registry = StatsRegistry()
+        registry.record(EvalStats(evaluations=2, cache_hits=5, jobs=4))
+        registry.record(EvalStats(evaluations=1, cache_misses=3))
+        from repro.perf.metrics import FaultStats
+
+        registry.record_faults(FaultStats(windows=2, kills=1, shed=1, completed=9))
+        return registry
+
+    def test_dump_round_trips_through_pickle(self):
+        import pickle
+
+        source = self._populated()
+        blob = pickle.dumps(source.dump(), protocol=pickle.HIGHEST_PROTOCOL)
+        target = StatsRegistry()
+        target.merge_dump(pickle.loads(blob))
+        assert target.total.as_dict() == source.total.as_dict()
+        assert target.batches == source.batches
+        assert target.faults.as_dict() == source.faults.as_dict()
+        assert target.fault_runs == source.fault_runs
+
+    def test_merge_dump_folds_counters(self):
+        parent = self._populated()
+        worker = self._populated()
+        parent.merge_dump(worker.dump())
+        assert parent.total.evaluations == 6
+        assert parent.total.cache_hits == 10
+        assert parent.batches == 4
+        assert parent.faults.windows == 4
+        assert parent.fault_runs == 2
+
+    def test_dump_is_a_snapshot_not_a_view(self):
+        registry = self._populated()
+        dump = registry.dump()
+        registry.record(EvalStats(evaluations=100))
+        assert dump["total"].evaluations == 3
+        assert dump["batches"] == 2
+
+    def test_merge_dump_skips_metric_publication(self):
+        """Merging a worker dump must not re-publish to GLOBAL_METRICS.
+
+        The worker's own metrics dump is merged separately (through
+        ``MetricsRegistry.merge_dump``); publishing here too would
+        double-count every repro_eval_* series.
+        """
+        from repro.obs.metrics import GLOBAL_METRICS
+
+        GLOBAL_METRICS.reset("repro_eval_")
+        worker = StatsRegistry()
+        worker.record(EvalStats(evaluations=4, cache_hits=7))  # publishes once
+        parent = StatsRegistry()
+        parent.merge_dump(worker.dump())  # must not publish again
+        snapshot = GLOBAL_METRICS.snapshot()
+        hits = snapshot["repro_eval_cache_hits_total"]["values"][0]["value"]
+        assert hits == 7
+        assert parent.total.cache_hits == 7

@@ -1,0 +1,108 @@
+"""Property tests: ``QuantileSketch.merge`` across k-way shard merges.
+
+The sharded serving layer's percentile contract rests on one claim: a
+sketch merged from k disjoint shard streams answers quantile queries
+within the documented relative-error bound *of the union stream*, for
+any k and any split of the data — not just the pairwise case the unit
+tests pin.  These properties drive that with hypothesis-generated
+streams and splits.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.streaming import QuantileSketch
+
+# values comfortably above the sketch's underflow floor (1e-9) so every
+# sample lands in a real bucket and the relative bound applies
+values_strategy = st.lists(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+streams_strategy = st.lists(values_strategy, min_size=2, max_size=6)
+
+PERCENTILES = (10.0, 50.0, 90.0, 99.0, 100.0)
+
+
+def _exact_quantile(values: np.ndarray, percentile: float) -> float:
+    """The rank semantics the sketch documents: min(n, ceil(p/100*n))."""
+    ordered = np.sort(values)
+    rank = min(len(ordered), math.ceil(percentile / 100 * len(ordered)))
+    return float(ordered[rank - 1])
+
+
+def _merge_streams(streams, relative_error):
+    merged = QuantileSketch(relative_error=relative_error)
+    merged.add_many(np.asarray(streams[0], dtype=np.float64))
+    for stream in streams[1:]:
+        shard = QuantileSketch(relative_error=relative_error)
+        shard.add_many(np.asarray(stream, dtype=np.float64))
+        merged.merge(shard)
+    return merged
+
+
+class TestKWayMergeBound:
+    @given(streams_strategy, st.sampled_from([0.01, 0.05]))
+    @settings(max_examples=120, deadline=None)
+    def test_merged_quantiles_within_bound_of_union(self, streams, error):
+        merged = _merge_streams(streams, error)
+        union = np.concatenate([np.asarray(s, dtype=np.float64) for s in streams])
+        assert merged.count == len(union)
+        for percentile in PERCENTILES:
+            exact = _exact_quantile(union, percentile)
+            estimate = merged.quantile(percentile)
+            assert abs(estimate - exact) <= error * exact + 1e-12
+
+    @given(streams_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_merge_is_bucket_exact(self, streams):
+        """A k-way merge equals one sketch fed the whole union.
+
+        Bucket keys are elementwise functions of the values, so merging
+        shard sketches must reproduce the union sketch's internal state
+        exactly — count, sum, extremes, and every bucket count.  This is
+        the stronger invariant behind shard-count independence: any
+        split of the stream merges to the same state.
+        """
+        merged = _merge_streams(streams, 0.01)
+        union = np.concatenate([np.asarray(s, dtype=np.float64) for s in streams])
+        single = QuantileSketch(relative_error=0.01)
+        single.add_many(union)
+        assert merged._counts == single._counts
+        assert merged._underflow == single._underflow
+        assert merged.count == single.count
+        assert merged.min == single.min
+        assert merged.max == single.max
+        assert merged.sum == pytest.approx(single.sum, rel=1e-12)
+
+    @given(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e3, allow_nan=False),
+            min_size=6,
+            max_size=80,
+        ),
+        st.integers(2, 8),
+        st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_any_partition_of_one_stream_merges_identically(
+        self, values, shards, seed
+    ):
+        """Shard-count and split-point independence for one fixed stream."""
+        arr = np.asarray(values, dtype=np.float64)
+        rng = np.random.default_rng(seed)
+        cuts = np.sort(rng.integers(0, len(arr) + 1, size=shards - 1))
+        pieces = [p for p in np.split(arr, cuts) if p.size]
+        merged = _merge_streams([p.tolist() for p in pieces], 0.01)
+        single = QuantileSketch(relative_error=0.01)
+        single.add_many(arr)
+        assert merged._counts == single._counts
+        for percentile in PERCENTILES:
+            assert merged.quantile(percentile) == single.quantile(percentile)

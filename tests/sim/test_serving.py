@@ -190,9 +190,11 @@ class TestDispatchEngines:
         with pytest.raises(ValueError, match="no accelerator can serve"):
             simulator.run(trace, dispatch="scan")
 
-    def test_empty_trace(self, simulator):
-        assert simulator.run([]).completed == []
-        assert simulator.run([], streaming=True).count == 0
+    def test_empty_trace_rejected(self, simulator):
+        with pytest.raises(ValueError, match="empty trace"):
+            simulator.run([])
+        with pytest.raises(ValueError, match="empty trace"):
+            simulator.run([], streaming=True)
 
     def test_kwargs_validation(self, simulator):
         trace = generate_trace(SHAPES, 5, 1e-3, seed=0)
@@ -553,8 +555,7 @@ class TestFaultInjection:
         )
         assert len(result.points) == 1
 
-    def test_zero_requests_with_faults(self):
+    def test_zero_requests_with_faults_rejected(self):
         simulator = ServingSimulator(self._single())
-        report = simulator.run([], faults=FaultSchedule.down("solo", 0.0, 1.0))
-        assert report.completed == [] and report.shed == []
-        assert report.downtime == {"solo": 0.0}
+        with pytest.raises(ValueError, match="empty trace"):
+            simulator.run([], faults=FaultSchedule.down("solo", 0.0, 1.0))
