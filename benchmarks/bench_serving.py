@@ -17,6 +17,10 @@ and appends the result to a ``BENCH_serving.json`` trajectory:
 * ``sharded`` — cluster-scale serving: the trace partitioned across a
   process pool of shard replicas (``ShardedServingCluster``), each
   running the vectorized engine, merged into one fleet report.
+* ``wide`` — a wide fleet: eight CHARM designs modelled as one board
+  each (a single VCK5000 cannot host eight distinct configs — their
+  AIE demand exceeds the 400-tile array), dispatched with the k-wide
+  vectorized engine versus the heap engine on the same trace.
 
 The script also times the analytical-model prewarm cold (empty
 ``EvalCache``) versus warm (restored from an on-disk snapshot via
@@ -34,6 +38,12 @@ The script asserts the serving engine's contract on every run:
   **byte-identical** between the scan, table, heap, and vectorized
   engines on a verification subset — fault-free and under a fault
   schedule;
+* on the eight-accelerator fleet the vectorized engine is byte-
+  identical to heap on a verification subset and, when the native
+  k-wide kernel compiled, at least ``WIDE_FLOOR`` (3x) faster than
+  heap on the full trace (reduced on ``--smoke``; the speedup gate
+  disarms on the NumPy fallback, where vectorized only ties heap at
+  this width — the identity checks never disarm);
 * SoA trace generation is bit-identical to the scalar generator;
 * every shard of a sharded serve is byte-identical to an unsharded
   in-process run over the same sub-trace (for shard counts 2, 4, 8),
@@ -95,6 +105,13 @@ SHAPES = (
 )
 CONFIGS = ("C5", "C3")
 MEAN_INTERARRIVAL = 0.5e-3
+
+#: the wide fleet: eight distinct CHARM configs, one (virtual) board
+#: each — together they need far more than the VCK5000's 400 AIEs, so
+#: this is a multi-board fleet, not a single-device partition
+WIDE_CONFIGS = ("C1", "C2", "C3", "C4", "C7", "C8", "C9", "C10")
+WIDE_FLOOR = 3.0
+SMOKE_WIDE_FLOOR = 2.0
 
 
 # -- frozen seed path (the pre-optimization serving loop) ---------------
@@ -460,6 +477,82 @@ def run_sharded_benchmark(
     }
 
 
+class FleetPartition:
+    """A multi-board fleet: one CHARM design per board.
+
+    Duck-types the slice of :class:`AcceleratorPartition` the serving
+    simulator uses (``designs`` and ``estimate_on``) but skips the
+    single-device AIE/PLIO budget validation — each accelerator lives
+    on its own VCK5000, so the budgets never compose.  This is the
+    smallest honest model of a wide fleet: eight *distinct* configs
+    cannot coexist on one device (C1–C4 + C7–C10 alone need more AIEs
+    than the 400-tile array provides).
+    """
+
+    def __init__(self, configs):
+        from repro.core.analytical_model import AnalyticalModel
+        from repro.mapping.charm import CharmDesign
+
+        self.designs = {c.name: CharmDesign(c) for c in configs}
+        self._models = {
+            name: AnalyticalModel(design)
+            for name, design in self.designs.items()
+        }
+
+    def estimate_on(self, accelerator: str, shape) -> float:
+        return self._models[accelerator].estimate(shape).total_seconds
+
+
+def run_wide_benchmark(num_requests: int, repeats: int = 2) -> dict:
+    """Vectorized vs heap on the eight-accelerator fleet.
+
+    Before timing, a verification subset is dispatched through both
+    engines and compared byte for byte — the speedup claim is only
+    meaningful if the engines are the same scheduler.  Timing then
+    covers the full streaming pipeline (trace generation + dispatch +
+    sketched percentiles), best-of-N per engine.
+    """
+    from repro.sim.dispatch_batch import native_available
+
+    partition = FleetPartition([config_by_name(name) for name in WIDE_CONFIGS])
+    simulator = ServingSimulator(partition)
+    simulator.prewarm(SHAPES)
+
+    verify_n = min(num_requests, VERIFY_REQUESTS)
+    subset = generate_trace_soa(SHAPES, verify_n, MEAN_INTERARRIVAL, seed=7)
+    identical = _dispatch_bytes(
+        simulator.run(subset, dispatch="heap")
+    ) == _dispatch_bytes(simulator.run(subset, dispatch="vectorized"))
+
+    timings = {}
+    for engine in ("heap", "vectorized"):
+        best = math.inf
+        for _ in range(repeats):
+            started = time.perf_counter()
+            soa = generate_trace_soa(
+                SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7
+            )
+            simulator.run(
+                soa, streaming=True, quantile_error=QUANTILE_ERROR,
+                dispatch=engine,
+            )
+            best = min(best, time.perf_counter() - started)
+        timings[engine] = best
+
+    return {
+        "configs": list(WIDE_CONFIGS),
+        "accelerators": len(WIDE_CONFIGS),
+        "requests": num_requests,
+        "native": native_available(),
+        "identical": identical,
+        "heap_seconds": timings["heap"],
+        "heap_requests_per_sec": num_requests / timings["heap"],
+        "vectorized_seconds": timings["vectorized"],
+        "vectorized_requests_per_sec": num_requests / timings["vectorized"],
+        "speedup_vs_heap": timings["heap"] / timings["vectorized"],
+    }
+
+
 def run_benchmark(
     num_requests: int = DEFAULT_REQUESTS,
     smoke: bool = False,
@@ -562,6 +655,7 @@ def run_benchmark(
     entry["sharded"] = run_sharded_benchmark(
         partition, num_requests, start_method=start_method
     )
+    entry["wide"] = run_wide_benchmark(num_requests)
     entry["cache"] = measure_cache_warmup(partition)
     return entry
 
@@ -706,6 +800,26 @@ def check(entry: dict) -> list[str]:
             f"the {PREWARM_SPEEDUP_FLOOR}x floor"
         )
     failures.extend(check_sharded(entry))
+    failures.extend(check_wide(entry))
+    return failures
+
+
+def check_wide(entry: dict) -> list[str]:
+    """The wide-fleet contract; empty list means acceptable."""
+    wide = entry["wide"]
+    failures = []
+    if not wide["identical"]:
+        failures.append(
+            f"vectorized and heap dispatch decisions differ on the "
+            f"{wide['accelerators']}-accelerator fleet"
+        )
+    wide_floor = SMOKE_WIDE_FLOOR if entry["smoke"] else WIDE_FLOOR
+    if wide["native"] and wide["speedup_vs_heap"] < wide_floor:
+        failures.append(
+            f"wide-fleet vectorized speedup {wide['speedup_vs_heap']:.2f}x "
+            f"over heap is below the {wide_floor}x floor "
+            f"({wide['accelerators']} accelerators, native kernel)"
+        )
     return failures
 
 
@@ -801,6 +915,13 @@ def main(argv: list[str] | None = None) -> int:
     print(f"speedup:              {entry['speedup']:.2f}x")
     print(f"vectorized speedup:   {entry['vectorized_speedup']:.2f}x over fast")
     _print_sharded(entry)
+    wide = entry["wide"]
+    kernel = "native" if wide["native"] else "numpy fallback"
+    print(f"{'wide':>10}: {wide['vectorized_seconds']:8.3f} s  "
+          f"{wide['vectorized_requests_per_sec']:12.1f} req/s  "
+          f"({wide['accelerators']} accelerators via {kernel})")
+    print(f"wide speedup:         {wide['speedup_vs_heap']:.2f}x over heap  "
+          f"identical: {wide['identical']}")
     cache = entry["cache"]
     print(f"prewarm cache:        cold {cache['cold_prewarm_seconds'] * 1e3:.2f} ms"
           f"  warm {cache['warm_prewarm_seconds'] * 1e3:.2f} ms"

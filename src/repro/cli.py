@@ -250,6 +250,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     configs = [config_by_name(name) for name in args.configs.split(",") if name]
     partition = AcceleratorPartition(configs)
     simulator = ServingSimulator(partition)
+    from repro.sim.dispatch_batch import native_available
+
+    native = native_available()
+    GLOBAL_METRICS.gauge(
+        "repro_native_available",
+        "Compiled k-wide dispatch kernel in use (1) or NumPy fallback (0)",
+    ).set(1.0 if native else 0.0)
+    if args.stats:
+        print(
+            f"native       {'available' if native else 'unavailable'} "
+            "(k-wide C dispatch kernel)",
+            file=sys.stderr,
+        )
     simulator.prewarm(shapes, jobs=args.jobs, vectorize=args.vectorize)
 
     faults = None
@@ -552,7 +565,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--dispatch",
         choices=["auto", "vectorized", "heap", "table", "scan"],
-        default="auto", help="dispatch engine (all byte-identical)")
+        default="auto",
+        help="dispatch engine (all byte-identical; vectorized is legal at "
+             "any partition width — native k-wide C kernel when a compiler "
+             "is present, NumPy speculate-and-verify otherwise)")
     serve.add_argument("--shards", type=int, default=1, metavar="N",
                        help="partition the trace across N process-parallel "
                             "shard replicas and merge one fleet report")

@@ -14,27 +14,38 @@ through :data:`theta_walk` and :data:`dispatch_exact`.
 
 ``dispatch_exact`` mirrors the scan loop bit for bit — same
 ``arrival if arrival > free else free`` start rule, same strict
-``finish1 < finish0`` tie-break, same fault-segment ``limit`` /
-next-down cut conditions as ``_corrected_step`` — so the NumPy
-speculate-and-verify engine becomes the fallback rather than the hot
-path when a compiler is present.  Plain ``-O2`` keeps IEEE semantics
-(no ``-ffast-math``, no FMA contraction opportunities in pure
-add/compare code), and a self-check against a Python reference guards
-the build before it is trusted.  Any failure (no ``cc``, sandboxed
-filesystem, self-check mismatch) leaves both exports ``None`` and the
-pure-Python paths take over.  Set ``REPRO_NO_NATIVE=1`` to force that
-fallback explicitly (CI exercises it so the Python paths stay covered).
+first-minimum winner over the ``(width, classes)`` service matrix,
+same fault-segment ``limit`` / per-accelerator next-down cut
+conditions as ``_corrected_step_k`` — so the NumPy speculate-and-verify
+engine becomes the fallback rather than the hot path when a compiler
+is present.  Width 1 and 2 keep fully unrolled kernels (the paper's
+C5+C3-style partitions); every wider fleet goes through the k-wide
+kernel, which scans the lanes with the same strict-less winner rule at
+any width.  ``inf`` service entries (infeasible accelerator/class
+pairs) are safe in all three kernels: an infinite candidate finish can
+never win a strict-less comparison, and the next-down check only ever
+tests the winner.  Plain ``-O2`` keeps IEEE semantics (no
+``-ffast-math``, no FMA contraction opportunities in pure add/compare
+code), and a self-check against a Python reference guards the build
+before it is trusted.  Any failure (no ``cc``, sandboxed filesystem,
+self-check mismatch) leaves both exports ``None`` and the pure-Python
+paths take over.  Set ``REPRO_NO_NATIVE=1`` to force that fallback
+explicitly (CI exercises it so the Python paths stay covered).
 """
 
 from __future__ import annotations
 
 import ctypes
+import logging
+import math
 import os
 import shutil
 import subprocess
 import tempfile
 
 import numpy as np
+
+_LOG = logging.getLogger("repro.sim.native")
 
 _SOURCE = r"""
 #include <stdint.h>
@@ -118,6 +129,48 @@ int64_t repro_dispatch_single(const double *arrivals, const int64_t *cids,
     state[0] = f0;
     return j;
 }
+
+/* The k-wide exact loop: svc is the row-major (k, classes) service
+ * matrix, nd the per-accelerator next-down array.  Winner = first
+ * strict minimum finish in lane order (np.argmin semantics); any lane
+ * whose start reaches `limit` cuts the segment before a commit. */
+int64_t repro_dispatch_k(const double *arrivals, const int64_t *cids,
+                         const double *svc, int64_t k, int64_t classes,
+                         int64_t n, double limit, const double *nd,
+                         double *state, int64_t *acc,
+                         double *start, double *fin)
+{
+    int64_t j = 0;
+    for (; j < n; ++j) {
+        double a = arrivals[j];
+        int64_t c = cids[j];
+        int64_t best = 0;
+        double best_st = 0.0;
+        double best_e = 0.0;
+        int cut = 0;
+        for (int64_t i = 0; i < k; ++i) {
+            double f = state[i];
+            double st = a > f ? a : f;
+            if (st >= limit) {
+                cut = 1;
+                break;
+            }
+            double e = st + svc[i * classes + c];
+            if (i == 0 || e < best_e) {
+                best = i;
+                best_st = st;
+                best_e = e;
+            }
+        }
+        if (cut || best_e > nd[best])
+            break;
+        state[best] = best_e;
+        acc[j] = best;
+        start[j] = best_st;
+        fin[j] = best_e;
+    }
+    return j;
+}
 """
 
 _DOUBLE_P = ctypes.POINTER(ctypes.c_double)
@@ -137,7 +190,7 @@ def _reference_walk(u, v, theta):
 
 
 def _reference_dispatch(arrivals, cids, rows, state, limit, nds):
-    """Pure-Python mirror of the scan/``_corrected_step`` loop."""
+    """Pure-Python mirror of the scan/``_corrected_step_k`` loop."""
     out = []
     for a, c in zip(arrivals, cids):
         starts = [a if a > f else f for f in state]
@@ -145,8 +198,9 @@ def _reference_dispatch(arrivals, cids, rows, state, limit, nds):
             break
         fins = [st + row[c] for st, row in zip(starts, rows)]
         best = 0
-        if len(fins) == 2 and fins[1] < fins[0]:
-            best = 1
+        for i in range(1, len(fins)):
+            if fins[i] < fins[best]:
+                best = i
         if fins[best] > nds[best]:
             break
         state[best] = fins[best]
@@ -154,11 +208,13 @@ def _reference_dispatch(arrivals, cids, rows, state, limit, nds):
     return out
 
 
-def _check_dispatch(pair, single):
+def _check_dispatch(pair, single, kwide):
     inf = float("inf")
     arrivals = [0.0, 0.1, 0.15, 0.2, 1.0, 1.05, 1.5, 2.0]
     cids = [0, 1, 0, 1, 0, 0, 1, 1]
-    rows = [[0.3, 0.5], [0.4, 0.5]]
+    # four lanes, one infeasible (inf) entry: the k-wide kernel must
+    # never let an infinite candidate win a strict-less comparison
+    rows = [[0.3, 0.5], [0.4, 0.5], [0.35, inf], [0.25, 0.45]]
     cases = [
         (2, inf, (inf, inf)),
         (2, 1.2, (inf, inf)),
@@ -166,20 +222,28 @@ def _check_dispatch(pair, single):
         (2, inf, (inf, 0.6)),
         (1, inf, (inf,)),
         (1, 0.9, (0.7,)),
+        (3, inf, (inf, inf, inf)),
+        (3, 1.3, (inf, inf, inf)),
+        (3, inf, (inf, 0.8, inf)),
+        (4, inf, (inf, inf, inf, inf)),
+        (4, 1.1, (inf, inf, inf, 0.9)),
+        (4, inf, (0.6, inf, inf, inf)),
     ]
     for width, limit, nds in cases:
-        state = [0.05, 0.0][:width]
+        state = [0.05, 0.0, 0.02, 0.01][:width]
+        ref_state = list(state)
         expect = _reference_dispatch(
-            arrivals, cids, rows[:width], list(state), limit, nds
+            arrivals, cids, rows[:width], ref_state, limit, nds
         )
         arr = np.asarray(arrivals)
         cid = np.asarray(cids, dtype=np.int64)
-        svc = [np.asarray(row) for row in rows]
         st = np.asarray(state)
-        acc = np.empty(arr.size, dtype=np.uint8)
+        acc8 = np.empty(arr.size, dtype=np.uint8)
+        acc64 = np.empty(arr.size, dtype=np.int64)
         starts = np.empty(arr.size)
         fins = np.empty(arr.size)
         if width == 2:
+            svc = [np.asarray(row) for row in rows]
             q = pair(
                 arr.ctypes.data_as(_DOUBLE_P),
                 cid.ctypes.data_as(_INT64_P),
@@ -190,11 +254,13 @@ def _check_dispatch(pair, single):
                 nds[0],
                 nds[1],
                 st.ctypes.data_as(_DOUBLE_P),
-                acc.ctypes.data_as(_UINT8_P),
+                acc8.ctypes.data_as(_UINT8_P),
                 starts.ctypes.data_as(_DOUBLE_P),
                 fins.ctypes.data_as(_DOUBLE_P),
             )
-        else:
+            got_acc = acc8
+        elif width == 1:
+            svc = [np.asarray(row) for row in rows]
             q = single(
                 arr.ctypes.data_as(_DOUBLE_P),
                 cid.ctypes.data_as(_INT64_P),
@@ -203,12 +269,37 @@ def _check_dispatch(pair, single):
                 limit,
                 nds[0],
                 st.ctypes.data_as(_DOUBLE_P),
-                acc.ctypes.data_as(_UINT8_P),
+                acc8.ctypes.data_as(_UINT8_P),
                 starts.ctypes.data_as(_DOUBLE_P),
                 fins.ctypes.data_as(_DOUBLE_P),
             )
-        got = list(zip(acc[:q].tolist(), starts[:q].tolist(), fins[:q].tolist()))
+            got_acc = acc8
+        else:
+            matrix = np.ascontiguousarray(rows[:width], dtype=np.float64)
+            nd_arr = np.asarray(nds, dtype=np.float64)
+            q = kwide(
+                arr.ctypes.data_as(_DOUBLE_P),
+                cid.ctypes.data_as(_INT64_P),
+                matrix.ctypes.data_as(_DOUBLE_P),
+                width,
+                matrix.shape[1],
+                arr.size,
+                limit,
+                nd_arr.ctypes.data_as(_DOUBLE_P),
+                st.ctypes.data_as(_DOUBLE_P),
+                acc64.ctypes.data_as(_INT64_P),
+                starts.ctypes.data_as(_DOUBLE_P),
+                fins.ctypes.data_as(_DOUBLE_P),
+            )
+            got_acc = acc64
+        got = list(
+            zip(got_acc[:q].tolist(), starts[:q].tolist(), fins[:q].tolist())
+        )
         if q != len(expect) or got != expect:
+            return False
+        # the committed prefix must leave the same free clocks the
+        # reference loop left
+        if st.tolist() != ref_state:
             return False
     return True
 
@@ -272,6 +363,22 @@ def _build():
             _DOUBLE_P,
             _DOUBLE_P,
         ]
+        kwide = library.repro_dispatch_k
+        kwide.restype = ctypes.c_int64
+        kwide.argtypes = [
+            _DOUBLE_P,
+            _INT64_P,
+            _DOUBLE_P,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_int64,
+            ctypes.c_double,
+            _DOUBLE_P,
+            _DOUBLE_P,
+            _INT64_P,
+            _DOUBLE_P,
+            _DOUBLE_P,
+        ]
 
         # self-check against the reference implementations before
         # trusting the build
@@ -290,9 +397,9 @@ def _build():
             )
             if got.tolist() != _reference_walk(check_u, check_v, theta):
                 return None
-        if not _check_dispatch(pair, single):
+        if not _check_dispatch(pair, single, kwide):
             return None
-        return walk, pair, single
+        return walk, pair, single, kwide
     except Exception:
         return None
     finally:
@@ -302,7 +409,27 @@ def _build():
 
 
 _BUILT = _build()
-_WALK, _PAIR, _SINGLE = _BUILT if _BUILT is not None else (None, None, None)
+_WALK, _PAIR, _SINGLE, _KWIDE = (
+    _BUILT if _BUILT is not None else (None, None, None, None)
+)
+
+#: whether the compiled kernels passed the self-check and are in use
+NATIVE_AVAILABLE = _BUILT is not None
+
+if NATIVE_AVAILABLE:
+    _LOG.info(
+        "native dispatch kernels compiled (k-wide exact earliest-finish loop)"
+    )
+elif os.environ.get("REPRO_NO_NATIVE"):
+    _LOG.info(
+        "REPRO_NO_NATIVE set: vectorized dispatch uses the NumPy "
+        "speculate-and-verify fallback"
+    )
+else:
+    _LOG.warning(
+        "no working C compiler: vectorized dispatch falls back to the "
+        "NumPy speculate-and-verify engine (slower, same results)"
+    )
 
 
 def _theta_walk_native(u: np.ndarray, v: np.ndarray, theta: float) -> np.ndarray:
@@ -320,25 +447,29 @@ def _theta_walk_native(u: np.ndarray, v: np.ndarray, theta: float) -> np.ndarray
     return out.view(np.bool_)
 
 
-def _dispatch_exact_native(arrivals, class_ids, services, free, limit, nd0, nd1):
+def _dispatch_exact_native(arrivals, class_ids, services, free, limit, nds=None):
     """Exact earliest-finish dispatch over one clean stretch.
 
     ``services`` is the engine's ``(width, classes)`` float64 matrix
-    (width 1 or 2, every entry finite); ``free`` is the mutable
-    per-accelerator clock list, updated in place.  Returns
-    ``(accepted, accs, starts, fins)`` — the maximal prefix satisfying
-    the ``limit`` / next-down constraints, with per-request results
-    bit-identical to the scan loop.
+    (any width; ``inf`` marks infeasible pairs); ``free`` is the
+    mutable per-accelerator clock list, updated in place; ``nds`` the
+    per-accelerator next-down array (``None`` = unconstrained).
+    Returns ``(accepted, accs, starts, fins)`` — the maximal prefix
+    satisfying the ``limit`` / next-down constraints, with per-request
+    results bit-identical to the scan loop.
     """
     arrivals = np.ascontiguousarray(arrivals, dtype=np.float64)
     class_ids = np.ascontiguousarray(class_ids, dtype=np.int64)
     n = arrivals.size
-    acc = np.empty(n, dtype=np.uint8)
+    width = services.shape[0]
     starts = np.empty(n, dtype=np.float64)
     fins = np.empty(n, dtype=np.float64)
     state = np.asarray(free, dtype=np.float64)
-    svc0 = np.ascontiguousarray(services[0])
-    if services.shape[0] == 2:
+    if nds is None:
+        nds = (math.inf,) * width
+    if width == 2:
+        acc = np.empty(n, dtype=np.uint8)
+        svc0 = np.ascontiguousarray(services[0])
         svc1 = np.ascontiguousarray(services[1])
         q = _PAIR(
             arrivals.ctypes.data_as(_DOUBLE_P),
@@ -347,28 +478,48 @@ def _dispatch_exact_native(arrivals, class_ids, services, free, limit, nd0, nd1)
             svc1.ctypes.data_as(_DOUBLE_P),
             n,
             limit,
-            nd0,
-            nd1,
+            nds[0],
+            nds[1],
             state.ctypes.data_as(_DOUBLE_P),
             acc.ctypes.data_as(_UINT8_P),
             starts.ctypes.data_as(_DOUBLE_P),
             fins.ctypes.data_as(_DOUBLE_P),
         )
-        free[1] = float(state[1])
-    else:
+    elif width == 1:
+        acc = np.empty(n, dtype=np.uint8)
+        svc0 = np.ascontiguousarray(services[0])
         q = _SINGLE(
             arrivals.ctypes.data_as(_DOUBLE_P),
             class_ids.ctypes.data_as(_INT64_P),
             svc0.ctypes.data_as(_DOUBLE_P),
             n,
             limit,
-            nd0,
+            nds[0],
             state.ctypes.data_as(_DOUBLE_P),
             acc.ctypes.data_as(_UINT8_P),
             starts.ctypes.data_as(_DOUBLE_P),
             fins.ctypes.data_as(_DOUBLE_P),
         )
-    free[0] = float(state[0])
+    else:
+        acc = np.empty(n, dtype=np.int64)
+        matrix = np.ascontiguousarray(services, dtype=np.float64)
+        nd_arr = np.ascontiguousarray(nds, dtype=np.float64)
+        q = _KWIDE(
+            arrivals.ctypes.data_as(_DOUBLE_P),
+            class_ids.ctypes.data_as(_INT64_P),
+            matrix.ctypes.data_as(_DOUBLE_P),
+            width,
+            matrix.shape[1],
+            n,
+            limit,
+            nd_arr.ctypes.data_as(_DOUBLE_P),
+            state.ctypes.data_as(_DOUBLE_P),
+            acc.ctypes.data_as(_INT64_P),
+            starts.ctypes.data_as(_DOUBLE_P),
+            fins.ctypes.data_as(_DOUBLE_P),
+        )
+    for order in range(width):
+        free[order] = float(state[order])
     return q, acc[:q], starts[:q], fins[:q]
 
 

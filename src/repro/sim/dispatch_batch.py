@@ -7,9 +7,10 @@ the arithmetic.  This module dispatches the same trace in vectorized
 seed scan:
 
 1. **Guess** the per-request accelerator assignment with cheap
-   approximate math — a θ-walk over cumulative service sums when the
-   partition is saturated (every start is a busy handoff), or an
-   elementwise ``arrival + service`` argmin when it is idle.
+   approximate math — a θ-walk over cumulative service sums when a
+   two-wide partition is saturated, a blockwise frontier argmin on
+   wider fleets, or an elementwise ``arrival + service`` argmin when
+   the partition is idle.
 2. **Reconstruct** the per-accelerator finish trajectories the guess
    implies, exactly: each accelerator's busy chain is a sequential
    ``np.cumsum`` (NumPy's ``add.accumulate`` adds left to right, the
@@ -29,15 +30,19 @@ free)`` (a comparison, no rounding) and ``finish = start + service``
 (one float64 add).  Every accepted value here is produced by that same
 single add — either inside a sequential cumsum over the accelerator's
 busy chain or as ``arrival + service`` for an idle admission — on
-bit-equal operands.  The θ-walk's rearranged arithmetic is only ever a
-*guess*; nothing it computes reaches the output.
+bit-equal operands.  The guessers' rearranged arithmetic is only ever
+a *guess*; nothing they compute reaches the output.
 
-Widths 1 and 2 are handled natively (the common partitions); wider
-partitions are the caller's job (``serving.py`` delegates them to the
-table/heap engines, which are byte-identical anyway).  The entry points
-report how far they got so callers can fall back mid-trace:
-persistent low acceptance (an adversarial arrival pattern) bails out
-rather than degrading quadratically.
+The rounds are width-generic: one busy and one idle formulation cover
+every partition width ``k >= 1``, with the winner chosen by
+``np.argmin`` over a ``(k, batch)`` finish matrix (first strict
+minimum — the scan's lane-order tie-break) and per-lane ``next_down``
+cut conditions for fault segments.  ``inf`` service entries
+(infeasible pairs) never win a strict-less comparison, so they flow
+through the verification untouched.  The entry points report how far
+they got so callers can fall back mid-trace: persistent low acceptance
+(an adversarial arrival pattern) bails out rather than degrading
+quadratically.
 """
 
 from __future__ import annotations
@@ -67,6 +72,12 @@ MAX_STALLS = 2
 MIN_BURST = 256
 
 _INF = math.inf
+
+
+def native_available() -> bool:
+    """Whether the compiled exact loop is in use (read dynamically, so
+    tests that monkeypatch :data:`_native_dispatch` flip this too)."""
+    return _native_dispatch is not None
 
 
 def _finite_or(values: np.ndarray, fill: float) -> np.ndarray:
@@ -117,77 +128,96 @@ def _arange(n: int) -> np.ndarray:
     return _ARANGE[:n]
 
 
-def _round_k2_busy(
-    a, c, s0, s1, free, limit=_INF, nd0=_INF, nd1=_INF, corrected=True
-):
-    """One saturated-regime speculation round over a two-wide partition.
+def _guess_busy(svc: np.ndarray, free) -> np.ndarray:
+    """Guessed lane assignment for a saturated batch; ``(batch,)`` int64.
+
+    Pure speculation — a wrong guess costs a shorter accepted prefix,
+    never a wrong result.  Three regimes:
+
+    * ``k == 1`` — there is nothing to guess;
+    * ``k == 2`` — the θ-walk over cumulative service sums (the exact
+      busy-handoff recurrence rewritten as a threshold walk);
+    * ``k > 2`` — a blockwise frontier argmin: within each small block
+      every request picks the lane with the least loaded frontier, then
+      the frontiers advance by the service each lane absorbed.  Blocks
+      trade guess accuracy for vectorization; ``inf`` (infeasible)
+      entries lose every argmin, steering guesses to feasible lanes.
+    """
+    k, B = svc.shape
+    if k == 1:
+        return np.zeros(B, dtype=np.int64)
+    if k == 2:
+        s0, s1 = svc[0], svc[1]
+        s0f = _finite_or(s0, 0.0)
+        u = np.cumsum(s0f)
+        u -= s1
+        if s0f is not s0:
+            u[~np.isfinite(s0)] = _INF
+        v = s0f + _finite_or(s1, 0.0)
+        return _walk_picks(u, v, float(free[1]) - float(free[0])).astype(np.int64)
+    d = np.empty(B, dtype=np.int64)
+    frontier = np.asarray(free, dtype=np.float64).copy()
+    block = max(32, 2 * k)
+    offsets = np.arange(block)
+    for lo in range(0, B, block):
+        hi = min(lo + block, B)
+        blk = svc[:, lo:hi]
+        pick = np.argmin(frontier[:, None] + blk, axis=0)
+        d[lo:hi] = pick
+        frontier += np.bincount(
+            pick, weights=blk[pick, offsets[: hi - lo]], minlength=k
+        )
+    return d
+
+
+def _round_k_busy(a, c, services, free, limit=_INF, nds=None, corrected=True):
+    """One saturated-regime speculation round at any width.
 
     Returns ``(accepted, accs, starts, fins, reason)`` where ``reason``
     is ``None`` (full window), ``"idle"`` (the cut position needs an
     idle admission — the caller should try the idle guesser), or
-    ``"boundary"`` (a ``limit``/``nd`` fault-segment constraint cut).
+    ``"boundary"`` (a ``limit``/next-down fault-segment constraint cut).
     """
-    f0, f1 = free
+    k = services.shape[0]
     B = a.size
-    s0f = _finite_or(s0, 0.0)
-    u = np.cumsum(s0f)
-    u -= s1
-    if s0f is not s0:
-        u[~np.isfinite(s0)] = _INF
-    v = s0f + _finite_or(s1, 0.0)
-    d = _walk_picks(u, v, f1 - f0)
-    keep0 = ~d
-    traj0 = np.cumsum(np.concatenate(((f0,), s0[keep0])))
-    traj1 = np.cumsum(np.concatenate(((f1,), s1[d])))
-    excl0 = np.cumsum(keep0)
-    excl0 -= keep0
-    excl1 = _arange(B) - excl0
-    f0b = traj0[excl0]
-    f1b = traj1[excl1]
+    svc = services[:, c]
+    d = _guess_busy(svc, free)
+    ar = _arange(B)
+    onehot = d == np.arange(k)[:, None]
+    excl = np.cumsum(onehot, axis=1)
+    excl -= onehot
+    fb = np.empty((k, B))
+    trajs = []
+    for i in range(k):
+        traj = np.cumsum(np.concatenate(((free[i],), svc[i][onehot[i]])))
+        trajs.append(traj)
+        fb[i] = traj[excl[i]]
     # the selected accelerator's free-before must not exceed the
-    # arrival (busy-handoff semantics); test before the in-place max
-    # below clobbers the free-before arrays
-    ok = np.where(d, f1b, f0b) >= a
-    st0 = np.maximum(a, f0b, out=f0b)
-    st1 = np.maximum(a, f1b, out=f1b)
-    fin0 = st0 + s0
-    fin1 = st1 + s1
-    w = fin1 < fin0
+    # arrival (busy-handoff semantics)
+    ok = fb[d, ar] >= a
+    st = np.maximum(a, fb)
+    fin = st + svc
+    w = np.argmin(fin, axis=0)
     ok &= w == d
     if limit != _INF:
-        ok &= (st0 < limit) & (st1 < limit)
-    if nd0 != _INF or nd1 != _INF:
-        ok &= np.where(d, fin1 <= nd1, fin0 <= nd0)
+        ok &= (st < limit).all(axis=0)
+    if nds is not None and any(nd != _INF for nd in nds):
+        nds_arr = np.asarray(nds)
+        ok &= fin[d, ar] <= nds_arr[d]
     if ok.all():
-        free[0] = float(traj0[-1])
-        free[1] = float(traj1[-1])
-        return (
-            B,
-            d,
-            np.where(d, st1, st0),
-            np.where(d, fin1, fin0),
-            None,
-        )
+        for i in range(k):
+            free[i] = float(trajs[i][-1])
+        return B, d, st[d, ar], fin[d, ar], None
     q = int(np.argmin(ok))
-    n0 = int(excl0[q])
-    free[0] = float(traj0[n0])
-    free[1] = float(traj1[q - n0])
+    for i in range(k):
+        free[i] = float(trajs[i][excl[i][q]])
     accs = d[:q]
-    starts = np.where(d[:q], st1[:q], st0[:q])
-    fins = np.where(d[:q], fin1[:q], fin0[:q])
-    sel_free_q = float(traj1[q - n0]) if d[q] else float(traj0[n0])
-    reason = None if sel_free_q >= float(a[q]) else "idle"
+    starts = st[d[:q], ar[:q]]
+    fins = fin[d[:q], ar[:q]]
+    reason = None if float(fb[d[q], q]) >= float(a[q]) else "idle"
     if not corrected:
         return q, accs, starts, fins, reason or "boundary"
-    step = _corrected_step(
-        float(a[q]),
-        float(s0[q]),
-        float(s1[q]),
-        free,
-        limit,
-        nd0,
-        nd1,
-    )
+    step = _corrected_step_k(float(a[q]), svc[:, q], free, limit, nds)
     if step is None:
         return q, accs, starts, fins, "boundary"
     return (
@@ -199,60 +229,48 @@ def _round_k2_busy(
     )
 
 
-def _round_k2_idle(
-    a, c, s0, s1, free, limit=_INF, nd0=_INF, nd1=_INF, corrected=True
-):
+def _round_k_idle(a, c, services, free, limit=_INF, nds=None, corrected=True):
     """One idle-regime round: every admission guessed as ``arrival + service``."""
-    f0, f1 = free
+    k = services.shape[0]
     B = a.size
-    fin0c = a + s0
-    fin1c = a + s1
-    d = fin1c < fin0c
-    fins_full = np.where(d, fin1c, fin0c)
-    idx = np.arange(B)
-    last0 = np.maximum.accumulate(np.where(d, -1, idx))
-    last1 = np.maximum.accumulate(np.where(d, idx, -1))
-    prev0 = np.empty(B, dtype=np.int64)
-    prev0[0] = -1
-    prev0[1:] = last0[:-1]
-    prev1 = np.empty(B, dtype=np.int64)
-    prev1[0] = -1
-    prev1[1:] = last1[:-1]
-    f0b = np.where(prev0 >= 0, fins_full[np.maximum(prev0, 0)], f0)
-    f1b = np.where(prev1 >= 0, fins_full[np.maximum(prev1, 0)], f1)
-    ok = (a >= f0b) & (a >= f1b)
-    if nd0 != _INF or nd1 != _INF:
-        ok &= np.where(d, fin1c <= nd1, fin0c <= nd0)
+    svc = services[:, c]
+    finc = a + svc
+    d = np.argmin(finc, axis=0)
+    ar = _arange(B)
+    fins_full = finc[d, ar]
+    fb = np.empty((k, B))
+    lasts = np.empty((k, B), dtype=np.int64)
+    prev = np.empty(B, dtype=np.int64)
+    for i in range(k):
+        lasts[i] = np.maximum.accumulate(np.where(d == i, ar, -1))
+        prev[0] = -1
+        prev[1:] = lasts[i][:-1]
+        fb[i] = np.where(prev >= 0, fins_full[np.maximum(prev, 0)], free[i])
+    ok = (a >= fb).all(axis=0)
+    if nds is not None and any(nd != _INF for nd in nds):
+        nds_arr = np.asarray(nds)
+        ok &= fins_full <= nds_arr[d]
     # starts equal arrivals wherever ``ok`` holds, so a finite ``limit``
     # is already satisfied: segment batches only contain times < limit
     if ok.all():
-        i0 = int(last0[-1])
-        i1 = int(last1[-1])
-        free[0] = float(fins_full[i0]) if i0 >= 0 else f0
-        free[1] = float(fins_full[i1]) if i1 >= 0 else f1
+        for i in range(k):
+            last = int(lasts[i][-1])
+            if last >= 0:
+                free[i] = float(fins_full[last])
         return B, d, a.copy(), fins_full, None
     q = int(np.argmin(ok))
     if q:
-        i0 = int(last0[q - 1])
-        i1 = int(last1[q - 1])
-        free[0] = float(fins_full[i0]) if i0 >= 0 else f0
-        free[1] = float(fins_full[i1]) if i1 >= 0 else f1
+        for i in range(k):
+            last = int(lasts[i][q - 1])
+            if last >= 0:
+                free[i] = float(fins_full[last])
     accs = d[:q]
     starts = a[:q].copy()
     fins = fins_full[:q]
-    busy_cut = bool(a[q] < f0b[q]) or bool(a[q] < f1b[q])
-    reason = "busy" if busy_cut else None
+    reason = "busy" if bool((a[q] < fb[:, q]).any()) else None
     if not corrected:
         return q, accs, starts, fins, reason or "boundary"
-    step = _corrected_step(
-        float(a[q]),
-        float(s0[q]),
-        float(s1[q]),
-        free,
-        limit,
-        nd0,
-        nd1,
-    )
+    step = _corrected_step_k(float(a[q]), svc[:, q], free, limit, nds)
     if step is None:
         return q, accs, starts, fins, "boundary"
     return (
@@ -264,126 +282,39 @@ def _round_k2_idle(
     )
 
 
-def _corrected_step(arrival, s0, s1, free, limit, nd0, nd1):
+def _corrected_step_k(arrival, svc_col, free, limit, nds=None):
     """One exact scalar dispatch step from verified state.
 
     Mirrors the scan body bit for bit: ``start = arrival if arrival >
-    free else free``, ``finish = start + service``, acc 1 wins only on
-    a strictly earlier finish.  Updates ``free`` in place and returns
-    ``(acc, start, finish)``, or ``None`` when a fault-segment
-    constraint (start beyond ``limit``, finish past the accelerator's
-    next down window) means the scalar fault loop must take over.
+    free else free``, ``finish = start + service``, winner = first
+    strictly smaller finish in lane order.  Updates ``free`` in place
+    and returns ``(acc, start, finish)``, or ``None`` when a
+    fault-segment constraint (any start beyond ``limit``, winner finish
+    past its accelerator's next down window) means the scalar fault
+    loop must take over.
     """
-    f0, f1 = free
-    st0 = arrival if arrival > f0 else f0
-    st1 = arrival if arrival > f1 else f1
-    if st0 >= limit or st1 >= limit:
-        return None
-    fin0 = st0 + s0
-    fin1 = st1 + s1
-    if fin1 < fin0:
-        if fin1 > nd1:
+    starts = [arrival if arrival > f else f for f in free]
+    for st in starts:
+        if st >= limit:
             return None
-        free[1] = fin1
-        return 1, st1, fin1
-    if fin0 > nd0:
+    best = 0
+    best_fin = starts[0] + float(svc_col[0])
+    for i in range(1, len(starts)):
+        fin = starts[i] + float(svc_col[i])
+        if fin < best_fin:
+            best = i
+            best_fin = fin
+    if nds is not None and best_fin > nds[best]:
         return None
-    free[0] = fin0
-    return 0, st0, fin0
-
-
-def _corrected_step_k1(arrival, s0, free, limit, nd0):
-    f0 = free[0]
-    st0 = arrival if arrival > f0 else f0
-    if st0 >= limit:
-        return None
-    fin0 = st0 + s0
-    if fin0 > nd0:
-        return None
-    free[0] = fin0
-    return 0, st0, fin0
-
-
-def _round_k1_busy(a, c, s0, free, limit=_INF, nd0=_INF, corrected=True):
-    f0 = free[0]
-    B = a.size
-    traj = np.cumsum(np.concatenate(((f0,), s0)))
-    f0b = traj[:-1]
-    st = np.maximum(a, f0b)
-    fin = st + s0
-    ok = f0b >= a
-    if limit != _INF:
-        ok &= st < limit
-    if nd0 != _INF:
-        ok &= fin <= nd0
-    if ok.all():
-        free[0] = float(traj[-1])
-        return B, np.zeros(B, dtype=np.int64), st, fin, None
-    q = int(np.argmin(ok))
-    free[0] = float(traj[q])
-    reason = None if bool(f0b[q] >= a[q]) else "idle"
-    accs = np.zeros(q, dtype=np.int64)
-    if not corrected:
-        return q, accs, st[:q], fin[:q], reason or "boundary"
-    step = _corrected_step_k1(float(a[q]), float(s0[q]), free, limit, nd0)
-    if step is None:
-        return q, accs, st[:q], fin[:q], "boundary"
-    return (
-        q + 1,
-        np.zeros(q + 1, dtype=np.int64),
-        np.concatenate((st[:q], (step[1],))),
-        np.concatenate((fin[:q], (step[2],))),
-        reason,
-    )
-
-
-def _round_k1_idle(a, c, s0, free, limit=_INF, nd0=_INF, corrected=True):
-    f0 = free[0]
-    B = a.size
-    fin = a + s0
-    f0b = np.empty(B)
-    f0b[0] = f0
-    f0b[1:] = fin[:-1]
-    ok = a >= f0b
-    if nd0 != _INF:
-        ok &= fin <= nd0
-    if ok.all():
-        free[0] = float(fin[-1])
-        return B, np.zeros(B, dtype=np.int64), a.copy(), fin, None
-    q = int(np.argmin(ok))
-    if q:
-        free[0] = float(fin[q - 1])
-    reason = "busy" if bool(a[q] < f0b[q]) else None
-    accs = np.zeros(q, dtype=np.int64)
-    if not corrected:
-        return q, accs, a[:q].copy(), fin[:q], reason or "boundary"
-    step = _corrected_step_k1(float(a[q]), float(s0[q]), free, limit, nd0)
-    if step is None:
-        return q, accs, a[:q].copy(), fin[:q], "boundary"
-    return (
-        q + 1,
-        np.zeros(q + 1, dtype=np.int64),
-        np.concatenate((a[:q], (step[1],))),
-        np.concatenate((fin[:q], (step[2],))),
-        reason,
-    )
+    free[best] = best_fin
+    return best, starts[best], best_fin
 
 
 def _one_round(a, c, services, free, busy, limit=_INF, next_downs=None, corrected=True):
-    nd = next_downs or ()
-    if services.shape[0] == 1:
-        nd0 = nd[0] if nd else _INF
-        row = services[0][c]
-        if busy:
-            return _round_k1_busy(a, c, row, free, limit, nd0, corrected)
-        return _round_k1_idle(a, c, row, free, limit, nd0, corrected)
-    nd0 = nd[0] if nd else _INF
-    nd1 = nd[1] if nd else _INF
-    s0 = services[0][c]
-    s1 = services[1][c]
+    nds = tuple(next_downs) if next_downs else None
     if busy:
-        return _round_k2_busy(a, c, s0, s1, free, limit, nd0, nd1, corrected)
-    return _round_k2_idle(a, c, s0, s1, free, limit, nd0, nd1, corrected)
+        return _round_k_busy(a, c, services, free, limit, nds, corrected)
+    return _round_k_idle(a, c, services, free, limit, nds, corrected)
 
 
 def dispatch_vectorized(
@@ -402,9 +333,7 @@ def dispatch_vectorized(
     the front of the trace (``arrivals.size`` when a fallback is given).
     """
     n = int(arrivals.size)
-    if services.shape[0] > 2:
-        return 0
-    if _native_dispatch is not None and np.isfinite(services).all():
+    if _native_dispatch is not None:
         # exact native loop: no speculation to verify, no constraints to
         # hit — every chunk is fully dispatched in one C pass, and the
         # chunk-sized flushes keep streaming summation boundaries
@@ -413,8 +342,7 @@ def dispatch_vectorized(
         while pos < n:
             hi = min(pos + chunk_size, n)
             _, accs, starts, fins = _native_dispatch(
-                arrivals[pos:hi], class_ids[pos:hi], services, free,
-                _INF, _INF, _INF,
+                arrivals[pos:hi], class_ids[pos:hi], services, free, _INF
             )
             flush(pos, accs, starts, fins)
             pos = hi
@@ -474,12 +402,10 @@ def dispatch_segment(times, class_ids, services, free, limit, next_downs):
     fins)`` for the verified prefix.
     """
     n = int(times.size)
-    if n and _native_dispatch is not None and np.isfinite(services).all():
-        nd = next_downs or ()
-        nd0 = nd[0] if nd else _INF
-        nd1 = nd[1] if len(nd) > 1 else _INF
+    if n and _native_dispatch is not None:
+        nds = tuple(next_downs) if next_downs else None
         q, accs, starts, fins = _native_dispatch(
-            times, class_ids, services, free, limit, nd0, nd1
+            times, class_ids, services, free, limit, nds
         )
         return q, ([(0, accs, starts, fins)] if q else [])
     busy = max(free) > float(times[0]) if n else False

@@ -82,7 +82,11 @@ from repro.sim.chaos import (
     FaultPolicy,
     FaultSchedule,
 )
-from repro.sim.dispatch_batch import dispatch_segment, dispatch_vectorized
+from repro.sim.dispatch_batch import (
+    dispatch_segment,
+    dispatch_vectorized,
+    native_available,
+)
 from repro.sim.streaming import (
     SoATrace,
     StreamingServingReport,
@@ -100,8 +104,14 @@ DISPATCH_CHUNK = 65536
 
 _DISPATCH_MODES = ("auto", "vectorized", "heap", "table", "scan")
 
-#: widths the speculative NumPy engine handles natively; wider
-#: partitions delegate to the (byte-identical) table/heap engines
+#: widths where ``auto`` still prefers the vectorized engine when only
+#: the NumPy speculate-and-verify fallback is available (no C
+#: compiler).  With the native kernel present the vectorized engine
+#: wins at every width — the measured crossover vs the heap is far
+#: beyond realistic fleets (see docs/performance.md) — so this
+#: constant only gates the fallback, whose guess quality drops on wide
+#: fleets.  ``dispatch="vectorized"`` is explicit and legal at any
+#: width either way.
 VECTORIZED_MAX_ACCELERATORS = 2
 
 
@@ -851,15 +861,21 @@ class ServingSimulator:
     ) -> ServingReport | StreamingServingReport:
         """Serve ``trace``; return an exact or streaming report.
 
-        ``dispatch`` selects the engine: ``auto`` (the speculative NumPy
-        batch engine up to :data:`VECTORIZED_MAX_ACCELERATORS` on
-        fault-free runs, table scan for other small partitions, heap
-        above :data:`HEAP_MIN_ACCELERATORS`), ``vectorized``, ``table``,
-        ``heap``, or ``scan`` (the seed loop, exact mode only).  All
-        engines make byte-identical dispatch decisions; ``vectorized``
-        on a wider partition or under a fault schedule's active windows
-        delegates to the scalar engines (same decisions, engine choice
-        is purely a throughput knob).
+        ``dispatch`` selects the engine: ``auto``, ``vectorized``,
+        ``table``, ``heap``, or ``scan`` (the seed loop, exact mode
+        only).  The vectorized engine — the native k-wide exact loop
+        when a C compiler is present, the NumPy speculate-and-verify
+        fallback otherwise — is legal at **any** partition width.  On
+        fault-free runs ``auto`` picks it at every width when the
+        native kernel is available and up to
+        :data:`VECTORIZED_MAX_ACCELERATORS` otherwise, then falls back
+        to the table below :data:`HEAP_MIN_ACCELERATORS` and the heap
+        at or above it; under a fault schedule ``auto`` keeps the
+        scalar selectors and explicit ``vectorized`` batches the clean
+        segments between fault transitions.  All engines make
+        byte-identical dispatch decisions — engine choice is purely a
+        throughput knob (see the engine-selection matrix in
+        ``docs/performance.md``).
         ``streaming=True`` returns a :class:`StreamingServingReport`
         with O(1) memory and ``quantile_error``-bounded percentiles;
         the default exact mode materializes every completed request.
@@ -980,11 +996,10 @@ class ServingSimulator:
         # ownership of kills, requeues and shedding, so anything the
         # batch cannot prove safe (an admission crossing the next
         # transition or down window) is simply handed back to it
-        use_batch = (
-            dispatch == "vectorized"
-            and len(names) <= VECTORIZED_MAX_ACCELERATORS
-        )
+        use_batch = dispatch == "vectorized"
         services = self._service_matrix(names, specs) if use_batch else None
+        if use_batch:
+            self._require_finite_services(names, services, classes)
         width = len(names)
         min_batch = 64
         batch_paused = False
@@ -1246,6 +1261,27 @@ class ServingSimulator:
                 services[spec[offset], cid] = spec[offset + 1]
         return services
 
+    @staticmethod
+    def _require_finite_services(
+        names: Sequence[str], services: np.ndarray, classes: Sequence[GemmShape]
+    ) -> None:
+        """Reject NaN service entries for explicit ``dispatch="vectorized"``.
+
+        ``inf`` legitimately marks infeasible pairs (it can never win a
+        strict-less earliest-finish comparison), but NaN poisons every
+        comparison and would silently desynchronize the engines — so an
+        explicit vectorized request fails loudly, naming the offending
+        accelerator and shape class, instead of falling back.
+        """
+        bad = np.argwhere(np.isnan(services))
+        if bad.size:
+            order, cid = (int(value) for value in bad[0])
+            raise ValueError(
+                f"dispatch='vectorized' requires finite service times: "
+                f"accelerator {names[order]!r} reports NaN for shape class "
+                f"{classes[cid]}"
+            )
+
     def _run_fast(
         self,
         trace: Union[Sequence[Request], SoATrace],
@@ -1256,10 +1292,15 @@ class ServingSimulator:
         chunk_size: int,
     ) -> ServingReport | StreamingServingReport:
         names = list(self.partition.designs)
-        use_vectorized = (
-            dispatch == "vectorized"
-            or (dispatch == "auto" and len(names) <= VECTORIZED_MAX_ACCELERATORS)
-        ) and len(names) <= VECTORIZED_MAX_ACCELERATORS
+        # the vectorized engine is legal at any width; ``auto`` picks it
+        # whenever the native exact loop is compiled (it beats both the
+        # table and the heap at every measured width) and keeps the
+        # NumPy speculative fallback to the narrow partitions where its
+        # guesses stay accurate
+        use_vectorized = dispatch == "vectorized" or (
+            dispatch == "auto"
+            and (native_available() or len(names) <= VECTORIZED_MAX_ACCELERATORS)
+        )
         arrivals, class_ids, classes, requests = self._normalize(
             trace, need_requests=not streaming, as_arrays=use_vectorized
         )
@@ -1377,6 +1418,8 @@ class ServingSimulator:
                 seg_flush = flush
 
             services = self._service_matrix(names, specs)
+            if dispatch == "vectorized":
+                self._require_finite_services(names, services, classes)
 
             def fallback(lo: int, hi: int) -> None:
                 # scalar burst over a stretch speculation keeps
@@ -1407,8 +1450,7 @@ class ServingSimulator:
             return report if streaming else ServingReport(completed=completed)
 
         use_heap = dispatch == "heap" or (
-            dispatch in ("auto", "vectorized")
-            and len(names) >= HEAP_MIN_ACCELERATORS
+            dispatch == "auto" and len(names) >= HEAP_MIN_ACCELERATORS
         )
         if use_heap:
             heap_tables = []

@@ -1,8 +1,9 @@
 """Differential identity tests across the scan/table/heap engines.
 
-Parametrized over partition widths 1–9 so the suite crosses the
-``HEAP_MIN_ACCELERATORS`` auto-dispatch boundary on both sides, with
-and without fault schedules, on stub and real partitions.
+Parametrized over partition widths 1–16 so the suite crosses both of
+the historical auto-dispatch boundaries — the old width-2 vectorized
+cap and ``HEAP_MIN_ACCELERATORS`` — on both sides, with and without
+fault schedules, on stub and real partitions.
 """
 
 import pytest
@@ -14,7 +15,7 @@ from repro.sim.serving import HEAP_MIN_ACCELERATORS, ServingSimulator, generate_
 
 from .harness import SHAPES, assert_engines_identical, dispatch_rows, make_partition
 
-WIDTHS = list(range(1, 10))
+WIDTHS = list(range(1, 17))
 
 
 def _trace(num_requests=120, mean_interarrival=2e-3, seed=11):
@@ -55,7 +56,7 @@ def test_engines_identical_under_faults(width):
     assert len(report.completed) + len(report.shed) == 120
 
 
-@pytest.mark.parametrize("width", [2, 5, 8])
+@pytest.mark.parametrize("width", [2, 5, 8, 13])
 def test_engines_identical_under_chaos(width):
     partition = make_partition(width)
     schedule = chaos_schedule(list(partition.designs), 0.25, seed=3)

@@ -40,7 +40,7 @@ def no_native(monkeypatch):
     monkeypatch.setattr(dispatch_batch, "_native_walk", None)
 
 
-@pytest.mark.parametrize("width", [1, 2])
+@pytest.mark.parametrize("width", [1, 2, 8])
 @pytest.mark.parametrize("chunk_size", [7, 64, 65536])
 def test_small_chunk_identity(width, chunk_size):
     """Flush boundaries must not leak into results at any chunk size."""
@@ -62,7 +62,7 @@ def test_small_chunk_identity(width, chunk_size):
     assert stream_vec.as_dict() == stream_base.as_dict()
 
 
-@pytest.mark.parametrize("width", [1, 2])
+@pytest.mark.parametrize("width", [1, 2, 3, 5, 8])
 def test_numpy_fallback_identical(no_native, width):
     """The speculative NumPy engine must match scan without the C loop."""
     assert_engines_identical(_trace(), make_partition(width))
@@ -74,28 +74,51 @@ def test_numpy_fallback_identical(no_native, width):
     )
 
 
-def test_native_and_fallback_agree():
-    """C exact loop vs speculate-and-verify on the same segment."""
+def _wide_services(width: int) -> np.ndarray:
+    """A ``(width, 3)`` service matrix with varied rows and, above two
+    lanes, a sprinkling of ``inf`` (infeasible) entries."""
+    services = np.empty((width, 3), dtype=np.float64)
+    for index in range(width):
+        for position in range(3):
+            services[index, position] = 0.001 * (
+                1 + ((index + 1) * (position + 3)) % 7
+            )
+    if width > 2:
+        for index in range(0, width, 3):
+            services[index, 1] = math.inf
+    return services
+
+
+@pytest.mark.parametrize("width", [2, 3, 5, 8])
+def test_native_and_fallback_agree(width):
+    """C exact loop vs speculate-and-verify on the same segment.
+
+    Runs the k-wide kernel against the NumPy rounds at widths crossing
+    the old two-accelerator native cap, including service matrices with
+    infeasible (``inf``) entries: accepted counts, per-request rows,
+    and the final free clocks must all be bit-equal.
+    """
     if dispatch_batch._native_dispatch is None:
         pytest.skip("no C compiler available")
     soa = generate_trace_soa(SHAPES, 4000, 4e-4, seed=5)
-    services = np.asarray(
-        [[0.001, 0.004, 0.002], [0.003, 0.001, 0.005]], dtype=np.float64
-    )
+    services = _wide_services(width)
     for limit, next_downs in [
-        (math.inf, (math.inf, math.inf)),
-        (float(soa.arrivals[2500]), (math.inf, math.inf)),
-        (math.inf, (float(soa.arrivals[1200]) + 0.5, math.inf)),
-        (float(soa.arrivals[3000]), (0.9, 1.1)),
+        (math.inf, (math.inf,) * width),
+        (float(soa.arrivals[2500]), (math.inf,) * width),
+        (math.inf, (float(soa.arrivals[1200]) + 0.5,) + (math.inf,) * (width - 1)),
+        (
+            float(soa.arrivals[3000]),
+            tuple(0.9 + 0.1 * order for order in range(width)),
+        ),
     ]:
-        free_native = [0.0, 0.0]
+        free_native = [0.0] * width
         accepted_native, segs_native = dispatch_batch.dispatch_segment(
             soa.arrivals, soa.shape_ids, services, free_native, limit, next_downs
         )
         saved = dispatch_batch._native_dispatch
         dispatch_batch._native_dispatch = None
         try:
-            free_py = [0.0, 0.0]
+            free_py = [0.0] * width
             accepted_py, segs_py = dispatch_batch.dispatch_segment(
                 soa.arrivals, soa.shape_ids, services, free_py, limit, next_downs
             )
@@ -122,10 +145,59 @@ def test_repro_no_native_env_forces_fallback():
     src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
     env["PYTHONPATH"] = os.path.abspath(src)
     code = (
-        "from repro.sim._native import theta_walk, dispatch_exact\n"
+        "from repro.sim._native import NATIVE_AVAILABLE, theta_walk, dispatch_exact\n"
         "assert theta_walk is None and dispatch_exact is None\n"
+        "assert NATIVE_AVAILABLE is False\n"
+        "from repro.sim.dispatch_batch import native_available\n"
+        "assert native_available() is False\n"
     )
     subprocess.run([sys.executable, "-c", code], check=True, env=env, timeout=120)
+
+
+def test_native_available_tracks_monkeypatch(no_native):
+    """``native_available()`` reads the module state dynamically, so the
+    auto engine selector sees the same view the tests force."""
+    assert dispatch_batch.native_available() is False
+
+
+def test_nan_service_raises_for_explicit_vectorized():
+    """A NaN service entry must fail loudly, naming the culprit."""
+    from .harness import StubPartition
+
+    partition = StubPartition(
+        {
+            "good": {shape: 0.002 for shape in SHAPES},
+            "broken": {
+                SHAPES[0]: float("nan"),
+                SHAPES[1]: 0.003,
+                SHAPES[2]: 0.004,
+            },
+        }
+    )
+    trace = _trace(num_requests=50)
+    with pytest.raises(ValueError, match="'broken'"):
+        ServingSimulator(partition).run(trace, dispatch="vectorized")
+    with pytest.raises(ValueError, match="NaN"):
+        ServingSimulator(partition).run(
+            trace, dispatch="vectorized", streaming=True
+        )
+    with pytest.raises(ValueError, match="vectorized"):
+        ServingSimulator(partition).run(
+            trace,
+            dispatch="vectorized",
+            faults=FaultSchedule.down("good", 0.01, 0.02),
+        )
+
+
+@pytest.mark.parametrize("width", [3, 8])
+def test_explicit_vectorized_legal_at_any_width(width):
+    """``dispatch="vectorized"`` no longer silently falls back on wide
+    fleets: it runs the k-wide engine and matches the table engine."""
+    partition = make_partition(width)
+    trace = _trace()
+    base = ServingSimulator(partition).run(trace, dispatch="table")
+    vec = ServingSimulator(partition).run(trace, dispatch="vectorized")
+    assert dispatch_rows(vec) == dispatch_rows(base)
 
 
 def test_walk_fallback_matches_native():

@@ -189,6 +189,24 @@ class TestServe:
         assert main(argv) == 2
         assert "not both" in capsys.readouterr().err
 
+    def test_stats_reports_native_kernel_flag(self, capsys):
+        from repro.obs.metrics import GLOBAL_METRICS
+        from repro.sim.dispatch_batch import native_available
+
+        argv = ["--stats", "serve", self.SHAPES, "--requests", "150"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        native_line = next(
+            line for line in err.splitlines() if line.startswith("native")
+        )
+        expected = "available" if native_available() else "unavailable"
+        assert expected in native_line
+        family = GLOBAL_METRICS.snapshot()["repro_native_available"]
+        assert family["type"] == "gauge"
+        assert family["values"][0]["value"] == (
+            1.0 if native_available() else 0.0
+        )
+
 
 class TestServeFaults:
     SHAPES = "1024x1024x1024,512x512x512"
