@@ -12,46 +12,48 @@ engine's throughput is tracked across commits:
   over the whole candidate grid, then a cached exact re-rank of the
   surviving top-K.
 
-The script asserts the engine's contract: cached+parallel exploration is
-at least 2x the seed serial path on the same candidate set, the
-vectorized path is at least 10x, and the top-10 rankings are
-byte-identical between serial, parallel, and vectorized runs.
+The engine's contract is a declarative gate list judged by
+:mod:`repro.bench.regression`: cached+parallel exploration is at least
+2x the seed serial path on the same candidate set, the vectorized path
+is at least 10x, and the top-10 rankings are byte-identical between
+serial, parallel, and vectorized runs.  The floors are recorded into
+every trajectory entry, so later runs gate against the committed
+values rather than this file's defaults.
 
 Run directly (``python benchmarks/bench_eval_throughput.py``) or let CI
 invoke the ``--smoke`` variant; ``test_eval_throughput_smoke`` keeps it
-alive under pytest as well.
+alive under pytest as well.  ``versal-gemm bench eval`` drives the same
+measurement through the repeated-run statistical harness
+(docs/benchmarking.md).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 import time
 from pathlib import Path
 
+from repro.bench.regression import Gate, check_entry, failure_messages
+from repro.bench.scenarios import EVAL_WORKLOAD, ranking_bytes
+from repro.bench.trajectory import append_trajectory
 from repro.core.dse import DesignSpaceExplorer, DseResult
 from repro.kernels.precision import Precision
 from repro.perf.cache import EvalCache, NullCache
 from repro.workloads.gemm import GemmShape
 
-DEFAULT_WORKLOAD = GemmShape(1024, 1024, 1024)
+DEFAULT_WORKLOAD = EVAL_WORKLOAD
 SPEEDUP_FLOOR = 2.0
 VECTORIZED_SPEEDUP_FLOOR = 10.0
 
-
-def _ranking_bytes(points: DseResult) -> bytes:
-    """Serialize a ranking for byte-exact comparison (full float repr)."""
-    rows = [
-        {
-            "config_grouping": repr(point.config.grouping),
-            "num_plios": point.config.num_plios,
-            "dram_ports": str(point.config.dram_ports),
-            "seconds": repr(point.seconds),
-        }
-        for point in points
-    ]
-    return json.dumps(rows, sort_keys=True).encode()
+#: the engine's contract, declaratively (judged by check_entry)
+GATES = (
+    Gate(metric="rankings_identical", kind="flag",
+         label="serial, parallel, and vectorized top-10 rankings differ"),
+    Gate(metric="speedup_cached_parallel", kind="floor", value=SPEEDUP_FLOOR),
+    Gate(metric="speedup_vectorized", kind="floor",
+         value=VECTORIZED_SPEEDUP_FLOOR),
+)
 
 
 def _explorer(
@@ -121,45 +123,23 @@ def run_benchmark(
         "speedup_cached": serial_seconds / cached_seconds,
         "speedup_cached_parallel": serial_seconds / parallel_seconds,
         "speedup_vectorized": serial_seconds / vectorized_seconds,
-        "rankings_identical": _ranking_bytes(serial_result)
-        == _ranking_bytes(parallel_result)
-        == _ranking_bytes(vectorized_result),
+        "rankings_identical": ranking_bytes(serial_result)
+        == ranking_bytes(parallel_result)
+        == ranking_bytes(vectorized_result),
+        "floors": {
+            "speedup_cached_parallel": SPEEDUP_FLOOR,
+            "speedup_vectorized": VECTORIZED_SPEEDUP_FLOOR,
+        },
     }
 
 
-def append_trajectory(entry: dict, output: Path) -> None:
-    """Append one run to the benchmark's JSON trajectory file."""
-    trajectory: list[dict] = []
-    if output.exists():
-        try:
-            trajectory = json.loads(output.read_text())
-        except json.JSONDecodeError as error:
-            raise SystemExit(
-                f"{output} exists but is not valid JSON ({error}); "
-                "move it aside to start a fresh trajectory"
-            ) from None
-        if not isinstance(trajectory, list):
-            raise SystemExit(f"{output} is not a JSON list trajectory")
-    trajectory.append(entry)
-    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+def check(entry: dict, baseline: dict | None = None) -> list[str]:
+    """The engine's contract; empty list means the run is acceptable.
 
-
-def check(entry: dict) -> list[str]:
-    """The engine's contract; empty list means the run is acceptable."""
-    failures = []
-    if not entry["rankings_identical"]:
-        failures.append("serial, parallel, and vectorized top-10 rankings differ")
-    if entry["speedup_cached_parallel"] < SPEEDUP_FLOOR:
-        failures.append(
-            f"cached+parallel speedup {entry['speedup_cached_parallel']:.2f}x "
-            f"is below the {SPEEDUP_FLOOR}x floor"
-        )
-    if entry["speedup_vectorized"] < VECTORIZED_SPEEDUP_FLOOR:
-        failures.append(
-            f"vectorized speedup {entry['speedup_vectorized']:.2f}x "
-            f"is below the {VECTORIZED_SPEEDUP_FLOOR}x floor"
-        )
-    return failures
+    A ``baseline`` trajectory entry overrides the declared floors with
+    its recorded ``floors`` map, so the gate tracks committed history.
+    """
+    return failure_messages(check_entry(entry, GATES, baseline))
 
 
 def test_eval_throughput_smoke():

@@ -37,13 +37,18 @@ import sys
 import time
 from pathlib import Path
 
-from repro.core.multi_acc import AcceleratorPartition
-from repro.mapping.configs import config_by_name
+from repro.bench.regression import Gate, check_entry, failure_messages
+from repro.bench.scenarios import (
+    MEAN_INTERARRIVAL,
+    OBS_SHAPES as SHAPES,
+    SERVING_CONFIGS as CONFIGS,
+    build_partition,
+)
+from repro.bench.trajectory import append_trajectory
 from repro.obs.export import ChromeTraceBuilder, validate_chrome_trace, write_chrome_trace
 from repro.obs.spans import _NULL_SPAN, GLOBAL_TRACER, span
 from repro.sim.serving import ServingSimulator
 from repro.sim.streaming import generate_trace_soa
-from repro.workloads.gemm import GemmShape
 
 DEFAULT_REQUESTS = 100_000
 VERIFY_REQUESTS = 5_000
@@ -55,14 +60,6 @@ SMOKE_OVERHEAD_LIMIT = 0.15
 NOOP_NS_CEILING = 2_000.0
 #: exported spans must reproduce the report's latency sums to this
 ACCOUNTING_RTOL = 1e-6
-
-SHAPES = (
-    GemmShape(1024, 1024, 1024),
-    GemmShape(512, 512, 512),
-    GemmShape(2048, 1024, 512),
-)
-CONFIGS = ("C5", "C3")
-MEAN_INTERARRIVAL = 0.5e-3
 
 
 def _null_span(*_args, **_kwargs):
@@ -83,8 +80,7 @@ def measure_overhead(num_requests: int, repeats: int = 3) -> dict:
     """Shipped-disabled vs. pure-no-op serving throughput."""
     import repro.sim.serving as serving_mod
 
-    partition = AcceleratorPartition([config_by_name(name) for name in CONFIGS])
-    simulator = ServingSimulator(partition)
+    simulator = ServingSimulator(build_partition(CONFIGS))
     simulator.prewarm(SHAPES)
     soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=7)
 
@@ -121,6 +117,8 @@ def measure_noop_span(calls: int = 200_000) -> float:
 
 
 def _dispatch_bytes(report) -> bytes:
+    # stricter than scenarios.dispatch_bytes: request identity included,
+    # so a reordering that preserves (accelerator, times) still fails
     rows = [
         (c.request.request_id, c.accelerator, repr(c.start), repr(c.finish))
         for c in report.completed
@@ -130,8 +128,7 @@ def _dispatch_bytes(report) -> bytes:
 
 def verify_trace_contract(num_requests: int) -> dict:
     """Enabled-run export invariants: identity, schema, accounting."""
-    partition = AcceleratorPartition([config_by_name(name) for name in CONFIGS])
-    simulator = ServingSimulator(partition)
+    simulator = ServingSimulator(build_partition(CONFIGS))
     simulator.prewarm(SHAPES)
     soa = generate_trace_soa(SHAPES, num_requests, MEAN_INTERARRIVAL, seed=11)
 

@@ -77,6 +77,15 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.regression import Gate, check_entry, failure_messages
+from repro.bench.scenarios import (
+    MEAN_INTERARRIVAL,
+    QUANTILE_ERROR,
+    SERVING_CONFIGS as CONFIGS,
+    SERVING_SHAPES as SHAPES,
+    dispatch_bytes as _dispatch_bytes,
+)
+from repro.bench.trajectory import append_trajectory
 from repro.core.multi_acc import AcceleratorPartition
 from repro.mapping.configs import config_by_name
 from repro.sim.serving import ServingSimulator, generate_trace
@@ -90,21 +99,11 @@ SMOKE_SPEEDUP_FLOOR = 3.0
 VECTORIZED_FLOOR = 3.0
 SMOKE_VECTORIZED_FLOOR = 2.0
 PREWARM_SPEEDUP_FLOOR = 10.0
-QUANTILE_ERROR = 0.01
 SHARDED_FLOOR = 3.0
 SHARDED_SHARD_COUNTS = (2, 4, 8)
 #: the speedup gate only arms on machines with enough cores to host the
 #: shard pool; identity and percentile checks run everywhere
 SHARDED_MIN_CPUS = 4
-
-SHAPES = (
-    GemmShape(1024, 1024, 1024),
-    GemmShape(512, 512, 512),
-    GemmShape(2048, 1024, 512),
-    GemmShape(1024, 2048, 1024),
-)
-CONFIGS = ("C5", "C3")
-MEAN_INTERARRIVAL = 0.5e-3
 
 #: the wide fleet: eight distinct CHARM configs, one (virtual) board
 #: each — together they need far more than the VCK5000's 400 AIEs, so
@@ -216,13 +215,6 @@ class SeedSimulator:
 
 
 # -- measurement --------------------------------------------------------
-
-def _dispatch_bytes(report) -> bytes:
-    rows = [
-        (c.accelerator, repr(c.start), repr(c.finish)) for c in report.completed
-    ]
-    return json.dumps(rows).encode()
-
 
 def verify_contract(partition: AcceleratorPartition, num_requests: int) -> dict:
     """Byte-identity and accuracy checks on a verification subset."""
@@ -644,6 +636,12 @@ def run_benchmark(
         "speedup": seed_seconds / fast_seconds,
         "vectorized_speedup": fast_seconds / vectorized_seconds,
         "quantile_error": QUANTILE_ERROR,
+        "floors": {
+            "speedup": SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR,
+            "vectorized_speedup": (
+                SMOKE_VECTORIZED_FLOOR if smoke else VECTORIZED_FLOOR
+            ),
+        },
     }
     entry.update(verify_contract(partition, min(num_requests, VERIFY_REQUESTS)))
     entry.update(
@@ -699,128 +697,105 @@ def measure_cache_warmup(partition: AcceleratorPartition, repeats: int = 3) -> d
     }
 
 
-def append_trajectory(entry: dict, output: Path) -> None:
-    """Append one run to the benchmark's JSON trajectory file."""
-    trajectory: list[dict] = []
-    if output.exists():
-        try:
-            trajectory = json.loads(output.read_text())
-        except json.JSONDecodeError as error:
-            raise SystemExit(
-                f"{output} exists but is not valid JSON ({error}); "
-                "move it aside to start a fresh trajectory"
-            ) from None
-        if not isinstance(trajectory, list):
-            raise SystemExit(f"{output} is not a JSON list trajectory")
-    trajectory.append(entry)
-    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+def sharded_gates() -> list[Gate]:
+    """The sharded-serving contract as declarative gates."""
+    return [
+        Gate(metric="sharded_identical", kind="flag",
+             label="per-shard reports differ from unsharded runs over the "
+                   "same sub-traces"),
+        Gate(metric="sharded_counts_exact", kind="flag",
+             label="merged fleet counts do not equal the offered trace"),
+        Gate(metric="sharded_percentile_errors.*", kind="ceiling",
+             value=QUANTILE_ERROR,
+             label="merged percentiles exceed the sketch bound across "
+                   "shard counts"),
+        Gate(metric="sharded.matches_inline", kind="flag",
+             label="pool fleet report differs from the inline reference"),
+        Gate(metric="sharded.speedup_vs_vectorized", kind="floor",
+             value=SHARDED_FLOOR, when="sharded.gated",
+             label=f"sharded speedup over vectorized is below the "
+                   f"{SHARDED_FLOOR}x floor"),
+    ]
 
 
-def check_sharded(entry: dict) -> list[str]:
+def wide_gates(smoke: bool) -> list[Gate]:
+    """The wide-fleet contract as declarative gates."""
+    wide_floor = SMOKE_WIDE_FLOOR if smoke else WIDE_FLOOR
+    return [
+        Gate(metric="wide.identical", kind="flag",
+             label="vectorized and heap dispatch decisions differ on the "
+                   "wide fleet"),
+        Gate(metric="wide.speedup_vs_heap", kind="floor", value=wide_floor,
+             when="wide.native",
+             label=f"wide-fleet vectorized speedup over heap is below the "
+                   f"{wide_floor}x floor (native kernel)"),
+    ]
+
+
+def serving_gates(smoke: bool) -> list[Gate]:
+    """The full serving contract (speedups, identity, accuracy, cache)."""
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR
+    vec_floor = SMOKE_VECTORIZED_FLOOR if smoke else VECTORIZED_FLOOR
+    bound = 2 * QUANTILE_ERROR
+    gates = [
+        Gate(metric="trace_identical", kind="flag",
+             label="SoA trace generation is not bit-identical to scalar"),
+        Gate(metric="dispatch_identical", kind="flag",
+             label="scan, table, heap, and vectorized dispatch decisions "
+                   "differ"),
+        Gate(metric="streaming_identical", kind="flag",
+             label="streaming summaries differ between table and vectorized "
+                   "engines"),
+        Gate(metric="fault_engines_identical", kind="flag",
+             label="scan, table, and heap disagree under a fault schedule"),
+        Gate(metric="fault_deterministic", kind="flag",
+             label="fault runs are not deterministic"),
+        Gate(metric="fault_accounting_exact", kind="flag",
+             label="fault accounting does not balance "
+                   "(completed + shed != offered)"),
+        Gate(metric="fault_streaming_identical", kind="flag",
+             label="streaming fault summaries differ between table and heap"),
+        Gate(metric="fault_streaming_consistent", kind="flag",
+             label="streaming fault report disagrees with the exact report"),
+        Gate(metric="p50_relative_error", kind="ceiling", value=bound,
+             label=f"streaming p50 is off by more than the {bound} bound"),
+        Gate(metric="p99_relative_error", kind="ceiling", value=bound,
+             label=f"streaming p99 is off by more than the {bound} bound"),
+        Gate(metric="speedup", kind="floor", value=floor,
+             label=f"serving speedup is below the {floor}x floor"),
+        Gate(metric="vectorized_speedup", kind="floor", value=vec_floor,
+             label=f"vectorized speedup over fast is below the "
+                   f"{vec_floor}x floor"),
+        Gate(metric="cache.warm_hits", kind="floor", value=1.0,
+             label="warm prewarm served no estimates from the snapshot"),
+    ]
+    if not smoke:
+        gates.append(
+            Gate(metric="cache.prewarm_speedup", kind="floor",
+                 value=PREWARM_SPEEDUP_FLOOR,
+                 label=f"warm prewarm speedup is below the "
+                       f"{PREWARM_SPEEDUP_FLOOR}x floor")
+        )
+    return gates + sharded_gates() + wide_gates(smoke)
+
+
+def check_sharded(entry: dict, baseline: dict | None = None) -> list[str]:
     """The sharded-serving contract; empty list means acceptable."""
-    failures = []
-    if not entry["sharded_identical"]:
-        failures.append(
-            "per-shard reports differ from unsharded runs over the same "
-            "sub-traces"
-        )
-    if not entry["sharded_counts_exact"]:
-        failures.append("merged fleet counts do not equal the offered trace")
-    for shards, error in entry["sharded_percentile_errors"].items():
-        if error > entry["quantile_error"]:
-            failures.append(
-                f"merged percentiles at {shards} shards off by {error:.4f} "
-                f"(> {entry['quantile_error']} sketch bound)"
-            )
-    sharded = entry["sharded"]
-    if not sharded["matches_inline"]:
-        failures.append(
-            f"{sharded['start_method']} pool fleet report differs from the "
-            "inline reference"
-        )
-    if sharded["gated"] and sharded["speedup_vs_vectorized"] < SHARDED_FLOOR:
-        failures.append(
-            f"sharded speedup {sharded['speedup_vs_vectorized']:.2f}x over "
-            f"vectorized is below the {SHARDED_FLOOR}x floor "
-            f"({sharded['shards']} shards on {sharded['cpu_count']} cpus)"
-        )
-    return failures
+    return failure_messages(check_entry(entry, sharded_gates(), baseline))
 
 
-def check(entry: dict) -> list[str]:
-    """The serving engine's contract; empty list means acceptable."""
-    floor = SMOKE_SPEEDUP_FLOOR if entry["smoke"] else SPEEDUP_FLOOR
-    vec_floor = SMOKE_VECTORIZED_FLOOR if entry["smoke"] else VECTORIZED_FLOOR
-    failures = []
-    if not entry["trace_identical"]:
-        failures.append("SoA trace generation is not bit-identical to scalar")
-    if not entry["dispatch_identical"]:
-        failures.append(
-            "scan, table, heap, and vectorized dispatch decisions differ"
-        )
-    if not entry["streaming_identical"]:
-        failures.append(
-            "streaming summaries differ between table and vectorized engines"
-        )
-    for key, message in (
-        ("fault_engines_identical",
-         "scan, table, and heap disagree under a fault schedule"),
-        ("fault_deterministic", "fault runs are not deterministic"),
-        ("fault_accounting_exact",
-         "fault accounting does not balance (completed + shed != offered)"),
-        ("fault_streaming_identical",
-         "streaming fault summaries differ between table and heap"),
-        ("fault_streaming_consistent",
-         "streaming fault report disagrees with the exact report"),
-    ):
-        if not entry[key]:
-            failures.append(message)
-    bound = 2 * entry["quantile_error"]
-    for name in ("p50_relative_error", "p99_relative_error"):
-        if entry[name] > bound:
-            failures.append(
-                f"streaming {name.split('_')[0]} off by {entry[name]:.4f} "
-                f"(> {bound} bound)"
-            )
-    if entry["speedup"] < floor:
-        failures.append(
-            f"serving speedup {entry['speedup']:.2f}x is below the {floor}x floor"
-        )
-    if entry["vectorized_speedup"] < vec_floor:
-        failures.append(
-            f"vectorized speedup {entry['vectorized_speedup']:.2f}x over fast "
-            f"is below the {vec_floor}x floor"
-        )
-    cache = entry["cache"]
-    if cache["warm_hits"] <= 0:
-        failures.append("warm prewarm served no estimates from the snapshot")
-    if not entry["smoke"] and cache["prewarm_speedup"] < PREWARM_SPEEDUP_FLOOR:
-        failures.append(
-            f"warm prewarm speedup {cache['prewarm_speedup']:.1f}x is below "
-            f"the {PREWARM_SPEEDUP_FLOOR}x floor"
-        )
-    failures.extend(check_sharded(entry))
-    failures.extend(check_wide(entry))
-    return failures
-
-
-def check_wide(entry: dict) -> list[str]:
+def check_wide(entry: dict, baseline: dict | None = None) -> list[str]:
     """The wide-fleet contract; empty list means acceptable."""
-    wide = entry["wide"]
-    failures = []
-    if not wide["identical"]:
-        failures.append(
-            f"vectorized and heap dispatch decisions differ on the "
-            f"{wide['accelerators']}-accelerator fleet"
-        )
-    wide_floor = SMOKE_WIDE_FLOOR if entry["smoke"] else WIDE_FLOOR
-    if wide["native"] and wide["speedup_vs_heap"] < wide_floor:
-        failures.append(
-            f"wide-fleet vectorized speedup {wide['speedup_vs_heap']:.2f}x "
-            f"over heap is below the {wide_floor}x floor "
-            f"({wide['accelerators']} accelerators, native kernel)"
-        )
-    return failures
+    return failure_messages(
+        check_entry(entry, wide_gates(entry["smoke"]), baseline)
+    )
+
+
+def check(entry: dict, baseline: dict | None = None) -> list[str]:
+    """The serving engine's contract; empty list means acceptable."""
+    return failure_messages(
+        check_entry(entry, serving_gates(entry["smoke"]), baseline)
+    )
 
 
 def test_serving_throughput_smoke():

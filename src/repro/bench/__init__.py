@@ -1,0 +1,88 @@
+"""Statistical repeated-run benchmarking for every experiment kind.
+
+The paper's measured figures are single-shot numbers; real Versal and
+NPU measurements vary run to run.  This package turns any experiment —
+an analytical-model estimate, a serving trace, a load sweep, a pipeline
+replay — into an N-repeat seeded experiment with pluggable noise
+models, per-metric confidence intervals, and a regression detector that
+compares new distributions against the committed ``BENCH_*.json``
+trajectories.  Exposed on the CLI as ``versal-gemm bench`` (see
+``docs/benchmarking.md``).
+
+Determinism contract: every random draw — noise factors, bootstrap
+resamples, per-repeat trace seeds — derives from the experiment seed
+through :func:`repro.sim.streaming.derive_seed` /
+:func:`~repro.sim.streaming.splitmix_uniforms` over *stable* index
+grids, never from evaluation order.  Same seed therefore means
+byte-identical sample streams regardless of ``--jobs``, ``--shards``,
+or dispatch-engine choice, and ``noise=None`` runs are byte-identical
+to the un-harnessed paths.
+"""
+
+from repro.bench.experiments import (
+    EstimateExperiment,
+    EvalThroughputExperiment,
+    Experiment,
+    LoadSweepExperiment,
+    PipelineExperiment,
+    ServingExperiment,
+)
+from repro.bench.measure import SpanRollupProbe, StatsProbe, TimerProbe, default_probes
+from repro.bench.noise import (
+    ClockVariabilityNoise,
+    DramJitterNoise,
+    NoiseModel,
+    ThermalDeratingNoise,
+    parse_noise_spec,
+)
+from repro.bench.regression import (
+    EXIT_REGRESSION,
+    BaselineError,
+    Gate,
+    Verdict,
+    check_entry,
+    check_result,
+    exit_code,
+    failure_messages,
+    load_baseline,
+)
+from repro.bench.runner import BenchResult, run_bench, write_csv, write_json
+from repro.bench.stats import MetricSummary, bootstrap_interval, summarize, t_critical
+from repro.bench.trajectory import append_trajectory, load_trajectory
+
+__all__ = [
+    "BaselineError",
+    "BenchResult",
+    "ClockVariabilityNoise",
+    "DramJitterNoise",
+    "EXIT_REGRESSION",
+    "EstimateExperiment",
+    "EvalThroughputExperiment",
+    "Experiment",
+    "Gate",
+    "LoadSweepExperiment",
+    "MetricSummary",
+    "NoiseModel",
+    "PipelineExperiment",
+    "ServingExperiment",
+    "SpanRollupProbe",
+    "StatsProbe",
+    "ThermalDeratingNoise",
+    "TimerProbe",
+    "Verdict",
+    "append_trajectory",
+    "bootstrap_interval",
+    "check_entry",
+    "check_result",
+    "default_probes",
+    "exit_code",
+    "failure_messages",
+    "load_baseline",
+    "load_trajectory",
+    "parse_noise_spec",
+    "run_bench",
+    "summarize",
+    "t_critical",
+    "write_csv",
+    "write_json",
+]

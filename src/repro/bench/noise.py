@@ -1,0 +1,253 @@
+"""Seeded noise models for repeated-run experiments.
+
+Each model perturbs one physical source of run-to-run variability:
+
+* :class:`DramJitterNoise` — DRAM-contention jitter: an independent
+  multiplicative slowdown per (accelerator, request-class) service
+  time, drawn on a stable (accelerator index x class index) grid;
+* :class:`ThermalDeratingNoise` — one thermal derate factor per
+  repeat, applied uniformly (serving services, pipeline stages via
+  :meth:`repro.sim.engine.PipelineSimulator.derated`, estimate totals);
+* :class:`ClockVariabilityNoise` — AIE clock variability: a per-repeat
+  frequency fraction; the estimate experiment re-runs the analytical
+  model on :func:`repro.hw.faults.derate_clock`'s derated
+  :class:`~repro.hw.specs.DeviceSpec`, serving/pipeline experiments
+  scale service times by ``1/fraction``.
+
+Determinism contract: every draw comes from
+``splitmix_uniforms(derive_seed(repeat_seed, stream), grid)`` where
+``stream`` is a per-model constant and ``grid`` indexes stable
+identities (accelerator order x class index), never evaluation order.
+Same seed -> byte-identical factors regardless of ``--jobs``,
+``--shards``, or dispatch-engine choice; composed models draw from
+disjoint streams, so adding one never shifts another's factors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.streaming import derive_seed, splitmix_uniforms
+
+__all__ = [
+    "ClockVariabilityNoise",
+    "DramJitterNoise",
+    "NoiseModel",
+    "ThermalDeratingNoise",
+    "combined_clock_fraction",
+    "combined_service_factors",
+    "combined_stage_factor",
+    "parse_noise_spec",
+]
+
+
+def _require_amplitude(amplitude: float, upper: float = 10.0) -> float:
+    amplitude = float(amplitude)
+    if not (0.0 < amplitude <= upper) or amplitude != amplitude:
+        raise ValueError(
+            f"noise amplitude must be in (0, {upper}], got {amplitude}"
+        )
+    return amplitude
+
+
+class NoiseModel:
+    """Base class: identity noise on every hook.
+
+    Subclasses override the hooks they model; every hook is a pure
+    function of ``(repeat_seed, model parameters)``.  ``stream`` keeps
+    composed models on disjoint splitmix streams.
+    """
+
+    name = "none"
+    stream = 0
+
+    def _uniforms(self, repeat_seed: int, count: int, lane: int = 0) -> np.ndarray:
+        """``count`` U(0,1) draws on this model's stream for one repeat."""
+        seed = derive_seed(derive_seed(repeat_seed, self.stream), lane)
+        return splitmix_uniforms(seed, np.arange(count, dtype=np.int64))
+
+    def service_factors(
+        self, repeat_seed: int, accelerators: int, classes: int
+    ) -> np.ndarray:
+        """Multiplicative slowdown per (accelerator, class) service time."""
+        return np.ones((accelerators, classes), dtype=np.float64)
+
+    def stage_factor(self, repeat_seed: int) -> float:
+        """Uniform slowdown for pipeline stages / estimate totals."""
+        return 1.0
+
+    def clock_fraction(self, repeat_seed: int) -> float:
+        """Fraction of nominal AIE frequency (1.0 = no derating)."""
+        return 1.0
+
+    def describe(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.describe()!r})"
+
+
+class DramJitterNoise(NoiseModel):
+    """DRAM-contention jitter: per-(accelerator, class) service slowdown.
+
+    Factor ``1 + amplitude * u`` with an independent ``u`` per grid
+    cell — contention only ever slows a transfer down.
+    """
+
+    name = "dram"
+    stream = 1
+
+    def __init__(self, amplitude: float = 0.1):
+        self.amplitude = _require_amplitude(amplitude)
+
+    def service_factors(
+        self, repeat_seed: int, accelerators: int, classes: int
+    ) -> np.ndarray:
+        draws = self._uniforms(repeat_seed, accelerators * classes)
+        return 1.0 + self.amplitude * draws.reshape(accelerators, classes)
+
+    def stage_factor(self, repeat_seed: int) -> float:
+        return 1.0 + self.amplitude * float(self._uniforms(repeat_seed, 1)[0])
+
+    def describe(self) -> str:
+        return f"dram:{self.amplitude:g}"
+
+
+class ThermalDeratingNoise(NoiseModel):
+    """Thermal derating: one uniform slowdown factor per repeat."""
+
+    name = "thermal"
+    stream = 2
+
+    def __init__(self, amplitude: float = 0.2):
+        self.amplitude = _require_amplitude(amplitude)
+
+    def _factor(self, repeat_seed: int) -> float:
+        return 1.0 + self.amplitude * float(self._uniforms(repeat_seed, 1)[0])
+
+    def service_factors(
+        self, repeat_seed: int, accelerators: int, classes: int
+    ) -> np.ndarray:
+        return np.full(
+            (accelerators, classes), self._factor(repeat_seed), dtype=np.float64
+        )
+
+    def stage_factor(self, repeat_seed: int) -> float:
+        return self._factor(repeat_seed)
+
+    def describe(self) -> str:
+        return f"thermal:{self.amplitude:g}"
+
+
+class ClockVariabilityNoise(NoiseModel):
+    """AIE clock variability: a per-repeat frequency fraction.
+
+    ``fraction`` is drawn uniformly from ``[1 - amplitude, 1]`` — the
+    array never overclocks.  The estimate experiment rebuilds its
+    device through :func:`repro.hw.faults.derate_clock`; serving and
+    pipeline experiments scale services by ``1/fraction`` (compute
+    time is inversely proportional to frequency).
+    """
+
+    name = "clock"
+    stream = 3
+
+    def __init__(self, amplitude: float = 0.05):
+        self.amplitude = _require_amplitude(amplitude, upper=0.99)
+
+    def clock_fraction(self, repeat_seed: int) -> float:
+        return 1.0 - self.amplitude * float(self._uniforms(repeat_seed, 1)[0])
+
+    def service_factors(
+        self, repeat_seed: int, accelerators: int, classes: int
+    ) -> np.ndarray:
+        factor = 1.0 / self.clock_fraction(repeat_seed)
+        return np.full((accelerators, classes), factor, dtype=np.float64)
+
+    # stage_factor stays 1.0: experiments that honour clock_fraction
+    # (estimate via derate_clock, pipeline via 1/fraction) would count
+    # the slowdown twice if this model also inflated the stage factor.
+
+    def describe(self) -> str:
+        return f"clock:{self.amplitude:g}"
+
+
+_NOISE_KINDS = {
+    "dram": DramJitterNoise,
+    "thermal": ThermalDeratingNoise,
+    "clock": ClockVariabilityNoise,
+}
+
+
+def parse_noise_spec(spec: str | None) -> list[NoiseModel]:
+    """Parse the CLI's ``--noise`` grammar into composed noise models.
+
+    ``spec`` is a comma-separated list of ``kind`` or ``kind:amplitude``
+    terms with kinds ``dram``, ``thermal``, ``clock``; ``none`` (or an
+    empty/absent spec) disables noise.  Example:
+    ``dram:0.1,thermal:0.15,clock:0.05``.
+    """
+    if spec is None or not spec.strip() or spec.strip() == "none":
+        return []
+    models: list[NoiseModel] = []
+    seen: set[str] = set()
+    for term in spec.split(","):
+        term = term.strip()
+        if not term:
+            continue
+        kind, _, amplitude = term.partition(":")
+        if kind not in _NOISE_KINDS:
+            raise ValueError(
+                f"unknown noise kind {kind!r}; expected one of "
+                f"{sorted(_NOISE_KINDS)} or 'none'"
+            )
+        if kind in seen:
+            raise ValueError(f"noise kind {kind!r} given twice")
+        seen.add(kind)
+        if amplitude:
+            try:
+                models.append(_NOISE_KINDS[kind](float(amplitude)))
+            except ValueError as error:
+                raise ValueError(f"bad noise term {term!r}: {error}") from None
+        else:
+            models.append(_NOISE_KINDS[kind]())
+    return models
+
+
+def combined_service_factors(
+    models: list[NoiseModel] | None,
+    repeat_seed: int,
+    accelerators: int,
+    classes: int,
+) -> np.ndarray | None:
+    """Product of every model's service-factor grid (None = identity)."""
+    if not models:
+        return None
+    factors = np.ones((accelerators, classes), dtype=np.float64)
+    for model in models:
+        factors *= model.service_factors(repeat_seed, accelerators, classes)
+    if not np.all(np.isfinite(factors)) or np.any(factors <= 0):
+        raise ValueError("composed noise produced non-positive service factors")
+    return factors
+
+
+def combined_stage_factor(
+    models: list[NoiseModel] | None, repeat_seed: int
+) -> float:
+    """Product of every model's uniform stage/estimate slowdown."""
+    factor = 1.0
+    for model in models or ():
+        factor *= model.stage_factor(repeat_seed)
+    return factor
+
+
+def combined_clock_fraction(
+    models: list[NoiseModel] | None, repeat_seed: int
+) -> float:
+    """Product of every model's clock fraction (1.0 = nominal)."""
+    fraction = 1.0
+    for model in models or ():
+        fraction *= model.clock_fraction(repeat_seed)
+    if not (0.0 < fraction <= 1.0):
+        raise ValueError(f"composed clock fraction {fraction} out of (0, 1]")
+    return fraction

@@ -1,0 +1,195 @@
+"""Summary statistics and confidence intervals for repeated-run metrics.
+
+Two interval constructions per metric, both dependency-free:
+
+* a **Student-t interval** on the mean, using an exact critical-value
+  table (the classic df rows at the 90/95/99% two-sided levels, with
+  harmonic interpolation in ``1/df`` between tabulated rows — the same
+  scheme printed tables prescribe);
+* a **seeded percentile bootstrap** of the mean, resampling through
+  :func:`repro.sim.streaming.splitmix_uniforms` so the interval is a
+  pure function of ``(samples, seed)`` — reruns and ``--jobs`` fan-out
+  cannot perturb it.
+
+Degenerate inputs follow the obvious limits: one sample or zero
+variance collapses both intervals onto the point estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.sim.streaming import derive_seed, splitmix_uniforms
+
+#: two-sided critical values t_{df, 1-alpha/2} for the supported
+#: confidence levels; the ``inf`` row is the normal quantile
+_T_TABLE: dict[float, dict[int, float]] = {
+    0.90: {
+        1: 6.314, 2: 2.920, 3: 2.353, 4: 2.132, 5: 2.015,
+        6: 1.943, 7: 1.895, 8: 1.860, 9: 1.833, 10: 1.812,
+        11: 1.796, 12: 1.782, 13: 1.771, 14: 1.761, 15: 1.753,
+        16: 1.746, 17: 1.740, 18: 1.734, 19: 1.729, 20: 1.725,
+        21: 1.721, 22: 1.717, 23: 1.714, 24: 1.711, 25: 1.708,
+        26: 1.706, 27: 1.703, 28: 1.701, 29: 1.699, 30: 1.697,
+        40: 1.684, 60: 1.671, 120: 1.658,
+    },
+    0.95: {
+        1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+        6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+        11: 2.201, 12: 2.179, 13: 2.160, 14: 2.145, 15: 2.131,
+        16: 2.120, 17: 2.110, 18: 2.101, 19: 2.093, 20: 2.086,
+        21: 2.080, 22: 2.074, 23: 2.069, 24: 2.064, 25: 2.060,
+        26: 2.056, 27: 2.052, 28: 2.048, 29: 2.045, 30: 2.042,
+        40: 2.021, 60: 2.000, 120: 1.980,
+    },
+    0.99: {
+        1: 63.657, 2: 9.925, 3: 5.841, 4: 4.604, 5: 4.032,
+        6: 3.707, 7: 3.499, 8: 3.355, 9: 3.250, 10: 3.169,
+        11: 3.106, 12: 3.055, 13: 3.012, 14: 2.977, 15: 2.947,
+        16: 2.921, 17: 2.898, 18: 2.878, 19: 2.861, 20: 2.845,
+        21: 2.831, 22: 2.819, 23: 2.807, 24: 2.797, 25: 2.787,
+        26: 2.779, 27: 2.771, 28: 2.763, 29: 2.756, 30: 2.750,
+        40: 2.704, 60: 2.660, 120: 2.617,
+    },
+}
+_Z_INF = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+CONFIDENCE_LEVELS = tuple(sorted(_T_TABLE))
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value for ``df`` degrees of freedom."""
+    if confidence not in _T_TABLE:
+        raise ValueError(
+            f"confidence must be one of {CONFIDENCE_LEVELS}, got {confidence}"
+        )
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    table = _T_TABLE[confidence]
+    if df in table:
+        return table[df]
+    if df > 120:
+        return _Z_INF[confidence]
+    # harmonic interpolation in 1/df between the bracketing table rows
+    rows = sorted(table)
+    lo = max(row for row in rows if row < df)
+    hi = min(row for row in rows if row > df)
+    weight = (1.0 / lo - 1.0 / df) / (1.0 / lo - 1.0 / hi)
+    return table[lo] + weight * (table[hi] - table[lo])
+
+
+def bootstrap_interval(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Seeded percentile-bootstrap interval for the mean of ``samples``.
+
+    Resample ``r`` draws its indices from
+    ``splitmix_uniforms(derive_seed(seed, r), arange(n))`` — a pure
+    function of ``(seed, r, n)``, so the interval never depends on
+    evaluation order or parallelism.
+    """
+    values = np.asarray(list(samples), dtype=np.float64)
+    n = values.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    if resamples < 1:
+        raise ValueError("need at least one resample")
+    if n == 1 or float(np.ptp(values)) == 0.0:
+        point = float(values[0])
+        return point, point
+    positions = np.arange(n, dtype=np.int64)
+    means = np.empty(resamples, dtype=np.float64)
+    for r in range(resamples):
+        draws = splitmix_uniforms(derive_seed(seed, r), positions)
+        indices = np.minimum((draws * n).astype(np.int64), n - 1)
+        means[r] = values[indices].mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return float(low), float(high)
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Distribution summary of one metric across repeats."""
+
+    n: int
+    mean: float
+    median: float
+    std: float
+    min: float
+    max: float
+    #: Student-t interval on the mean
+    ci_low: float
+    ci_high: float
+    #: seeded percentile-bootstrap interval on the mean
+    boot_low: float
+    boot_high: float
+    confidence: float
+
+    def value(self, aggregate: str) -> float:
+        """Resolve an aggregate name (``mean``/``median``/``min``/``max``)."""
+        try:
+            return float(getattr(self, aggregate))
+        except AttributeError:
+            raise ValueError(
+                f"unknown aggregate {aggregate!r}; expected one of "
+                "mean, median, min, max"
+            ) from None
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n": self.n,
+            "mean": self.mean,
+            "median": self.median,
+            "std": self.std,
+            "min": self.min,
+            "max": self.max,
+            "ci_low": self.ci_low,
+            "ci_high": self.ci_high,
+            "boot_low": self.boot_low,
+            "boot_high": self.boot_high,
+            "confidence": self.confidence,
+        }
+
+
+def summarize(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    resamples: int = 1000,
+    seed: int = 0,
+) -> MetricSummary:
+    """Mean/median/CI summary of ``samples`` (t-interval + bootstrap)."""
+    values = np.asarray(list(samples), dtype=np.float64)
+    n = values.size
+    if n == 0:
+        raise ValueError("need at least one sample")
+    mean = float(values.mean())
+    if n > 1:
+        std = float(values.std(ddof=1))
+        half = t_critical(n - 1, confidence) * std / math.sqrt(n)
+    else:
+        std = 0.0
+        half = 0.0
+    boot_low, boot_high = bootstrap_interval(
+        values, confidence=confidence, resamples=resamples, seed=seed
+    )
+    return MetricSummary(
+        n=n,
+        mean=mean,
+        median=float(np.median(values)),
+        std=std,
+        min=float(values.min()),
+        max=float(values.max()),
+        ci_low=mean - half,
+        ci_high=mean + half,
+        boot_low=boot_low,
+        boot_high=boot_high,
+        confidence=confidence,
+    )

@@ -1,0 +1,41 @@
+"""Shared BENCH_*.json trajectory I/O.
+
+One implementation of the append/load pair every benchmark script used
+to carry its own copy of: a trajectory file is a JSON list of run
+entries, appended to in place, with a loud error (never silent
+truncation) when the existing file is not a valid list.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+
+class TrajectoryError(SystemExit):
+    """A trajectory file exists but cannot be extended."""
+
+
+def load_trajectory(path: Path | str) -> list[dict]:
+    """The entries of a trajectory file ([] when it does not exist)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        trajectory = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        raise TrajectoryError(
+            f"{path} exists but is not valid JSON ({error}); "
+            "move it aside to start a fresh trajectory"
+        ) from None
+    if not isinstance(trajectory, list):
+        raise TrajectoryError(f"{path} is not a JSON list trajectory")
+    return trajectory
+
+
+def append_trajectory(entry: dict, output: Path | str) -> None:
+    """Append one run to a benchmark's JSON trajectory file."""
+    output = Path(output)
+    trajectory = load_trajectory(output)
+    trajectory.append(entry)
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")

@@ -11,6 +11,8 @@ Usage::
     versal-gemm serve 1024x1024x1024 --trace-out trace.json \
         --metrics-out metrics.prom                 # observability out
     versal-gemm obs summary trace.json             # analyze a trace
+    versal-gemm bench serving -n 10 --noise dram:0.1,clock:0.05
+    versal-gemm bench --smoke --out-dir artifacts  # CI statistical gate
 
 Global flags (before the subcommand): ``--jobs/-j N`` fans batched
 evaluations out over N worker threads (0 = one per CPU), ``--stats``
@@ -427,6 +429,210 @@ def _cmd_dse(args: argparse.Namespace) -> int:
     return 0
 
 
+#: per-kind defaults the bench command applies when flags are absent
+_BENCH_REPEATS_DEFAULT = 5
+_BENCH_REQUESTS_DEFAULT = {"serving": 100_000, "sweep": 2000}
+
+
+def _bench_experiment(args: argparse.Namespace):
+    """Build the requested experiment kind from bench flags (or exit 2)."""
+    from repro.bench.experiments import (
+        EstimateExperiment,
+        EvalThroughputExperiment,
+        LoadSweepExperiment,
+        PipelineExperiment,
+        ServingExperiment,
+    )
+    from repro.bench.scenarios import SERVING_CONFIGS, SERVING_SHAPES
+
+    shapes = (
+        tuple(GemmShape.parse(token) for token in args.shapes.split(",") if token)
+        if args.shapes
+        else SERVING_SHAPES
+    )
+    configs = (
+        tuple(token for token in args.configs.split(",") if token)
+        if args.configs
+        else SERVING_CONFIGS
+    )
+    requests = args.requests or _BENCH_REQUESTS_DEFAULT.get(args.kind, 0)
+    mean_interarrival = args.mean_interarrival or 0.5e-3
+
+    faults = None
+    fault_policy = None
+    if args.faults and args.kind in ("serving", "sweep"):
+        from repro.core.multi_acc import AcceleratorPartition
+        from repro.sim.chaos import FaultError, FaultPolicy, parse_fault_spec
+
+        partition = AcceleratorPartition([config_by_name(name) for name in configs])
+        try:
+            faults = parse_fault_spec(
+                args.faults,
+                list(partition.designs),
+                device=partition.device,
+                seed=args.fault_seed,
+                horizon=requests * mean_interarrival,
+            )
+        except FaultError as error:
+            raise SystemExit(f"bench: {error}")
+        fault_policy = FaultPolicy(max_retries=args.max_retries)
+
+    if args.kind == "serving":
+        return ServingExperiment(
+            shapes,
+            configs,
+            num_requests=requests,
+            mean_interarrival=mean_interarrival,
+            dispatch=args.dispatch,
+            streaming=args.streaming,
+            quantile_error=args.quantile_error,
+            shards=args.shards,
+            start_method=args.start_method,
+            faults=faults,
+            fault_policy=fault_policy,
+            vary_trace=not args.fixed_trace,
+            trace_seed=args.trace_seed,
+        )
+    if args.kind == "sweep":
+        loads = (
+            [float(token) for token in args.loads.split(",") if token]
+            if args.loads
+            else None
+        )
+        return LoadSweepExperiment(
+            shapes,
+            configs,
+            offered_loads=loads,
+            num_requests=requests,
+            jobs=args.jobs,
+            shards=args.shards,
+            start_method=args.start_method,
+            faults=faults,
+            fault_policy=fault_policy,
+            quantile_error=args.quantile_error,
+        )
+    if args.kind == "estimate":
+        workload = GemmShape.parse(args.workload) if args.workload else None
+        return (
+            EstimateExperiment(config=args.config, workload=workload)
+            if workload
+            else EstimateExperiment(config=args.config)
+        )
+    if args.kind == "pipeline":
+        return PipelineExperiment(items=args.items)
+    return EvalThroughputExperiment(
+        max_aies=args.max_aies,
+        inner_repeats=args.inner_repeats,
+        jobs=args.eval_jobs,
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Repeated-run statistical bench harness (see docs/benchmarking.md)."""
+    from repro.bench.noise import parse_noise_spec
+    from repro.bench.regression import (
+        BaselineError,
+        check_result,
+        exit_code,
+        load_baseline,
+    )
+    from repro.bench.runner import run_bench, write_csv, write_json
+
+    try:
+        noise = parse_noise_spec(args.noise)
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+
+    if args.smoke:
+        from repro.bench.smoke import SMOKE_REPEATS, run_smoke
+
+        return run_smoke(
+            out_dir=args.out_dir,
+            repeats=args.repeats or SMOKE_REPEATS,
+            seed=7 if args.seed is None else args.seed,
+            noise=noise or None,
+            serving_baseline=args.serving_baseline,
+            eval_baseline=args.eval_baseline,
+            serving_requests=args.requests or 1_000_000,
+        )
+    if args.kind is None:
+        print("bench: pass an experiment kind or --smoke", file=sys.stderr)
+        return 2
+
+    try:
+        experiment = _bench_experiment(args)
+    except SystemExit as error:
+        print(error, file=sys.stderr)
+        return 2
+    repeats = args.repeats or _BENCH_REPEATS_DEFAULT
+    seed = 0 if args.seed is None else args.seed
+    try:
+        result = run_bench(
+            experiment,
+            repeats=repeats,
+            seed=seed,
+            noise=noise or None,
+            jobs=args.jobs,
+            confidence=args.confidence,
+            bootstrap_resamples=args.resamples,
+            trace_rollup=args.trace_rollup,
+        )
+    except ValueError as error:
+        print(f"bench: {error}", file=sys.stderr)
+        return 2
+
+    noise_label = ",".join(result.noise) or "none"
+    print(f"bench {result.kind}: {repeats} repeats, seed {seed}, "
+          f"noise {noise_label}")
+    rows = [
+        {
+            "metric": name,
+            "mean": f"{summary.mean:.6g}",
+            "median": f"{summary.median:.6g}",
+            "std": f"{summary.std:.3g}",
+            f"ci{result.confidence:.0%}": (
+                f"[{summary.ci_low:.6g}, {summary.ci_high:.6g}]"
+            ),
+            "bootstrap": f"[{summary.boot_low:.6g}, {summary.boot_high:.6g}]",
+        }
+        for name, summary in sorted(result.summaries.items())
+    ]
+    print(render_table(rows))
+    if args.csv_out:
+        write_csv(result, args.csv_out)
+        print(f"wrote {args.csv_out}", file=sys.stderr)
+    if args.json_out:
+        write_json(result, args.json_out)
+        print(f"wrote {args.json_out}", file=sys.stderr)
+
+    if not args.baseline:
+        return 0
+    # regression gating: judge this run against a committed BENCH_*.json
+    if args.kind == "serving":
+        from repro.bench.smoke import serving_baseline_gates
+
+        gates = serving_baseline_gates(args.tolerance)
+    elif args.kind == "eval":
+        from repro.bench.smoke import eval_smoke_gates
+
+        gates = eval_smoke_gates()
+    else:
+        print(f"bench: no baseline gates defined for kind {args.kind!r} "
+              "(serving and eval compare against BENCH_*.json)", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_baseline(args.baseline)
+    except BaselineError as error:
+        print(f"bench: [corrupt_baseline] {error}", file=sys.stderr)
+        return 1
+    verdicts = check_result(result, gates, baseline)
+    for verdict in verdicts:
+        print(f"gate {verdict.message}",
+              file=sys.stderr if verdict.failed else sys.stdout)
+    return exit_code(verdicts)
+
+
 def _cmd_obs_summary(args: argparse.Namespace) -> int:
     """Validate a Chrome trace and print utilization/overlap/bottleneck."""
     from repro.obs.export import validate_chrome_trace
@@ -592,6 +798,95 @@ def build_parser() -> argparse.ArgumentParser:
                        help="kills a request survives before being shed")
     _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    bench = sub.add_parser(
+        "bench",
+        help="statistical repeated-run benchmarks with noise + CI gates",
+    )
+    bench.add_argument(
+        "kind", nargs="?",
+        choices=["serving", "sweep", "estimate", "pipeline", "eval"],
+        help="experiment kind to repeat (omit with --smoke)",
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="run the CI smoke specs (serving + eval) against "
+                            "the committed BENCH_*.json baselines")
+    bench.add_argument("--repeats", "-n", type=int, default=None, metavar="N",
+                       help="seeded repeats (default 5)")
+    bench.add_argument("--seed", type=int, default=None,
+                       help="root seed; repeat r uses derive_seed(seed, r)")
+    bench.add_argument("--noise", default=None, metavar="SPEC",
+                       help="seeded noise models, e.g. dram:0.1,thermal:0.2,"
+                            "clock:0.05 ('none' disables)")
+    bench.add_argument("--confidence", type=float, default=0.95,
+                       help="confidence level for t/bootstrap intervals")
+    bench.add_argument("--resamples", type=int, default=1000,
+                       help="bootstrap resamples per metric")
+    bench.add_argument("--trace-rollup", action="store_true",
+                       help="add a tracer-span rollup probe per repeat")
+    bench.add_argument("--csv-out", default=None, metavar="PATH",
+                       help="write per-metric summary rows as CSV")
+    bench.add_argument("--json-out", default=None, metavar="PATH",
+                       help="write the full result entry as JSON")
+    bench.add_argument("--baseline", default=None, metavar="PATH",
+                       help="BENCH_*.json trajectory to gate against "
+                            "(serving/eval kinds; exit 1 on regression)")
+    bench.add_argument("--tolerance", type=float, default=0.05,
+                       help="relative tolerance band for baseline gates")
+    bench.add_argument("--out-dir", default=".", metavar="DIR",
+                       help="artifact directory for --smoke CSV/JSON outputs")
+    bench.add_argument("--serving-baseline", default="BENCH_serving.json",
+                       metavar="PATH", help="serving baseline for --smoke")
+    bench.add_argument("--eval-baseline", default="BENCH_eval.json",
+                       metavar="PATH", help="eval baseline for --smoke")
+    bench.add_argument("--shapes", default=None,
+                       help="comma-separated MxKxN mix (serving/sweep)")
+    bench.add_argument("--configs", default=None,
+                       help="partition configs (serving/sweep; default C5,C3)")
+    bench.add_argument("--requests", type=int, default=None,
+                       help="requests per repeat (serving) or per sweep point")
+    bench.add_argument("--mean-interarrival", type=float, default=None,
+                       help="mean seconds between arrivals (default 0.5e-3)")
+    bench.add_argument("--dispatch",
+                       choices=["auto", "vectorized", "heap", "table", "scan"],
+                       default="auto", help="serving dispatch engine")
+    bench.add_argument("--streaming", action=argparse.BooleanOptionalAction,
+                       default=True,
+                       help="streaming serving report (sketched percentiles)")
+    bench.add_argument("--quantile-error", type=float, default=0.01,
+                       help="relative error bound for streaming percentiles")
+    bench.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="process-parallel shard replicas (serving/sweep)")
+    bench.add_argument("--start-method",
+                       choices=["fork", "spawn", "forkserver", "inline"],
+                       default=None, help="multiprocessing start method")
+    bench.add_argument("--faults", default=None, metavar="SPEC",
+                       help="compose a chaos fault schedule with the noise "
+                            "models (serving/sweep; see docs/robustness.md)")
+    bench.add_argument("--fault-seed", type=int, default=0,
+                       help="seed for 'chaos' fault schedules")
+    bench.add_argument("--max-retries", type=int, default=3,
+                       help="kills a request survives before being shed")
+    bench.add_argument("--fixed-trace", action="store_true",
+                       help="pin every repeat to --trace-seed (simulated "
+                            "metrics become baseline-comparable constants)")
+    bench.add_argument("--trace-seed", type=int, default=7,
+                       help="trace seed used with --fixed-trace")
+    bench.add_argument("--loads", default=None,
+                       help="comma-separated offered loads (rps) for sweep")
+    bench.add_argument("--config", default="C5",
+                       help="Table II config for the estimate kind")
+    bench.add_argument("--workload", default=None,
+                       help="MxKxN workload for the estimate kind")
+    bench.add_argument("--items", type=int, default=4096,
+                       help="items replayed per repeat (pipeline kind)")
+    bench.add_argument("--max-aies", type=int, default=48,
+                       help="DSE candidate-space bound (eval kind)")
+    bench.add_argument("--inner-repeats", type=int, default=3,
+                       help="explorations timed per repeat (eval kind)")
+    bench.add_argument("--eval-jobs", type=int, default=2,
+                       help="worker threads for the eval kind's parallel leg")
+    bench.set_defaults(func=_cmd_bench)
 
     obs = sub.add_parser("obs", help="observability utilities")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)

@@ -202,6 +202,18 @@ class StatsRegistry:
             self.fault_runs += 1
         _publish_faults(stats)
 
+    def snapshot(self) -> EvalStats:
+        """A lock-consistent copy of the aggregate evaluation counters.
+
+        Pairs with :meth:`EvalStats.delta_since` so measurement
+        wrappers (``repro.bench``) can attribute exactly the
+        evaluations one operation contributed:
+        ``before = GLOBAL_STATS.snapshot(); ...;
+        delta = GLOBAL_STATS.snapshot().delta_since(before)``.
+        """
+        with self._lock:
+            return self.total.snapshot()
+
     def reset(self) -> None:
         with self._lock:
             self.total = EvalStats()

@@ -1,0 +1,146 @@
+"""Unit tests: noise-model determinism, ranges, and spec parsing."""
+
+import numpy as np
+import pytest
+
+from repro.bench.noise import (
+    ClockVariabilityNoise,
+    DramJitterNoise,
+    NoiseModel,
+    ThermalDeratingNoise,
+    combined_clock_fraction,
+    combined_service_factors,
+    combined_stage_factor,
+    parse_noise_spec,
+)
+
+
+class TestParseNoiseSpec:
+    def test_empty_and_none_disable(self):
+        assert parse_noise_spec(None) == []
+        assert parse_noise_spec("") == []
+        assert parse_noise_spec("none") == []
+
+    def test_default_amplitudes(self):
+        models = parse_noise_spec("dram,thermal,clock")
+        assert [m.name for m in models] == ["dram", "thermal", "clock"]
+        assert models[0].amplitude == 0.1
+        assert models[1].amplitude == 0.2
+        assert models[2].amplitude == 0.05
+
+    def test_explicit_amplitudes(self):
+        models = parse_noise_spec("dram:0.25,clock:0.1")
+        assert models[0].amplitude == 0.25
+        assert models[1].amplitude == 0.1
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown noise kind"):
+            parse_noise_spec("cosmic:0.5")
+
+    def test_rejects_duplicate_kind(self):
+        with pytest.raises(ValueError, match="twice"):
+            parse_noise_spec("dram:0.1,dram:0.2")
+
+    def test_rejects_bad_amplitude(self):
+        with pytest.raises(ValueError):
+            parse_noise_spec("dram:-1")
+        with pytest.raises(ValueError):
+            parse_noise_spec("clock:1.5")
+        with pytest.raises(ValueError):
+            parse_noise_spec("dram:abc")
+
+
+class TestDeterminism:
+    def test_same_seed_identical_factors(self):
+        model = DramJitterNoise(0.1)
+        a = model.service_factors(1234, 3, 4)
+        b = model.service_factors(1234, 3, 4)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        model = DramJitterNoise(0.1)
+        assert not np.array_equal(
+            model.service_factors(1, 3, 4), model.service_factors(2, 3, 4)
+        )
+
+    def test_composed_models_draw_disjoint_streams(self):
+        """Adding a second model never shifts the first one's draws."""
+        dram = DramJitterNoise(0.1)
+        alone = dram.service_factors(77, 2, 3)
+        composed = combined_service_factors(
+            [dram, ThermalDeratingNoise(0.2)], 77, 2, 3
+        )
+        thermal_factor = ThermalDeratingNoise(0.2).service_factors(77, 2, 3)
+        assert np.allclose(composed, alone * thermal_factor)
+
+    def test_streams_are_distinct_constants(self):
+        streams = {
+            type(model).stream
+            for model in (DramJitterNoise(), ThermalDeratingNoise(),
+                          ClockVariabilityNoise())
+        }
+        assert len(streams) == 3
+        assert NoiseModel.stream not in streams
+
+
+class TestRanges:
+    def test_dram_factors_only_slow_down(self):
+        factors = DramJitterNoise(0.1).service_factors(5, 4, 4)
+        assert np.all(factors >= 1.0)
+        assert np.all(factors <= 1.1)
+        # independent per cell: not all equal
+        assert np.unique(factors).size > 1
+
+    def test_thermal_factor_uniform_across_grid(self):
+        factors = ThermalDeratingNoise(0.2).service_factors(5, 4, 4)
+        assert np.unique(factors).size == 1
+        assert 1.0 <= factors[0, 0] <= 1.2
+
+    def test_clock_fraction_bounds(self):
+        model = ClockVariabilityNoise(0.05)
+        for seed in range(20):
+            fraction = model.clock_fraction(seed)
+            assert 0.95 <= fraction <= 1.0
+
+    def test_clock_service_factors_invert_fraction(self):
+        model = ClockVariabilityNoise(0.05)
+        factors = model.service_factors(9, 2, 2)
+        assert np.allclose(factors, 1.0 / model.clock_fraction(9))
+
+    def test_amplitude_validation(self):
+        with pytest.raises(ValueError):
+            DramJitterNoise(0.0)
+        with pytest.raises(ValueError):
+            ThermalDeratingNoise(-0.5)
+        with pytest.raises(ValueError):
+            ClockVariabilityNoise(1.0)
+
+
+class TestComposition:
+    def test_clock_does_not_double_count_in_stage_factor(self):
+        """Clock noise flows through clock_fraction only; experiments
+        that honour the fraction (estimate via derate_clock, pipeline
+        via 1/fraction) must not see it again in the stage factor."""
+        model = ClockVariabilityNoise(0.2)
+        for seed in range(10):
+            assert model.stage_factor(seed) == 1.0
+            assert model.clock_fraction(seed) < 1.0
+
+    def test_non_clock_models_leave_fraction_nominal(self):
+        assert DramJitterNoise(0.1).clock_fraction(3) == 1.0
+        assert ThermalDeratingNoise(0.2).clock_fraction(3) == 1.0
+
+    def test_combined_identity_when_empty(self):
+        assert combined_service_factors(None, 1, 2, 2) is None
+        assert combined_service_factors([], 1, 2, 2) is None
+        assert combined_stage_factor(None, 1) == 1.0
+        assert combined_clock_fraction(None, 1) == 1.0
+
+    def test_combined_stage_factor_is_product(self):
+        models = [DramJitterNoise(0.1), ThermalDeratingNoise(0.2)]
+        expected = models[0].stage_factor(4) * models[1].stage_factor(4)
+        assert combined_stage_factor(models, 4) == pytest.approx(expected)
+
+    def test_combined_clock_fraction_in_unit_interval(self):
+        fraction = combined_clock_fraction([ClockVariabilityNoise(0.3)], 11)
+        assert 0.7 <= fraction <= 1.0
