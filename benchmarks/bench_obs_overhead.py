@@ -11,6 +11,12 @@ a ``BENCH_obs.json`` trajectory:
 * ``disabled`` — the shipped code with tracing off (the default);
 * ``overhead`` — the relative throughput delta between them, gated at
   ``OVERHEAD_LIMIT`` (3%) on the full run;
+* ``monitor`` — the default (exact) serving run with a windowed
+  :class:`ServingMonitor` attached (100 windows), gated at
+  ``MONITOR_OVERHEAD_LIMIT`` (5%) against the monitor-off run, with
+  dispatch decisions required to be byte-identical and a
+  benchmark-run SLO verdict gated through the ``slo``
+  regression-gate kind;
 * ``noop_span_ns`` — the cost of one disabled ``span(...)`` call,
   gated at ``NOOP_NS_CEILING``.
 
@@ -46,16 +52,25 @@ from repro.bench.scenarios import (
 )
 from repro.bench.trajectory import append_trajectory
 from repro.obs.export import ChromeTraceBuilder, validate_chrome_trace, write_chrome_trace
+from repro.obs.slo import evaluate_slo
 from repro.obs.spans import _NULL_SPAN, GLOBAL_TRACER, span
+from repro.obs.windows import ServingMonitor
 from repro.sim.serving import ServingSimulator
 from repro.sim.streaming import generate_trace_soa
 
 DEFAULT_REQUESTS = 100_000
 VERIFY_REQUESTS = 5_000
+#: telemetry windows the monitor leg cuts the horizon into
+MONITOR_WINDOWS = 100
+#: SLO evaluated over the monitor leg (fault-free run: must hold)
+BENCH_SLO = "avail>0.999,shed<0.01"
 #: relative throughput delta allowed for the shipped-but-disabled tracer
 OVERHEAD_LIMIT = 0.03
+#: relative delta allowed with a windowed monitor attached (vs. off)
+MONITOR_OVERHEAD_LIMIT = 0.05
 #: pytest smoke runs are short, so scheduler noise dominates — lenient
 SMOKE_OVERHEAD_LIMIT = 0.15
+SMOKE_MONITOR_OVERHEAD_LIMIT = 0.25
 #: one disabled span() call (attribute check + return of the null span)
 NOOP_NS_CEILING = 2_000.0
 #: exported spans must reproduce the report's latency sums to this
@@ -95,12 +110,39 @@ def measure_overhead(num_requests: int, repeats: int = 3) -> dict:
         serving_mod.span = original_span
     disabled_seconds = _time_serving(simulator, soa, repeats)
 
+    # monitor leg: the default (exact) serving mode — what `serve`
+    # runs without --streaming — monitor-off vs. monitor-on, with a
+    # fresh monitor per repeat so no repeat folds into another's series
+    window_seconds = num_requests * MEAN_INTERARRIVAL / MONITOR_WINDOWS
+    monitor_off_best = math.inf
+    for _ in range(repeats):
+        started = time.perf_counter()
+        simulator.run(soa)
+        monitor_off_best = min(monitor_off_best, time.perf_counter() - started)
+    monitor_best = math.inf
+    monitor = None
+    for _ in range(repeats):
+        candidate = ServingMonitor(window_seconds)
+        started = time.perf_counter()
+        simulator.run(soa, monitor=candidate)
+        elapsed = time.perf_counter() - started
+        if elapsed < monitor_best:
+            monitor_best = elapsed
+        monitor = candidate
+
     return {
         "untraced_seconds": untraced_seconds,
         "disabled_seconds": disabled_seconds,
+        "monitor_off_seconds": monitor_off_best,
+        "monitor_seconds": monitor_best,
         "untraced_rps": num_requests / untraced_seconds,
         "disabled_rps": num_requests / disabled_seconds,
+        "monitor_rps": num_requests / monitor_best,
         "overhead": (disabled_seconds - untraced_seconds) / untraced_seconds,
+        "monitor_overhead": (
+            (monitor_best - monitor_off_best) / monitor_off_best
+        ),
+        "_monitor": monitor,
     }
 
 
@@ -141,6 +183,12 @@ def verify_trace_contract(num_requests: int) -> dict:
         GLOBAL_TRACER.disable()
     dispatch_identical = _dispatch_bytes(baseline) == _dispatch_bytes(traced)
 
+    monitor = ServingMonitor(num_requests * MEAN_INTERARRIVAL / MONITOR_WINDOWS)
+    monitored = simulator.run(soa, monitor=monitor)
+    monitor_dispatch_identical = (
+        _dispatch_bytes(baseline) == _dispatch_bytes(monitored)
+    )
+
     builder = ChromeTraceBuilder()
     builder.add_spans(spans)
     builder.add_serving_report(traced)
@@ -179,6 +227,7 @@ def verify_trace_contract(num_requests: int) -> dict:
     } <= accelerator_tracks
     return {
         "dispatch_identical": dispatch_identical,
+        "monitor_dispatch_identical": monitor_dispatch_identical,
         "trace_valid": trace_valid,
         "accounting_error": accounting_error,
         "per_accelerator_tracks": per_accelerator_tracks,
@@ -196,10 +245,22 @@ def run_benchmark(
         "configs": list(CONFIGS),
         "smoke": smoke,
         "overhead_limit": SMOKE_OVERHEAD_LIMIT if smoke else OVERHEAD_LIMIT,
+        "monitor_overhead_limit": (
+            SMOKE_MONITOR_OVERHEAD_LIMIT if smoke else MONITOR_OVERHEAD_LIMIT
+        ),
         "noop_ns_ceiling": NOOP_NS_CEILING,
         "accounting_rtol": ACCOUNTING_RTOL,
     }
-    entry.update(measure_overhead(num_requests, repeats=repeats))
+    measured = measure_overhead(num_requests, repeats=repeats)
+    monitor = measured.pop("_monitor")
+    entry.update(measured)
+    slo_report = evaluate_slo(monitor, BENCH_SLO)
+    entry["slo"] = {
+        "spec": BENCH_SLO,
+        "ok": slo_report.ok,
+        "windows": len(monitor.window_indices()),
+        "alerts": [alert.as_dict() for alert in slo_report.alerts],
+    }
     entry["noop_span_ns"] = measure_noop_span()
     contract = verify_trace_contract(min(num_requests, VERIFY_REQUESTS))
     entry["_trace"] = contract.pop("trace")
@@ -207,13 +268,27 @@ def run_benchmark(
     return entry
 
 
+#: declarative gates judged through the shared regression-gate engine
+_ENTRY_GATES = (
+    Gate(metric="monitor_dispatch_identical", kind="flag",
+         label="dispatch decisions differ with a monitor attached"),
+    Gate(metric="slo", kind="slo",
+         label=f"benchmark-run SLO '{BENCH_SLO}' breached"),
+)
+
+
 def check(entry: dict) -> list[str]:
     """The obs overhead contract; empty list means acceptable."""
-    failures = []
+    failures = failure_messages(check_entry(entry, _ENTRY_GATES))
     if entry["overhead"] > entry["overhead_limit"]:
         failures.append(
             f"disabled-tracer overhead {entry['overhead']:.2%} exceeds the "
             f"{entry['overhead_limit']:.0%} limit"
+        )
+    if entry["monitor_overhead"] > entry["monitor_overhead_limit"]:
+        failures.append(
+            f"windowed-monitor overhead {entry['monitor_overhead']:.2%} "
+            f"exceeds the {entry['monitor_overhead_limit']:.0%} limit"
         )
     if entry["noop_span_ns"] > entry["noop_ns_ceiling"]:
         failures.append(
@@ -285,11 +360,20 @@ def main(argv: list[str] | None = None) -> int:
           f"{entry['untraced_rps']:12.1f} req/s")
     print(f"disabled: {entry['disabled_seconds']:8.3f} s  "
           f"{entry['disabled_rps']:12.1f} req/s")
+    print(f"mon. off: {entry['monitor_off_seconds']:8.3f} s  (exact mode)")
+    print(f"mon. on:  {entry['monitor_seconds']:8.3f} s  "
+          f"{entry['monitor_rps']:12.1f} req/s")
     print(f"overhead:             {entry['overhead']:+.2%} "
           f"(limit {entry['overhead_limit']:.0%})")
+    print(f"monitor overhead:     {entry['monitor_overhead']:+.2%} "
+          f"(limit {entry['monitor_overhead_limit']:.0%})")
+    print(f"slo {entry['slo']['spec']!r}: "
+          f"{'ok' if entry['slo']['ok'] else 'BREACH'} "
+          f"over {entry['slo']['windows']} windows")
     print(f"noop span:            {entry['noop_span_ns']:.0f} ns "
           f"(ceiling {entry['noop_ns_ceiling']:.0f} ns)")
-    print(f"dispatch identical:   {entry['dispatch_identical']}")
+    print(f"dispatch identical:   {entry['dispatch_identical']} "
+          f"(with monitor: {entry['monitor_dispatch_identical']})")
     print(f"trace valid:          {entry['trace_valid']}")
     print(f"accel tracks present: {entry['per_accelerator_tracks']}")
     print(f"accounting error:     {entry['accounting_error']:.2e} "

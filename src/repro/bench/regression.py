@@ -8,6 +8,9 @@ A :class:`Gate` names one metric and how to judge it:
 * ``ceiling`` — the metric must not exceed a bound (error bounds,
   overhead limits);
 * ``flag`` — the metric must be truthy (byte-identity contracts);
+* ``slo`` — the metric is an SLO verdict: either a plain boolean or a
+  dict carrying ``ok`` (and optionally ``alerts``, whose count lands
+  in the failure message); the gate fails when the SLO was breached;
 * ``baseline`` — the metric is compared against the value recorded in
   a prior ``BENCH_*.json`` entry under a relative tolerance, with a
   direction (``lower``/``higher`` is better) deciding which side is a
@@ -33,7 +36,7 @@ from repro.bench.trajectory import load_trajectory
 EXIT_OK = 0
 EXIT_REGRESSION = 1
 
-_KINDS = ("floor", "ceiling", "flag", "baseline")
+_KINDS = ("floor", "ceiling", "flag", "slo", "baseline")
 _DIRECTIONS = ("lower", "higher")
 _FAILING = ("regression", "corrupt_baseline")
 
@@ -178,6 +181,28 @@ def _judge_flag(gate: Gate, path: str, observed: Any) -> Verdict:
     )
 
 
+def _judge_slo(gate: Gate, path: str, observed: Any) -> Verdict:
+    if observed is None:
+        return Verdict(
+            metric=path, kind="slo", status="regression",
+            detail=gate.label or f"{path} is missing from the run entry",
+        )
+    if isinstance(observed, dict):
+        ok = bool(observed.get("ok"))
+        alerts = observed.get("alerts") or ()
+        tail = f" ({len(alerts)} burn-rate alert(s) fired)" if alerts else ""
+    else:
+        ok = bool(observed)
+        tail = ""
+    return Verdict(
+        metric=path,
+        kind="slo",
+        status="pass" if ok else "regression",
+        observed=float(ok),
+        detail="" if ok else (gate.label or f"{path}: SLO breached{tail}"),
+    )
+
+
 def _judge_baseline(gate: Gate, path: str, observed: Any, baseline: dict | None) -> Verdict:
     if observed is None:
         return Verdict(
@@ -249,6 +274,8 @@ def check_entry(
         for path, observed in _expand(entry, gate.metric):
             if gate.kind == "flag":
                 verdicts.append(_judge_flag(gate, path, observed))
+            elif gate.kind == "slo":
+                verdicts.append(_judge_slo(gate, path, observed))
             elif gate.kind == "baseline":
                 verdicts.append(_judge_baseline(gate, path, observed, baseline))
             else:
@@ -277,6 +304,10 @@ def check_result(
             # a flag over repeats holds only when every repeat held
             flag = None if summary is None else summary.value("min")
             verdicts.append(_judge_flag(gate, gate.metric, flag))
+        elif gate.kind == "slo":
+            # like a flag: the SLO held only when every repeat held it
+            held = None if summary is None else summary.value("min")
+            verdicts.append(_judge_slo(gate, gate.metric, held))
         elif gate.kind == "baseline":
             verdicts.append(_judge_baseline(gate, gate.metric, observed, baseline))
         else:

@@ -32,6 +32,7 @@ docs/observability.md.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.analytical_model import AnalyticalModel
@@ -45,8 +46,9 @@ from repro.obs.spans import GLOBAL_TRACER
 from repro.reporting import RENDERERS, format_seconds, render_bars, render_table
 from repro.workloads.gemm import GemmShape
 
-#: exact serving reports queued by commands for the end-of-run trace
-#: export (cleared at the start of every ``main`` invocation)
+#: serving reports and windowed monitors queued by commands for the
+#: end-of-run trace export (cleared at the start of every ``main``
+#: invocation); monitors become Perfetto counter tracks
 _PENDING_TRACE_SOURCES: list = []
 
 
@@ -245,6 +247,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print("serve: --shards streams its reports; the scan engine is "
               "exact-mode only", file=sys.stderr)
         return 2
+    if args.windows < 1:
+        print("serve: --windows must be at least 1", file=sys.stderr)
+        return 2
+    slo_spec = None
+    if args.slo:
+        from repro.obs.slo import SloSpec
+
+        try:
+            slo_spec = SloSpec.parse(args.slo)
+        except ValueError as error:
+            print(f"serve: {error}", file=sys.stderr)
+            return 2
     if args.rate is not None:
         mean_interarrival = 1.0 / args.rate
     else:
@@ -302,6 +316,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             start_method=args.start_method,
             faults=faults,
             fault_policy=fault_policy,
+            slo=slo_spec,
+            slo_windows=args.windows,
         )
         print(render_table(result.rows(), title="offered-load sweep"))
         if result.knee_rps is not None:
@@ -311,8 +327,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if result.early_exit:
             print(f"plateau           {result.plateau_rps:.0f} rps achieved; "
                   "sweep exited early")
+        if slo_spec is not None:
+            if result.slo_breach_rps is not None:
+                print(f"slo breach        first at "
+                      f"{result.slo_breach_rps:.0f} rps offered")
+            else:
+                print("slo breach        none within the swept loads")
         return 0
 
+    monitor = None
+    want_monitor = slo_spec is not None or args.monitor_out is not None
+    # chunk-fed windowed telemetry: cut the expected horizon into
+    # --windows equal slices of simulated time
+    window_seconds = args.requests * mean_interarrival / args.windows
     fleet = None
     if args.shards > 1:
         from repro.sim.cluster_serving import ShardedServingCluster
@@ -328,9 +355,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             faults=faults,
             fault_policy=fault_policy,
         ) as cluster:
-            fleet = cluster.serve(args.requests, mean_interarrival, seed=args.seed)
+            fleet = cluster.serve(
+                args.requests,
+                mean_interarrival,
+                seed=args.seed,
+                monitor_window=window_seconds if want_monitor else None,
+            )
         report = fleet.report
+        monitor = fleet.monitor
     else:
+        if want_monitor:
+            from repro.obs.windows import ServingMonitor
+
+            monitor = ServingMonitor(
+                window_seconds, quantile_error=args.quantile_error
+            )
         trace = generate_trace_soa(
             shapes, args.requests, mean_interarrival, seed=args.seed
         )
@@ -341,14 +380,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             quantile_error=args.quantile_error,
             faults=faults,
             fault_policy=fault_policy,
+            monitor=monitor,
         )
     if args.trace_out:
-        if args.streaming or fleet is not None:
-            print("serve: --trace-out with --streaming/--shards exports spans "
-                  "only (per-request lifecycles need the exact report)",
-                  file=sys.stderr)
-        else:
-            _PENDING_TRACE_SOURCES.append(report)
+        # streaming/fleet reports degrade to utilization + fault tracks
+        # in the exporter; monitors add one counter track per metric
+        _PENDING_TRACE_SOURCES.append(report)
+        if monitor is not None:
+            _PENDING_TRACE_SOURCES.append(monitor)
     if args.metrics_out:
         summary = report.fault_summary()
         GLOBAL_METRICS.counter(
@@ -398,6 +437,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"availability {summary['request_availability']:.1%} of requests; "
               + "  ".join(f"{name} {up:.1%}"
                           for name, up in sorted(summary["availability"].items())))
+    if monitor is not None:
+        slo_report = None
+        if slo_spec is not None:
+            from repro.obs.slo import evaluate_slo
+
+            slo_report = evaluate_slo(monitor, slo_spec)
+        print(_render_monitor_timeline(monitor, slo_report=slo_report,
+                                       faults=faults))
+        if slo_report is not None:
+            _print_slo_verdict(slo_report)
+        if args.monitor_out:
+            _write_monitor_file(args.monitor_out, monitor, args.slo, slo_report)
     return 0
 
 
@@ -648,6 +699,89 @@ def _cmd_obs_summary(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_monitor_timeline(monitor, slo_report=None, faults=None) -> str:
+    rows = []
+    for stats in monitor.timeline():
+        row: dict = {
+            "window": f"[{stats.start:.4g}s, {stats.end:.4g}s)",
+            "done": stats.completed,
+            "shed": stats.shed,
+            "kills": stats.kills,
+            "rps": f"{stats.rps:.0f}",
+            "p50": format_seconds(stats.p50) if stats.p50 is not None else "-",
+            "p99": format_seconds(stats.p99) if stats.p99 is not None else "-",
+        }
+        if faults is not None:
+            active = faults.windows_overlapping(stats.start, stats.end)
+            row["fault"] = ",".join(sorted({w.accelerator for w in active})) if active else ""
+        if slo_report is not None:
+            row["slo"] = "ok" if slo_report.window_ok(stats.index) else "BREACH"
+        rows.append(row)
+    return render_table(rows, title="windowed telemetry")
+
+
+def _print_slo_verdict(slo_report) -> None:
+    for result in slo_report.results:
+        status = "ok" if result.ok else "BREACH"
+        print(f"slo          {result.objective.name}: {status} "
+              f"({result.bad_events}/{result.total_events} bad, "
+              f"budget consumed {result.budget_consumed:.0%})")
+    for alert in slo_report.alerts:
+        print(f"ALERT        [{alert.severity}] {alert.objective} "
+              f"at t={alert.time:.6g}s: {alert.detail}")
+
+
+def _write_monitor_file(path: str, monitor, slo_text, slo_report) -> None:
+    payload: dict = {"monitor": monitor.as_dict()}
+    if slo_text:
+        payload["slo"] = slo_text
+    if slo_report is not None:
+        payload["alerts"] = [alert.as_dict() for alert in slo_report.alerts]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {path} (windowed telemetry)", file=sys.stderr)
+
+
+def _cmd_obs_slo(args: argparse.Namespace) -> int:
+    from repro.obs.slo import SloSpec, evaluate_slo
+    from repro.obs.windows import ServingMonitor
+
+    try:
+        with open(args.file, encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"obs slo: {error}", file=sys.stderr)
+        return 2
+    if not isinstance(data, dict):
+        print(f"obs slo: {args.file} is not a monitor export", file=sys.stderr)
+        return 2
+    # accept both the 'serve --monitor-out' wrapper and a bare as_dict()
+    payload = data.get("monitor", data)
+    try:
+        monitor = ServingMonitor.from_dict(payload)
+    except (AttributeError, KeyError, TypeError, ValueError) as error:
+        print(f"obs slo: {args.file} is not a monitor export: {error}",
+              file=sys.stderr)
+        return 2
+    spec_text = args.slo or data.get("slo")
+    slo_report = None
+    if spec_text:
+        try:
+            spec = SloSpec.parse(spec_text)
+        except ValueError as error:
+            print(f"obs slo: {error}", file=sys.stderr)
+            return 2
+        slo_report = evaluate_slo(monitor, spec)
+    print(_render_monitor_timeline(monitor, slo_report=slo_report))
+    if slo_report is not None:
+        _print_slo_verdict(slo_report)
+    elif args.slo is None:
+        print("obs slo: no spec stored in the file; pass --slo to evaluate",
+              file=sys.stderr)
+    return 0
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", default=None, metavar="PATH",
@@ -796,6 +930,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for 'chaos' fault schedules (deterministic)")
     serve.add_argument("--max-retries", type=int, default=3,
                        help="kills a request survives before being shed")
+    serve.add_argument("--slo", default=None, metavar="SPEC",
+                       help="windowed SLO spec, e.g. 'p99<50ms,avail>0.999,"
+                            "shed<0.01': prints a per-window timeline with "
+                            "burn-rate alerts (also annotates --sweep points)")
+    serve.add_argument("--windows", type=int, default=100, metavar="N",
+                       help="telemetry windows the run's horizon is cut into "
+                            "for --slo / --monitor-out (default 100)")
+    serve.add_argument("--monitor-out", default=None, metavar="PATH",
+                       help="write the windowed telemetry series as JSON "
+                            "(re-evaluate any spec later with 'obs slo')")
     _add_obs_flags(serve)
     serve.set_defaults(func=_cmd_serve)
 
@@ -886,6 +1030,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="explorations timed per repeat (eval kind)")
     bench.add_argument("--eval-jobs", type=int, default=2,
                        help="worker threads for the eval kind's parallel leg")
+    _add_obs_flags(bench)
     bench.set_defaults(func=_cmd_bench)
 
     obs = sub.add_parser("obs", help="observability utilities")
@@ -895,6 +1040,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs_summary.add_argument("trace", help="Chrome trace-event JSON file")
     obs_summary.set_defaults(func=_cmd_obs_summary)
+    obs_slo = obs_sub.add_parser(
+        "slo", help="alert timeline of an exported windowed-telemetry JSON"
+    )
+    obs_slo.add_argument("file", help="JSON written by 'serve --monitor-out'")
+    obs_slo.add_argument("--slo", default=None, metavar="SPEC",
+                         help="SLO spec to evaluate (default: the spec "
+                              "stored in the file, if any)")
+    obs_slo.set_defaults(func=_cmd_obs_slo)
     return parser
 
 
@@ -903,8 +1056,11 @@ def _write_trace_file(path: str) -> None:
 
     builder = ChromeTraceBuilder()
     builder.add_spans(GLOBAL_TRACER.spans())
-    for report in _PENDING_TRACE_SOURCES:
-        builder.add_serving_report(report)
+    for source in _PENDING_TRACE_SOURCES:
+        if hasattr(source, "window_seconds"):  # a ServingMonitor
+            builder.add_monitor(source)
+        else:
+            builder.add_serving_report(source)
     write_chrome_trace(path, builder.build())
     print(f"wrote {path} ({len(builder)} trace events)", file=sys.stderr)
 

@@ -10,7 +10,12 @@ Three cooperating pieces:
   JSON exposition;
 * :mod:`repro.obs.export` / :mod:`repro.obs.summary` — Chrome
   trace-event JSON out (loadable in Perfetto), and per-track
-  utilization/overlap/bottleneck analysis back in.
+  utilization/overlap/bottleneck analysis back in;
+* :mod:`repro.obs.windows` / :mod:`repro.obs.slo` — time-windowed
+  telemetry (ring-buffer counter/gauge/histogram series fed by a
+  :class:`~repro.obs.windows.ServingMonitor` at dispatch-chunk
+  boundaries) and declarative SLOs with multi-window burn-rate
+  alerting over those series.
 
 This package deliberately has no module-level imports from
 ``repro.sim`` or ``repro.perf`` — those layers import *us*, and
@@ -37,14 +42,32 @@ from repro.obs.spans import (
     span,
     tracing_enabled,
 )
+from repro.obs.slo import (
+    AlertEvent,
+    BurnRatePolicy,
+    SloObjective,
+    SloReport,
+    SloSpec,
+    evaluate_slo,
+    parse_slo,
+)
 from repro.obs.summary import (
     TraceSummary,
     TrackStats,
     load_trace,
     summarize_trace,
 )
+from repro.obs.windows import (
+    ServingMonitor,
+    WindowStats,
+    WindowedCounter,
+    WindowedGauge,
+    WindowedHistogram,
+)
 
 __all__ = [
+    "AlertEvent",
+    "BurnRatePolicy",
     "ChromeTraceBuilder",
     "Counter",
     "Gauge",
@@ -52,12 +75,22 @@ __all__ = [
     "GLOBAL_TRACER",
     "Histogram",
     "MetricsRegistry",
+    "ServingMonitor",
+    "SloObjective",
+    "SloReport",
+    "SloSpec",
     "Span",
     "TraceSummary",
     "TrackStats",
     "Tracer",
+    "WindowStats",
+    "WindowedCounter",
+    "WindowedGauge",
+    "WindowedHistogram",
+    "evaluate_slo",
     "instant",
     "load_trace",
+    "parse_slo",
     "span",
     "summarize_trace",
     "tracing_enabled",

@@ -12,7 +12,14 @@ Format both viewers load:
   markers for chaos kills/requeues/sheds plus ``X`` windows for fault
   schedules;
 * :class:`~repro.sim.trace.ExecutionTrace` pipeline timelines — one
-  track per stage, one ``X`` slice per (stage, item) interval.
+  track per stage, one ``X`` slice per (stage, item) interval;
+* :class:`~repro.obs.windows.ServingMonitor` windowed telemetry —
+  one Perfetto counter track (``C`` events) per metric, sampled at
+  each window's start in simulated time.
+
+Streaming and merged fleet reports hold no per-request state; they
+degrade to per-accelerator utilization slices plus fault windows (with
+a one-line warning) instead of raising.
 
 Wall-clock and simulated-time events live under separate pids so
 Perfetto groups them as two processes instead of interleaving two
@@ -25,10 +32,12 @@ pairs, and ``X`` events with nonnegative durations.
 from __future__ import annotations
 
 import json
+import warnings
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
     from repro.obs.spans import Span
+    from repro.obs.windows import ServingMonitor
     from repro.sim.serving import ServingReport
     from repro.sim.trace import ExecutionTrace
 
@@ -144,15 +153,42 @@ class ChromeTraceBuilder:
         (they overlap freely, which sync slices cannot), executions are
         ``X`` slices on the owning accelerator's track, and the chaos
         loop's kill/requeue/shed decisions plus the fault schedule's
-        windows land on per-accelerator fault tracks.  Streaming reports
-        hold no per-request state — exporting one raises ``TypeError``.
+        windows land on per-accelerator fault tracks.  Streaming and
+        merged fleet reports hold no per-request state — they degrade
+        to one utilization slice per accelerator plus the fault
+        windows, with a one-line warning.
         """
         completed = getattr(report, "completed", None)
         if completed is None:
-            raise TypeError(
-                "per-request export needs an exact ServingReport; streaming "
-                "reports do not retain request lifecycles"
+            warnings.warn(
+                "streaming/merged report: exporting accelerator utilization "
+                "and fault windows only (per-request lifecycles need the "
+                "exact report)",
+                stacklevel=2,
             )
+            makespan = float(getattr(report, "makespan", 0.0))
+            loads = report.accelerator_load()
+            total = sum(loads.values()) or 1
+            downtime = getattr(report, "downtime", {})
+            for name, count in sorted(loads.items()):
+                self._events.append(
+                    {
+                        "name": f"{count} requests ({count / total:.0%} of load)",
+                        "cat": "utilization",
+                        "ph": "X",
+                        "ts": 0.0,
+                        "dur": makespan * _MICROS,
+                        "pid": SIM_PID,
+                        "tid": self.tid(name, SIM_PID),
+                        "args": {
+                            "requests": count,
+                            "share": count / total,
+                            "downtime_s": float(downtime.get(name, 0.0)),
+                        },
+                    }
+                )
+            self._add_fault_windows(getattr(report, "fault_events", ()))
+            return self
         wait_tid = self.tid("request queue", SIM_PID)
         for item in completed:
             arrival = item.request.arrival
@@ -255,6 +291,46 @@ class ChromeTraceBuilder:
                 }
             )
 
+    def add_monitor(
+        self, monitor: "ServingMonitor", prefix: str = "serving"
+    ) -> "ChromeTraceBuilder":
+        """Windowed telemetry as Perfetto counter tracks (``C`` events).
+
+        One counter per metric — completions/s, p50/p99 latency (ms),
+        sheds, kills — sampled at each populated window's start in
+        simulated time; the last window's values are re-emitted at its
+        end so the final step stays visible in the viewer.
+        """
+        timeline = monitor.timeline()
+        if not timeline:
+            return self
+        counter_tid = self.tid(f"{prefix} counters", SIM_PID)
+
+        def emit(ts_seconds: float, stats: Any) -> None:
+            for metric, value in (
+                (f"{prefix} rps", stats.rps),
+                (f"{prefix} p50 (ms)", (stats.p50 or 0.0) * 1e3),
+                (f"{prefix} p99 (ms)", (stats.p99 or 0.0) * 1e3),
+                (f"{prefix} sheds", float(stats.shed)),
+                (f"{prefix} kills", float(stats.kills)),
+            ):
+                self._events.append(
+                    {
+                        "name": metric,
+                        "cat": "counter",
+                        "ph": "C",
+                        "ts": ts_seconds * _MICROS,
+                        "pid": SIM_PID,
+                        "tid": counter_tid,
+                        "args": {"value": float(value)},
+                    }
+                )
+
+        for stats in timeline:
+            emit(stats.start, stats)
+        emit(timeline[-1].end, timeline[-1])
+        return self
+
     def add_execution_trace(
         self, trace: "ExecutionTrace | Sequence[dict[str, Any]]"
     ) -> "ChromeTraceBuilder":
@@ -298,7 +374,7 @@ def write_chrome_trace(path: str, trace: dict[str, Any]) -> None:
         handle.write("\n")
 
 
-_ALLOWED_PHASES = frozenset("XBEbeiM")
+_ALLOWED_PHASES = frozenset("XBEbeiMC")
 
 
 def validate_chrome_trace(trace: dict[str, Any]) -> None:
@@ -307,8 +383,9 @@ def validate_chrome_trace(trace: dict[str, Any]) -> None:
 
     Checks: a ``traceEvents`` list of dicts, every event carrying a
     string ``name``, a known ``ph`` and a nonnegative numeric ``ts``;
-    ``X`` events with nonnegative ``dur``; ``B``/``E`` stacks balanced
-    per (pid, tid); async ``b``/``e`` matched per (pid, cat, id); and
+    ``X`` events with nonnegative ``dur``; ``C`` counter samples with
+    numeric ``args`` series; ``B``/``E`` stacks balanced per
+    (pid, tid); async ``b``/``e`` matched per (pid, cat, id); and
     non-metadata timestamps nondecreasing in file order.
     """
     if not isinstance(trace, dict) or not isinstance(
@@ -339,6 +416,20 @@ def validate_chrome_trace(trace: dict[str, Any]) -> None:
             dur = event.get("dur")
             if not isinstance(dur, (int, float)) or dur < 0:
                 raise ValueError(f"{where} ('X') needs a nonnegative 'dur'")
+        elif phase == "C":
+            counter_args = event.get("args")
+            if (
+                not isinstance(counter_args, dict)
+                or not counter_args
+                or not all(
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    for value in counter_args.values()
+                )
+            ):
+                raise ValueError(
+                    f"{where} ('C') needs numeric 'args' series values"
+                )
         elif phase == "B":
             sync_stacks[(event.get("pid"), event.get("tid"))] = (
                 sync_stacks.get((event.get("pid"), event.get("tid")), 0) + 1

@@ -316,18 +316,26 @@ class MetricsRegistry:
                 family = self._families[name]
                 if family.help:
                     lines.append(f"# HELP {name} {family.help}")
-                lines.append(f"# TYPE {name} {family.kind}")
+                # sketch-backed distributions expose cumulative buckets,
+                # so Prometheus/PromQL can histogram_quantile() them
+                kind = "histogram" if family.kind == "summary" else family.kind
+                lines.append(f"# TYPE {name} {kind}")
                 for label_key in sorted(family.children):
                     child = family.children[label_key]
                     if family.kind == "summary":
-                        if child.count:
-                            values = child.quantiles(list(_EXPORT_QUANTILES))
-                            for percentile, value in zip(_EXPORT_QUANTILES, values):
-                                quantile = f'quantile="{percentile / 100:g}"'
-                                lines.append(
-                                    f"{name}{_format_labels(label_key, quantile)} "
-                                    f"{value:.9g}"
-                                )
+                        with child._lock:
+                            buckets = child.sketch.cumulative_buckets()
+                        for upper, cumulative in buckets:
+                            le = f'le="{upper:.9g}"'
+                            lines.append(
+                                f"{name}_bucket{_format_labels(label_key, le)} "
+                                f"{cumulative}"
+                            )
+                        inf_label = 'le="+Inf"'
+                        lines.append(
+                            f"{name}_bucket{_format_labels(label_key, inf_label)} "
+                            f"{child.count}"
+                        )
                         lines.append(
                             f"{name}_sum{_format_labels(label_key)} {child.sum:.9g}"
                         )

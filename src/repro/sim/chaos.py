@@ -219,6 +219,21 @@ class FaultSchedule:
         times = {w.start for w in self.windows} | {w.end for w in self.windows}
         return tuple(sorted(times))
 
+    def windows_overlapping(self, start: float, end: float) -> tuple[FaultWindow, ...]:
+        """Fault windows intersecting the half-open span ``[start, end)``.
+
+        The windowed-timeline renderers use this to mark which telemetry
+        windows had a fault active (a window touching only the span's
+        ``end`` instant does not count, matching half-open semantics).
+        """
+        if not end > start:
+            raise FaultError(f"need start < end, got [{start}, {end})")
+        return tuple(
+            window
+            for window in self.windows
+            if window.start < end and window.end > start
+        )
+
     def downtime(self, horizon: float) -> dict[str, float]:
         """Seconds each faulted accelerator spends *down* within
         ``[0, horizon]`` (degraded windows keep the accelerator serving,

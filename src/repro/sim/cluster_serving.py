@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Any, Sequence
 
 from repro.obs.metrics import GLOBAL_METRICS
+from repro.obs.windows import ServingMonitor
 from repro.perf.cache import _CachePickler
 from repro.perf.metrics import GLOBAL_STATS, EvalStats, FaultStats
 from repro.sim.serving import DISPATCH_CHUNK, ServingSimulator
@@ -158,7 +159,7 @@ def _run_shard_task(task: tuple) -> bytes:
     child inherits whatever the parent had accumulated, and without the
     reset those counters would be re-merged (double-counted) at home.
     """
-    num_requests, mean_interarrival, seed, lo, hi, offset = task
+    num_requests, mean_interarrival, seed, lo, hi, offset, monitor_window = task
     state = _WORKER_STATE
     payload = state["payload"]
     simulator: ServingSimulator = state["simulator"]
@@ -173,6 +174,11 @@ def _run_shard_task(task: tuple) -> bytes:
         hi=hi,
         arrival_offset=offset,
     )
+    monitor = (
+        ServingMonitor(monitor_window, quantile_error=payload["quantile_error"])
+        if monitor_window is not None
+        else None
+    )
     report = simulator.run(
         trace,
         streaming=True,
@@ -181,12 +187,14 @@ def _run_shard_task(task: tuple) -> bytes:
         chunk_size=payload["chunk_size"],
         faults=payload["faults"],
         fault_policy=payload["fault_policy"],
+        monitor=monitor,
     )
     return _dumps(
         {
             "report": report,
             "stats": GLOBAL_STATS.dump(),
             "metrics": GLOBAL_METRICS.dump(),
+            "monitor": monitor,
         }
     )
 
@@ -206,6 +214,9 @@ class FleetReport:
     ``stats`` / ``fault_stats`` aggregate the workers' evaluation and
     fault counters — the same numbers the parent registries received.
     ``shard_reports`` is populated only when the serve kept them.
+    ``monitor`` is the fleet-wide windowed-telemetry series (per-shard
+    monitors merged in shard order), present only when the serve
+    attached one via ``monitor_window``.
     """
 
     report: StreamingServingReport
@@ -215,6 +226,7 @@ class FleetReport:
     stats: EvalStats
     fault_stats: FaultStats
     shard_reports: list[StreamingServingReport] | None = None
+    monitor: ServingMonitor | None = None
 
     def as_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -227,6 +239,8 @@ class FleetReport:
         }
         if self.shard_reports is not None:
             out["per_shard"] = [shard.as_dict() for shard in self.shard_reports]
+        if self.monitor is not None:
+            out["monitor"] = self.monitor.as_dict()
         return out
 
 
@@ -237,7 +251,8 @@ class ShardedServingCluster:
     shape mix, dispatch settings, fault schedule, and the (prewarmed)
     service-time table — into one payload; worker processes build their
     simulator from it once, in the pool initializer, and then drain
-    shard tasks with nothing but six scalars crossing the pipe per task.
+    shard tasks with nothing but seven scalars crossing the pipe per
+    task.
     :meth:`serve` can therefore be called repeatedly (benchmark rounds,
     sweep points) against a warm pool.
 
@@ -354,25 +369,45 @@ class ShardedServingCluster:
         seed: int = 0,
         *,
         keep_shard_reports: bool = False,
+        monitor_window: float | None = None,
     ) -> FleetReport:
         """Partition, serve every shard, and merge one fleet report.
 
         Results always merge in shard order, so the merged report is a
         deterministic function of ``(num_requests, mean_interarrival,
         seed, shards)`` regardless of worker scheduling.
+
+        ``monitor_window`` attaches a fresh
+        :class:`~repro.obs.windows.ServingMonitor` with that window
+        width to every shard worker; the per-shard series merge in
+        shard order into ``FleetReport.monitor``, equal to the series an
+        inline single-process serve of the same tasks would produce.
         """
         bounds, offsets = self.plan(num_requests, mean_interarrival, seed)
         tasks = [
-            (num_requests, mean_interarrival, seed, lo, hi, offsets[index])
+            (
+                num_requests,
+                mean_interarrival,
+                seed,
+                lo,
+                hi,
+                offsets[index],
+                monitor_window,
+            )
             for index, (lo, hi) in enumerate(bounds)
         ]
         if self.start_method == "inline":
-            reports, stats, fault_stats = self._serve_inline(tasks)
+            reports, stats, fault_stats, monitors = self._serve_inline(tasks)
         else:
-            reports, stats, fault_stats = self._serve_pool(tasks)
+            reports, stats, fault_stats, monitors = self._serve_pool(tasks)
         merged = copy.deepcopy(reports[0]) if keep_shard_reports else reports[0]
         for shard_report in reports[1:]:
             merged.merge(shard_report)
+        fleet_monitor = None
+        if monitor_window is not None:
+            fleet_monitor = monitors[0]
+            for shard_monitor in monitors[1:]:
+                fleet_monitor.merge(shard_monitor)
         return FleetReport(
             report=merged,
             shards=len(bounds),
@@ -381,29 +416,42 @@ class ShardedServingCluster:
             stats=stats,
             fault_stats=fault_stats,
             shard_reports=list(reports) if keep_shard_reports else None,
+            monitor=fleet_monitor,
         )
 
     def _serve_pool(
         self, tasks: list[tuple]
-    ) -> tuple[list[StreamingServingReport], EvalStats, FaultStats]:
+    ) -> tuple[
+        list[StreamingServingReport],
+        EvalStats,
+        FaultStats,
+        list[ServingMonitor | None],
+    ]:
         pool = self._ensure_pool()
         stats = EvalStats()
         fault_stats = FaultStats()
         reports: list[StreamingServingReport] = []
+        monitors: list[ServingMonitor | None] = []
         # Executor.map preserves task order regardless of completion order
         for blob in pool.map(_run_shard_task, tasks):
             result = pickle.loads(blob)
             reports.append(result["report"])
+            monitors.append(result["monitor"])
             shard_stats = result["stats"]
             stats.merge(shard_stats["total"])
             fault_stats.merge(shard_stats["faults"])
             GLOBAL_STATS.merge_dump(shard_stats)
             GLOBAL_METRICS.merge_dump(result["metrics"])
-        return reports, stats, fault_stats
+        return reports, stats, fault_stats, monitors
 
     def _serve_inline(
         self, tasks: list[tuple]
-    ) -> tuple[list[StreamingServingReport], EvalStats, FaultStats]:
+    ) -> tuple[
+        list[StreamingServingReport],
+        EvalStats,
+        FaultStats,
+        list[ServingMonitor | None],
+    ]:
         """The no-pool reference path: every shard served in-process.
 
         Runs on a dedicated replica simulator built exactly like a
@@ -415,8 +463,9 @@ class ShardedServingCluster:
         simulator = _build_worker_simulator(payload)
         eval_before = GLOBAL_STATS.dump()
         reports = []
+        monitors: list[ServingMonitor | None] = []
         for task in tasks:
-            num_requests, mean_interarrival, seed, lo, hi, offset = task
+            num_requests, mean_interarrival, seed, lo, hi, offset, window = task
             trace = generate_trace_shard(
                 payload["shapes"],
                 num_requests,
@@ -426,6 +475,12 @@ class ShardedServingCluster:
                 hi=hi,
                 arrival_offset=offset,
             )
+            monitor = (
+                ServingMonitor(window, quantile_error=payload["quantile_error"])
+                if window is not None
+                else None
+            )
+            monitors.append(monitor)
             reports.append(
                 simulator.run(
                     trace,
@@ -435,6 +490,7 @@ class ShardedServingCluster:
                     chunk_size=payload["chunk_size"],
                     faults=payload["faults"],
                     fault_policy=payload["fault_policy"],
+                    monitor=monitor,
                 )
             )
         eval_after = GLOBAL_STATS.dump()
@@ -446,7 +502,7 @@ class ShardedServingCluster:
                 for key in after_faults.as_dict()
             }
         )
-        return reports, stats, fault_stats
+        return reports, stats, fault_stats, monitors
 
 
 def serve_sharded(
@@ -465,6 +521,7 @@ def serve_sharded(
     faults=None,
     fault_policy=None,
     keep_shard_reports: bool = False,
+    monitor_window: float | None = None,
 ) -> FleetReport:
     """One-shot sharded serve: build a cluster, serve, tear it down."""
     with ShardedServingCluster(
@@ -484,4 +541,5 @@ def serve_sharded(
             mean_interarrival,
             seed,
             keep_shard_reports=keep_shard_reports,
+            monitor_window=monitor_window,
         )

@@ -68,7 +68,7 @@ import heapq
 import math
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Callable, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 import numpy as np
 
@@ -94,6 +94,10 @@ from repro.sim.streaming import (
     generate_trace_soa,
 )
 from repro.workloads.gemm import GemmShape
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.slo import SloSpec
+    from repro.obs.windows import ServingMonitor
 
 #: partitions at least this large dispatch through the per-class heap
 #: (below it, the dense table scan's constant factors win)
@@ -140,6 +144,26 @@ class CompletedRequest:
     @property
     def queueing_delay(self) -> float:
         return self.start - self.request.arrival
+
+
+def _feed_monitor_completed(
+    monitor: "ServingMonitor",
+    completed: Sequence["CompletedRequest"],
+    chunk_size: int,
+) -> None:
+    """Feed already-materialized completions to a monitor.
+
+    Used by engines without a flush hook (scan, the fault loop): the
+    arrival-ordered ``chunk_size`` blocks match the boundaries the fast
+    engines flush at, so the folded series are chunk-for-chunk the same.
+    """
+    for lo in range(0, len(completed), chunk_size):
+        batch = completed[lo : lo + chunk_size]
+        monitor.observe_chunk(
+            np.asarray([entry.request.arrival for entry in batch]),
+            np.asarray([entry.start for entry in batch]),
+            np.asarray([entry.finish for entry in batch]),
+        )
 
 
 @dataclass(frozen=True)
@@ -890,6 +914,7 @@ class ServingSimulator:
         chunk_size: int = DISPATCH_CHUNK,
         faults: FaultSchedule | None = None,
         fault_policy: FaultPolicy | None = None,
+        monitor: "ServingMonitor | None" = None,
     ) -> ServingReport | StreamingServingReport:
         """Serve ``trace``; return an exact or streaming report.
 
@@ -916,6 +941,13 @@ class ServingSimulator:
         ``fault_policy`` (default :data:`~repro.sim.chaos.DEFAULT_FAULT_POLICY`)
         — see the module docstring for the exact semantics.  ``None`` or
         an empty schedule takes the fault-free paths untouched.
+
+        ``monitor`` attaches a :class:`repro.obs.windows.ServingMonitor`
+        fed at the existing dispatch-chunk boundaries, *after* every
+        decision in a chunk is final — so an attached monitor cannot
+        change a single dispatch decision (a conformance-tested
+        byte-identity contract).  Sheds and kills under a fault schedule
+        are reported to the monitor at their simulated decision times.
         """
         if dispatch not in _DISPATCH_MODES:
             raise ValueError(f"dispatch must be one of {_DISPATCH_MODES}")
@@ -947,15 +979,23 @@ class ServingSimulator:
                         chunk_size=chunk_size,
                         faults=faults,
                         policy=fault_policy or DEFAULT_FAULT_POLICY,
+                        monitor=monitor,
                     )
                 if dispatch == "scan":
-                    return self._run_scan(trace)
+                    report = self._run_scan(trace)
+                    if monitor is not None:
+                        # scan has no flush hook; feed the monitor
+                        # post-hoc in the same arrival-ordered
+                        # chunk_size blocks the fast engines flush
+                        _feed_monitor_completed(monitor, report.completed, chunk_size)
+                    return report
                 return self._run_fast(
                     trace,
                     streaming=streaming,
                     dispatch=dispatch,
                     quantile_error=quantile_error,
                     chunk_size=chunk_size,
+                    monitor=monitor,
                 )
         finally:
             GLOBAL_STATS.record(self.stats.delta_since(before))
@@ -970,6 +1010,7 @@ class ServingSimulator:
         chunk_size: int,
         faults: FaultSchedule,
         policy: FaultPolicy,
+        monitor: "ServingMonitor | None" = None,
     ) -> ServingReport | StreamingServingReport:
         """The fault-aware event loop, shared by all three engines.
 
@@ -1019,6 +1060,8 @@ class ServingSimulator:
         )
         kills = 0
         requeues = 0
+        # kill timestamps are only retained when a monitor wants them
+        kill_times: list[float] | None = [] if monitor is not None else None
         select = selector.select
         backoff = policy.backoff
         max_retries = policy.max_retries
@@ -1117,6 +1160,8 @@ class ServingSimulator:
                 if next_down is not None and next_down < finish:
                     # killed: the down window opened mid-execution
                     kills += 1
+                    if kill_times is not None:
+                        kill_times.append(next_down)
                     if timeline is not None:
                         timeline.append((next_down, "kill", pos, retries + 1))
                     free[order] = next_down
@@ -1153,8 +1198,26 @@ class ServingSimulator:
             )
         )
 
-        if streaming:
+        if streaming or monitor is not None:
             positions = [pos for pos in range(n) if completions[pos] is not None]
+        if monitor is not None:
+            # the fault loop has no flush hook; feed the monitor the
+            # final outcomes in the same arrival-ordered chunk_size
+            # blocks the streaming report consumes below
+            for lo in range(0, len(positions), chunk_size):
+                batch = positions[lo : lo + chunk_size]
+                monitor.observe_chunk(
+                    arrivals[batch],
+                    np.asarray([completions[pos][1] for pos in batch]),
+                    np.asarray([completions[pos][2] for pos in batch]),
+                )
+            if shed_records:
+                monitor.observe_sheds(
+                    np.asarray([record[3] for record in shed_records])
+                )
+            if kill_times:
+                monitor.observe_kills(np.asarray(kill_times))
+        if streaming:
             for lo in range(0, len(positions), chunk_size):
                 batch = positions[lo : lo + chunk_size]
                 report.observe_batch(
@@ -1322,6 +1385,7 @@ class ServingSimulator:
         dispatch: str,
         quantile_error: float,
         chunk_size: int,
+        monitor: "ServingMonitor | None" = None,
     ) -> ServingReport | StreamingServingReport:
         names = list(self.partition.designs)
         # the vectorized engine is legal at any width; ``auto`` picks it
@@ -1389,6 +1453,20 @@ class ServingSimulator:
                     size=len(accs),
                 ):
                     inner_flush(base, accs, starts, finishes)
+
+        if monitor is not None:
+            # outermost wrap: the monitor reads the chunk's final
+            # decisions after the report consumed them — it can observe,
+            # never influence (byte-identity is conformance-gated)
+            pre_monitor_flush = flush
+
+            def flush(base: int, accs: list, starts: list, finishes: list) -> None:
+                pre_monitor_flush(base, accs, starts, finishes)
+                monitor.observe_chunk(
+                    arrivals[base : base + len(accs)],
+                    np.asarray(starts, dtype=np.float64),
+                    np.asarray(finishes, dtype=np.float64),
+                )
 
         if use_vectorized:
             if streaming:
@@ -1520,6 +1598,10 @@ class LoadSweepPoint:
     p99: float
     mean_latency: float
     num_requests: int
+    #: SLO verdict for this point (None when the sweep ran without one)
+    slo_ok: bool | None = None
+    #: burn-rate alerts fired while serving this point
+    slo_alerts: int = 0
 
     @property
     def saturation(self) -> float:
@@ -1539,10 +1621,14 @@ class LoadSweepResult:
     #: throughput ceiling observed when the sweep exited early
     plateau_rps: float | None
     early_exit: bool
+    #: first offered load that breached the SLO (None without a spec,
+    #: or when every point stayed within budget)
+    slo_breach_rps: float | None = None
 
     def rows(self) -> list[dict]:
-        return [
-            {
+        rows = []
+        for point in self.points:
+            row = {
                 "offered_rps": round(point.offered_rps, 1),
                 "achieved_rps": round(point.achieved_rps, 1),
                 "saturation": round(point.saturation, 3),
@@ -1550,8 +1636,10 @@ class LoadSweepResult:
                 "p99_ms": round(point.p99 * 1e3, 3),
                 "mean_ms": round(point.mean_latency * 1e3, 3),
             }
-            for point in self.points
-        ]
+            if point.slo_ok is not None:
+                row["slo"] = "ok" if point.slo_ok else f"BREACH({point.slo_alerts})"
+            rows.append(row)
+        return rows
 
 
 def default_load_ramp(
@@ -1594,6 +1682,8 @@ def load_sweep(
     start_method: str | None = None,
     faults: FaultSchedule | None = None,
     fault_policy: FaultPolicy | None = None,
+    slo: "SloSpec | str | None" = None,
+    slo_windows: int = 50,
 ) -> LoadSweepResult:
     """Sweep offered load, collecting throughput and tail-latency curves.
 
@@ -1629,6 +1719,14 @@ def load_sweep(
     sequentially — the parallelism budget lives in the shard pool, so
     ``jobs`` bounds the pool's worker processes instead of sweep
     threads.  Sharded points imply ``streaming=True``.
+
+    ``slo`` (a spec string like ``"p99<50ms,avail>0.999"`` or a
+    compiled :class:`repro.obs.slo.SloSpec`) attaches a windowed
+    :class:`~repro.obs.windows.ServingMonitor` to every point — each
+    point's horizon cut into ``slo_windows`` windows — and stamps the
+    point with its burn-rate verdict, so the saturation knee carries an
+    SLO-breach annotation (``slo_breach_rps`` is the first offered load
+    whose point fired an alert).
     """
     if offered_loads is None:
         offered_loads = default_load_ramp(simulator, shapes)
@@ -1655,12 +1753,37 @@ def load_sweep(
             fault_policy=fault_policy,
         )
 
+    slo_spec = None
+    if slo is not None:
+        from repro.obs.slo import SloSpec
+
+        slo_spec = SloSpec.parse(slo) if isinstance(slo, str) else slo
+
     def evaluate(task: tuple[int, float]) -> LoadSweepPoint:
         index, offered = task
+        monitor = None
+        if slo_spec is not None:
+            from repro.obs.windows import ServingMonitor
+
+            # each point's trace spans ~num_requests/offered seconds of
+            # simulated time; cut that horizon into slo_windows windows
+            monitor = ServingMonitor.for_horizon(
+                num_requests / offered,
+                slo_windows,
+                quantile_error=quantile_error,
+            )
         if cluster is not None:
-            report = cluster.serve(
-                num_requests, 1.0 / offered, seed=derive_seed(seed, index)
-            ).report
+            fleet = cluster.serve(
+                num_requests,
+                1.0 / offered,
+                seed=derive_seed(seed, index),
+                monitor_window=(
+                    monitor.window_seconds if monitor is not None else None
+                ),
+            )
+            report = fleet.report
+            if monitor is not None:
+                monitor = fleet.monitor
         else:
             trace = generate_trace_soa(
                 shapes, num_requests, 1.0 / offered, seed=derive_seed(seed, index)
@@ -1671,8 +1794,17 @@ def load_sweep(
                 quantile_error=quantile_error,
                 faults=faults,
                 fault_policy=fault_policy,
+                monitor=monitor,
             )
         p50, p99 = report.latency_percentiles([50, 99])
+        slo_ok = None
+        slo_alerts = 0
+        if monitor is not None:
+            from repro.obs.slo import evaluate_slo
+
+            verdict = evaluate_slo(monitor, slo_spec)
+            slo_ok = verdict.ok
+            slo_alerts = len(verdict.alerts)
         return LoadSweepPoint(
             offered_rps=offered,
             achieved_rps=report.throughput_rps,
@@ -1680,6 +1812,8 @@ def load_sweep(
             p99=p99,
             mean_latency=report.mean_latency(),
             num_requests=num_requests,
+            slo_ok=slo_ok,
+            slo_alerts=slo_alerts,
         )
 
     # one pool submission pipeline at a time: sharded sweeps keep their
@@ -1688,6 +1822,7 @@ def load_sweep(
     points: list[LoadSweepPoint] = []
     knee_rps: float | None = None
     plateau_rps: float | None = None
+    slo_breach_rps: float | None = None
     early_exit = False
     position = 0
     try:
@@ -1701,6 +1836,8 @@ def load_sweep(
                 points.append(point)
                 if knee_rps is None and point.saturation < 1.0 - knee_tol:
                     knee_rps = point.offered_rps
+                if slo_breach_rps is None and point.slo_ok is False:
+                    slo_breach_rps = point.offered_rps
                 if len(points) >= 2 and knee_rps is not None:
                     previous = points[-2].achieved_rps
                     if (
@@ -1719,4 +1856,5 @@ def load_sweep(
         knee_rps=knee_rps,
         plateau_rps=plateau_rps,
         early_exit=early_exit,
+        slo_breach_rps=slo_breach_rps,
     )

@@ -446,6 +446,39 @@ class QuantileSketch:
             results[rank_index] = min(max(value, self._min), self._max)
         return results
 
+    def count_above(self, value: float) -> int:
+        """Values recorded in buckets strictly above the one holding ``value``.
+
+        Exact at bucket resolution: every counted value exceeds
+        ``value``, and any value in ``value``'s own bucket (within the
+        sketch's relative error of it) is excluded.  SLO evaluation uses
+        this to turn a latency target into a bad-event count without
+        retaining samples.
+        """
+        if value <= 0:
+            raise ValueError("threshold must be positive")
+        if value <= self.min_value:
+            return sum(self._counts.values())
+        key = math.ceil(math.log(value) / self._log_gamma)
+        return sum(num for k, num in self._counts.items() if k > key)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """Sorted ``(upper_edge, cumulative_count)`` over occupied buckets.
+
+        The upper edge of bucket ``i`` is ``gamma ** i`` (the underflow
+        bucket reports ``min_value``); cumulative counts are exact.
+        Prometheus exposition renders these as ``_bucket{le="..."}``
+        samples.
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = self._underflow
+        if self._underflow:
+            out.append((self.min_value, cumulative))
+        for key in sorted(self._counts):
+            cumulative += self._counts[key]
+            out.append((self._gamma**key, cumulative))
+        return out
+
     def merge(self, other: "QuantileSketch") -> "QuantileSketch":
         """Fold ``other`` into this sketch (same resolution required)."""
         if other._gamma != self._gamma or other.min_value != self.min_value:

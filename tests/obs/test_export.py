@@ -119,10 +119,36 @@ class TestServingExport:
         assert len(instants) == expected
         assert len(report.fault_timeline) == report.kills + report.requeues
 
-    def test_streaming_report_is_rejected(self):
+    def test_streaming_report_degrades_to_utilization(self):
         report = serve(streaming=True)
-        with pytest.raises(TypeError, match="exact ServingReport"):
-            ChromeTraceBuilder().add_serving_report(report)
+        builder = ChromeTraceBuilder()
+        with pytest.warns(UserWarning, match="utilization"):
+            builder.add_serving_report(report)
+        trace = builder.build()
+        validate_chrome_trace(trace)
+        slices = [
+            e for e in trace["traceEvents"] if e.get("cat") == "utilization"
+        ]
+        assert {e["args"]["requests"] for e in slices} == set(
+            report.accelerator_load().values()
+        )
+        # no per-request lifecycles survive the degrade
+        assert not any(e.get("cat") in ("wait", "execute")
+                       for e in trace["traceEvents"])
+
+    def test_streaming_fault_run_keeps_fault_windows(self):
+        horizon = 200 * 0.5e-3
+        faults = FaultSchedule.down("C5", 0.1 * horizon, 0.6 * horizon)
+        report = serve(streaming=True, faults=faults)
+        builder = ChromeTraceBuilder()
+        with pytest.warns(UserWarning, match="fault windows"):
+            builder.add_serving_report(report)
+        trace = builder.build()
+        validate_chrome_trace(trace)
+        windows = [
+            e for e in trace["traceEvents"] if e.get("cat") == "fault-window"
+        ]
+        assert len(windows) == 1
 
 
 class TestExecutionTraceExport:

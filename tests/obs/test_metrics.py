@@ -122,11 +122,32 @@ class TestExposition:
         assert "# TYPE repro_test_total counter" in text
         assert 'repro_test_total{kind="a"} 3' in text
         assert "# TYPE repro_test_jobs gauge" in text
-        assert "# TYPE repro_test_seconds summary" in text
-        assert 'repro_test_seconds{quantile="0.5"}' in text
+        assert "# TYPE repro_test_seconds histogram" in text
+        assert 'repro_test_seconds_bucket{le="' in text
+        assert 'repro_test_seconds_bucket{le="+Inf"} 3' in text
         assert "repro_test_seconds_sum 6" in text
         assert "repro_test_seconds_count 3" in text
         assert text.endswith("\n")
+
+    def test_prometheus_buckets_are_cumulative(self, registry):
+        histogram = registry.histogram("repro_test_seconds")
+        histogram.observe_many([0.5, 1.0, 2.0, 4.0])
+        text = registry.to_prometheus()
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines()
+            if line.startswith("repro_test_seconds_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+        # bucket edges parse back as nondecreasing floats
+        edges = [
+            float(line.split('le="', 1)[1].split('"', 1)[0])
+            for line in text.splitlines()
+            if line.startswith("repro_test_seconds_bucket")
+            and "+Inf" not in line
+        ]
+        assert edges == sorted(edges)
 
     def test_label_values_escaped(self, registry):
         registry.counter("repro_test_total", shape='1024x"quoted"').inc()

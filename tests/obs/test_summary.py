@@ -164,3 +164,77 @@ class TestEdgeCases:
         events = [track_meta(1, 1, "t"), slice_event(1, 1, 0, 1_000_000)]
         summary = summarize_trace({"traceEvents": events})
         assert summary.tracks[0].overlap_seconds == 0.0
+
+
+class TestIntervalMergeEdgeCases:
+    def test_zero_duration_span_bridging_two_intervals_merges_them(self):
+        # touching intervals merge; the zero-width span at the seam adds
+        # an event but no time
+        events = [
+            track_meta(1, 1, "t"),
+            slice_event(1, 1, 0, 1_000_000),
+            slice_event(1, 1, 1_000_000, 0),
+            slice_event(1, 1, 1_000_000, 1_000_000),
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.events == 3
+        assert track.busy_seconds == pytest.approx(2.0)
+        assert track.utilization == pytest.approx(1.0)
+
+    def test_fully_nested_async_spans_do_not_double_count(self):
+        def pair(id_, start_us, end_us):
+            common = {"name": "w", "pid": 1, "tid": 1, "cat": "wait", "id": id_}
+            return [
+                {**common, "ph": "b", "ts": start_us},
+                {**common, "ph": "e", "ts": end_us},
+            ]
+
+        events = [
+            track_meta(1, 1, "queue"),
+            *pair("outer", 0, 4_000_000),
+            *pair("inner", 1_000_000, 2_000_000),  # strictly inside outer
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.events == 2
+        assert track.busy_seconds == pytest.approx(4.0)
+
+    def test_single_event_track_is_fully_utilized_and_bound(self):
+        events = [track_meta(1, 1, "solo"), slice_event(1, 1, 0, 2_000_000)]
+        summary = summarize_trace({"traceEvents": events})
+        (track,) = summary.tracks
+        assert track.events == 1
+        assert track.utilization == pytest.approx(1.0)
+        assert track.overlap_fraction == 0.0
+        assert summary.bottleneck == "solo"
+
+    def test_overlap_fraction_on_empty_track_is_zero_not_nan(self):
+        # an instants-only track has zero busy seconds; the fraction
+        # must read 0.0 instead of dividing by zero
+        events = [
+            track_meta(1, 1, "busy"),
+            track_meta(1, 2, "chaos"),
+            slice_event(1, 1, 0, 1_000_000),
+            {"name": "kill", "ph": "i", "ts": 500, "pid": 1, "tid": 2},
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        by_name = {t.track: t for t in summary.tracks}
+        empty = by_name["chaos"]
+        assert empty.busy_seconds == 0.0
+        assert empty.overlap_fraction == 0.0
+        assert by_name["busy"].overlap_seconds == 0.0
+
+    def test_zero_duration_spans_create_no_overlap(self):
+        # both tracks "active" for zero seconds at t=1: no overlap accrues
+        events = [
+            track_meta(1, 1, "a"),
+            track_meta(1, 2, "b"),
+            slice_event(1, 1, 0, 2_000_000),
+            slice_event(1, 2, 1_000_000, 0),
+        ]
+        summary = summarize_trace({"traceEvents": events})
+        by_name = {t.track: t for t in summary.tracks}
+        assert by_name["a"].overlap_seconds == 0.0
+        assert by_name["b"].overlap_seconds == 0.0
+        assert by_name["b"].overlap_fraction == 0.0

@@ -314,7 +314,8 @@ class TestObservability:
         assert "# TYPE repro_serving_requests_total counter" in text
         assert "repro_serving_requests_total 200" in text
         assert "repro_serving_latency_seconds_count 200" in text
-        assert 'repro_serving_latency_seconds{quantile="0.99"}' in text
+        assert 'repro_serving_latency_seconds_bucket{le="' in text
+        assert 'repro_serving_latency_seconds_bucket{le="+Inf"} 200' in text
         assert "repro_eval_evaluations_total" in text  # migrated EvalStats
 
     def test_streaming_trace_still_exports_spans(self, capsys, tmp_path):
@@ -367,3 +368,178 @@ class TestObservability:
         traced = argv + ["--trace-out", str(tmp_path / "t.json")]
         assert main(traced) == 0
         assert capsys.readouterr().out == baseline
+
+
+class TestServeSlo:
+    SHAPES = "1024x1024x1024,512x512x512"
+
+    def serve_argv(self, *extra):
+        return [
+            "serve", self.SHAPES, "--requests", "2000",
+            "--mean-interarrival", "5e-4", "--seed", "3", *extra,
+        ]
+
+    def test_slo_prints_windowed_timeline_and_verdict(self, capsys):
+        argv = self.serve_argv("--slo", "p99<1s,avail>0.9", "--windows", "10")
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "windowed telemetry" in out
+        assert "rps" in out and "p99" in out
+        assert "slo          p99<1s: ok" in out
+        assert "avail>0.9: ok" in out
+
+    def test_monitor_out_without_slo_still_prints_timeline(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        path = tmp_path / "monitor.json"
+        argv = self.serve_argv("--monitor-out", str(path))
+        assert main(argv) == 0
+        assert "windowed telemetry" in capsys.readouterr().out
+        data = json.loads(path.read_text())
+        assert "monitor" in data and "slo" not in data
+        windows = data["monitor"]["requests"]["values"]
+        assert sum(windows.values()) == 2000
+
+    def test_fault_alert_fires_inside_fault_window(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "monitor.json"
+        argv = self.serve_argv(
+            "--slo", "p99<50ms,avail>0.999", "--windows", "20",
+            "--faults", "C5:down:0.3:0.6",
+            "--monitor-out", str(path),
+        )
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "BREACH" in out and "ALERT" in out
+        alerts = json.loads(path.read_text())["alerts"]
+        assert alerts, "fault injection produced no burn-rate alert"
+        # the acceptance contract: some alert fires *inside* the
+        # injected [0.3s, 0.6s) fault window
+        assert any(0.3 <= alert["time"] <= 0.6 for alert in alerts)
+        assert {a["severity"] for a in alerts} <= {"fast", "slow"}
+
+    def test_slo_output_identical_to_plain_run_above_the_timeline(
+        self, capsys
+    ):
+        plain = self.serve_argv()
+        assert main(plain) == 0
+        baseline = capsys.readouterr().out
+        assert main(self.serve_argv("--slo", "p99<1s")) == 0
+        monitored = capsys.readouterr().out
+        # the monitor is additive: the serving summary itself is untouched
+        # and the timeline is appended after it
+        assert monitored.startswith(baseline.rstrip("\n"))
+        assert "windowed telemetry" in monitored
+        assert "windowed telemetry" not in baseline
+
+    def test_trace_out_gains_counter_track(self, capsys, tmp_path):
+        import json
+
+        from repro.obs.export import validate_chrome_trace
+
+        path = tmp_path / "trace.json"
+        argv = self.serve_argv(
+            "--slo", "p99<1s", "--windows", "10", "--trace-out", str(path)
+        )
+        assert main(argv) == 0
+        trace = json.loads(path.read_text())
+        validate_chrome_trace(trace)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        assert counters
+        names = {e["name"] for e in counters}
+        assert "serving rps" in names and "serving p99 (ms)" in names
+
+    def test_bad_slo_spec_exits_2(self, capsys):
+        assert main(self.serve_argv("--slo", "p99>50ms")) == 2
+        assert "SLO" in capsys.readouterr().err
+
+    def test_windows_must_be_positive(self, capsys):
+        assert main(self.serve_argv("--slo", "p99<1s", "--windows", "0")) == 2
+        assert "windows" in capsys.readouterr().err
+
+    def test_sharded_serve_merges_monitor(self, capsys):
+        argv = self.serve_argv(
+            "--shards", "2", "--slo", "p99<1s", "--windows", "10"
+        )
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "windowed telemetry" in out
+        assert "p99<1s: ok" in out
+
+    def test_sweep_slo_column_and_breach_line(self, capsys):
+        argv = [
+            "serve", self.SHAPES, "--sweep", "--requests", "150",
+            "--loads", "100,4000", "--slo", "p99<5ms",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "slo" in out
+        assert "slo breach" in out or "BREACH" in out or "none within" in out
+
+
+class TestObsSlo:
+    SHAPES = "1024x1024x1024,512x512x512"
+
+    def _export(self, tmp_path, *extra):
+        path = tmp_path / "monitor.json"
+        argv = [
+            "serve", self.SHAPES, "--requests", "1000",
+            "--mean-interarrival", "5e-4", "--seed", "3",
+            "--monitor-out", str(path), *extra,
+        ]
+        assert main(argv) == 0
+        return path
+
+    def test_reevaluates_stored_spec(self, capsys, tmp_path):
+        path = self._export(tmp_path, "--slo", "p99<1s")
+        capsys.readouterr()
+        assert main(["obs", "slo", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "windowed telemetry" in out
+        assert "p99<1s: ok" in out
+
+    def test_override_spec_flips_verdict(self, capsys, tmp_path):
+        path = self._export(tmp_path, "--slo", "p99<1s")
+        capsys.readouterr()
+        assert main(["obs", "slo", str(path), "--slo", "p99<1ns"]) == 0
+        out = capsys.readouterr().out
+        assert "BREACH" in out
+
+    def test_no_stored_spec_prints_hint(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "slo", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "windowed telemetry" in captured.out
+        assert "pass --slo" in captured.err
+
+    def test_missing_file_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "slo", str(tmp_path / "nope.json")]) == 2
+        assert "obs slo:" in capsys.readouterr().err
+
+    def test_non_monitor_json_exits_2(self, capsys, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"traceEvents": []}')
+        assert main(["obs", "slo", str(path)]) == 2
+        assert "not a monitor export" in capsys.readouterr().err
+
+    def test_bad_override_spec_exits_2(self, capsys, tmp_path):
+        path = self._export(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", "slo", str(path), "--slo", "frobnicate"]) == 2
+        assert "obs slo:" in capsys.readouterr().err
+
+
+class TestBenchObsFlags:
+    def test_bench_metrics_out(self, capsys, tmp_path):
+        path = tmp_path / "metrics.prom"
+        argv = [
+            "bench", "estimate", "--repeats", "2",
+            "--metrics-out", str(path),
+        ]
+        assert main(argv) == 0
+        text = path.read_text()
+        assert "# TYPE repro_" in text
